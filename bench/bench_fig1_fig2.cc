@@ -1,0 +1,20 @@
+// Reproduces paper Figures 1 and 2: log-binned histograms (with t_out bin)
+// of the NREF2J query execution times on System A, first on the primary-key
+// configuration (Fig 1) and then on the recommended configuration (Fig 2).
+
+#include "bench_support.h"
+
+int main() {
+  using namespace tabbench;
+  using namespace tabbench::bench;
+  auto db = MakeNrefDb();
+  if (db == nullptr) return 1;
+  QueryFamily family = GenerateNref2J(db->catalog(), db->stats());
+  AdvisorOptions profile = SystemAProfile();
+  FigureOptions opts;
+  opts.figure = "Figures 1 and 2";
+  opts.system = "A";
+  opts.family_name = "NREF2J";
+  opts.print_histograms = true;
+  return RunCfcFigure(db.get(), std::move(family), &profile, opts);
+}

@@ -1,0 +1,20 @@
+// Reproduces paper Figure 3: cumulative frequency curves of configurations
+// P, 1C and R for family NREF2J on System A, plus the Example-2 performance
+// goal reading ("1C satisfies the goal G, the other two do not").
+
+#include "bench_support.h"
+
+int main() {
+  using namespace tabbench;
+  using namespace tabbench::bench;
+  auto db = MakeNrefDb();
+  if (db == nullptr) return 1;
+  QueryFamily family = GenerateNref2J(db->catalog(), db->stats());
+  AdvisorOptions profile = SystemAProfile();
+  FigureOptions opts;
+  opts.figure = "Figure 3";
+  opts.system = "A";
+  opts.family_name = "NREF2J";
+  opts.print_goal = true;
+  return RunCfcFigure(db.get(), std::move(family), &profile, opts);
+}

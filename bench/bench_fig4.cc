@@ -1,0 +1,21 @@
+// Reproduces paper Figure 4: System A on family NREF3J. The recommender
+// produces NO configuration for this family (Section 4.1.2), so the figure
+// has only the P and 1C curves — and a wide gap between them ("it takes 98
+// seconds to complete 60% of the queries on 1C, while it takes 4 hours and
+// 45 minutes on P: an improvement of 174 times").
+
+#include "bench_support.h"
+
+int main() {
+  using namespace tabbench;
+  using namespace tabbench::bench;
+  auto db = MakeNrefDb();
+  if (db == nullptr) return 1;
+  QueryFamily family = GenerateNref3J(db->catalog(), db->stats());
+  AdvisorOptions profile = SystemAProfile();  // declines this family
+  FigureOptions opts;
+  opts.figure = "Figure 4";
+  opts.system = "A";
+  opts.family_name = "NREF3J";
+  return RunCfcFigure(db.get(), std::move(family), &profile, opts);
+}

@@ -1,0 +1,19 @@
+// Reproduces paper Figure 5: System B on family NREF2J. "The performance of
+// the recommended configuration ... is almost indistinguishable from that
+// of the P configuration."
+
+#include "bench_support.h"
+
+int main() {
+  using namespace tabbench;
+  using namespace tabbench::bench;
+  auto db = MakeNrefDb();
+  if (db == nullptr) return 1;
+  QueryFamily family = GenerateNref2J(db->catalog(), db->stats());
+  AdvisorOptions profile = SystemBProfile();
+  FigureOptions opts;
+  opts.figure = "Figure 5";
+  opts.system = "B";
+  opts.family_name = "NREF2J";
+  return RunCfcFigure(db.get(), std::move(family), &profile, opts);
+}

@@ -1,0 +1,19 @@
+// Reproduces paper Figure 6: System B on family NREF3J. "The recommended
+// configuration performs relatively better, but the gap it exhibits to the
+// 1C configuration is still significant."
+
+#include "bench_support.h"
+
+int main() {
+  using namespace tabbench;
+  using namespace tabbench::bench;
+  auto db = MakeNrefDb();
+  if (db == nullptr) return 1;
+  QueryFamily family = GenerateNref3J(db->catalog(), db->stats());
+  AdvisorOptions profile = SystemBProfile();
+  FigureOptions opts;
+  opts.figure = "Figure 6";
+  opts.system = "B";
+  opts.family_name = "NREF3J";
+  return RunCfcFigure(db.get(), std::move(family), &profile, opts);
+}

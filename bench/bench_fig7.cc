@@ -1,0 +1,20 @@
+// Reproduces paper Figure 7: System C on family SkTH3Js (skewed TPC-H,
+// simple 3-way joins). "The only recommendation R in all our experiments to
+// outperform 1C even on a small portion of the workload" — R speeds up the
+// most expensive queries relative to 1C.
+
+#include "bench_support.h"
+
+int main() {
+  using namespace tabbench;
+  using namespace tabbench::bench;
+  auto db = MakeSkthDb();
+  if (db == nullptr) return 1;
+  QueryFamily family = GenerateTpch3Js(db->catalog(), db->stats());
+  AdvisorOptions profile = SystemCProfile();
+  FigureOptions opts;
+  opts.figure = "Figure 7";
+  opts.system = "C";
+  opts.family_name = "SkTH3Js";
+  return RunCfcFigure(db.get(), std::move(family), &profile, opts);
+}

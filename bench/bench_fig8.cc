@@ -1,0 +1,19 @@
+// Reproduces paper Figure 8: System C on family SkTH3J (skewed TPC-H,
+// generalized 3-way joins). Contrast with Figure 7 "emphasizes the
+// dependence of the configuration recommender on the input workload".
+
+#include "bench_support.h"
+
+int main() {
+  using namespace tabbench;
+  using namespace tabbench::bench;
+  auto db = MakeSkthDb();
+  if (db == nullptr) return 1;
+  QueryFamily family = GenerateTpch3J(db->catalog(), db->stats(), "SkTH3J");
+  AdvisorOptions profile = SystemCProfile();
+  FigureOptions opts;
+  opts.figure = "Figure 8";
+  opts.system = "C";
+  opts.family_name = "SkTH3J";
+  return RunCfcFigure(db.get(), std::move(family), &profile, opts);
+}

@@ -1,0 +1,20 @@
+// Reproduces paper Figure 9: System C on family UnTH3J (uniform TPC-H).
+// "Clearly, the recommender did perform better for the uniformly
+// distributed data. Nevertheless, the 1C configuration still proved the
+// best overall."
+
+#include "bench_support.h"
+
+int main() {
+  using namespace tabbench;
+  using namespace tabbench::bench;
+  auto db = MakeUnthDb();
+  if (db == nullptr) return 1;
+  QueryFamily family = GenerateTpch3J(db->catalog(), db->stats(), "UnTH3J");
+  AdvisorOptions profile = SystemCProfile();
+  FigureOptions opts;
+  opts.figure = "Figure 9";
+  opts.system = "C";
+  opts.family_name = "UnTH3J";
+  return RunCfcFigure(db.get(), std::move(family), &profile, opts);
+}

@@ -1,0 +1,124 @@
+// Reproduces paper Table 1: size and build time of every configuration used
+// in the experiments — for each (system, database): P, the per-family
+// recommended configurations, and 1C. Sizes are reported as paper-equivalent
+// GB (scaled pages x page size x scale factor); build times in simulated
+// minutes.
+
+#include <cstdio>
+
+#include "bench_support.h"
+
+namespace {
+
+using namespace tabbench;
+using namespace tabbench::bench;
+
+struct Row {
+  std::string label;
+  uint64_t pages = 0;
+  double build_seconds = 0;
+};
+
+int RunDatabase(Database* db, const std::string& db_label,
+                const std::vector<std::pair<std::string, QueryFamily>>& fams,
+                const std::vector<std::pair<std::string, AdvisorOptions>>&
+                    systems,
+                std::vector<Row>* rows) {
+  uint64_t base = db->BasePages();
+  rows->push_back({db_label + " P", base, 0.0});
+
+  ExperimentOptions eopts;
+  eopts.workload_size = WorkloadSize();
+  for (const auto& [sys_name, profile] : systems) {
+    for (const auto& [fam_name, family] : fams) {
+      FamilyExperiment exp(db, family, eopts);
+      if (!exp.Prepare().ok()) return 1;
+      auto rec = exp.Recommend(profile);
+      std::string label = sys_name + " " + db_label + " " + fam_name + " R";
+      if (!rec.ok()) {
+        std::printf("  %-24s (no recommendation: %s)\n", label.c_str(),
+                    rec.status().message().c_str());
+        continue;
+      }
+      auto rep = db->ApplyConfiguration(rec->config);
+      if (!rep.ok()) {
+        std::fprintf(stderr, "build failed: %s\n",
+                     rep.status().ToString().c_str());
+        return 1;
+      }
+      rows->push_back({label, base + rep->secondary_pages,
+                       rep->build_seconds});
+      (void)db->ResetToPrimary();
+    }
+  }
+  auto rep = db->ApplyConfiguration(Make1CConfig(db->catalog()));
+  if (!rep.ok()) return 1;
+  rows->push_back({db_label + " 1C", base + rep->secondary_pages,
+                   rep->build_seconds});
+  (void)db->ResetToPrimary();
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: sizes and build times of all configurations ===\n");
+  std::vector<Row> rows;
+
+  {
+    auto nref = MakeNrefDb();
+    if (nref == nullptr) return 1;
+    std::vector<std::pair<std::string, QueryFamily>> fams_a = {
+        {"NREF2J", GenerateNref2J(nref->catalog(), nref->stats())},
+    };
+    std::vector<std::pair<std::string, QueryFamily>> fams_b = {
+        {"NREF2J", GenerateNref2J(nref->catalog(), nref->stats())},
+        {"NREF3J", GenerateNref3J(nref->catalog(), nref->stats())},
+    };
+    // System A: NREF2J only (its recommender fails on NREF3J).
+    if (RunDatabase(nref.get(), "NREF", fams_a,
+                    {{"A", SystemAProfile()}}, &rows) != 0) {
+      return 1;
+    }
+    if (RunDatabase(nref.get(), "NREF", fams_b,
+                    {{"B", SystemBProfile()}}, &rows) != 0) {
+      return 1;
+    }
+  }
+  {
+    auto skth = MakeSkthDb();
+    if (skth == nullptr) return 1;
+    std::vector<std::pair<std::string, QueryFamily>> fams = {
+        {"SkTH3J", GenerateTpch3J(skth->catalog(), skth->stats(), "SkTH3J")},
+        {"SkTH3Js", GenerateTpch3Js(skth->catalog(), skth->stats())},
+    };
+    if (RunDatabase(skth.get(), "SkTH", fams, {{"C", SystemCProfile()}},
+                    &rows) != 0) {
+      return 1;
+    }
+  }
+  {
+    auto unth = MakeUnthDb();
+    if (unth == nullptr) return 1;
+    std::vector<std::pair<std::string, QueryFamily>> fams = {
+        {"UnTH3J", GenerateTpch3J(unth->catalog(), unth->stats(), "UnTH3J")},
+    };
+    if (RunDatabase(unth.get(), "UnTH", fams, {{"C", SystemCProfile()}},
+                    &rows) != 0) {
+      return 1;
+    }
+  }
+
+  std::printf("\n%-28s %14s %14s\n", "configuration", "size", "build time");
+  for (const auto& r : rows) {
+    std::printf("%s\n",
+                tabbench::bench::Table1Row(r.label, r.pages, r.build_seconds,
+                                           ScaleInverse())
+                    .c_str());
+  }
+  std::printf(
+      "\npaper shape: P smallest per database; every R uses less space than "
+      "1C;\nbuild times range from minutes (P deltas) to many hours (1C on "
+      "the big databases).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces paper Table 3: the number of 1-4 column indexes per object in
+// each recommended configuration for the TPC-H benchmarks (C_SkTH3Js_R,
+// C_SkTH3J_R, C_UnTH3J_R), including indexes defined over materialized
+// views ("2 recommended indexes were defined on materialized views of
+// Lineitem ... 12 of the 16 indexes recommended were defined on 9
+// materialized views over the join of Lineitem and Partsupp").
+
+#include <cstdio>
+
+#include "bench_support.h"
+
+namespace {
+
+using namespace tabbench;
+using namespace tabbench::bench;
+
+void PrintBreakdown(const std::string& label, const Configuration& config,
+                    const Catalog& catalog) {
+  std::printf("\n%s: %zu indexes, %zu views\n", label.c_str(),
+              config.indexes.size(), config.views.size());
+  std::printf("  %-34s %4s %4s %4s %4s\n", "object", "1c", "2c", "3c", "4c");
+  for (const auto& t : catalog.tables()) {
+    bool any = false;
+    for (int w = 1; w <= 4; ++w) {
+      if (config.CountIndexes(t.name, w) > 0) any = true;
+    }
+    if (!any) continue;
+    std::printf("  %-34s", t.name.c_str());
+    for (int w = 1; w <= 4; ++w) {
+      std::printf(" %4d", config.CountIndexes(t.name, w));
+    }
+    std::printf("\n");
+  }
+  size_t view_indexes = 0;
+  for (const auto& v : config.views) {
+    bool any = false;
+    for (int w = 1; w <= 4; ++w) {
+      int n = config.CountIndexes(v.name, w);
+      if (n > 0) any = true;
+      view_indexes += static_cast<size_t>(n);
+    }
+    std::string vlabel =
+        "view " + v.name + (v.tables.size() > 1 ? " (join)" : " (projection)");
+    if (any || true) {
+      std::printf("  %-34s", vlabel.c_str());
+      for (int w = 1; w <= 4; ++w) {
+        std::printf(" %4d", config.CountIndexes(v.name, w));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("  -> %zu of %zu secondary indexes sit on materialized views\n",
+              view_indexes, config.indexes.size());
+}
+
+int RunCase(Database* db, const char* label, QueryFamily family) {
+  ExperimentOptions eopts;
+  eopts.workload_size = WorkloadSize();
+  FamilyExperiment exp(db, std::move(family), eopts);
+  if (!exp.Prepare().ok()) return 1;
+  auto rec = exp.Recommend(SystemCProfile());
+  if (!rec.ok()) {
+    std::printf("\n%s: no recommendation (%s)\n", label,
+                rec.status().message().c_str());
+    return 0;
+  }
+  PrintBreakdown(label, rec->config, db->catalog());
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: index breakdown of TPC-H recommendations ===\n");
+  {
+    auto skth = MakeSkthDb();
+    if (skth == nullptr) return 1;
+    if (RunCase(skth.get(), "C_SkTH3Js_R",
+                GenerateTpch3Js(skth->catalog(), skth->stats())) != 0) {
+      return 1;
+    }
+    if (RunCase(skth.get(), "C_SkTH3J_R",
+                GenerateTpch3J(skth->catalog(), skth->stats(), "SkTH3J")) !=
+        0) {
+      return 1;
+    }
+  }
+  {
+    auto unth = MakeUnthDb();
+    if (unth == nullptr) return 1;
+    if (RunCase(unth.get(), "C_UnTH3J_R",
+                GenerateTpch3J(unth->catalog(), unth->stats(), "UnTH3J")) !=
+        0) {
+      return 1;
+    }
+  }
+  return 0;
+}

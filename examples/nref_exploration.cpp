@@ -1,0 +1,91 @@
+// The Section 1.1 scenario end-to-end: a biologist explores the NREF
+// protein database with ad-hoc queries (including the paper's Example 1),
+// first on the default primary-key configuration and then on the 1C
+// baseline, watching the response-time distribution change shape.
+
+#include <cstdio>
+
+#include "core/cfc.h"
+#include "core/configurations.h"
+#include "core/report.h"
+#include "datagen/nref_gen.h"
+
+using namespace tabbench;
+
+int main() {
+  NrefScaleOptions opts;
+  opts.scale_inverse = 800.0;  // a lighter instance for the example
+  auto dbr = GenerateNref(opts);
+  if (!dbr.ok()) {
+    std::fprintf(stderr, "%s\n", dbr.status().ToString().c_str());
+    return 1;
+  }
+  auto db = dbr.TakeValue();
+  std::printf("NREF loaded at 1/%.0f scale:\n", opts.scale_inverse);
+  for (const auto& t : db->catalog().tables()) {
+    std::printf("  %-16s %8llu rows\n", t.name.c_str(),
+                static_cast<unsigned long long>(db->TableRowCount(t.name)));
+  }
+
+  // The paper's Example 1 (rewritten against synthetic names): protein
+  // sequences per taxon lineage for one protein name.
+  const ColumnStats* names = db->stats().FindColumn("source", "p_name");
+  std::string some_name = names->mcvs.front().first.as_string();
+  std::string example1 =
+      "SELECT t.lineage, COUNT(DISTINCT t2.nref_id) "
+      "FROM source s, taxonomy t, taxonomy t2 "
+      "WHERE t.nref_id = s.nref_id AND t.lineage = t2.lineage "
+      "AND s.p_name = '" + some_name + "' GROUP BY t.lineage";
+
+  // A small exploratory session: Example 1 plus variations.
+  std::vector<std::string> session = {example1};
+  const ColumnStats* lineages = db->stats().FindColumn("taxonomy", "lineage");
+  for (size_t i = 0; i < 4 && i < lineages->mcvs.size(); ++i) {
+    session.push_back(
+        "SELECT o.name, COUNT(*) FROM taxonomy t, organism o "
+        "WHERE t.taxon_id = o.taxon_id AND t.lineage = " +
+        lineages->mcvs[i].first.ToString() + " GROUP BY o.name");
+  }
+  session.push_back(
+      "SELECT n.taxon_id_2, COUNT(*) FROM neighboring_seq n, taxonomy t "
+      "WHERE n.taxon_id_2 = t.taxon_id AND t.lineage = " +
+      lineages->mcvs[0].first.ToString() + " GROUP BY n.taxon_id_2");
+
+  auto run_session = [&](const char* label) {
+    std::vector<QueryTiming> timings;
+    std::printf("\n-- session on %s --\n", label);
+    for (size_t i = 0; i < session.size(); ++i) {
+      auto res = db->Run(session[i]);
+      if (!res.ok()) {
+        std::fprintf(stderr, "query %zu failed: %s\n", i,
+                     res.status().ToString().c_str());
+        continue;
+      }
+      timings.push_back(QueryTiming{res->sim_seconds, res->timed_out});
+      std::printf("  q%zu: %4zu rows, %10.2fs%s\n", i, res->rows.size(),
+                  res->sim_seconds, res->timed_out ? "  ** timeout **" : "");
+    }
+    return CumulativeFrequency::FromTimings(timings);
+  };
+
+  auto cfc_p = run_session("P (primary keys only)");
+  auto rep = db->ApplyConfiguration(Make1CConfig(db->catalog()));
+  if (!rep.ok()) {
+    std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nbuilt 1C in %.0f simulated seconds (%llu pages)\n",
+              rep->build_seconds,
+              static_cast<unsigned long long>(rep->secondary_pages));
+  auto cfc_1c = run_session("1C (every indexable column)");
+
+  std::printf("\n%s", RenderCfcComparison({{"P", cfc_p}, {"1C", cfc_1c}}, {},
+                                          "-- the biologist's experience --")
+                          .c_str());
+  std::printf("%s",
+              cfc_1c.Dominates(cfc_p)
+                  ? "1C first-order stochastically dominates P: the curve "
+                    "bends toward the satisfied top-left corner.\n"
+                  : "no clean dominance on this tiny session.\n");
+  return 0;
+}

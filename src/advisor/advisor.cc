@@ -1,0 +1,212 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "optimizer/planner.h"
+#include "util/strings.h"
+
+namespace tabbench {
+
+namespace {
+
+/// A selectable unit: one index, or one view together with its indexes.
+struct Unit {
+  bool is_view = false;
+  IndexCandidate index;
+  ViewCandidate view;
+  double pages = 0.0;
+
+  const std::string& Target() const {
+    return is_view ? view.def.name : index.def.target;
+  }
+  /// True when the unit could change plans of `q`.
+  bool RelevantTo(const BoundQuery& q) const {
+    auto touches = [&q](const std::string& table) {
+      for (const auto& r : q.relations) {
+        if (r == table) return true;
+      }
+      return false;
+    };
+    if (is_view) {
+      for (const auto& t : view.def.tables) {
+        if (touches(t)) return true;
+      }
+      return false;
+    }
+    // Index on a base table: relevant if the query touches the table,
+    // including via an IN-frequency subquery over it.
+    if (touches(index.def.target)) return true;
+    for (const auto& p : q.in_preds) {
+      if (p.sub_table == index.def.target) return true;
+    }
+    return false;
+  }
+};
+
+Configuration MakeConfig(const std::vector<const Unit*>& chosen) {
+  Configuration config;
+  config.name = "R";
+  for (const Unit* u : chosen) {
+    if (u->is_view) {
+      config.views.push_back(u->view.def);
+      for (const auto& idx : u->view.indexes) config.indexes.push_back(idx);
+    } else {
+      config.indexes.push_back(u->index.def);
+    }
+  }
+  return config;
+}
+
+}  // namespace
+
+Result<Recommendation> Advisor::Recommend(
+    const std::vector<BoundQuery>& workload) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  CandidateSet cands = GenerateCandidates(workload, *base_.catalog,
+                                          *base_.stats, options_.candidates);
+  if (static_cast<double>(cands.unsupported_queries) >
+      options_.max_unsupported_frac * static_cast<double>(workload.size())) {
+    return Status::NotFound(StrFormat(
+        "recommender could not analyze %zu of %zu workload queries; "
+        "no configuration produced",
+        cands.unsupported_queries, workload.size()));
+  }
+
+  std::vector<Unit> units;
+  for (auto& ic : cands.indexes) {
+    Unit u;
+    u.is_view = false;
+    u.index = ic;
+    u.pages = ic.est_pages;
+    units.push_back(std::move(u));
+  }
+  for (auto& vc : cands.views) {
+    Unit u;
+    u.is_view = true;
+    u.view = vc;
+    u.pages = vc.est_pages;
+    units.push_back(std::move(u));
+  }
+
+  // Era-faithful estimation: what-if costing may ignore value-distribution
+  // detail (uniform densities). The degraded copy lives for this call.
+  ConfigView whatif_base = base_;
+  DatabaseStats degraded;
+  if (options_.whatif.uniform_value_assumption) {
+    degraded = DegradeToUniform(*base_.stats);
+    whatif_base.stats = &degraded;
+  }
+
+  // Evaluation sample: a deterministic subset of the workload.
+  std::vector<const BoundQuery*> sample;
+  {
+    Rng rng(options_.seed);
+    std::vector<size_t> idx = rng.SampleWithoutReplacement(
+        workload.size(), std::min(options_.eval_sample, workload.size()));
+    std::sort(idx.begin(), idx.end());
+    for (size_t i : idx) sample.push_back(&workload[i]);
+  }
+
+  // Baseline hypothetical costs (the empty recommendation = P).
+  std::vector<const Unit*> chosen;
+  std::vector<double> cur_cost(sample.size(), 0.0);
+  {
+    Configuration empty;
+    ConfigView v;
+    TB_ASSIGN_OR_RETURN(v, MakeHypotheticalView(empty, whatif_base, options_.whatif));
+    for (size_t i = 0; i < sample.size(); ++i) {
+      auto c = EstimateCost(*sample[i], v);
+      if (!c.ok()) return c.status();
+      cur_cost[i] = *c;
+    }
+  }
+  double before =
+      std::accumulate(cur_cost.begin(), cur_cost.end(), 0.0,
+                      [](double a, double b) { return a + b; });
+  double pages_used = 0.0;
+  std::vector<bool> taken(units.size(), false);
+
+  for (int round = 0; round < options_.max_picks; ++round) {
+    int best_unit = -1;
+    double best_score = 0.0;
+    double best_benefit = 0.0;
+    std::vector<double> best_costs;
+    double current_total =
+        std::accumulate(cur_cost.begin(), cur_cost.end(), 0.0,
+                        [](double a, double b) { return a + b; });
+    double min_benefit =
+        std::max(1e-6, options_.min_benefit_frac * current_total);
+
+    for (size_t ui = 0; ui < units.size(); ++ui) {
+      if (taken[ui]) continue;
+      const Unit& u = units[ui];
+      if (options_.space_budget_pages >= 0.0 &&
+          pages_used + u.pages > options_.space_budget_pages) {
+        continue;
+      }
+      // Hypothetical view with the unit added.
+      std::vector<const Unit*> trial = chosen;
+      trial.push_back(&u);
+      Configuration config = MakeConfig(trial);
+      auto v = MakeHypotheticalView(config, whatif_base, options_.whatif);
+      if (!v.ok()) return v.status();
+
+      double benefit = 0.0;
+      std::vector<double> costs = cur_cost;
+      for (size_t i = 0; i < sample.size(); ++i) {
+        if (!u.RelevantTo(*sample[i])) continue;
+        auto c = EstimateCost(*sample[i], *v);
+        if (!c.ok()) return c.status();
+        costs[i] = *c;
+        benefit += cur_cost[i] - *c;
+      }
+      // Update-aware charging: maintaining the structure costs I/O per
+      // insert (descent + leaf write; views also re-derive their rows).
+      if (options_.updates_per_query > 0.0) {
+        const CostParams& cp = base_.params;
+        double per_insert =
+            2.0 * cp.random_io_seconds + cp.page_io_seconds;
+        double structures = u.is_view
+                                ? 2.0 * (1.0 + static_cast<double>(
+                                                   u.view.indexes.size()))
+                                : 1.0;
+        benefit -= options_.updates_per_query *
+                   static_cast<double>(sample.size()) * per_insert *
+                   structures;
+        if (benefit <= min_benefit) continue;
+      }
+      if (benefit <= min_benefit) continue;
+      double score = benefit / std::max(1.0, u.pages);
+      if (u.is_view) score *= options_.view_score_boost;
+      if (score > best_score) {
+        best_score = score;
+        best_unit = static_cast<int>(ui);
+        best_benefit = benefit;
+        best_costs = std::move(costs);
+      }
+    }
+
+    if (best_unit < 0) break;
+    (void)best_benefit;
+    taken[static_cast<size_t>(best_unit)] = true;
+    chosen.push_back(&units[static_cast<size_t>(best_unit)]);
+    pages_used += units[static_cast<size_t>(best_unit)].pages;
+    cur_cost = std::move(best_costs);
+  }
+
+  Recommendation rec;
+  rec.config = MakeConfig(chosen);
+  rec.est_cost_before = before;
+  rec.est_cost_after =
+      std::accumulate(cur_cost.begin(), cur_cost.end(), 0.0,
+                      [](double a, double b) { return a + b; });
+  rec.est_pages = pages_used;
+  rec.candidates_considered = units.size();
+  return rec;
+}
+
+}  // namespace tabbench

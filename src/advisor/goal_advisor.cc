@@ -1,0 +1,155 @@
+#include "advisor/goal_advisor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "optimizer/planner.h"
+#include "util/strings.h"
+
+namespace tabbench {
+
+namespace {
+
+double ShortfallOf(const PerformanceGoal& goal,
+                   const std::vector<double>& est_costs) {
+  return goal.Shortfall(CumulativeFrequency::FromValues(est_costs));
+}
+
+}  // namespace
+
+Result<GoalRecommendation> GoalDrivenAdvisor::Recommend(
+    const std::vector<BoundQuery>& workload) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  CandidateSet cands = GenerateCandidates(workload, *base_.catalog,
+                                          *base_.stats, options_.candidates);
+  if (static_cast<double>(cands.unsupported_queries) >
+      options_.max_unsupported_frac * static_cast<double>(workload.size())) {
+    return Status::NotFound("goal-driven recommender could not analyze the "
+                            "workload; no configuration produced");
+  }
+
+  // Selectable units (indexes; views with their indexes as atomic picks).
+  struct Unit {
+    bool is_view = false;
+    IndexCandidate index;
+    ViewCandidate view;
+    double pages = 0.0;
+  };
+  std::vector<Unit> units;
+  for (auto& ic : cands.indexes) {
+    units.push_back(Unit{false, ic, {}, ic.est_pages});
+  }
+  for (auto& vc : cands.views) {
+    units.push_back(Unit{true, {}, vc, vc.est_pages});
+  }
+
+  ConfigView whatif_base = base_;
+  DatabaseStats degraded;
+  if (options_.whatif.uniform_value_assumption) {
+    degraded = DegradeToUniform(*base_.stats);
+    whatif_base.stats = &degraded;
+  }
+
+  auto make_config = [&](const std::vector<size_t>& picks) {
+    Configuration config;
+    config.name = "G";
+    for (size_t ui : picks) {
+      const Unit& u = units[ui];
+      if (u.is_view) {
+        config.views.push_back(u.view.def);
+        for (const auto& idx : u.view.indexes) {
+          config.indexes.push_back(idx);
+        }
+      } else {
+        config.indexes.push_back(u.index.def);
+      }
+    }
+    return config;
+  };
+
+  // The goal constrains the whole workload's curve, so evaluate every
+  // query (goal satisfaction cannot be sampled away).
+  std::vector<double> cur_cost(workload.size(), 0.0);
+  {
+    Configuration empty;
+    ConfigView v;
+    TB_ASSIGN_OR_RETURN(v,
+                        MakeHypotheticalView(empty, whatif_base,
+                                             options_.whatif));
+    for (size_t i = 0; i < workload.size(); ++i) {
+      auto c = EstimateCost(workload[i], v);
+      if (!c.ok()) return c.status();
+      cur_cost[i] = *c;
+    }
+  }
+
+  GoalRecommendation rec;
+  rec.est_shortfall_before = ShortfallOf(goal_, cur_cost);
+
+  std::vector<size_t> picks;
+  std::vector<bool> taken(units.size(), false);
+  double pages_used = 0.0;
+  double cur_shortfall = rec.est_shortfall_before;
+
+  for (int round = 0; round < options_.max_picks && cur_shortfall > 0.0;
+       ++round) {
+    int best_unit = -1;
+    double best_score = 0.0;
+    double best_shortfall = cur_shortfall;
+    std::vector<double> best_costs;
+
+    for (size_t ui = 0; ui < units.size(); ++ui) {
+      if (taken[ui]) continue;
+      const Unit& u = units[ui];
+      if (options_.space_budget_pages >= 0.0 &&
+          pages_used + u.pages > options_.space_budget_pages) {
+        continue;
+      }
+      std::vector<size_t> trial = picks;
+      trial.push_back(ui);
+      auto v = MakeHypotheticalView(make_config(trial), whatif_base,
+                                    options_.whatif);
+      if (!v.ok()) return v.status();
+      std::vector<double> costs(workload.size());
+      for (size_t i = 0; i < workload.size(); ++i) {
+        auto c = EstimateCost(workload[i], *v);
+        if (!c.ok()) return c.status();
+        costs[i] = *c;
+      }
+      double shortfall = ShortfallOf(goal_, costs);
+      double gain = cur_shortfall - shortfall;
+      // Primary objective: shortfall per page. Secondary tie-break: total
+      // cost reduction per page scaled down so it only orders equal-gain
+      // picks.
+      double total_before =
+          std::accumulate(cur_cost.begin(), cur_cost.end(), 0.0);
+      double total_after = std::accumulate(costs.begin(), costs.end(), 0.0);
+      double score = gain / std::max(1.0, u.pages) +
+                     1e-9 * (total_before - total_after) /
+                         std::max(1.0, u.pages);
+      if (gain <= 0.0) continue;
+      if (score > best_score) {
+        best_score = score;
+        best_unit = static_cast<int>(ui);
+        best_shortfall = shortfall;
+        best_costs = std::move(costs);
+      }
+    }
+    if (best_unit < 0) break;
+    taken[static_cast<size_t>(best_unit)] = true;
+    picks.push_back(static_cast<size_t>(best_unit));
+    pages_used += units[static_cast<size_t>(best_unit)].pages;
+    cur_cost = std::move(best_costs);
+    cur_shortfall = best_shortfall;
+  }
+
+  rec.config = make_config(picks);
+  rec.est_shortfall_after = cur_shortfall;
+  rec.est_pages = pages_used;
+  rec.goal_met_by_estimates = cur_shortfall <= 0.0;
+  return rec;
+}
+
+}  // namespace tabbench

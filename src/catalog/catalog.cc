@@ -1,0 +1,109 @@
+#include "catalog/catalog.h"
+
+namespace tabbench {
+
+Status Catalog::AddTable(TableDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (by_name_.count(def.name)) {
+    return Status::AlreadyExists("table " + def.name);
+  }
+  for (const auto& pk : def.primary_key) {
+    if (def.ColumnIndex(pk) < 0) {
+      return Status::InvalidArgument("PK column " + pk + " not in table " +
+                                     def.name);
+    }
+  }
+  for (const auto& fk : def.foreign_keys) {
+    if (fk.columns.size() != fk.ref_columns.size()) {
+      return Status::InvalidArgument("FK arity mismatch on " + def.name);
+    }
+    for (const auto& c : fk.columns) {
+      if (def.ColumnIndex(c) < 0) {
+        return Status::InvalidArgument("FK column " + c + " not in table " +
+                                       def.name);
+      }
+    }
+  }
+  by_name_[def.name] = tables_.size();
+  tables_.push_back(std::move(def));
+  return Status::OK();
+}
+
+const TableDef* Catalog::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return &tables_[it->second];
+}
+
+Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
+  const TableDef* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("table " + name);
+  return t;
+}
+
+std::vector<ColumnRef> Catalog::IndexableColumns() const {
+  std::vector<ColumnRef> out;
+  for (const auto& t : tables_) {
+    for (const auto& c : t.columns) {
+      if (c.indexable) out.push_back({t.name, c.name});
+    }
+  }
+  return out;
+}
+
+std::string Catalog::DomainOf(const ColumnRef& ref) const {
+  const TableDef* t = FindTable(ref.table);
+  if (t == nullptr) return "";
+  int i = t->ColumnIndex(ref.column);
+  if (i < 0) return "";
+  return t->columns[static_cast<size_t>(i)].domain;
+}
+
+bool Catalog::JoinCompatible(const ColumnRef& a, const ColumnRef& b) const {
+  const TableDef* ta = FindTable(a.table);
+  const TableDef* tb = FindTable(b.table);
+  if (ta == nullptr || tb == nullptr) return false;
+  int ia = ta->ColumnIndex(a.column);
+  int ib = tb->ColumnIndex(b.column);
+  if (ia < 0 || ib < 0) return false;
+  const ColumnDef& ca = ta->columns[static_cast<size_t>(ia)];
+  const ColumnDef& cb = tb->columns[static_cast<size_t>(ib)];
+  return ca.indexable && cb.indexable && !ca.domain.empty() &&
+         ca.domain == cb.domain;
+}
+
+std::vector<std::pair<ColumnRef, ColumnRef>> Catalog::JoinCompatiblePairs(
+    bool include_self_joins) const {
+  std::vector<std::pair<ColumnRef, ColumnRef>> out;
+  std::vector<ColumnRef> cols = IndexableColumns();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    for (size_t j = i; j < cols.size(); ++j) {
+      if (cols[i].table == cols[j].table && !include_self_joins) continue;
+      if (i == j && !include_self_joins) continue;
+      if (JoinCompatible(cols[i], cols[j])) {
+        out.emplace_back(cols[i], cols[j]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<ColumnRef, ColumnRef>> Catalog::ForeignKeyJoin(
+    const std::string& child, const std::string& parent) const {
+  std::vector<std::pair<ColumnRef, ColumnRef>> out;
+  const TableDef* tc = FindTable(child);
+  if (tc == nullptr) return out;
+  for (const auto& fk : tc->foreign_keys) {
+    if (fk.ref_table != parent) continue;
+    for (size_t i = 0; i < fk.columns.size(); ++i) {
+      out.emplace_back(ColumnRef{child, fk.columns[i]},
+                       ColumnRef{parent, fk.ref_columns[i]});
+    }
+    return out;  // first matching FK wins
+  }
+  return out;
+}
+
+}  // namespace tabbench

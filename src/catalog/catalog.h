@@ -1,0 +1,68 @@
+#ifndef TABBENCH_CATALOG_CATALOG_H_
+#define TABBENCH_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/configuration.h"
+#include "catalog/table_def.h"
+#include "util/status.h"
+
+namespace tabbench {
+
+/// A fully-resolved reference to a column of a base table.
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+  bool operator<(const ColumnRef& o) const {
+    return std::tie(table, column) < std::tie(o.table, o.column);
+  }
+  std::string ToString() const { return table + "." + column; }
+};
+
+/// The schema registry: base-table definitions, semantic domains, and
+/// constraint metadata. Shared, read-only during query processing.
+class Catalog {
+ public:
+  Status AddTable(TableDef def);
+
+  const TableDef* FindTable(const std::string& name) const;
+  Result<const TableDef*> GetTable(const std::string& name) const;
+  const std::vector<TableDef>& tables() const { return tables_; }
+
+  /// All (table, column) pairs whose column is indexable — the columns that
+  /// receive an index in the paper's 1C baseline configuration.
+  std::vector<ColumnRef> IndexableColumns() const;
+
+  /// Domain of a column ("" if the table/column does not exist).
+  std::string DomainOf(const ColumnRef& ref) const;
+
+  /// True iff both columns exist, both are indexable, and they share the
+  /// same non-empty semantic domain (the paper's join-compatibility rule).
+  bool JoinCompatible(const ColumnRef& a, const ColumnRef& b) const;
+
+  /// All columns of `table` that are join-compatible with columns of other
+  /// tables (or of `table` itself when self_join is true).
+  std::vector<std::pair<ColumnRef, ColumnRef>> JoinCompatiblePairs(
+      bool include_self_joins) const;
+
+  /// The PK/FK join predicates between `child` and `parent` tables, i.e. the
+  /// column correspondences declared by a foreign key of `child` referencing
+  /// `parent`. Empty if no FK links them.
+  std::vector<std::pair<ColumnRef, ColumnRef>> ForeignKeyJoin(
+      const std::string& child, const std::string& parent) const;
+
+ private:
+  std::vector<TableDef> tables_;
+  std::map<std::string, size_t> by_name_;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_CATALOG_CATALOG_H_

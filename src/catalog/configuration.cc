@@ -1,0 +1,34 @@
+#include "catalog/configuration.h"
+
+namespace tabbench {
+
+int ViewDef::ViewColumnIndex(const std::string& table,
+                             const std::string& column) const {
+  for (size_t i = 0; i < projection.size(); ++i) {
+    if (projection[i].table == table && projection[i].column == column) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool Configuration::HasIndex(const IndexDef& def) const {
+  for (const auto& idx : indexes) {
+    if (idx == def) return true;
+  }
+  return false;
+}
+
+int Configuration::CountIndexes(const std::string& target, int width) const {
+  int n = 0;
+  for (const auto& idx : indexes) {
+    if (idx.is_primary) continue;
+    if (idx.target == target &&
+        static_cast<int>(idx.columns.size()) == width) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace tabbench

@@ -1,0 +1,29 @@
+#include "catalog/table_def.h"
+
+namespace tabbench {
+
+int TableDef::ColumnIndex(const std::string& col_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == col_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> TableDef::IndexableColumns() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].indexable) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> TableDef::PrimaryKeyColumns() const {
+  std::vector<int> out;
+  for (const auto& pk : primary_key) {
+    int idx = ColumnIndex(pk);
+    if (idx >= 0) out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace tabbench

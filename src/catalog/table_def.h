@@ -1,0 +1,62 @@
+#ifndef TABBENCH_CATALOG_TABLE_DEF_H_
+#define TABBENCH_CATALOG_TABLE_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace tabbench {
+
+/// A column in a base table.
+///
+/// `domain` is the paper's notion of a *semantic domain* (Section 3.2.2):
+/// "grouping columns in the schema by domains, and allowing joins on
+/// attributes in the same domain only". Two columns are join-compatible iff
+/// they carry the same non-empty domain tag.
+///
+/// `indexable` marks columns eligible for index creation; the paper ignores
+/// non-indexable columns (e.g. the multi-KB protein `sequence` text) both in
+/// queries and in the 1C baseline.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kInt;
+  std::string domain;
+  bool indexable = true;
+
+  /// Average encoded width in bytes, used to size pages/indexes before data
+  /// exists (e.g. for hypothetical-configuration sizing).
+  int avg_width = 8;
+};
+
+/// A foreign-key constraint: `columns` of this table reference
+/// `ref_columns` of `ref_table`.
+struct ForeignKeyDef {
+  std::vector<std::string> columns;
+  std::string ref_table;
+  std::vector<std::string> ref_columns;
+};
+
+/// Schema of a base table. Primary keys are named columns; the storage layer
+/// creates the PK index automatically (the paper's P configuration).
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> primary_key;
+  std::vector<ForeignKeyDef> foreign_keys;
+
+  /// Index of the named column, or -1.
+  int ColumnIndex(const std::string& col_name) const;
+  const ColumnDef& column(size_t i) const { return columns[i]; }
+  size_t num_columns() const { return columns.size(); }
+
+  /// Positions of all indexable columns.
+  std::vector<int> IndexableColumns() const;
+
+  /// Positions of the primary-key columns, in PK order.
+  std::vector<int> PrimaryKeyColumns() const;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_CATALOG_TABLE_DEF_H_

@@ -1,0 +1,118 @@
+#include "core/cfc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tabbench {
+
+CumulativeFrequency CumulativeFrequency::FromTimings(
+    const std::vector<QueryTiming>& ts) {
+  CumulativeFrequency c;
+  c.total_ = ts.size();
+  for (const auto& t : ts) {
+    if (t.timed_out) {
+      ++c.timeouts_;
+    } else {
+      c.sorted_times_.push_back(t.seconds);
+    }
+  }
+  std::sort(c.sorted_times_.begin(), c.sorted_times_.end());
+  return c;
+}
+
+CumulativeFrequency CumulativeFrequency::FromValues(
+    const std::vector<double>& values) {
+  CumulativeFrequency c;
+  c.total_ = values.size();
+  c.sorted_times_ = values;
+  std::sort(c.sorted_times_.begin(), c.sorted_times_.end());
+  return c;
+}
+
+double CumulativeFrequency::At(double x) const {
+  if (total_ == 0) return 0.0;
+  auto it = std::lower_bound(sorted_times_.begin(), sorted_times_.end(), x);
+  return static_cast<double>(it - sorted_times_.begin()) /
+         static_cast<double>(total_);
+}
+
+double CumulativeFrequency::Quantile(double frac) const {
+  if (total_ == 0) return std::numeric_limits<double>::infinity();
+  size_t need = static_cast<size_t>(
+      std::ceil(frac * static_cast<double>(total_)));
+  if (need == 0) need = 1;
+  if (need > sorted_times_.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return sorted_times_[need - 1];
+}
+
+bool CumulativeFrequency::Dominates(const CumulativeFrequency& other) const {
+  // Check at every breakpoint of either curve (slightly past each time, so
+  // the strict '<' in the CFC definition is respected).
+  bool strictly_above = false;
+  auto check = [&](double x) {
+    double a = At(std::nextafter(x, std::numeric_limits<double>::max()));
+    double b = other.At(std::nextafter(x, std::numeric_limits<double>::max()));
+    if (a < b - 1e-12) return false;
+    if (a > b + 1e-12) strictly_above = true;
+    return true;
+  };
+  for (double x : sorted_times_) {
+    if (!check(x)) return false;
+  }
+  for (double x : other.sorted_times_) {
+    if (!check(x)) return false;
+  }
+  // Timeout tails: fewer timeouts also counts as (weak) dominance evidence.
+  if (timeouts_ > other.timeouts_) return false;
+  if (timeouts_ < other.timeouts_) strictly_above = true;
+  return strictly_above;
+}
+
+namespace {
+LogHistogram BuildImpl(const std::vector<QueryTiming>& ts, double lo,
+                       double hi, int bins_per_decade) {
+  LogHistogram h;
+  double step = std::pow(10.0, 1.0 / bins_per_decade);
+  for (double e = lo; e < hi * (1.0 + 1e-9); e *= step) h.edges.push_back(e);
+  if (h.edges.size() < 2) h.edges = {lo, hi};
+  h.counts.assign(h.edges.size() - 1, 0);
+  for (const auto& t : ts) {
+    if (t.timed_out) {
+      ++h.timeouts;
+      continue;
+    }
+    if (t.seconds < h.edges.front()) {
+      ++h.below_range;
+      continue;
+    }
+    if (t.seconds >= h.edges.back()) {
+      // Clamp into the last bin (pre-timeout stragglers).
+      ++h.counts.back();
+      continue;
+    }
+    auto it = std::upper_bound(h.edges.begin(), h.edges.end(), t.seconds);
+    size_t bin = static_cast<size_t>(it - h.edges.begin()) - 1;
+    ++h.counts[bin];
+  }
+  return h;
+}
+}  // namespace
+
+LogHistogram LogHistogram::Build(const std::vector<QueryTiming>& ts, double lo,
+                                 double hi, int bins_per_decade) {
+  return BuildImpl(ts, lo, hi, bins_per_decade);
+}
+
+LogHistogram LogHistogram::FromValues(const std::vector<double>& values,
+                                      double lo, double hi,
+                                      int bins_per_decade) {
+  std::vector<QueryTiming> ts;
+  ts.reserve(values.size());
+  for (double v : values) ts.push_back(QueryTiming{v, false});
+  return BuildImpl(ts, lo, hi, bins_per_decade);
+}
+
+}  // namespace tabbench

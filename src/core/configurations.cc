@@ -1,0 +1,24 @@
+#include "core/configurations.h"
+
+namespace tabbench {
+
+Configuration MakePConfig() {
+  Configuration c;
+  c.name = "P";
+  return c;
+}
+
+Configuration Make1CConfig(const Catalog& catalog) {
+  Configuration c;
+  c.name = "1C";
+  for (const auto& ref : catalog.IndexableColumns()) {
+    IndexDef idx;
+    idx.name = "oc_" + ref.table + "_" + ref.column;
+    idx.target = ref.table;
+    idx.columns = {ref.column};
+    c.indexes.push_back(std::move(idx));
+  }
+  return c;
+}
+
+}  // namespace tabbench

@@ -1,0 +1,21 @@
+#ifndef TABBENCH_CORE_CONFIGURATIONS_H_
+#define TABBENCH_CORE_CONFIGURATIONS_H_
+
+#include "catalog/catalog.h"
+#include "catalog/configuration.h"
+
+namespace tabbench {
+
+/// The P configuration: primary-key indexes only — no secondary structures
+/// (Section 3.2). Applying it is equivalent to Database::ResetToPrimary().
+Configuration MakePConfig();
+
+/// The paper's proposed 1C baseline: P plus one single-column index on
+/// every indexable column in the schema (Section 3.2.3). "Our results
+/// identify a specific index configuration based on single-column indexes
+/// as a very useful baseline for comparisons."
+Configuration Make1CConfig(const Catalog& catalog);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_CORE_CONFIGURATIONS_H_

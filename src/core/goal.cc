@@ -1,0 +1,68 @@
+#include "core/goal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace tabbench {
+
+PerformanceGoal PerformanceGoal::FromSteps(std::vector<Step> steps) {
+  PerformanceGoal g;
+  std::sort(steps.begin(), steps.end(),
+            [](const Step& a, const Step& b) {
+              return a.from_seconds < b.from_seconds;
+            });
+  for (size_t i = 1; i < steps.size(); ++i) {
+    assert(steps[i].fraction >= steps[i - 1].fraction &&
+           "goal must be monotone");
+  }
+  g.steps_ = std::move(steps);
+  return g;
+}
+
+PerformanceGoal PerformanceGoal::PaperExample2() {
+  return FromSteps({{10.0, 0.10}, {60.0, 0.50}, {1800.0, 0.90}});
+}
+
+double PerformanceGoal::At(double x) const {
+  double g = 0.0;
+  for (const auto& s : steps_) {
+    if (x >= s.from_seconds) g = s.fraction;
+  }
+  return g;
+}
+
+bool PerformanceGoal::SatisfiedBy(const CumulativeFrequency& cfc) const {
+  return Shortfall(cfc) <= 0.0;
+}
+
+double PerformanceGoal::Shortfall(const CumulativeFrequency& cfc) const {
+  // G jumps to s.fraction at s.from_seconds; since CFC uses strict '<',
+  // the binding comparison for "x% within t seconds" is CFC at just past t.
+  double worst = 0.0;
+  for (const auto& s : steps_) {
+    double reached = cfc.At(
+        std::nextafter(s.from_seconds, std::numeric_limits<double>::max()));
+    worst = std::max(worst, s.fraction - reached);
+  }
+  return worst;
+}
+
+std::string PerformanceGoal::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& s : steps_) {
+    parts.push_back(StrFormat("%.0f%% within %s", s.fraction * 100.0,
+                              HumanSeconds(s.from_seconds).c_str()));
+  }
+  return StrJoin(parts, ", ");
+}
+
+double ImprovementRatio(double cost_before, double cost_after) {
+  if (cost_after <= 0.0) return std::numeric_limits<double>::infinity();
+  return cost_before / cost_after;
+}
+
+}  // namespace tabbench

@@ -1,0 +1,54 @@
+#ifndef TABBENCH_CORE_GOAL_H_
+#define TABBENCH_CORE_GOAL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cfc.h"
+
+namespace tabbench {
+
+/// A performance goal as a monotone step function over elapsed time
+/// (Section 2.2, Example 2): G(x) is the fraction of workload queries that
+/// must complete in under x seconds. A configuration C satisfies the goal
+/// iff CFC_C > G, i.e. the measured curve lies above the goal at every
+/// breakpoint.
+class PerformanceGoal {
+ public:
+  struct Step {
+    double from_seconds;  // G(x) = fraction for x >= from_seconds
+    double fraction;
+  };
+
+  PerformanceGoal() = default;
+  /// Steps must be increasing in both coordinates.
+  static PerformanceGoal FromSteps(std::vector<Step> steps);
+
+  /// The paper's Example 2: 10% under 10s, 50% under 60s, 90% under the
+  /// 30-minute timeout.
+  static PerformanceGoal PaperExample2();
+
+  /// G(x).
+  double At(double x) const;
+
+  /// CFC > G: the curve meets or exceeds the requirement at (just below)
+  /// every step boundary.
+  bool SatisfiedBy(const CumulativeFrequency& cfc) const;
+
+  /// The largest shortfall CFC(x) - G(x) < 0 over the steps (0 when
+  /// satisfied) — a scalar "distance to goal" for goal-driven tuning.
+  double Shortfall(const CumulativeFrequency& cfc) const;
+
+  const std::vector<Step>& steps() const { return steps_; }
+  std::string ToString() const;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+/// The paper's improvement ratio IR = A(W, C_i) / A(W, C_j) (Section 2.2).
+double ImprovementRatio(double cost_before, double cost_after);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_CORE_GOAL_H_

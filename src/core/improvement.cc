@@ -1,0 +1,33 @@
+#include "core/improvement.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tabbench {
+
+std::vector<double> ActualImprovementRatios(
+    const std::vector<QueryTiming>& in_ci,
+    const std::vector<QueryTiming>& in_cj) {
+  assert(in_ci.size() == in_cj.size());
+  std::vector<double> out;
+  for (size_t i = 0; i < in_ci.size(); ++i) {
+    if (in_ci[i].timed_out || in_cj[i].timed_out) continue;
+    double denom = std::max(in_cj[i].seconds, 1e-9);
+    out.push_back(in_ci[i].seconds / denom);
+  }
+  return out;
+}
+
+std::vector<double> EstimatedImprovementRatios(
+    const std::vector<double>& in_ci, const std::vector<double>& in_cj) {
+  assert(in_ci.size() == in_cj.size());
+  std::vector<double> out;
+  out.reserve(in_ci.size());
+  for (size_t i = 0; i < in_ci.size(); ++i) {
+    double denom = std::max(in_cj[i], 1e-9);
+    out.push_back(in_ci[i] / denom);
+  }
+  return out;
+}
+
+}  // namespace tabbench

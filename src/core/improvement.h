@@ -1,0 +1,28 @@
+#ifndef TABBENCH_CORE_IMPROVEMENT_H_
+#define TABBENCH_CORE_IMPROVEMENT_H_
+
+#include <vector>
+
+#include "core/cfc.h"
+
+namespace tabbench {
+
+/// Per-query improvement ratios of Section 5.2. A ratio compares
+/// configuration C_i against C_j for one query: value > 1 means C_j is
+/// faster. The paper studies three flavors:
+///   AIR(q) = A(q, C_i) / A(q, C_j)       actual executions
+///   EIR(q) = E(q, C_i) / E(q, C_j)       estimates taken in each target
+///   HIR(q) = H(q, C_i, P) / H(q, C_j, P) hypothetical estimates from P
+///
+/// "Actual improvements involving timeout queries are not considered."
+std::vector<double> ActualImprovementRatios(
+    const std::vector<QueryTiming>& in_ci,
+    const std::vector<QueryTiming>& in_cj);
+
+/// EIR/HIR from per-query estimate vectors.
+std::vector<double> EstimatedImprovementRatios(
+    const std::vector<double>& in_ci, const std::vector<double>& in_cj);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_CORE_IMPROVEMENT_H_

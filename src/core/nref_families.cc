@@ -1,0 +1,166 @@
+#include "core/nref_families.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace tabbench {
+
+namespace {
+
+std::string GroupList(const std::string& alias,
+                      const std::vector<std::string>& cols,
+                      const std::string& anchor) {
+  std::vector<std::string> parts;
+  for (const auto& c : cols) parts.push_back(alias + "." + c);
+  parts.push_back(alias + "." + anchor);
+  return StrJoin(parts, ", ");
+}
+
+bool IsLarge(const DatabaseStats& stats, const std::string& table,
+             const FamilyRestrictions& r) {
+  const TableStats* ts = stats.FindTable(table);
+  return ts != nullptr && ts->row_count > r.large_table_rows;
+}
+
+}  // namespace
+
+QueryFamily GenerateNref2J(const Catalog& catalog, const DatabaseStats& stats,
+                           const FamilyRestrictions& r) {
+  QueryFamily family;
+  family.name = "NREF2J";
+  for (const auto& rt : catalog.tables()) {
+    std::vector<std::string> r_cols =
+        UsableColumns(catalog, stats, rt.name, r);
+    for (const auto& st : catalog.tables()) {
+      if (st.name == rt.name) continue;  // cross-table co-occurrence
+      std::vector<std::string> s_cols =
+          UsableColumns(catalog, stats, st.name, r);
+      for (const auto& c1 : r_cols) {
+        for (const auto& c2 : s_cols) {
+          if (!catalog.JoinCompatible({rt.name, c1}, {st.name, c2})) continue;
+          size_t group_variants = IsLarge(stats, rt.name, r)
+                                      ? r.group_sets_large
+                                      : r.group_sets_small;
+          for (const auto& gset :
+               GroupSets(r_cols, c1, group_variants, 3)) {
+            std::string group = GroupList("r", gset, c1);
+            FamilyQuery q;
+            q.sql = StrFormat(
+                "SELECT %s, COUNT(*) FROM %s r, %s s WHERE r.%s = s.%s "
+                "AND r.%s IN (SELECT %s FROM %s GROUP BY %s "
+                "HAVING COUNT(*) < 4) "
+                "AND s.%s IN (SELECT %s FROM %s GROUP BY %s "
+                "HAVING COUNT(*) < 4) GROUP BY %s",
+                group.c_str(), rt.name.c_str(), st.name.c_str(), c1.c_str(),
+                c2.c_str(), c1.c_str(), c1.c_str(), rt.name.c_str(),
+                c1.c_str(), c2.c_str(), c2.c_str(), st.name.c_str(),
+                c2.c_str(), group.c_str());
+            q.binding = StrFormat("R=%s c1=%s S=%s c2=%s |g|=%zu",
+                                  rt.name.c_str(), c1.c_str(),
+                                  st.name.c_str(), c2.c_str(), gset.size());
+            family.queries.push_back(std::move(q));
+          }
+        }
+      }
+    }
+  }
+  return family;
+}
+
+QueryFamily GenerateNref3J(const Catalog& catalog, const DatabaseStats& stats,
+                           const FamilyRestrictions& r) {
+  QueryFamily family;
+  family.name = "NREF3J";
+  for (const auto& rt : catalog.tables()) {
+    std::vector<std::string> r_cols =
+        UsableColumns(catalog, stats, rt.name, r);
+    const bool r_large = IsLarge(stats, rt.name, r);
+    for (const auto& c1 : r_cols) {
+      // Self-join on c1 requires a non-empty domain (always true for
+      // usable columns) and some duplication to be meaningful.
+      const ColumnStats* c1s = stats.FindColumn(rt.name, c1);
+      if (c1s == nullptr || c1s->num_distinct == 0 ||
+          c1s->num_distinct == c1s->row_count) {
+        continue;  // unique column: self-join is the identity
+      }
+      // "Fewer selection criteria on the larger tables" (Section 4.1.1):
+      // cap the (c2, S.c3) pairings explored per (R, c1).
+      size_t used_c2_pairs = 0;
+      const size_t max_c2_pairs = r_large ? 2 : 3;
+      for (const auto& c2 : r_cols) {
+        if (c2 == c1) continue;
+        for (const auto& st : catalog.tables()) {
+          if (st.name == rt.name) continue;
+          if (used_c2_pairs >= max_c2_pairs) break;
+          std::vector<std::string> s_cols =
+              UsableColumns(catalog, stats, st.name, r);
+          for (const auto& c3 : s_cols) {
+            if (used_c2_pairs >= max_c2_pairs) break;
+            if (!catalog.JoinCompatible({rt.name, c2}, {st.name, c3})) {
+              continue;
+            }
+            ++used_c2_pairs;
+            // Intermediate-size control (Section 3.2.2): the self-join on
+            // c1 multiplies every surviving r1 row by the frequency of its
+            // c1 value; cap the estimated blow-up.
+            const ColumnStats* c1s_fan = stats.FindColumn(rt.name, c1);
+            const ColumnStats* c2s_fan = stats.FindColumn(rt.name, c2);
+            if (c1s_fan == nullptr || c2s_fan == nullptr) continue;
+            double self_fanout = EstimateJoinFanout(*c1s_fan);
+            double r1_fanout = EstimateJoinFanout(*c2s_fan);
+
+            // Selection columns on S: fewer criteria on large tables.
+            size_t max_c4 = IsLarge(stats, st.name, r) ? 1 : 2;
+            size_t used_c4 = 0;
+            for (const auto& c4 : s_cols) {
+              if (used_c4 >= max_c4) break;
+              const ColumnStats* c4s = stats.FindColumn(st.name, c4);
+              if (c4s == nullptr) continue;
+              auto constants = PickConstants(*c4s);
+              if (!constants) continue;
+              ++used_c4;
+              size_t group_variants =
+                  r_large ? r.group_sets_large : r.group_sets_small;
+              for (const auto& gset : GroupSets(r_cols, c1, group_variants,
+                                                3)) {
+                std::string group = GroupList("r1", gset, c1);
+                for (const auto& [k, freq] :
+                     {std::pair<Value, uint64_t>{constants->k1, constants->f1},
+                      {constants->k2, constants->f2},
+                      {constants->k3, constants->f3}}) {
+                  // Estimated pairs: sigma(S) -> r1 rows -> self-join.
+                  // NREF3J aggregates the pairs immediately (COUNT
+                  // DISTINCT), so a looser cap than the TPC-H families'
+                  // keeps the paper's fast..timeout spectrum.
+                  double r1_rows = static_cast<double>(freq) * r1_fanout;
+                  if (r1_rows * self_fanout > 4.0 * kMaxIntermediateRows) {
+                    continue;
+                  }
+                  FamilyQuery q;
+                  q.sql = StrFormat(
+                      "SELECT %s, COUNT(DISTINCT r2.%s) FROM %s r1, %s r2, "
+                      "%s s WHERE r1.%s = r2.%s AND r1.%s = s.%s AND "
+                      "s.%s = %s GROUP BY %s",
+                      group.c_str(), c2.c_str(), rt.name.c_str(),
+                      rt.name.c_str(), st.name.c_str(), c1.c_str(),
+                      c1.c_str(), c2.c_str(), c3.c_str(), c4.c_str(),
+                      k.ToString().c_str(), group.c_str());
+                  q.binding = StrFormat(
+                      "R=%s c1=%s c2=%s S=%s c3=%s c4=%s f=%llu",
+                      rt.name.c_str(), c1.c_str(), c2.c_str(),
+                      st.name.c_str(), c3.c_str(), c4.c_str(),
+                      static_cast<unsigned long long>(freq));
+                  family.queries.push_back(std::move(q));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return family;
+}
+
+}  // namespace tabbench

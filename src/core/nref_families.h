@@ -1,0 +1,35 @@
+#ifndef TABBENCH_CORE_NREF_FAMILIES_H_
+#define TABBENCH_CORE_NREF_FAMILIES_H_
+
+#include "core/query_family.h"
+
+namespace tabbench {
+
+/// Family NREF2J (Section 3.2.2): co-occurrence counts of values from the
+/// same domain in different tables, both restricted to infrequent values.
+///
+///   SELECT r.ci1..ci3, r.c1, COUNT(*)
+///   FROM R r, S s
+///   WHERE r.c1 = s.c2
+///     AND r.c1 IN (SELECT c1 FROM R GROUP BY c1 HAVING COUNT(*) < 4)
+///     AND s.c2 IN (SELECT c2 FROM S GROUP BY c2 HAVING COUNT(*) < 4)
+///   GROUP BY r.ci1..ci3, r.c1
+QueryFamily GenerateNref2J(const Catalog& catalog, const DatabaseStats& stats,
+                           const FamilyRestrictions& r = {});
+
+/// Family NREF3J (Section 3.2.2): the generalization of Example 1's
+/// self-join pattern.
+///
+///   SELECT r1.ci1..ci3, r1.c1, COUNT(DISTINCT r2.c2)
+///   FROM R r1, R r2, S s
+///   WHERE r1.c1 = r2.c1 AND r1.c2 = s.c3 AND s.c4 = k
+///   GROUP BY r1.ci1..ci3, r1.c1
+///
+/// Constants k follow the paper's selectivity rule (k1 rarest; k2/k3 one
+/// and two orders of magnitude more frequent).
+QueryFamily GenerateNref3J(const Catalog& catalog, const DatabaseStats& stats,
+                           const FamilyRestrictions& r = {});
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_CORE_NREF_FAMILIES_H_

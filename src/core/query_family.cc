@@ -1,0 +1,104 @@
+#include "core/query_family.h"
+
+#include <algorithm>
+
+namespace tabbench {
+
+double EstimateJoinFanout(const ColumnStats& col) {
+  if (col.row_count == 0) return 0.0;
+  double rows = static_cast<double>(col.row_count);
+  double collision = 0.0;
+  double mcv_mass = 0.0;
+  for (const auto& [v, f] : col.mcvs) {
+    double p = static_cast<double>(f) / rows;
+    collision += p * p;
+    mcv_mass += p;
+  }
+  double rest_distinct = static_cast<double>(col.num_distinct) -
+                         static_cast<double>(col.mcvs.size());
+  if (rest_distinct > 0 && mcv_mass < 1.0) {
+    collision += (1.0 - mcv_mass) * (1.0 - mcv_mass) / rest_distinct;
+  }
+  return rows * collision;
+}
+
+std::optional<ConstantTriple> PickConstants(const ColumnStats& stats) {
+  if (stats.freq_examples.empty()) return std::nullopt;
+  ConstantTriple t;
+  // k1: the rarest value (highest selectivity).
+  t.f1 = stats.freq_examples.front().first;
+  t.k1 = stats.freq_examples.front().second;
+  // k2, k3: frequencies one and two orders of magnitude greater.
+  t.k2 = stats.ExampleWithFreqNear(t.f1 * 10, &t.f2);
+  t.k3 = stats.ExampleWithFreqNear(t.f1 * 100, &t.f3);
+  // Require an actual spread: k2 meaningfully more frequent than k1.
+  if (t.f2 < t.f1 * 3) return std::nullopt;
+  return t;
+}
+
+std::vector<std::string> UsableColumns(const Catalog& catalog,
+                                       const DatabaseStats& stats,
+                                       const std::string& table,
+                                       const FamilyRestrictions& r) {
+  std::vector<std::string> out;
+  const TableDef* def = catalog.FindTable(table);
+  if (def == nullptr) return out;
+
+  // The paper keeps at most 4 "meaningful" columns per table
+  // (Section 4.1.1). Meaningful here = usable in cross-table joins:
+  // prioritize columns whose domain also appears in another table,
+  // non-key columns first (they enable the families' non-key joins),
+  // then key columns, then the rest — stable within each class.
+  auto domain_is_cross_table = [&](const std::string& domain) {
+    for (const auto& t : catalog.tables()) {
+      if (t.name == table) continue;
+      for (const auto& c : t.columns) {
+        if (c.indexable && c.domain == domain) return true;
+      }
+    }
+    return false;
+  };
+  auto in_pk = [&](const std::string& col) {
+    return std::find(def->primary_key.begin(), def->primary_key.end(),
+                     col) != def->primary_key.end();
+  };
+  for (int klass = 0; klass < 3; ++klass) {
+    for (const auto& c : def->columns) {
+      if (out.size() >= r.max_columns_per_table) break;
+      if (!c.indexable || c.domain.empty()) continue;
+      if (std::find(out.begin(), out.end(), c.name) != out.end()) continue;
+      bool cross = domain_is_cross_table(c.domain);
+      int c_klass = cross ? (in_pk(c.name) ? 1 : 0) : 2;
+      if (c_klass == klass) out.push_back(c.name);
+    }
+  }
+  (void)stats;
+  return out;
+}
+
+std::vector<std::vector<std::string>> GroupSets(
+    const std::vector<std::string>& columns, const std::string& exclude,
+    size_t num_sets, size_t max_width) {
+  std::vector<std::string> pool;
+  for (const auto& c : columns) {
+    if (c != exclude) pool.push_back(c);
+  }
+  std::vector<std::vector<std::string>> out;
+  if (pool.empty() || num_sets == 0) {
+    out.push_back({});  // group by the anchor column alone
+    return out;
+  }
+  // Variant 1: a single extra column. Variant 2: up to max_width columns.
+  out.push_back({pool.front()});
+  if (num_sets > 1 && pool.size() > 1) {
+    std::vector<std::string> wide;
+    for (const auto& c : pool) {
+      if (wide.size() >= max_width) break;
+      wide.push_back(c);
+    }
+    if (wide.size() > 1) out.push_back(std::move(wide));
+  }
+  return out;
+}
+
+}  // namespace tabbench

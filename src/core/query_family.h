@@ -1,0 +1,86 @@
+#ifndef TABBENCH_CORE_QUERY_FAMILY_H_
+#define TABBENCH_CORE_QUERY_FAMILY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "stats/table_stats.h"
+#include "types/value.h"
+
+namespace tabbench {
+
+/// One generated query of a family, with the template bindings that
+/// produced it (useful for reporting and debugging).
+struct FamilyQuery {
+  std::string sql;
+  std::string binding;  // human-readable "R=taxonomy c1=lineage S=source ..."
+};
+
+/// A query family: "sets of queries that contain a large number of
+/// structurally related yet suitably diverse queries" (Section 3.2).
+struct QueryFamily {
+  std::string name;
+  std::vector<FamilyQuery> queries;
+
+  std::vector<std::string> Sql() const {
+    std::vector<std::string> out;
+    out.reserve(queries.size());
+    for (const auto& q : queries) out.push_back(q.sql);
+    return out;
+  }
+};
+
+/// The paper's selection-constant rule (Section 3.2.2, family NREF3J):
+/// "pick three values k1, k2 and k3 ... such that k1 has the highest
+/// selectivity ... and the frequencies of k2 and k3 are one and two orders
+/// of magnitude greater than the frequency of k1."
+struct ConstantTriple {
+  Value k1, k2, k3;
+  uint64_t f1 = 0, f2 = 0, f3 = 0;
+};
+
+/// Picks the triple from collected column statistics; nullopt when the
+/// column has no usable frequency spread (e.g. all values unique — the
+/// generators then skip the column).
+std::optional<ConstantTriple> PickConstants(const ColumnStats& stats);
+
+/// Restrictions the paper applies to keep families tractable
+/// (Section 4.1.1): at most `max_columns_per_table` usable columns per
+/// table, and fewer selection criteria / group-by columns on tables larger
+/// than `large_table_rows`.
+struct FamilyRestrictions {
+  size_t max_columns_per_table = 4;
+  uint64_t large_table_rows = 100000;
+  size_t group_sets_small = 2;  // group-by variants on small tables
+  size_t group_sets_large = 1;  // ... and on large tables
+};
+
+/// Usable (indexable, domain-tagged) columns of `table`, capped per the
+/// restrictions.
+std::vector<std::string> UsableColumns(const Catalog& catalog,
+                                       const DatabaseStats& stats,
+                                       const std::string& table,
+                                       const FamilyRestrictions& r);
+
+/// Group-by column sets over `columns`, excluding `exclude`; the number of
+/// variants depends on the table's size per the restrictions.
+std::vector<std::vector<std::string>> GroupSets(
+    const std::vector<std::string>& columns, const std::string& exclude,
+    size_t num_sets, size_t max_width);
+
+/// Expected matches per probing row for an equi-join into a column with
+/// statistics `col`, assuming the probing values follow a similar
+/// distribution (true by construction of the generators):
+/// |T| * sum_v p(v)^2, from MCVs plus a uniform remainder.
+double EstimateJoinFanout(const ColumnStats& col);
+
+/// The paper's design criterion "queries should not require the
+/// materialization of large intermediate results" (Section 3.2.2), as a
+/// generator-side cap on estimated intermediate rows (scaled units).
+inline constexpr double kMaxIntermediateRows = 500000.0;
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_CORE_QUERY_FAMILY_H_

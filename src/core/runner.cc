@@ -1,0 +1,72 @@
+#include "core/runner.h"
+
+#include <algorithm>
+
+namespace tabbench {
+
+Result<WorkloadResult> RunWorkload(Database* db,
+                                   const std::vector<std::string>& sql,
+                                   const RunOptions& opts) {
+  WorkloadResult out;
+  if (opts.cold_start) db->buffer_pool()->Clear();
+  const double timeout = db->options().cost.timeout_seconds;
+
+  for (const auto& q : sql) {
+    QueryTiming timing;
+    double total = 0.0;
+    int runs = 0;
+    for (int rep = 0; rep < std::max(1, opts.repetitions); ++rep) {
+      auto res = db->Run(q);
+      if (!res.ok()) return res.status();
+      if (res->timed_out) {
+        // Timeout queries are run once (paper Section 4.1).
+        timing.timed_out = true;
+        timing.seconds = timeout;
+        break;
+      }
+      total += res->sim_seconds;
+      ++runs;
+    }
+    if (!timing.timed_out) {
+      timing.seconds = runs > 0 ? total / runs : 0.0;
+    } else {
+      ++out.timeouts;
+    }
+    out.total_clamped_seconds += std::min(timing.seconds, timeout);
+    out.timings.push_back(timing);
+
+    if (opts.collect_estimates) {
+      auto est = db->Estimate(q);
+      if (!est.ok()) return est.status();
+      out.estimates.push_back(*est);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> EstimateWorkload(
+    Database* db, const std::vector<std::string>& sql) {
+  std::vector<double> out;
+  out.reserve(sql.size());
+  for (const auto& q : sql) {
+    auto est = db->Estimate(q);
+    if (!est.ok()) return est.status();
+    out.push_back(*est);
+  }
+  return out;
+}
+
+Result<std::vector<double>> HypotheticalWorkload(
+    Database* db, const std::vector<std::string>& sql,
+    const Configuration& hypothetical, const HypotheticalRules& rules) {
+  std::vector<double> out;
+  out.reserve(sql.size());
+  for (const auto& q : sql) {
+    auto est = db->HypotheticalEstimate(q, hypothetical, rules);
+    if (!est.ok()) return est.status();
+    out.push_back(*est);
+  }
+  return out;
+}
+
+}  // namespace tabbench

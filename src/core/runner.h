@@ -1,0 +1,56 @@
+#ifndef TABBENCH_CORE_RUNNER_H_
+#define TABBENCH_CORE_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cfc.h"
+#include "engine/database.h"
+
+namespace tabbench {
+
+struct RunOptions {
+  /// Runs per query; timings are averaged. The paper performs three runs of
+  /// non-timeout queries and one of timeout queries (Section 4.1). Our
+  /// executor is deterministic given the buffer state, so one run is the
+  /// default; repetitions exercise warm-cache behavior.
+  int repetitions = 1;
+  /// Collect E(q, C) optimizer estimates alongside the executions.
+  bool collect_estimates = false;
+  /// Clear the buffer pool before the workload (cold start).
+  bool cold_start = true;
+};
+
+/// One workload executed on one configuration.
+struct WorkloadResult {
+  std::vector<QueryTiming> timings;   // per query, paper's A(q_k, C)
+  std::vector<double> estimates;      // per query E(q_k, C) when collected
+  size_t timeouts = 0;
+  /// Sum over queries of min(time, timeout) — the paper's conservative
+  /// lower-bound total (Section 4.3).
+  double total_clamped_seconds = 0.0;
+
+  CumulativeFrequency Cfc() const {
+    return CumulativeFrequency::FromTimings(timings);
+  }
+};
+
+/// Runs every query of the workload sequentially on the database's current
+/// configuration (queries that trip the 30-minute simulated timeout are
+/// recorded in the `t_out` bin, not errors).
+Result<WorkloadResult> RunWorkload(Database* db,
+                                   const std::vector<std::string>& sql,
+                                   const RunOptions& opts = {});
+
+/// Optimizer estimates only (no execution): E(q, C_current) per query.
+Result<std::vector<double>> EstimateWorkload(
+    Database* db, const std::vector<std::string>& sql);
+
+/// What-if estimates H(q, C_hyp, C_current) per query.
+Result<std::vector<double>> HypotheticalWorkload(
+    Database* db, const std::vector<std::string>& sql,
+    const Configuration& hypothetical, const HypotheticalRules& rules);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_CORE_RUNNER_H_

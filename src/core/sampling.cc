@@ -1,0 +1,53 @@
+#include "core/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace tabbench {
+
+Result<QueryFamily> SampleFamily(const QueryFamily& family, Database* db,
+                                 size_t target, uint64_t seed) {
+  QueryFamily out;
+  out.name = family.name;
+  const size_t n = family.queries.size();
+  if (n <= target) {
+    out.queries = family.queries;
+    return out;
+  }
+
+  // Estimated cost per query (stratification key).
+  std::vector<std::pair<double, size_t>> keyed;
+  keyed.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto est = db->Estimate(family.queries[i].sql);
+    if (!est.ok()) return est.status();
+    keyed.emplace_back(*est, i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  // Decile strata, proportional allocation, deterministic within-stratum
+  // sampling.
+  Rng rng(seed);
+  const size_t strata = 10;
+  std::vector<size_t> picked;
+  for (size_t s = 0; s < strata; ++s) {
+    size_t lo = s * n / strata;
+    size_t hi = (s + 1) * n / strata;
+    size_t stratum_size = hi - lo;
+    if (stratum_size == 0) continue;
+    // Proportional share of the target, with rounding that preserves the
+    // total (largest-remainder on the fly).
+    size_t want = ((s + 1) * target) / strata - (s * target) / strata;
+    want = std::min(want, stratum_size);
+    std::vector<size_t> idx =
+        rng.SampleWithoutReplacement(stratum_size, want);
+    for (size_t k : idx) picked.push_back(keyed[lo + k].second);
+  }
+  std::sort(picked.begin(), picked.end());
+  for (size_t i : picked) out.queries.push_back(family.queries[i]);
+  return out;
+}
+
+}  // namespace tabbench

@@ -1,0 +1,20 @@
+#ifndef TABBENCH_CORE_SAMPLING_H_
+#define TABBENCH_CORE_SAMPLING_H_
+
+#include "core/query_family.h"
+#include "engine/database.h"
+
+namespace tabbench {
+
+/// Samples `target` queries from a family "in a way that the distribution
+/// of elapsed times of the larger family was preserved" (Section 4.1.1).
+/// The stratification key is the optimizer's estimated cost on the current
+/// (P) configuration — the only execution-free proxy for elapsed time —
+/// bucketed into deciles, sampled proportionally, deterministically from
+/// `seed`.
+Result<QueryFamily> SampleFamily(const QueryFamily& family, Database* db,
+                                 size_t target, uint64_t seed);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_CORE_SAMPLING_H_

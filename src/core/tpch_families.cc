@@ -1,0 +1,170 @@
+#include "core/tpch_families.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace tabbench {
+
+namespace {
+
+bool InPrimaryKey(const TableDef& def, const std::string& col) {
+  return std::find(def.primary_key.begin(), def.primary_key.end(), col) !=
+         def.primary_key.end();
+}
+
+
+
+struct TemplateOptions {
+  bool allow_in_theta = true;
+  std::set<std::string> table_whitelist;  // empty = all
+};
+
+QueryFamily Generate(const Catalog& catalog, const DatabaseStats& stats,
+                     const std::string& family_name,
+                     const FamilyRestrictions& r,
+                     const TemplateOptions& topts) {
+  QueryFamily family;
+  family.name = family_name;
+
+  auto allowed = [&](const std::string& t) {
+    return topts.table_whitelist.empty() || topts.table_whitelist.count(t);
+  };
+
+  for (const auto& st : catalog.tables()) {  // S: the middle table
+    if (!allowed(st.name)) continue;
+    std::vector<std::string> s_cols = UsableColumns(catalog, stats, st.name, r);
+    for (const auto& rt : catalog.tables()) {  // R: PK/FK partner of S
+      if (!allowed(rt.name) || rt.name == st.name) continue;
+      // PK/FK correspondence in either direction.
+      auto fk = catalog.ForeignKeyJoin(st.name, rt.name);  // S child
+      bool s_is_child = !fk.empty();
+      if (!s_is_child) fk = catalog.ForeignKeyJoin(rt.name, st.name);
+      if (fk.empty()) continue;
+      for (const auto& tt : catalog.tables()) {  // T: non-key join partner
+        // T must be distinct from S; it may revisit R's table under a
+        // different alias (the analogue of NREF3J's self-join pattern).
+        if (!allowed(tt.name) || tt.name == st.name) continue;
+        const TableDef* sdef = catalog.FindTable(st.name);
+        const TableDef* tdef = catalog.FindTable(tt.name);
+        std::vector<std::string> t_cols =
+            UsableColumns(catalog, stats, tt.name, r);
+        for (const auto& c1 : s_cols) {
+          if (InPrimaryKey(*sdef, c1)) continue;  // non-key join
+          for (const auto& c2 : t_cols) {
+            if (InPrimaryKey(*tdef, c2)) continue;
+            if (!catalog.JoinCompatible({st.name, c1}, {tt.name, c2})) {
+              continue;
+            }
+            const ColumnStats* t_col = stats.FindColumn(tt.name, c2);
+            if (t_col == nullptr) continue;
+            double fanout = EstimateJoinFanout(*t_col);
+            // Selection columns c3 on S, with the three-constant spread.
+            size_t used_c3 = 0;
+            for (const auto& c3 : s_cols) {
+              if (used_c3 >= 2) break;  // theta columns per assignment
+              if (c3 == c1) continue;
+              const ColumnStats* c3s = stats.FindColumn(st.name, c3);
+              if (c3s == nullptr) continue;
+              auto constants = PickConstants(*c3s);
+              if (!constants) continue;
+              ++used_c3;
+
+              // FK join conjuncts: r is aliased "r", s aliased "s".
+              std::vector<std::string> fk_parts;
+              for (const auto& [child_col, parent_col] : fk) {
+                if (s_is_child) {
+                  fk_parts.push_back("r." + parent_col.column + " = s." +
+                                     child_col.column);
+                } else {
+                  fk_parts.push_back("r." + child_col.column + " = s." +
+                                     parent_col.column);
+                }
+              }
+              std::string fk_join = StrJoin(fk_parts, " AND ");
+
+              std::vector<std::vector<std::string>> gsets =
+                  GroupSets(t_cols, c2, r.group_sets_small, 4);
+              for (const auto& gset : gsets) {
+                std::vector<std::string> gcols;
+                for (const auto& g : gset) gcols.push_back("t." + g);
+                if (gcols.empty()) gcols.push_back("t." + c2);
+                std::string group = StrJoin(gcols, ", ");
+
+                auto emit = [&](const std::string& theta,
+                                const std::string& desc) {
+                  FamilyQuery q;
+                  q.sql = StrFormat(
+                      "SELECT %s, COUNT(*) FROM %s r, %s s, %s t WHERE %s "
+                      "AND s.%s = t.%s AND %s GROUP BY %s",
+                      group.c_str(), rt.name.c_str(), st.name.c_str(),
+                      tt.name.c_str(), fk_join.c_str(), c1.c_str(),
+                      c2.c_str(), theta.c_str(), group.c_str());
+                  q.binding = StrFormat("R=%s S=%s T=%s c1=%s c2=%s %s",
+                                        rt.name.c_str(), st.name.c_str(),
+                                        tt.name.c_str(), c1.c_str(),
+                                        c2.c_str(), desc.c_str());
+                  family.queries.push_back(std::move(q));
+                };
+
+                // theta form 1: s.c3 = p for the three constants.
+                for (const auto& [k, f] :
+                     {std::pair<Value, uint64_t>{constants->k1, constants->f1},
+                      {constants->k2, constants->f2},
+                      {constants->k3, constants->f3}}) {
+                  if (static_cast<double>(f) * fanout >
+                      kMaxIntermediateRows) {
+                    continue;
+                  }
+                  emit(StrFormat("s.%s = %s", c3.c_str(),
+                                 k.ToString().c_str()),
+                       StrFormat("theta:%s=const f=%llu", c3.c_str(),
+                                 static_cast<unsigned long long>(f)));
+                }
+                // theta form 2: frequency-class membership.
+                if (topts.allow_in_theta) {
+                  for (uint64_t f : {constants->f1, constants->f2}) {
+                    double sigma_rows =
+                        static_cast<double>(f) *
+                        static_cast<double>(c3s->DistinctWithFreqEq(f));
+                    if (sigma_rows * fanout > kMaxIntermediateRows) continue;
+                    emit(StrFormat("s.%s IN (SELECT %s FROM %s GROUP BY %s "
+                                   "HAVING COUNT(*) = %llu)",
+                                   c3.c_str(), c3.c_str(), st.name.c_str(),
+                                   c3.c_str(),
+                                   static_cast<unsigned long long>(f)),
+                         StrFormat("theta:%s IN freq=%llu", c3.c_str(),
+                                   static_cast<unsigned long long>(f)));
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return family;
+}
+
+}  // namespace
+
+QueryFamily GenerateTpch3J(const Catalog& catalog, const DatabaseStats& stats,
+                           const std::string& family_name,
+                           const FamilyRestrictions& r) {
+  TemplateOptions topts;
+  topts.allow_in_theta = true;
+  return Generate(catalog, stats, family_name, r, topts);
+}
+
+QueryFamily GenerateTpch3Js(const Catalog& catalog,
+                            const DatabaseStats& stats,
+                            const FamilyRestrictions& r) {
+  TemplateOptions topts;
+  topts.allow_in_theta = false;
+  topts.table_whitelist = {"lineitem", "orders", "partsupp"};
+  return Generate(catalog, stats, "SkTH3Js", r, topts);
+}
+
+}  // namespace tabbench

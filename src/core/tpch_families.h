@@ -1,0 +1,34 @@
+#ifndef TABBENCH_CORE_TPCH_FAMILIES_H_
+#define TABBENCH_CORE_TPCH_FAMILIES_H_
+
+#include "core/query_family.h"
+
+namespace tabbench {
+
+/// Family SkTH3J / UnTH3J (Section 3.2.2): three-way joins on the TPC-H
+/// schema.
+///
+///   SELECT t.ci1..ci4, COUNT(*)
+///   FROM R r, S s, T t
+///   WHERE r.cp = s.cf (PK/FK)  AND s.c1 = t.c2 (non-key, same domain)
+///     AND theta(s.c3)
+///   GROUP BY t.ci1..ci4
+///
+/// theta is `s.c3 = p` or
+/// `s.c3 IN (SELECT c3 FROM S GROUP BY c3 HAVING COUNT(*) = p)`; three
+/// constants per assignment give intermediate-result sizes spanning two
+/// orders of magnitude. The same generator serves UnTH3J — the paper uses
+/// identical templates on the uniform database with different constants.
+QueryFamily GenerateTpch3J(const Catalog& catalog, const DatabaseStats& stats,
+                           const std::string& family_name,
+                           const FamilyRestrictions& r = {});
+
+/// Family SkTH3Js: the simpler variant — R, S, T restricted to Lineitem,
+/// Orders and Partsupp, and theta always of the `s.c3 = p` form.
+QueryFamily GenerateTpch3Js(const Catalog& catalog,
+                            const DatabaseStats& stats,
+                            const FamilyRestrictions& r = {});
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_CORE_TPCH_FAMILIES_H_

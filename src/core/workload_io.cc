@@ -1,0 +1,76 @@
+#include "core/workload_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace tabbench {
+
+std::string FamilyToString(const QueryFamily& family) {
+  std::string out = "# tabbench workload v1\n";
+  out += "# family: " + family.name + "\n";
+  out += StrFormat("# queries: %zu\n", family.queries.size());
+  for (const auto& q : family.queries) {
+    if (!q.binding.empty()) out += "-- " + q.binding + "\n";
+    out += q.sql + ";\n";
+  }
+  return out;
+}
+
+Result<QueryFamily> FamilyFromString(const std::string& text) {
+  QueryFamily family;
+  std::istringstream in(text);
+  std::string line;
+  bool header_seen = false;
+  std::string pending_binding;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (StartsWith(line, "#")) {
+      if (StartsWith(line, "# tabbench workload")) header_seen = true;
+      const std::string kFamily = "# family: ";
+      if (StartsWith(line, kFamily)) {
+        family.name = line.substr(kFamily.size());
+      }
+      continue;
+    }
+    if (StartsWith(line, "-- ")) {
+      pending_binding = line.substr(3);
+      continue;
+    }
+    if (line.back() != ';') {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: query not terminated by ';'", line_no));
+    }
+    FamilyQuery q;
+    q.sql = line.substr(0, line.size() - 1);
+    q.binding = pending_binding;
+    pending_binding.clear();
+    family.queries.push_back(std::move(q));
+  }
+  if (!header_seen) {
+    return Status::InvalidArgument("missing '# tabbench workload' header");
+  }
+  return family;
+}
+
+Status SaveFamily(const QueryFamily& family, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return Status::Internal("cannot open " + path);
+  out << FamilyToString(family);
+  out.close();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<QueryFamily> LoadFamily(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return FamilyFromString(buf.str());
+}
+
+}  // namespace tabbench

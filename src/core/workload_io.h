@@ -1,0 +1,33 @@
+#ifndef TABBENCH_CORE_WORKLOAD_IO_H_
+#define TABBENCH_CORE_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "core/query_family.h"
+#include "util/status.h"
+
+namespace tabbench {
+
+/// Plain-text workload files — the reproducible artifact the paper itself
+/// published ("Files available at http://www.cs.toronto.edu/~consens/tab/",
+/// footnote 1). Format, line-oriented:
+///
+///   # tabbench workload v1
+///   # family: NREF2J
+///   -- R=taxonomy c1=lineage S=source c2=p_name |g|=2
+///   SELECT ... ;
+///
+/// `--` lines carry the binding annotation of the query that follows; a
+/// query is one line of SQL terminated by `;`. `#` lines are header
+/// comments (the family name is recovered from `# family:`).
+Status SaveFamily(const QueryFamily& family, const std::string& path);
+
+Result<QueryFamily> LoadFamily(const std::string& path);
+
+/// Serialization to/from a string (testing, embedding).
+std::string FamilyToString(const QueryFamily& family);
+Result<QueryFamily> FamilyFromString(const std::string& text);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_CORE_WORKLOAD_IO_H_

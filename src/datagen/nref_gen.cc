@@ -1,0 +1,312 @@
+#include "datagen/nref_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/zipf.h"
+
+namespace tabbench {
+
+DatabaseOptions ScaledOptions(double scale_inverse) {
+  DatabaseOptions o;
+  // Unscaled 2005 desktop: ~1.3 ms/page effective scan rate through the
+  // engine (~6 MB/s), ~1.5 us of CPU per tuple, ~0.75 GB of buffer pool,
+  // ~100 MB work memory per hash operation.
+  o.cost.page_io_seconds = 0.0013 * scale_inverse;
+  o.cost.cpu_tuple_seconds = 1.5e-6 * scale_inverse;
+  o.cost.cpu_hash_seconds = 0.5e-6 * scale_inverse;
+  o.cost.timeout_seconds = 1800.0;  // 30 minutes, unscaled (Section 4.1)
+  o.buffer_pool_pages = static_cast<size_t>(
+      std::max(64.0, 96000.0 / scale_inverse));
+  o.cost.work_mem_pages = static_cast<size_t>(
+      std::max(16.0, 12800.0 / scale_inverse));
+  return o;
+}
+
+std::vector<TableDef> NrefTableDefs() {
+  // Average widths approximate the paper's data (lineages are long
+  // taxonomic strings; sequences are large non-indexable text).
+  TableDef protein;
+  protein.name = "protein";
+  protein.columns = {
+      {"nref_id", TypeId::kInt, "nref", true, 8},
+      {"p_name", TypeId::kString, "name", true, 18},
+      {"last_updated", TypeId::kInt, "date", true, 8},
+      {"sequence", TypeId::kString, "", false, 120},
+      {"length", TypeId::kInt, "length", true, 8},
+  };
+  protein.primary_key = {"nref_id"};
+
+  TableDef source;
+  source.name = "source";
+  source.columns = {
+      {"nref_id", TypeId::kInt, "nref", true, 8},
+      {"p_id", TypeId::kInt, "ordinal", true, 8},
+      {"taxon_id", TypeId::kInt, "taxon", true, 8},
+      {"accession", TypeId::kString, "accession", true, 12},
+      {"p_name", TypeId::kString, "name", true, 18},
+      {"source", TypeId::kString, "db_name", true, 10},
+  };
+  source.primary_key = {"nref_id", "p_id"};
+  source.foreign_keys = {{{"nref_id"}, "protein", {"nref_id"}}};
+
+  TableDef taxonomy;
+  taxonomy.name = "taxonomy";
+  taxonomy.columns = {
+      {"nref_id", TypeId::kInt, "nref", true, 8},
+      {"taxon_id", TypeId::kInt, "taxon", true, 8},
+      {"lineage", TypeId::kString, "lineage", true, 40},
+      {"species_name", TypeId::kString, "name", true, 18},
+      {"common_name", TypeId::kString, "name", true, 14},
+  };
+  taxonomy.primary_key = {"nref_id", "taxon_id"};
+  taxonomy.foreign_keys = {{{"nref_id"}, "protein", {"nref_id"}}};
+
+  TableDef organism;
+  organism.name = "organism";
+  organism.columns = {
+      {"nref_id", TypeId::kInt, "nref", true, 8},
+      {"ordinal", TypeId::kInt, "ordinal", true, 8},
+      {"taxon_id", TypeId::kInt, "taxon", true, 8},
+      {"name", TypeId::kString, "name", true, 18},
+  };
+  organism.primary_key = {"nref_id", "ordinal"};
+  organism.foreign_keys = {{{"nref_id"}, "protein", {"nref_id"}}};
+
+  TableDef neighboring;
+  neighboring.name = "neighboring_seq";
+  neighboring.columns = {
+      {"nref_id_1", TypeId::kInt, "nref", true, 8},
+      {"ordinal", TypeId::kInt, "ordinal", true, 8},
+      {"nref_id_2", TypeId::kInt, "nref", true, 8},
+      {"taxon_id_2", TypeId::kInt, "taxon", true, 8},
+      {"length_2", TypeId::kInt, "length", true, 8},
+      {"score", TypeId::kDouble, "", false, 8},
+      {"overlap_length", TypeId::kInt, "length", true, 8},
+      {"start_1", TypeId::kInt, "", false, 8},
+      {"start_2", TypeId::kInt, "", false, 8},
+      {"end_1", TypeId::kInt, "", false, 8},
+      {"end_2", TypeId::kInt, "", false, 8},
+  };
+  neighboring.primary_key = {"nref_id_1", "ordinal"};
+  neighboring.foreign_keys = {{{"nref_id_1"}, "protein", {"nref_id"}},
+                              {{"nref_id_2"}, "protein", {"nref_id"}}};
+
+  TableDef identical;
+  identical.name = "identical_seq";
+  identical.columns = {
+      {"nref_id_1", TypeId::kInt, "nref", true, 8},
+      {"ordinal", TypeId::kInt, "ordinal", true, 8},
+      {"nref_id_2", TypeId::kInt, "nref", true, 8},
+      {"taxon_id", TypeId::kInt, "taxon", true, 8},
+  };
+  identical.primary_key = {"nref_id_1", "ordinal"};
+  identical.foreign_keys = {{{"nref_id_1"}, "protein", {"nref_id"}},
+                            {{"nref_id_2"}, "protein", {"nref_id"}}};
+
+  return {protein, source, taxonomy, organism, neighboring, identical};
+}
+
+void AddNrefSchema(Catalog* catalog) {
+  for (const auto& t : NrefTableDefs()) {
+    Status st = catalog->AddTable(t);
+    (void)st;  // duplicate-add only happens in tests reusing a catalog
+  }
+}
+
+namespace {
+
+/// Skewed value pools shared across join-compatible columns.
+struct Pools {
+  size_t num_proteins = 0;
+  ZipfSampler protein_ref;   // references to proteins (neighbors, identicals)
+  ZipfSampler taxon;         // taxon ids
+  ZipfSampler name;          // protein/species/common names
+  ZipfSampler lineage;       // long lineage strings, few and heavy
+  ZipfSampler length;        // sequence lengths
+  ZipfSampler db;            // source database names
+
+  Pools(size_t num_p, Rng* rng)
+      : num_proteins(num_p),
+        // Neighbor references are near-uniform: all-against-all FASTA
+        // neighborhoods give every protein a bounded neighbor set.
+        protein_ref(num_p, 0.4),
+        taxon(std::max<size_t>(64, num_p / 4), 0.8),
+        name(std::max<size_t>(64, num_p / 2), 1.0),
+        lineage(std::max<size_t>(48, num_p / 6), 1.1),
+        length(512, 0.6),
+        db(6, 0.7) {
+    (void)rng;
+  }
+
+  Value Taxon(Rng* rng) const {
+    return Value(static_cast<int64_t>(taxon.Sample(rng)));
+  }
+  Value Name(Rng* rng) const {
+    return Value(StrFormat("name_%05zu", name.Sample(rng)));
+  }
+  Value Lineage(Rng* rng) const {
+    size_t r = lineage.Sample(rng);
+    return Value(StrFormat("cellular_organisms;clade_%03zu;family_%03zu", r % 97, r));
+  }
+  Value Length(Rng* rng) const {
+    return Value(static_cast<int64_t>(40 + 7 * length.Sample(rng)));
+  }
+  Value Db(Rng* rng) const {
+    static const char* kDbs[] = {"SwissProt", "TrEMBL",  "RefSeq",
+                                 "GenPept",   "PIR-PSD", "PDB"};
+    return Value(std::string(kDbs[db.Sample(rng)]));
+  }
+  Value ProteinRef(Rng* rng) const {
+    return Value(static_cast<int64_t>(protein_ref.Sample(rng)));
+  }
+};
+
+std::string RandomSequence(Rng* rng, size_t len) {
+  static const char kAmino[] = "ACDEFGHIKLMNPQRSTVWY";
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) s += kAmino[rng->Uniform(20)];
+  return s;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> GenerateNref(const NrefScaleOptions& opts) {
+  double hw = opts.hardware_scale_inverse > 0 ? opts.hardware_scale_inverse
+                                              : opts.scale_inverse;
+  auto db = std::make_unique<Database>(ScaledOptions(hw));
+  for (const auto& t : NrefTableDefs()) {
+    TB_RETURN_IF_ERROR(db->CreateTable(t));
+  }
+  Rng rng(opts.seed);
+
+  const double s = 1.0 / opts.scale_inverse;
+  const size_t n_protein = static_cast<size_t>(1100000 * s);
+  const size_t n_source = static_cast<size_t>(3000000 * s);
+  const size_t n_taxonomy = static_cast<size_t>(15100000 * s);
+  const size_t n_organism = static_cast<size_t>(1200000 * s);
+  const size_t n_neighboring = static_cast<size_t>(78700000 * s);
+  const size_t n_identical = static_cast<size_t>(500000 * s);
+
+  Pools pools(n_protein, &rng);
+
+  // protein
+  for (size_t i = 0; i < n_protein; ++i) {
+    std::vector<Value> row;
+    row.emplace_back(static_cast<int64_t>(i));
+    row.push_back(pools.Name(&rng));
+    row.emplace_back(static_cast<int64_t>(rng.UniformInt(11000, 12800)));
+    Value len = pools.Length(&rng);
+    row.emplace_back(RandomSequence(&rng, 60 + rng.Uniform(120)));
+    row.push_back(len);
+    TB_RETURN_IF_ERROR(db->Insert("protein", Tuple(std::move(row))));
+  }
+
+  // source: ~2.7 rows per protein, Zipf-popular proteins get more
+  {
+    std::vector<uint32_t> per(n_protein, 0);
+    for (size_t i = 0; i < n_source; ++i) {
+      size_t p = static_cast<size_t>(pools.ProteinRef(&rng).as_int());
+      std::vector<Value> row;
+      row.emplace_back(static_cast<int64_t>(p));
+      row.emplace_back(static_cast<int64_t>(per[p]++));
+      row.push_back(pools.Taxon(&rng));
+      row.emplace_back(StrFormat("AC%07llu",
+                                 static_cast<unsigned long long>(rng.Uniform(
+                                     n_source * 2))));
+      row.push_back(pools.Name(&rng));
+      row.push_back(pools.Db(&rng));
+      TB_RETURN_IF_ERROR(db->Insert("source", Tuple(std::move(row))));
+    }
+  }
+
+  // taxonomy: ~13.7 rows per protein; PK (nref_id, taxon_id) needs distinct
+  // taxa per protein — tracked across bursts since `p` may wrap around.
+  {
+    size_t i = 0;
+    size_t p = 0;
+    std::vector<std::set<int64_t>> used(n_protein);
+    while (i < n_taxonomy) {
+      size_t burst = 1 + rng.Uniform(26);  // avg ~13.7
+      for (size_t b = 0; b < burst && i < n_taxonomy; ++b) {
+        Value taxon = pools.Taxon(&rng);
+        if (!used[p % n_protein].insert(taxon.as_int()).second) continue;
+        std::vector<Value> row;
+        row.emplace_back(static_cast<int64_t>(p % n_protein));
+        row.push_back(taxon);
+        row.push_back(pools.Lineage(&rng));
+        row.push_back(pools.Name(&rng));
+        row.push_back(pools.Name(&rng));
+        TB_RETURN_IF_ERROR(db->Insert("taxonomy", Tuple(std::move(row))));
+        ++i;
+      }
+      ++p;
+    }
+  }
+
+  // organism: ~1.1 per protein
+  {
+    std::vector<uint32_t> per(n_protein, 0);
+    for (size_t i = 0; i < n_organism; ++i) {
+      size_t p = rng.Uniform(n_protein);
+      std::vector<Value> row;
+      row.emplace_back(static_cast<int64_t>(p));
+      row.emplace_back(static_cast<int64_t>(per[p]++));
+      row.push_back(pools.Taxon(&rng));
+      row.push_back(pools.Name(&rng));
+      TB_RETURN_IF_ERROR(db->Insert("organism", Tuple(std::move(row))));
+    }
+  }
+
+  // neighboring_seq: ~71 per protein, clustered by nref_id_1 (generated in
+  // nref_id_1 order, giving the PK index its natural clustering)
+  {
+    size_t i = 0;
+    size_t p = 0;
+    while (i < n_neighboring) {
+      size_t burst = 1 + rng.Uniform(142);
+      for (size_t b = 0; b < burst && i < n_neighboring; ++b, ++i) {
+        std::vector<Value> row;
+        row.emplace_back(static_cast<int64_t>(p % n_protein));
+        row.emplace_back(static_cast<int64_t>(b));
+        row.push_back(pools.ProteinRef(&rng));
+        row.push_back(pools.Taxon(&rng));
+        row.push_back(pools.Length(&rng));
+        row.emplace_back(40.0 + rng.UniformDouble() * 960.0);
+        row.push_back(pools.Length(&rng));
+        int64_t s1 = rng.UniformInt(1, 400);
+        int64_t s2 = rng.UniformInt(1, 400);
+        row.emplace_back(s1);
+        row.emplace_back(s2);
+        row.emplace_back(s1 + rng.UniformInt(20, 500));
+        row.emplace_back(s2 + rng.UniformInt(20, 500));
+        TB_RETURN_IF_ERROR(
+            db->Insert("neighboring_seq", Tuple(std::move(row))));
+      }
+      ++p;
+    }
+  }
+
+  // identical_seq: ~0.45 per protein
+  {
+    std::vector<uint32_t> per(n_protein, 0);
+    for (size_t i = 0; i < n_identical; ++i) {
+      size_t p = static_cast<size_t>(pools.ProteinRef(&rng).as_int());
+      std::vector<Value> row;
+      row.emplace_back(static_cast<int64_t>(p));
+      row.emplace_back(static_cast<int64_t>(per[p]++));
+      row.push_back(pools.ProteinRef(&rng));
+      row.push_back(pools.Taxon(&rng));
+      TB_RETURN_IF_ERROR(db->Insert("identical_seq", Tuple(std::move(row))));
+    }
+  }
+
+  TB_RETURN_IF_ERROR(db->FinishLoad());
+  return db;
+}
+
+}  // namespace tabbench

@@ -1,0 +1,262 @@
+#include "datagen/tpch_gen.h"
+
+#include <algorithm>
+
+#include "datagen/nref_gen.h"  // ScaledOptions
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/zipf.h"
+
+namespace tabbench {
+
+std::vector<TableDef> TpchTableDefs() {
+  TableDef part;
+  part.name = "part";
+  part.columns = {
+      {"p_partkey", TypeId::kInt, "partkey", true, 8},
+      {"p_brand", TypeId::kString, "brand", true, 10},
+      {"p_type", TypeId::kString, "type", true, 18},
+      {"p_size", TypeId::kInt, "size", true, 8},
+      {"p_container", TypeId::kString, "container", true, 10},
+      {"p_retailprice", TypeId::kDouble, "", false, 8},
+  };
+  part.primary_key = {"p_partkey"};
+
+  TableDef supplier;
+  supplier.name = "supplier";
+  supplier.columns = {
+      {"s_suppkey", TypeId::kInt, "suppkey", true, 8},
+      {"s_nationkey", TypeId::kInt, "nation", true, 8},
+      {"s_acctbal", TypeId::kDouble, "", false, 8},
+  };
+  supplier.primary_key = {"s_suppkey"};
+
+  TableDef customer;
+  customer.name = "customer";
+  customer.columns = {
+      {"c_custkey", TypeId::kInt, "custkey", true, 8},
+      {"c_nationkey", TypeId::kInt, "nation", true, 8},
+      {"c_mktsegment", TypeId::kString, "segment", true, 10},
+      {"c_acctbal", TypeId::kDouble, "", false, 8},
+  };
+  customer.primary_key = {"c_custkey"};
+
+  TableDef orders;
+  orders.name = "orders";
+  orders.columns = {
+      {"o_orderkey", TypeId::kInt, "orderkey", true, 8},
+      {"o_custkey", TypeId::kInt, "custkey", true, 8},
+      {"o_orderstatus", TypeId::kString, "ostatus", true, 4},
+      {"o_totalprice", TypeId::kDouble, "", false, 8},
+      {"o_orderdate", TypeId::kInt, "date", true, 8},
+      {"o_orderpriority", TypeId::kString, "priority", true, 12},
+  };
+  orders.primary_key = {"o_orderkey"};
+  orders.foreign_keys = {{{"o_custkey"}, "customer", {"c_custkey"}}};
+
+  TableDef partsupp;
+  partsupp.name = "partsupp";
+  partsupp.columns = {
+      {"ps_partkey", TypeId::kInt, "partkey", true, 8},
+      {"ps_suppkey", TypeId::kInt, "suppkey", true, 8},
+      {"ps_availqty", TypeId::kInt, "qty", true, 8},
+      {"ps_supplycost", TypeId::kDouble, "", false, 8},
+  };
+  partsupp.primary_key = {"ps_partkey", "ps_suppkey"};
+  partsupp.foreign_keys = {{{"ps_partkey"}, "part", {"p_partkey"}},
+                           {{"ps_suppkey"}, "supplier", {"s_suppkey"}}};
+
+  TableDef lineitem;
+  lineitem.name = "lineitem";
+  lineitem.columns = {
+      {"l_orderkey", TypeId::kInt, "orderkey", true, 8},
+      {"l_linenumber", TypeId::kInt, "ordinal", true, 8},
+      {"l_partkey", TypeId::kInt, "partkey", true, 8},
+      {"l_suppkey", TypeId::kInt, "suppkey", true, 8},
+      {"l_quantity", TypeId::kInt, "qty", true, 8},
+      {"l_extendedprice", TypeId::kDouble, "", false, 8},
+      {"l_discount", TypeId::kInt, "discount", true, 8},
+      {"l_returnflag", TypeId::kString, "flag", true, 4},
+      {"l_linestatus", TypeId::kString, "lstatus", true, 4},
+      {"l_shipdate", TypeId::kInt, "date", true, 8},
+      {"l_commitdate", TypeId::kInt, "date", true, 8},
+  };
+  lineitem.primary_key = {"l_orderkey", "l_linenumber"};
+  lineitem.foreign_keys = {
+      {{"l_orderkey"}, "orders", {"o_orderkey"}},
+      {{"l_partkey"}, "part", {"p_partkey"}},
+      {{"l_suppkey"}, "supplier", {"s_suppkey"}},
+      {{"l_partkey", "l_suppkey"}, "partsupp", {"ps_partkey", "ps_suppkey"}},
+  };
+
+  return {part, supplier, customer, orders, partsupp, lineitem};
+}
+
+void AddTpchSchema(Catalog* catalog) {
+  for (const auto& t : TpchTableDefs()) {
+    Status st = catalog->AddTable(t);
+    (void)st;
+  }
+}
+
+namespace {
+
+/// Draws either uniformly or Zipf(theta) over [0, n).
+class Skewed {
+ public:
+  Skewed(size_t n, double theta)
+      : n_(n), uniform_(theta <= 0.0),
+        zipf_(uniform_ ? 1 : n, uniform_ ? 1.0 : theta) {}
+
+  size_t Draw(Rng* rng) const {
+    if (uniform_) return rng->Uniform(n_);
+    return zipf_.Sample(rng);
+  }
+
+ private:
+  size_t n_;
+  bool uniform_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> GenerateTpch(const TpchScaleOptions& opts) {
+  double hw = opts.hardware_scale_inverse > 0 ? opts.hardware_scale_inverse
+                                              : opts.scale_inverse;
+  auto db = std::make_unique<Database>(ScaledOptions(hw));
+  for (const auto& t : TpchTableDefs()) {
+    TB_RETURN_IF_ERROR(db->CreateTable(t));
+  }
+  Rng rng(opts.seed);
+  const double s = 1.0 / opts.scale_inverse;
+  const double theta = opts.zipf_theta;
+
+  const size_t n_part = static_cast<size_t>(2000000 * s);
+  const size_t n_supplier = std::max<size_t>(40, static_cast<size_t>(100000 * s));
+  const size_t n_customer = static_cast<size_t>(1500000 * s);
+  const size_t n_orders = static_cast<size_t>(15000000 * s);
+  const size_t n_partsupp = static_cast<size_t>(8000000 * s);
+  const size_t n_lineitem = static_cast<size_t>(60000000 * s);
+
+  static const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                    "MACHINERY", "HOUSEHOLD"};
+  static const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                      "4-NOT SPEC", "5-LOW"};
+  static const char* kStatuses[] = {"F", "O", "P"};
+  static const char* kFlags[] = {"A", "N", "R"};
+  static const char* kContainers[] = {"SM BOX",   "SM CASE", "MED BOX",
+                                      "MED PACK", "LG BOX",  "LG CASE",
+                                      "JUMBO JAR", "WRAP BAG"};
+  static const char* kTypes[] = {"STANDARD ANODIZED", "SMALL PLATED",
+                                 "MEDIUM POLISHED",   "LARGE BRUSHED",
+                                 "ECONOMY BURNISHED", "PROMO ANODIZED"};
+
+  Skewed brand_d(25, theta), type_d(6 * 5, theta), size_d(50, theta),
+      container_d(8, theta), nation_d(25, theta), segment_d(5, theta),
+      status_d(3, theta), priority_d(5, theta), date_d(2400, theta),
+      qty_d(50, theta), discount_d(11, theta), flag_d(3, theta),
+      part_ref(n_part, theta), supp_ref(n_supplier, theta),
+      cust_ref(n_customer, theta), order_ref(n_orders, theta);
+
+  // part
+  for (size_t i = 0; i < n_part; ++i) {
+    std::vector<Value> row;
+    row.emplace_back(static_cast<int64_t>(i));
+    row.emplace_back(StrFormat("Brand#%02zu", brand_d.Draw(&rng) + 10));
+    size_t ty = type_d.Draw(&rng);
+    row.emplace_back(StrFormat("%s %zu", kTypes[ty % 6], ty / 6));
+    row.emplace_back(static_cast<int64_t>(1 + size_d.Draw(&rng)));
+    row.emplace_back(std::string(kContainers[container_d.Draw(&rng)]));
+    row.emplace_back(900.0 + rng.UniformDouble() * 1200.0);
+    TB_RETURN_IF_ERROR(db->Insert("part", Tuple(std::move(row))));
+  }
+
+  // supplier
+  for (size_t i = 0; i < n_supplier; ++i) {
+    std::vector<Value> row;
+    row.emplace_back(static_cast<int64_t>(i));
+    row.emplace_back(static_cast<int64_t>(nation_d.Draw(&rng)));
+    row.emplace_back(-999.0 + rng.UniformDouble() * 10000.0);
+    TB_RETURN_IF_ERROR(db->Insert("supplier", Tuple(std::move(row))));
+  }
+
+  // customer
+  for (size_t i = 0; i < n_customer; ++i) {
+    std::vector<Value> row;
+    row.emplace_back(static_cast<int64_t>(i));
+    row.emplace_back(static_cast<int64_t>(nation_d.Draw(&rng)));
+    row.emplace_back(std::string(kSegments[segment_d.Draw(&rng)]));
+    row.emplace_back(-999.0 + rng.UniformDouble() * 10000.0);
+    TB_RETURN_IF_ERROR(db->Insert("customer", Tuple(std::move(row))));
+  }
+
+  // orders
+  for (size_t i = 0; i < n_orders; ++i) {
+    std::vector<Value> row;
+    row.emplace_back(static_cast<int64_t>(i));
+    row.emplace_back(static_cast<int64_t>(cust_ref.Draw(&rng)));
+    row.emplace_back(std::string(kStatuses[status_d.Draw(&rng)]));
+    row.emplace_back(1000.0 + rng.UniformDouble() * 350000.0);
+    row.emplace_back(static_cast<int64_t>(8035 + date_d.Draw(&rng)));
+    row.emplace_back(std::string(kPriorities[priority_d.Draw(&rng)]));
+    TB_RETURN_IF_ERROR(db->Insert("orders", Tuple(std::move(row))));
+  }
+
+  // partsupp: PK (partkey, suppkey); deterministic supplier assignment like
+  // dbgen (4 suppliers per part pattern, adapted to the scaled sizes)
+  {
+    size_t per_part = std::max<size_t>(1, n_partsupp / std::max<size_t>(1, n_part));
+    size_t emitted = 0;
+    for (size_t p = 0; p < n_part && emitted < n_partsupp; ++p) {
+      for (size_t k = 0; k < per_part && emitted < n_partsupp; ++k) {
+        size_t supp = (p + k * (n_supplier / std::max<size_t>(per_part, 1) + 1)) %
+                      n_supplier;
+        std::vector<Value> row;
+        row.emplace_back(static_cast<int64_t>(p));
+        row.emplace_back(static_cast<int64_t>(supp));
+        row.emplace_back(static_cast<int64_t>(1 + qty_d.Draw(&rng)));
+        row.emplace_back(1.0 + rng.UniformDouble() * 999.0);
+        TB_RETURN_IF_ERROR(db->Insert("partsupp", Tuple(std::move(row))));
+        ++emitted;
+      }
+    }
+  }
+
+  // lineitem: clustered by orderkey (as dbgen emits it)
+  {
+    size_t per_part_ps =
+        std::max<size_t>(1, n_partsupp / std::max<size_t>(1, n_part));
+    size_t emitted = 0;
+    size_t order = 0;
+    while (emitted < n_lineitem) {
+      size_t lines = 1 + rng.Uniform(7);
+      for (size_t l = 0; l < lines && emitted < n_lineitem; ++l, ++emitted) {
+        size_t p = part_ref.Draw(&rng);
+        // Pick a supplier that actually stocks the part (FK into partsupp).
+        size_t k = rng.Uniform(per_part_ps);
+        size_t supp = (p + k * (n_supplier / std::max<size_t>(per_part_ps, 1) + 1)) %
+                      n_supplier;
+        std::vector<Value> row;
+        row.emplace_back(static_cast<int64_t>(order % n_orders));
+        row.emplace_back(static_cast<int64_t>(l));
+        row.emplace_back(static_cast<int64_t>(p));
+        row.emplace_back(static_cast<int64_t>(supp));
+        row.emplace_back(static_cast<int64_t>(1 + qty_d.Draw(&rng)));
+        row.emplace_back(1000.0 + rng.UniformDouble() * 90000.0);
+        row.emplace_back(static_cast<int64_t>(discount_d.Draw(&rng)));
+        row.emplace_back(std::string(kFlags[flag_d.Draw(&rng)]));
+        row.emplace_back(std::string(kStatuses[status_d.Draw(&rng)]));
+        row.emplace_back(static_cast<int64_t>(8035 + date_d.Draw(&rng)));
+        row.emplace_back(static_cast<int64_t>(8035 + date_d.Draw(&rng)));
+        TB_RETURN_IF_ERROR(db->Insert("lineitem", Tuple(std::move(row))));
+      }
+      ++order;
+    }
+  }
+
+  TB_RETURN_IF_ERROR(db->FinishLoad());
+  return db;
+}
+
+}  // namespace tabbench

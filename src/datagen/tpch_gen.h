@@ -1,0 +1,39 @@
+#ifndef TABBENCH_DATAGEN_TPCH_GEN_H_
+#define TABBENCH_DATAGEN_TPCH_GEN_H_
+
+#include <memory>
+
+#include "engine/database.h"
+#include "util/status.h"
+
+namespace tabbench {
+
+struct TpchScaleOptions {
+  /// 1/400 of the paper's 10 GB (~SF10) row counts by default
+  /// (Lineitem: 60M -> 150K rows).
+  double scale_inverse = 400.0;
+  /// Zipfian skew factor: 0 = the standard uniform TPC-H, 1 = the skewed
+  /// variant the paper generates with Chaudhuri & Narasayya's tool [5].
+  double zipf_theta = 0.0;
+  uint64_t seed = 1999;
+  /// Cost-parameter scale (ScaledOptions argument). Defaults to
+  /// scale_inverse; tests override it.
+  double hardware_scale_inverse = -1.0;
+};
+
+/// The TPC-H subset schema used by the benchmark families (Lineitem,
+/// Orders, Partsupp, Part, Supplier, Customer) with semantic domains
+/// assigned so that the families' non-key joins (e.g. l_shipdate =
+/// o_orderdate, l_quantity = ps_availqty) are expressible.
+std::vector<TableDef> TpchTableDefs();
+
+/// Registers the schema in a bare catalog (schema-only tests).
+void AddTpchSchema(Catalog* catalog);
+
+/// Generates and loads a TPC-H instance (uniform or skewed). Returns a
+/// ready Database (stats collected, PK indexes built = configuration P).
+Result<std::unique_ptr<Database>> GenerateTpch(const TpchScaleOptions& opts);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_DATAGEN_TPCH_GEN_H_

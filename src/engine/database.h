@@ -1,0 +1,171 @@
+#ifndef TABBENCH_ENGINE_DATABASE_H_
+#define TABBENCH_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/configuration.h"
+#include "exec/exec_context.h"
+#include "exec/plan_executor.h"
+#include "optimizer/config_view.h"
+#include "optimizer/whatif.h"
+#include "sql/binder.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_table.h"
+#include "storage/page_store.h"
+#include "stats/table_stats.h"
+#include "util/status.h"
+
+namespace tabbench {
+
+struct DatabaseOptions {
+  /// Buffer-pool capacity. The default keeps the paper's regime: raw data an
+  /// order of magnitude larger than memory (Section 3.2.1).
+  size_t buffer_pool_pages = 1536;
+  CostParams cost;
+};
+
+/// One built object of a configuration (Table 1 accounting).
+struct ObjectBuild {
+  std::string name;
+  enum class Kind { kIndex, kView } kind = Kind::kIndex;
+  uint64_t pages = 0;
+  double build_seconds = 0.0;
+};
+
+/// Result of applying a configuration: per-object and total build cost.
+struct BuildReport {
+  std::vector<ObjectBuild> objects;
+  double build_seconds = 0.0;
+  /// Pages of secondary indexes + materialized views (excludes base data
+  /// and PK indexes).
+  uint64_t secondary_pages = 0;
+};
+
+/// The RDBMS facade: storage, statistics, optimizer, executor, and
+/// physical-design state, behind one handle. This is the "system" that the
+/// benchmark configures and measures.
+class Database : public ObjectResolver {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database() override;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ------------------------------------------------------------- schema/load
+  Status CreateTable(const TableDef& def);
+  /// Bulk append during initial load (not timed).
+  Status Insert(const std::string& table, Tuple row);
+  /// Creates the automatic primary-key indexes (the P configuration's only
+  /// indexes) and collects statistics. Call once after loading.
+  Status FinishLoad();
+
+  /// Timed single-row insert: appends to the heap and maintains every index
+  /// on the table, charging I/O/CPU to a fresh context sharing the buffer
+  /// pool. Returns simulated seconds (the Section 4.4 experiment).
+  Result<double> TimedInsert(const std::string& table, Tuple row);
+
+  // ----------------------------------------------------------- configurations
+  /// Builds `config` on top of the primary-key baseline, dropping any
+  /// previously applied secondary configuration first. Views are
+  /// materialized by executing their defining join; indexes are bulk-built
+  /// from a scan + sort. All work is charged to simulated time.
+  Result<BuildReport> ApplyConfiguration(const Configuration& config);
+
+  /// Drops all secondary indexes and views (back to P).
+  Status ResetToPrimary();
+
+  const Configuration& current_config() const { return current_config_; }
+
+  // ------------------------------------------------------------------ queries
+  /// Parses, binds, optimizes against the current configuration, and
+  /// executes. The buffer pool stays warm across calls (queries run
+  /// back-to-back as in the paper's workload runs).
+  Result<QueryResult> Run(const std::string& sql);
+
+  /// Optimizes only; returns the chosen plan with E(q, C_current).
+  Result<PhysicalPlan> Plan(const std::string& sql);
+
+  /// EXPLAIN ANALYZE: executes and returns both the result and the plan
+  /// annotated with measured per-operator cardinalities (the paper's
+  /// missing "observe" step, Section 6).
+  struct AnalyzedRun {
+    QueryResult result;
+    PhysicalPlan plan;
+  };
+  Result<AnalyzedRun> RunAnalyze(const std::string& sql);
+
+  /// E(q, C_current): the optimizer's estimate in the built configuration.
+  Result<double> Estimate(const std::string& sql);
+
+  /// H(q, C_h, C_current): what-if estimate of a configuration that is NOT
+  /// built, derived per `rules` (Section 5 of the paper).
+  Result<double> HypotheticalEstimate(const std::string& sql,
+                                      const Configuration& hypothetical,
+                                      const HypotheticalRules& rules);
+
+  /// Planner view of the currently built configuration, with measured
+  /// index/view statistics.
+  ConfigView CurrentView() const;
+
+  // ----------------------------------------------------------------- plumbing
+  Catalog* mutable_catalog() { return &catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  const DatabaseStats& stats() const { return stats_; }
+  BufferPool* buffer_pool() { return &pool_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Pages of base heaps + primary-key indexes (the P footprint).
+  uint64_t BasePages() const;
+  /// Pages of currently built secondary indexes + views.
+  uint64_t SecondaryPages() const;
+  uint64_t TableRowCount(const std::string& table) const;
+
+  /// Re-collects statistics (after inserts).
+  Status CollectStatistics();
+
+  // ObjectResolver:
+  const HeapTable* FindHeap(const std::string& name) const override;
+  const IndexInfo* FindIndex(const std::string& name) const override;
+
+ private:
+  struct BuiltIndex {
+    IndexDef def;
+    std::unique_ptr<BTree> btree;
+    IndexInfo info;
+  };
+  struct BuiltView {
+    ViewDef def;
+    std::unique_ptr<HeapTable> heap;
+    std::vector<TypeId> types;
+  };
+
+  Status BuildIndex(const IndexDef& def, ExecContext* ctx,
+                    std::vector<std::unique_ptr<BuiltIndex>>* out);
+  Status BuildView(const ViewDef& def, ExecContext* ctx,
+                   std::vector<std::unique_ptr<BuiltView>>* out);
+  Result<const HeapTable*> GetHeap(const std::string& name) const;
+  const BuiltIndex* FindBuiltIndex(const std::string& name) const;
+
+  DatabaseOptions options_;
+  Catalog catalog_;
+  PageStore store_;
+  BufferPool pool_;
+  std::map<std::string, std::unique_ptr<HeapTable>> tables_;
+  DatabaseStats stats_;
+  bool stats_ready_ = false;
+
+  std::vector<std::unique_ptr<BuiltIndex>> pk_indexes_;
+  std::vector<std::unique_ptr<BuiltIndex>> secondary_indexes_;
+  std::vector<std::unique_ptr<BuiltView>> views_;
+  Configuration current_config_;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_ENGINE_DATABASE_H_

@@ -1,0 +1,6 @@
+#include "exec/exec_context.h"
+
+// Header-only implementation; this translation unit exists so the exec
+// library has a stable archive member for the context and its defaults.
+
+namespace tabbench {}  // namespace tabbench

@@ -1,0 +1,679 @@
+#include "exec/operators.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace tabbench {
+
+bool CompiledPred::Eval(const Tuple& t) const {
+  switch (kind) {
+    case ResidualPred::Kind::kColEqLit:
+      return t.at(static_cast<size_t>(pos_a)) == literal;
+    case ResidualPred::Kind::kColEqCol:
+      return t.at(static_cast<size_t>(pos_a)) ==
+             t.at(static_cast<size_t>(pos_b));
+    case ResidualPred::Kind::kInSet:
+      return in_set->count(t.at(static_cast<size_t>(pos_a))) > 0;
+  }
+  return false;
+}
+
+namespace {
+
+/// Charges spill I/O as hash state grows beyond work_mem: every page of
+/// overflow data is written once and read back once (Grace-style).
+class SpillTracker {
+ public:
+  explicit SpillTracker(ExecContext* ctx) : ctx_(ctx) {}
+
+  void Add(size_t bytes) {
+    bytes_ += bytes;
+    size_t pages = bytes_ / kPageSize;
+    size_t limit = ctx_->params().work_mem_pages;
+    if (pages > limit) {
+      uint64_t over = pages - limit;
+      if (over > spilled_) {
+        ctx_->ChargeIoPages(2 * (over - spilled_));
+        spilled_ = over;
+      }
+    }
+  }
+
+  bool spilled() const { return spilled_ > 0; }
+
+ private:
+  ExecContext* ctx_;
+  size_t bytes_ = 0;
+  uint64_t spilled_ = 0;
+};
+
+Result<std::vector<CompiledPred>> CompilePreds(const PlanNode& node,
+                                               const InSets& in_sets) {
+  std::vector<CompiledPred> out;
+  for (const auto& p : node.residual) {
+    CompiledPred cp;
+    cp.kind = p.kind;
+    cp.pos_a = node.FindSlot(p.a);
+    if (cp.pos_a < 0) {
+      return Status::Internal("residual predicate slot not in node output");
+    }
+    switch (p.kind) {
+      case ResidualPred::Kind::kColEqLit:
+        cp.literal = p.literal;
+        break;
+      case ResidualPred::Kind::kColEqCol:
+        cp.pos_b = node.FindSlot(p.b);
+        if (cp.pos_b < 0) {
+          return Status::Internal("residual predicate slot not in node output");
+        }
+        break;
+      case ResidualPred::Kind::kInSet:
+        if (p.in_set < 0 || p.in_set >= static_cast<int>(in_sets.size())) {
+          return Status::Internal("residual IN-set index out of range");
+        }
+        cp.in_set = &in_sets[static_cast<size_t>(p.in_set)];
+        break;
+    }
+    out.push_back(std::move(cp));
+  }
+  return out;
+}
+
+bool EvalPreds(const std::vector<CompiledPred>& preds, const Tuple& t) {
+  for (const auto& p : preds) {
+    if (!p.Eval(t)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- SeqScan
+
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(const HeapTable* heap, std::vector<CompiledPred> preds,
+            ExecContext* ctx)
+      : heap_(heap),
+        preds_(std::move(preds)),
+        ctx_(ctx),
+        cursor_(heap->Scan([ctx](PageId id) { ctx->TouchPage(id); })) {}
+
+  Status Open() override { return Status::OK(); }
+
+  Result<bool> NextImpl(Tuple* out) override {
+    Tuple t;
+    while (cursor_.Next(&t, nullptr)) {
+      ctx_->ChargeTuples(1);
+      TB_RETURN_IF_ERROR(ctx_->CheckTimeout());
+      if (EvalPreds(preds_, t)) {
+        *out = std::move(t);
+        return true;
+      }
+    }
+    TB_RETURN_IF_ERROR(ctx_->CheckTimeout());
+    return false;
+  }
+
+ private:
+  const HeapTable* heap_;
+  std::vector<CompiledPred> preds_;
+  ExecContext* ctx_;
+  HeapTable::Cursor cursor_;
+};
+
+// -------------------------------------------------------------- IndexScan
+
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(const IndexInfo* index, IndexKey prefix, bool index_only,
+              std::vector<CompiledPred> preds, ExecContext* ctx)
+      : index_(index),
+        prefix_(std::move(prefix)),
+        index_only_(index_only),
+        preds_(std::move(preds)),
+        ctx_(ctx) {}
+
+  Status Open() override {
+    if (prefix_.empty()) {
+      // Full leaf-chain walk: leaves stream sequentially.
+      iter_ = index_->btree->ScanAll(
+          [this](PageId id) { ctx_->TouchPage(id); });
+    } else {
+      // Probe: descent and leaf reads are random I/O.
+      iter_ = index_->btree->SeekPrefix(
+          prefix_, [this](PageId id) { ctx_->TouchPageRandom(id); });
+    }
+    return Status::OK();
+  }
+
+  Result<bool> NextImpl(Tuple* out) override {
+    IndexKey key;
+    Rid rid;
+    while (iter_.Next(&key, &rid)) {
+      ctx_->ChargeTuples(1);
+      TB_RETURN_IF_ERROR(ctx_->CheckTimeout());
+      Tuple t;
+      if (index_only_) {
+        t = Tuple(std::move(key));
+      } else {
+        auto fetched = index_->heap->Fetch(
+            rid, [this](PageId id) { ctx_->TouchPageRandom(id); });
+        if (!fetched.ok()) return fetched.status();
+        ctx_->ChargeTuples(1);
+        t = fetched.TakeValue();
+      }
+      if (EvalPreds(preds_, t)) {
+        *out = std::move(t);
+        return true;
+      }
+    }
+    TB_RETURN_IF_ERROR(ctx_->CheckTimeout());
+    return false;
+  }
+
+ private:
+  const IndexInfo* index_;
+  IndexKey prefix_;
+  bool index_only_;
+  std::vector<CompiledPred> preds_;
+  ExecContext* ctx_;
+  BTree::Iterator iter_;
+};
+
+// --------------------------------------------------------------- HashJoin
+
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(std::unique_ptr<Operator> build, std::unique_ptr<Operator> probe,
+             std::vector<std::pair<int, int>> key_pos,
+             std::vector<CompiledPred> preds, ExecContext* ctx)
+      : build_(std::move(build)),
+        probe_(std::move(probe)),
+        key_pos_(std::move(key_pos)),
+        preds_(std::move(preds)),
+        ctx_(ctx),
+        spill_(ctx) {}
+
+  Status Open() override {
+    TB_RETURN_IF_ERROR(build_->Open());
+    Tuple t;
+    for (;;) {
+      auto more = build_->Next(&t);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      Tuple key = BuildKey(t, /*left=*/true);
+      ctx_->ChargeHashOps(1);
+      spill_.Add(t.ByteSize() + 24);
+      table_[std::move(key)].push_back(std::move(t));
+      TB_RETURN_IF_ERROR(ctx_->CheckTimeout());
+    }
+    return probe_->Open();
+  }
+
+  Result<bool> NextImpl(Tuple* out) override {
+    for (;;) {
+      if (match_list_ != nullptr && match_idx_ < match_list_->size()) {
+        Tuple joined = Tuple::Concat((*match_list_)[match_idx_], probe_row_);
+        ++match_idx_;
+        ctx_->ChargeTuples(1);
+        TB_RETURN_IF_ERROR(ctx_->CheckTimeout());
+        if (EvalPreds(preds_, joined)) {
+          *out = std::move(joined);
+          return true;
+        }
+        continue;
+      }
+      auto more = probe_->Next(&probe_row_);
+      if (!more.ok()) return more.status();
+      if (!*more) return false;
+      ctx_->ChargeHashOps(1);
+      if (spill_.spilled()) {
+        // Grace repartitioning: the probe stream is written and re-read too.
+        probe_spill_bytes_ += probe_row_.ByteSize();
+        while (probe_spill_bytes_ >= kPageSize) {
+          ctx_->ChargeIoPages(2);
+          probe_spill_bytes_ -= kPageSize;
+        }
+      }
+      TB_RETURN_IF_ERROR(ctx_->CheckTimeout());
+      Tuple key = BuildKey(probe_row_, /*left=*/false);
+      auto it = table_.find(key);
+      if (it == table_.end()) {
+        match_list_ = nullptr;
+        continue;
+      }
+      match_list_ = &it->second;
+      match_idx_ = 0;
+    }
+  }
+
+ private:
+  Tuple BuildKey(const Tuple& t, bool left) const {
+    std::vector<Value> vals;
+    vals.reserve(key_pos_.size());
+    for (const auto& [l, r] : key_pos_) {
+      vals.push_back(t.at(static_cast<size_t>(left ? l : r)));
+    }
+    return Tuple(std::move(vals));
+  }
+
+  std::unique_ptr<Operator> build_;
+  std::unique_ptr<Operator> probe_;
+  std::vector<std::pair<int, int>> key_pos_;
+  std::vector<CompiledPred> preds_;
+  ExecContext* ctx_;
+  SpillTracker spill_;
+  size_t probe_spill_bytes_ = 0;
+  std::unordered_map<Tuple, std::vector<Tuple>, TupleHash> table_;
+  Tuple probe_row_;
+  const std::vector<Tuple>* match_list_ = nullptr;
+  size_t match_idx_ = 0;
+};
+
+// ------------------------------------------------------------ IndexNLJoin
+
+class IndexNLJoinOp : public Operator {
+ public:
+  IndexNLJoinOp(std::unique_ptr<Operator> outer, const IndexInfo* inner,
+                std::vector<SeekKeyPart> seek,
+                std::vector<int> seek_outer_pos, bool inner_index_only,
+                std::vector<CompiledPred> preds, ExecContext* ctx)
+      : outer_(std::move(outer)),
+        inner_(inner),
+        seek_(std::move(seek)),
+        seek_outer_pos_(std::move(seek_outer_pos)),
+        inner_index_only_(inner_index_only),
+        preds_(std::move(preds)),
+        ctx_(ctx) {}
+
+  Status Open() override { return outer_->Open(); }
+
+  Result<bool> NextImpl(Tuple* out) override {
+    for (;;) {
+      if (have_iter_) {
+        IndexKey key;
+        Rid rid;
+        while (iter_.Next(&key, &rid)) {
+          ctx_->ChargeTuples(1);
+          TB_RETURN_IF_ERROR(ctx_->CheckTimeout());
+          Tuple inner_row;
+          if (inner_index_only_) {
+            inner_row = Tuple(std::move(key));
+          } else {
+            auto fetched = inner_->heap->Fetch(
+                rid, [this](PageId id) { ctx_->TouchPageRandom(id); });
+            if (!fetched.ok()) return fetched.status();
+            ctx_->ChargeTuples(1);
+            inner_row = fetched.TakeValue();
+          }
+          Tuple joined = Tuple::Concat(outer_row_, inner_row);
+          if (EvalPreds(preds_, joined)) {
+            *out = std::move(joined);
+            return true;
+          }
+        }
+        have_iter_ = false;
+      }
+      auto more = outer_->Next(&outer_row_);
+      if (!more.ok()) return more.status();
+      if (!*more) return false;
+      TB_RETURN_IF_ERROR(ctx_->CheckTimeout());
+      // Assemble the probe prefix: literals plus outer-row values.
+      IndexKey prefix;
+      prefix.reserve(seek_.size());
+      size_t outer_i = 0;
+      for (const auto& part : seek_) {
+        if (part.from_outer) {
+          prefix.push_back(
+              outer_row_.at(static_cast<size_t>(seek_outer_pos_[outer_i++])));
+        } else {
+          prefix.push_back(part.literal);
+        }
+      }
+      iter_ = inner_->btree->SeekPrefix(
+          prefix, [this](PageId id) { ctx_->TouchPageRandom(id); });
+      have_iter_ = true;
+    }
+  }
+
+ private:
+  std::unique_ptr<Operator> outer_;
+  const IndexInfo* inner_;
+  std::vector<SeekKeyPart> seek_;
+  std::vector<int> seek_outer_pos_;  // outer tuple positions, in seek order
+  bool inner_index_only_;
+  std::vector<CompiledPred> preds_;
+  ExecContext* ctx_;
+  Tuple outer_row_;
+  BTree::Iterator iter_;
+  bool have_iter_ = false;
+};
+
+// ---------------------------------------------------------- HashAggregate
+
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(std::unique_ptr<Operator> child,
+                  std::vector<int> group_pos,
+                  std::vector<BoundSelectItem> select,
+                  std::vector<int> select_group_idx,
+                  std::vector<int> select_distinct_pos, ExecContext* ctx)
+      : child_(std::move(child)),
+        group_pos_(std::move(group_pos)),
+        select_(std::move(select)),
+        select_group_idx_(std::move(select_group_idx)),
+        select_distinct_pos_(std::move(select_distinct_pos)),
+        ctx_(ctx),
+        spill_(ctx) {}
+
+  Status Open() override {
+    TB_RETURN_IF_ERROR(child_->Open());
+    size_t num_distinct_aggs = 0;
+    for (const auto& s : select_) {
+      if (s.kind == BoundSelectItem::Kind::kCountDistinct) ++num_distinct_aggs;
+    }
+    Tuple t;
+    for (;;) {
+      auto more = child_->Next(&t);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      ctx_->ChargeHashOps(1);
+      TB_RETURN_IF_ERROR(ctx_->CheckTimeout());
+      Tuple key = t.Project(
+          std::vector<size_t>(group_pos_.begin(), group_pos_.end()));
+      auto [it, inserted] = groups_.try_emplace(std::move(key));
+      GroupState& g = it->second;
+      if (inserted) {
+        g.distinct.resize(num_distinct_aggs);
+        spill_.Add(it->first.ByteSize() + 32);
+      }
+      ++g.count;
+      size_t di = 0;
+      for (size_t si = 0; si < select_.size(); ++si) {
+        if (select_[si].kind != BoundSelectItem::Kind::kCountDistinct) continue;
+        const Value& v = t.at(static_cast<size_t>(select_distinct_pos_[di]));
+        auto [vit, vinserted] = g.distinct[di].insert(v);
+        (void)vit;
+        if (vinserted) spill_.Add(v.ByteSize() + 16);
+        ctx_->ChargeHashOps(1);
+        ++di;
+      }
+    }
+    // Empty input with no GROUP BY still yields one all-zero row (SQL
+    // scalar-aggregate semantics).
+    if (groups_.empty() && group_pos_.empty()) {
+      GroupState g;
+      g.distinct.resize(num_distinct_aggs);
+      g.count = 0;
+      groups_.emplace(Tuple(), std::move(g));
+    }
+    iter_ = groups_.begin();
+    return Status::OK();
+  }
+
+  Result<bool> NextImpl(Tuple* out) override {
+    if (iter_ == groups_.end()) return false;
+    ctx_->ChargeTuples(1);
+    TB_RETURN_IF_ERROR(ctx_->CheckTimeout());
+    const Tuple& key = iter_->first;
+    const GroupState& g = iter_->second;
+    std::vector<Value> vals;
+    vals.reserve(select_.size());
+    size_t di = 0;
+    for (size_t si = 0; si < select_.size(); ++si) {
+      switch (select_[si].kind) {
+        case BoundSelectItem::Kind::kColumn:
+          vals.push_back(key.at(static_cast<size_t>(select_group_idx_[si])));
+          break;
+        case BoundSelectItem::Kind::kCountStar:
+          vals.push_back(Value(static_cast<int64_t>(g.count)));
+          break;
+        case BoundSelectItem::Kind::kCountDistinct:
+          vals.push_back(Value(static_cast<int64_t>(g.distinct[di].size())));
+          ++di;
+          break;
+      }
+    }
+    *out = Tuple(std::move(vals));
+    ++iter_;
+    return true;
+  }
+
+ private:
+  struct GroupState {
+    uint64_t count = 0;
+    std::vector<std::unordered_set<Value, ValueHash>> distinct;
+  };
+
+  std::unique_ptr<Operator> child_;
+  std::vector<int> group_pos_;
+  std::vector<BoundSelectItem> select_;
+  /// For kColumn items: index into the group key.
+  std::vector<int> select_group_idx_;
+  /// For kCountDistinct items (in select order): child tuple position.
+  std::vector<int> select_distinct_pos_;
+  ExecContext* ctx_;
+  SpillTracker spill_;
+  std::unordered_map<Tuple, GroupState, TupleHash> groups_;
+  std::unordered_map<Tuple, GroupState, TupleHash>::iterator iter_;
+};
+
+// ---------------------------------------------------------------- Project
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child, std::vector<size_t> positions,
+            ExecContext* ctx)
+      : child_(std::move(child)), positions_(std::move(positions)), ctx_(ctx) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> NextImpl(Tuple* out) override {
+    Tuple t;
+    auto more = child_->Next(&t);
+    if (!more.ok()) return more.status();
+    if (!*more) return false;
+    ctx_->ChargeTuples(1);
+    *out = t.Project(positions_);
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<size_t> positions_;
+  ExecContext* ctx_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- helpers
+
+Result<std::unordered_set<Value, ValueHash>> MaterializeInSet(
+    const InSetSpec& spec, const ObjectResolver& resolver, ExecContext* ctx) {
+  std::unordered_map<Value, uint64_t, ValueHash> counts;
+  if (!spec.index_name.empty()) {
+    const IndexInfo* idx = resolver.FindIndex(spec.index_name);
+    if (idx == nullptr) {
+      return Status::NotFound("IN-set index " + spec.index_name);
+    }
+    auto iter = idx->btree->ScanAll([ctx](PageId id) { ctx->TouchPage(id); });
+    IndexKey key;
+    Rid rid;
+    while (iter.Next(&key, &rid)) {
+      ctx->ChargeTuples(1);
+      ctx->ChargeHashOps(1);
+      TB_RETURN_IF_ERROR(ctx->CheckTimeout());
+      counts[key[0]] += 1;
+    }
+  } else {
+    const HeapTable* heap = resolver.FindHeap(spec.table);
+    if (heap == nullptr) {
+      return Status::NotFound("IN-set table " + spec.table);
+    }
+    if (spec.column_pos < 0) {
+      return Status::Internal("IN-set spec missing column position for " +
+                              spec.table + "." + spec.column);
+    }
+    size_t pos = static_cast<size_t>(spec.column_pos);
+    auto cursor = heap->Scan([ctx](PageId id) { ctx->TouchPage(id); });
+    Tuple t;
+    while (cursor.Next(&t, nullptr)) {
+      ctx->ChargeTuples(1);
+      ctx->ChargeHashOps(1);
+      TB_RETURN_IF_ERROR(ctx->CheckTimeout());
+      counts[t.at(pos)] += 1;
+    }
+  }
+  std::unordered_set<Value, ValueHash> out;
+  for (const auto& [v, c] : counts) {
+    bool keep = (spec.cmp == '<') ? (c < static_cast<uint64_t>(spec.k))
+                                  : (c == static_cast<uint64_t>(spec.k));
+    if (keep && !v.is_null()) out.insert(v);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Operator>> BuildOperator(const PlanNode& node,
+                                                const ObjectResolver& resolver,
+                                                const InSets& in_sets,
+                                                ExecContext* ctx,
+                                                OperatorRegistry* registry) {
+  std::vector<CompiledPred> preds;
+  TB_ASSIGN_OR_RETURN(preds, CompilePreds(node, in_sets));
+  auto reg = [&](std::unique_ptr<Operator> op)
+      -> Result<std::unique_ptr<Operator>> {
+    if (registry != nullptr) registry->emplace_back(&node, op.get());
+    return {std::move(op)};
+  };
+
+  switch (node.kind) {
+    case PlanNode::Kind::kSeqScan: {
+      const HeapTable* heap = resolver.FindHeap(node.object);
+      if (heap == nullptr) return Status::NotFound("table " + node.object);
+      return reg(std::make_unique<SeqScanOp>(heap, std::move(preds), ctx));
+    }
+    case PlanNode::Kind::kIndexScan: {
+      const IndexInfo* idx = resolver.FindIndex(node.index_name);
+      if (idx == nullptr) return Status::NotFound("index " + node.index_name);
+      IndexKey prefix;
+      for (const auto& part : node.seek) {
+        if (part.from_outer) {
+          return Status::Internal("leaf IndexScan cannot reference outer row");
+        }
+        prefix.push_back(part.literal);
+      }
+      return reg(std::make_unique<IndexScanOp>(
+          idx, std::move(prefix), node.index_only, std::move(preds), ctx));
+    }
+    case PlanNode::Kind::kHashJoin: {
+      if (node.children.size() != 2) {
+        return Status::Internal("HashJoin needs 2 children");
+      }
+      std::unique_ptr<Operator> build, probe;
+      TB_ASSIGN_OR_RETURN(
+          build,
+          BuildOperator(*node.children[0], resolver, in_sets, ctx, registry));
+      TB_ASSIGN_OR_RETURN(
+          probe,
+          BuildOperator(*node.children[1], resolver, in_sets, ctx, registry));
+      std::vector<std::pair<int, int>> key_pos;
+      for (const auto& [l, r] : node.hash_keys) {
+        int lp = node.children[0]->FindSlot(l);
+        int rp = node.children[1]->FindSlot(r);
+        if (lp < 0 || rp < 0) {
+          return Status::Internal("hash key not found in child output");
+        }
+        key_pos.emplace_back(lp, rp);
+      }
+      return reg(std::make_unique<HashJoinOp>(std::move(build),
+                                              std::move(probe),
+                                              std::move(key_pos),
+                                              std::move(preds), ctx));
+    }
+    case PlanNode::Kind::kIndexNLJoin: {
+      if (node.children.size() != 1) {
+        return Status::Internal("IndexNLJoin needs 1 child (outer)");
+      }
+      std::unique_ptr<Operator> outer;
+      TB_ASSIGN_OR_RETURN(
+          outer,
+          BuildOperator(*node.children[0], resolver, in_sets, ctx, registry));
+      const IndexInfo* idx = resolver.FindIndex(node.index_name);
+      if (idx == nullptr) return Status::NotFound("index " + node.index_name);
+      std::vector<int> outer_pos;
+      for (const auto& part : node.seek) {
+        if (!part.from_outer) continue;
+        int p = node.children[0]->FindSlot(part.outer);
+        if (p < 0) {
+          return Status::Internal("seek outer slot not in outer output");
+        }
+        outer_pos.push_back(p);
+      }
+      return reg(std::make_unique<IndexNLJoinOp>(
+          std::move(outer), idx, node.seek, std::move(outer_pos),
+          node.index_only, std::move(preds), ctx));
+    }
+    case PlanNode::Kind::kHashAggregate: {
+      if (node.children.size() != 1) {
+        return Status::Internal("HashAggregate needs 1 child");
+      }
+      std::unique_ptr<Operator> child;
+      TB_ASSIGN_OR_RETURN(
+          child,
+          BuildOperator(*node.children[0], resolver, in_sets, ctx, registry));
+      const PlanNode& c = *node.children[0];
+      std::vector<int> group_pos;
+      for (const auto& g : node.group_by) {
+        int p = c.FindSlot(SlotRef{g.rel, g.col});
+        if (p < 0) return Status::Internal("group-by slot not in child");
+        group_pos.push_back(p);
+      }
+      std::vector<int> select_group_idx(node.select.size(), -1);
+      std::vector<int> select_distinct_pos;
+      for (size_t i = 0; i < node.select.size(); ++i) {
+        const auto& s = node.select[i];
+        if (s.kind == BoundSelectItem::Kind::kColumn) {
+          for (size_t gi = 0; gi < node.group_by.size(); ++gi) {
+            if (node.group_by[gi].SameAs(s.column)) {
+              select_group_idx[i] = static_cast<int>(gi);
+              break;
+            }
+          }
+          if (select_group_idx[i] < 0) {
+            return Status::Internal("select column not in group key");
+          }
+        } else if (s.kind == BoundSelectItem::Kind::kCountDistinct) {
+          int p = c.FindSlot(SlotRef{s.column.rel, s.column.col});
+          if (p < 0) return Status::Internal("distinct slot not in child");
+          select_distinct_pos.push_back(p);
+        }
+      }
+      return reg(std::make_unique<HashAggregateOp>(
+          std::move(child), std::move(group_pos), node.select,
+          std::move(select_group_idx), std::move(select_distinct_pos), ctx));
+    }
+    case PlanNode::Kind::kProject: {
+      if (node.children.size() != 1) {
+        return Status::Internal("Project needs 1 child");
+      }
+      std::unique_ptr<Operator> child;
+      TB_ASSIGN_OR_RETURN(
+          child,
+          BuildOperator(*node.children[0], resolver, in_sets, ctx, registry));
+      std::vector<size_t> positions;
+      for (const auto& s : node.select) {
+        if (s.kind != BoundSelectItem::Kind::kColumn) {
+          return Status::Internal("Project only handles plain columns");
+        }
+        int p = node.children[0]->FindSlot(SlotRef{s.column.rel, s.column.col});
+        if (p < 0) return Status::Internal("project slot not in child");
+        positions.push_back(static_cast<size_t>(p));
+      }
+      return reg(std::make_unique<ProjectOp>(std::move(child),
+                                             std::move(positions), ctx));
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+}  // namespace tabbench

@@ -1,0 +1,67 @@
+#include "exec/plan.h"
+
+#include "util/strings.h"
+
+namespace tabbench {
+
+int PlanNode::FindSlot(const SlotRef& slot) const {
+  for (size_t i = 0; i < output_cols.size(); ++i) {
+    if (output_cols[i] == slot) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+const char* KindName(PlanNode::Kind k) {
+  switch (k) {
+    case PlanNode::Kind::kSeqScan:
+      return "SeqScan";
+    case PlanNode::Kind::kIndexScan:
+      return "IndexScan";
+    case PlanNode::Kind::kHashJoin:
+      return "HashJoin";
+    case PlanNode::Kind::kIndexNLJoin:
+      return "IndexNLJoin";
+    case PlanNode::Kind::kHashAggregate:
+      return "HashAggregate";
+    case PlanNode::Kind::kProject:
+      return "Project";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + KindName(kind);
+  if (!object.empty()) {
+    out += " " + object;
+    if (is_view) out += " (view)";
+  }
+  if (!index_name.empty()) out += " via " + index_name;
+  if (index_only) out += " [index-only]";
+  if (!seek.empty()) out += StrFormat(" seek#%zu", seek.size());
+  if (!residual.empty()) out += StrFormat(" resid#%zu", residual.size());
+  if (actual_rows >= 0) {
+    out += StrFormat("  (rows=%.1f actual=%lld cost=%.2f)", est_rows,
+                     static_cast<long long>(actual_rows), est_cost);
+  } else {
+    out += StrFormat("  (rows=%.1f cost=%.2f)", est_rows, est_cost);
+  }
+  out += "\n";
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::string out = StrFormat("Plan (est_cost=%.2fs)\n", est_cost);
+  if (root != nullptr) out += root->ToString(1);
+  for (size_t i = 0; i < in_sets.size(); ++i) {
+    out += StrFormat("  InSet[%zu]: %s.%s HAVING COUNT(*) %c %lld\n", i,
+                     in_sets[i].table.c_str(), in_sets[i].column.c_str(),
+                     in_sets[i].cmp, static_cast<long long>(in_sets[i].k));
+  }
+  return out;
+}
+
+}  // namespace tabbench

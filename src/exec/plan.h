@@ -1,0 +1,136 @@
+#ifndef TABBENCH_EXEC_PLAN_H_
+#define TABBENCH_EXEC_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/binder.h"
+#include "types/value.h"
+
+namespace tabbench {
+
+/// A column of an intermediate result, identified by the query's relation
+/// occurrence and the column position within that base table.
+struct SlotRef {
+  int rel = -1;
+  int col = -1;
+
+  bool operator==(const SlotRef& o) const {
+    return rel == o.rel && col == o.col;
+  }
+};
+
+/// Specification of an `IN (SELECT c FROM T GROUP BY c HAVING COUNT(*)..k)`
+/// value set. The executor materializes each spec once per query (a
+/// frequency scan of T) and residual predicates reference it by position.
+struct InSetSpec {
+  std::string table;
+  std::string column;
+  /// Position of `column` within the table's row layout (heap-scan path).
+  int column_pos = -1;
+  char cmp = '<';
+  int64_t k = 0;
+  /// When set by the optimizer, the frequency scan runs index-only over this
+  /// index instead of scanning the heap (cheaper when the configuration has
+  /// a single-column index on `column` — the 1C effect).
+  std::string index_name;
+};
+
+/// A predicate evaluated on a node's output rows.
+struct ResidualPred {
+  enum class Kind { kColEqLit, kColEqCol, kInSet };
+  Kind kind = Kind::kColEqLit;
+  SlotRef a;
+  SlotRef b;       // kColEqCol
+  Value literal;   // kColEqLit
+  int in_set = -1; // kInSet: index into PhysicalPlan::in_sets
+};
+
+/// One component of an index-seek prefix: the value probed into the next
+/// index column comes either from a literal or from the outer row of an
+/// index nested-loop join.
+struct SeekKeyPart {
+  bool from_outer = false;
+  Value literal;    // when !from_outer
+  SlotRef outer;    // when from_outer
+};
+
+/// A node of a physical plan tree. Kinds:
+///   kSeqScan       leaf; full scan of a base table or materialized view
+///   kIndexScan     leaf; B+-tree probe with a literal prefix, then heap
+///                  fetches (or none when `index_only`)
+///   kHashJoin      children[0] build, children[1] probe
+///   kIndexNLJoin   children[0] outer; inner = index probe per outer row
+///   kHashAggregate children[0]; GROUP BY + COUNT(*) / COUNT(DISTINCT)
+///   kProject       children[0]; final projection for non-aggregate queries
+struct PlanNode {
+  enum class Kind {
+    kSeqScan,
+    kIndexScan,
+    kHashJoin,
+    kIndexNLJoin,
+    kHashAggregate,
+    kProject,
+  };
+  Kind kind = Kind::kSeqScan;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// Output columns, in order. Scans list the base table's columns (or the
+  /// view's projection); joins concatenate left then right.
+  std::vector<SlotRef> output_cols;
+
+  /// Predicates applied to this node's output (after scan/join/probe).
+  std::vector<ResidualPred> residual;
+
+  // --- scans ---
+  /// Physical object scanned: base-table name or view name.
+  std::string object;
+  /// True when `object` is a materialized view.
+  bool is_view = false;
+  /// Index used by kIndexScan / kIndexNLJoin (inner side).
+  std::string index_name;
+  /// Seek prefix for the index (literals for kIndexScan; may mix outer
+  /// references for kIndexNLJoin).
+  std::vector<SeekKeyPart> seek;
+  /// kIndexScan only: skip heap fetches; outputs exactly the index key
+  /// columns (`output_cols` then maps index key parts to slots).
+  bool index_only = false;
+
+  // --- kHashJoin ---
+  /// Equality key pairs: (left slot in children[0], right slot in
+  /// children[1]).
+  std::vector<std::pair<SlotRef, SlotRef>> hash_keys;
+
+  // --- kHashAggregate / kProject ---
+  /// Select-list shape for the root node.
+  std::vector<BoundSelectItem> select;
+  std::vector<BoundColumn> group_by;
+
+  /// Optimizer's cardinality/cost annotations (for EXPLAIN and tests).
+  double est_rows = 0.0;
+  double est_cost = 0.0;
+  /// Measured output rows, filled by ExecutePlanAnalyze (-1 = not run).
+  int64_t actual_rows = -1;
+
+  /// Position of `slot` in output_cols, or -1.
+  int FindSlot(const SlotRef& slot) const;
+
+  /// Pretty-printed operator tree (EXPLAIN).
+  std::string ToString(int indent = 0) const;
+};
+
+/// A complete physical plan: the operator tree plus the IN-set specs it
+/// references.
+struct PhysicalPlan {
+  std::unique_ptr<PlanNode> root;
+  std::vector<InSetSpec> in_sets;
+  double est_cost = 0.0;
+
+  std::string ToString() const;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_EXEC_PLAN_H_

@@ -1,0 +1,167 @@
+#include "exec/plan_validate.h"
+
+#include "util/strings.h"
+
+namespace tabbench {
+
+namespace {
+
+Status ValidateResiduals(const PlanNode& node, size_t num_in_sets) {
+  for (const auto& p : node.residual) {
+    if (node.FindSlot(p.a) < 0) {
+      return Status::Internal("residual slot (" + std::to_string(p.a.rel) +
+                              "," + std::to_string(p.a.col) +
+                              ") not in node output");
+    }
+    switch (p.kind) {
+      case ResidualPred::Kind::kColEqCol:
+        if (node.FindSlot(p.b) < 0) {
+          return Status::Internal("residual rhs slot not in node output");
+        }
+        break;
+      case ResidualPred::Kind::kInSet:
+        if (p.in_set < 0 ||
+            p.in_set >= static_cast<int>(num_in_sets)) {
+          return Status::Internal(
+              StrFormat("residual IN-set %d out of range (%zu sets)",
+                        p.in_set, num_in_sets));
+        }
+        break;
+      case ResidualPred::Kind::kColEqLit:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateNode(const PlanNode& node, size_t num_in_sets) {
+  for (const auto& c : node.children) {
+    if (c == nullptr) return Status::Internal("null child node");
+    TB_RETURN_IF_ERROR(ValidateNode(*c, num_in_sets));
+  }
+  TB_RETURN_IF_ERROR(ValidateResiduals(node, num_in_sets));
+
+  switch (node.kind) {
+    case PlanNode::Kind::kSeqScan: {
+      if (!node.children.empty()) {
+        return Status::Internal("SeqScan must be a leaf");
+      }
+      if (node.object.empty()) {
+        return Status::Internal("SeqScan without an object");
+      }
+      if (node.output_cols.empty()) {
+        return Status::Internal("SeqScan with empty output");
+      }
+      break;
+    }
+    case PlanNode::Kind::kIndexScan: {
+      if (!node.children.empty()) {
+        return Status::Internal("IndexScan must be a leaf");
+      }
+      if (node.index_name.empty()) {
+        return Status::Internal("IndexScan without an index");
+      }
+      for (const auto& part : node.seek) {
+        if (part.from_outer) {
+          return Status::Internal("leaf IndexScan cannot probe outer slots");
+        }
+      }
+      break;
+    }
+    case PlanNode::Kind::kHashJoin: {
+      if (node.children.size() != 2) {
+        return Status::Internal("HashJoin needs exactly 2 children");
+      }
+      for (const auto& [l, r] : node.hash_keys) {
+        if (node.children[0]->FindSlot(l) < 0) {
+          return Status::Internal("hash key not in build child");
+        }
+        if (node.children[1]->FindSlot(r) < 0) {
+          return Status::Internal("hash key not in probe child");
+        }
+      }
+      // Output must be the concatenation of the children's outputs.
+      size_t expect = node.children[0]->output_cols.size() +
+                      node.children[1]->output_cols.size();
+      if (node.output_cols.size() != expect) {
+        return Status::Internal("HashJoin output arity mismatch");
+      }
+      break;
+    }
+    case PlanNode::Kind::kIndexNLJoin: {
+      if (node.children.size() != 1) {
+        return Status::Internal("IndexNLJoin needs exactly 1 child");
+      }
+      if (node.index_name.empty()) {
+        return Status::Internal("IndexNLJoin without an inner index");
+      }
+      bool any_outer = false;
+      for (const auto& part : node.seek) {
+        if (!part.from_outer) continue;
+        any_outer = true;
+        if (node.children[0]->FindSlot(part.outer) < 0) {
+          return Status::Internal("NLJ seek slot not in outer child");
+        }
+      }
+      if (!any_outer) {
+        return Status::Internal(
+            "IndexNLJoin without an outer-bound seek column");
+      }
+      if (node.output_cols.size() <= node.children[0]->output_cols.size()) {
+        return Status::Internal("IndexNLJoin output must extend the outer");
+      }
+      break;
+    }
+    case PlanNode::Kind::kHashAggregate: {
+      if (node.children.size() != 1) {
+        return Status::Internal("HashAggregate needs exactly 1 child");
+      }
+      if (node.select.empty()) {
+        return Status::Internal("HashAggregate with empty select list");
+      }
+      const PlanNode& c = *node.children[0];
+      for (const auto& g : node.group_by) {
+        if (c.FindSlot(SlotRef{g.rel, g.col}) < 0) {
+          return Status::Internal("group-by slot not in child output");
+        }
+      }
+      for (const auto& s : node.select) {
+        if (s.kind == BoundSelectItem::Kind::kCountDistinct &&
+            c.FindSlot(SlotRef{s.column.rel, s.column.col}) < 0) {
+          return Status::Internal("COUNT DISTINCT slot not in child output");
+        }
+      }
+      break;
+    }
+    case PlanNode::Kind::kProject: {
+      if (node.children.size() != 1) {
+        return Status::Internal("Project needs exactly 1 child");
+      }
+      const PlanNode& c = *node.children[0];
+      for (const auto& s : node.select) {
+        if (s.kind != BoundSelectItem::Kind::kColumn) {
+          return Status::Internal("Project with aggregate select item");
+        }
+        if (c.FindSlot(SlotRef{s.column.rel, s.column.col}) < 0) {
+          return Status::Internal("projected slot not in child output");
+        }
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidatePlan(const PhysicalPlan& plan) {
+  if (plan.root == nullptr) return Status::Internal("plan without a root");
+  for (const auto& spec : plan.in_sets) {
+    if (spec.index_name.empty() && spec.column_pos < 0) {
+      return Status::Internal("IN-set spec lacks both index and position");
+    }
+  }
+  return ValidateNode(*plan.root, plan.in_sets.size());
+}
+
+}  // namespace tabbench

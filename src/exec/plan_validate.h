@@ -1,0 +1,25 @@
+#ifndef TABBENCH_EXEC_PLAN_VALIDATE_H_
+#define TABBENCH_EXEC_PLAN_VALIDATE_H_
+
+#include "exec/plan.h"
+#include "util/status.h"
+
+namespace tabbench {
+
+/// Structural validation of a physical plan, independent of storage:
+///   * node arity matches its kind (scans 0 children, joins 2 or 1, ...);
+///   * every residual predicate's slots resolve in the node's output;
+///   * hash keys resolve in the respective children;
+///   * IN-set references are in range and specs carry a column position;
+///   * seek parts referencing the outer row only appear under kIndexNLJoin,
+///     and their slots resolve in the outer child;
+///   * join/aggregate outputs are consistent with their children.
+///
+/// The planner is expected to always produce valid plans; this check turns
+/// silent slot-bookkeeping bugs into immediate, descriptive errors and is
+/// exercised after every PlanQuery in tests.
+Status ValidatePlan(const PhysicalPlan& plan);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_EXEC_PLAN_VALIDATE_H_

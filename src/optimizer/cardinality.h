@@ -1,0 +1,56 @@
+#ifndef TABBENCH_OPTIMIZER_CARDINALITY_H_
+#define TABBENCH_OPTIMIZER_CARDINALITY_H_
+
+#include <string>
+
+#include "optimizer/config_view.h"
+#include "sql/binder.h"
+#include "types/value.h"
+
+namespace tabbench {
+
+/// Cardinality estimation over collected statistics. All estimates follow
+/// the classical System-R assumptions (uniformity outside MCVs,
+/// independence of predicates, containment of join values) — deliberately
+/// so: the paper's Section 5 analysis hinges on optimizers being *estimate
+/// driven*, and on those estimates degrading with query complexity.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const ConfigView& view) : view_(view) {}
+
+  /// Rows in `table`.
+  double TableRows(const std::string& table) const;
+  /// Pages of `table`.
+  double TablePages(const std::string& table) const;
+  /// Average encoded row width of `table` in bytes.
+  double TableRowBytes(const std::string& table) const;
+
+  /// Distinct non-null values of table.column (>= 1 when the table is
+  /// non-empty).
+  double Distinct(const std::string& table, const std::string& column) const;
+
+  /// Selectivity of `table.column = literal` in [0, 1].
+  double EqSelectivity(const std::string& table, const std::string& column,
+                       const Value& literal) const;
+
+  /// Selectivity of `column IN (SELECT .. HAVING COUNT(*) cmp k)`: the
+  /// fraction of rows whose value has frequency < k (or == k).
+  double InFreqSelectivity(const std::string& table, const std::string& column,
+                           char cmp, int64_t k) const;
+
+  /// Selectivity of the equi-join t1.c1 = t2.c2: 1 / max(ndv1, ndv2).
+  double JoinSelectivity(const std::string& t1, const std::string& c1,
+                         const std::string& t2, const std::string& c2) const;
+
+  /// Expected number of groups when grouping `input_rows` rows by the given
+  /// columns (capped at input_rows).
+  double GroupCount(const std::vector<BoundColumn>& group_by,
+                    double input_rows) const;
+
+ private:
+  const ConfigView& view_;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_OPTIMIZER_CARDINALITY_H_

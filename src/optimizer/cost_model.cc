@@ -1,0 +1,5 @@
+#include "optimizer/cost_model.h"
+
+// Header-only; translation unit anchors the library archive.
+
+namespace tabbench {}  // namespace tabbench

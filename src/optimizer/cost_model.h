@@ -1,0 +1,105 @@
+#ifndef TABBENCH_OPTIMIZER_COST_MODEL_H_
+#define TABBENCH_OPTIMIZER_COST_MODEL_H_
+
+#include <algorithm>
+
+#include "exec/exec_context.h"
+#include "optimizer/config_view.h"
+
+namespace tabbench {
+
+/// Analytic mirror of the executor's charges. Estimated costs E(q, C) come
+/// from these formulas over statistics; actual costs A(q, C) come from the
+/// executor's per-page/per-tuple charging. The two diverge exactly where
+/// real optimizers diverge from reality — the model assumes every page
+/// access is an I/O (no buffer-pool reuse) and uniform value distributions —
+/// and that divergence is a *feature*: Section 5 of the paper studies it.
+class CostModel {
+ public:
+  explicit CostModel(const CostParams& p) : p_(p) {}
+
+  /// Full scan of a heap: all pages + per-row CPU.
+  double SeqScan(double pages, double rows) const {
+    return pages * p_.page_io_seconds + rows * p_.cpu_tuple_seconds;
+  }
+
+  /// Full index-only walk of the leaf level.
+  double IndexOnlyScan(const PhysicalIndex& idx) const {
+    return (idx.height - 1 + idx.leaf_pages) * p_.page_io_seconds +
+           idx.entries * p_.cpu_tuple_seconds;
+  }
+
+  /// One equality probe returning `matching` entries, plus heap fetches for
+  /// each unless index-only. Probes are random I/O (seek-priced, unscaled).
+  double IndexProbe(const PhysicalIndex& idx, double matching,
+                    bool index_only) const {
+    double entries_per_leaf = std::max(1.0, idx.entries / idx.leaf_pages);
+    double leaf_io = std::max(1.0, matching / entries_per_leaf);
+    double cost = (idx.height + leaf_io - 1) * p_.random_io_seconds +
+                  matching * p_.cpu_tuple_seconds;
+    if (!index_only) cost += HeapFetch(idx, matching);
+    return cost;
+  }
+
+  /// Heap page I/O to fetch `matching` rows through the index, scaled by the
+  /// measured (or assumed) clustering factor. Random I/O.
+  double HeapFetch(const PhysicalIndex& idx, double matching) const {
+    double switches_per_entry =
+        idx.entries > 0 ? idx.clustering_factor / idx.entries : 1.0;
+    switches_per_entry = std::clamp(switches_per_entry, 0.0, 1.0);
+    return matching * switches_per_entry * p_.random_io_seconds +
+           matching * p_.cpu_tuple_seconds;
+  }
+
+  /// Hash-table build over `rows` rows of `row_bytes` each, including spill.
+  double HashBuild(double rows, double row_bytes) const {
+    return rows * (p_.cpu_tuple_seconds + p_.cpu_hash_seconds) +
+           Spill(rows * (row_bytes + 24.0));
+  }
+
+  /// Probe-side charges of a hash join producing `out_rows`.
+  double HashProbe(double probe_rows, double out_rows, bool spilled,
+                   double probe_row_bytes) const {
+    double cost = probe_rows * p_.cpu_hash_seconds +
+                  out_rows * p_.cpu_tuple_seconds;
+    if (spilled) {
+      cost += 2.0 * (probe_rows * probe_row_bytes / kPageSize) *
+              p_.page_io_seconds;
+    }
+    return cost;
+  }
+
+  /// Grouped aggregation over `in_rows` input rows into `groups` groups,
+  /// with `distinct_values` total per-group distinct-set insertions.
+  double Aggregate(double in_rows, double groups, double key_bytes,
+                   double distinct_values) const {
+    return in_rows * (p_.cpu_tuple_seconds + p_.cpu_hash_seconds) +
+           distinct_values * p_.cpu_hash_seconds +
+           Spill(groups * (key_bytes + 32.0) + distinct_values * 24.0) +
+           groups * p_.cpu_tuple_seconds;
+  }
+
+  /// Extra I/O when `bytes` of hash state exceed work_mem (write + re-read).
+  double Spill(double bytes) const {
+    double pages = bytes / static_cast<double>(kPageSize);
+    double over = pages - static_cast<double>(p_.work_mem_pages);
+    if (over <= 0) return 0.0;
+    return 2.0 * over * p_.page_io_seconds;
+  }
+
+  /// True when a hash table over `rows`x`row_bytes` exceeds work_mem.
+  bool WouldSpill(double rows, double row_bytes) const {
+    return rows * (row_bytes + 24.0) >
+           static_cast<double>(p_.work_mem_pages) *
+               static_cast<double>(kPageSize);
+  }
+
+  const CostParams& params() const { return p_; }
+
+ private:
+  CostParams p_;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,919 @@
+#include "optimizer/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+
+namespace tabbench {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A literal filter bound to an exposed slot of a unit.
+struct FilterBinding {
+  SlotRef slot;
+  std::string object_column;  // column name within the unit's object
+  Value literal;
+  double selectivity = 1.0;
+};
+
+/// An IN-frequency predicate bound to an exposed slot of a unit.
+struct InBinding {
+  SlotRef slot;
+  int set_id = -1;
+  double selectivity = 1.0;
+};
+
+/// A scannable unit: one base relation occurrence, or a materialized view
+/// standing in for several joined occurrences.
+struct UnitDesc {
+  std::vector<int> rels;
+  std::string object;
+  bool is_view = false;
+  const PhysicalView* view = nullptr;
+  double base_rows = 0;
+  double pages = 1;
+  double row_bytes = 64;
+  /// Exposed columns in object order; layout[i] is the slot the i-th
+  /// object column carries.
+  std::vector<SlotRef> layout;
+  std::vector<std::string> col_names;  // object column names, same order
+  std::vector<FilterBinding> filters;
+  std::vector<InBinding> in_preds;
+  /// Join predicates entirely inside this unit that the physical object
+  /// does not pre-apply (e.g. r.a = r.b on one occurrence, or a query join
+  /// not among a matched view's join conditions).
+  std::vector<std::pair<SlotRef, SlotRef>> residual_joins;
+  std::vector<SlotRef> needed;
+  double filtered_rows = 0;
+
+  int ColumnPos(const std::string& name) const {
+    for (size_t i = 0; i < col_names.size(); ++i) {
+      if (col_names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  bool Exposes(const SlotRef& s) const {
+    for (const auto& l : layout) {
+      if (l == s) return true;
+    }
+    return false;
+  }
+};
+
+/// A partially-built plan over a set of units.
+struct SubPlan {
+  std::unique_ptr<PlanNode> node;
+  double rows = 0;
+  double cost = kInf;
+  double row_bytes = 64;
+  std::vector<int> rels;
+};
+
+struct ViewMatch {
+  const PhysicalView* view = nullptr;
+  /// rel occurrence assigned to each view table (by view-table position).
+  std::vector<int> rel_of_table;
+};
+
+class Planner {
+ public:
+  Planner(const BoundQuery& q, const ConfigView& view)
+      : q_(q), view_(view), card_(view), cost_(view.params) {}
+
+  Result<PhysicalPlan> Run() {
+    TB_RETURN_IF_ERROR(Prepare());
+
+    PhysicalPlan best;
+    best.est_cost = kInf;
+
+    // Unit partitions: all base units, or one view match replacing its rels.
+    std::vector<std::vector<UnitDesc>> partitions;
+    partitions.push_back(BaseUnits());
+    for (const auto& m : FindViewMatches()) {
+      partitions.push_back(PartitionWithView(m));
+    }
+
+    for (auto& units : partitions) {
+      auto plan = PlanUnits(&units);
+      if (!plan.ok()) continue;
+      if (plan->est_cost < best.est_cost) best = std::move(*plan);
+    }
+    if (best.est_cost == kInf) {
+      return Status::Internal("no plan found for query");
+    }
+    return best;
+  }
+
+ private:
+  // ------------------------------------------------------------ preparation
+
+  Status Prepare() {
+    // Assign IN-set ids in q order and pick their evaluation strategy.
+    for (const auto& p : q_.in_preds) {
+      InSetSpec spec;
+      spec.table = p.sub_table;
+      spec.column = p.sub_column;
+      spec.cmp = p.cmp;
+      spec.k = p.k;
+      const TableDef* def = view_.catalog->FindTable(p.sub_table);
+      if (def == nullptr) return Status::NotFound("table " + p.sub_table);
+      spec.column_pos = def->ColumnIndex(p.sub_column);
+      if (spec.column_pos < 0) {
+        return Status::NotFound("column " + p.sub_column);
+      }
+      // Heap scan vs index-only frequency walk.
+      double best_cost =
+          cost_.SeqScan(card_.TablePages(p.sub_table),
+                        card_.TableRows(p.sub_table)) +
+          card_.TableRows(p.sub_table) * view_.params.cpu_hash_seconds;
+      for (const PhysicalIndex* idx : view_.IndexesOn(p.sub_table)) {
+        if (idx->def.columns.empty() || idx->def.columns[0] != p.sub_column) {
+          continue;
+        }
+        if (!idx->allow_index_only) continue;
+        double c = cost_.IndexOnlyScan(*idx) +
+                   idx->entries * view_.params.cpu_hash_seconds;
+        if (c < best_cost) {
+          best_cost = c;
+          spec.index_name =
+              idx->physical_name.empty() ? idx->def.name : idx->physical_name;
+        }
+      }
+      in_set_costs_.push_back(best_cost);
+      in_specs_.push_back(std::move(spec));
+    }
+
+    // Needed slots per relation occurrence.
+    needed_.resize(static_cast<size_t>(q_.num_relations()));
+    auto add_needed = [&](const BoundColumn& c) {
+      auto& v = needed_[static_cast<size_t>(c.rel)];
+      SlotRef s{c.rel, c.col};
+      for (const auto& e : v) {
+        if (e == s) return;
+      }
+      v.push_back(s);
+    };
+    for (const auto& j : q_.joins) {
+      add_needed(j.left);
+      add_needed(j.right);
+    }
+    for (const auto& f : q_.filters) add_needed(f.column);
+    for (const auto& p : q_.in_preds) add_needed(p.column);
+    for (const auto& g : q_.group_by) add_needed(g);
+    for (const auto& s : q_.select) {
+      if (s.kind != BoundSelectItem::Kind::kCountStar) add_needed(s.column);
+    }
+    return Status::OK();
+  }
+
+  // Base unit for each relation occurrence.
+  std::vector<UnitDesc> BaseUnits() const {
+    std::vector<UnitDesc> units;
+    for (int r = 0; r < q_.num_relations(); ++r) {
+      units.push_back(MakeBaseUnit(r));
+    }
+    return units;
+  }
+
+  UnitDesc MakeBaseUnit(int r) const {
+    UnitDesc u;
+    const std::string& table = q_.relations[static_cast<size_t>(r)];
+    const TableDef* def = view_.catalog->FindTable(table);
+    u.rels = {r};
+    u.object = table;
+    u.base_rows = card_.TableRows(table);
+    u.pages = card_.TablePages(table);
+    u.row_bytes = card_.TableRowBytes(table);
+    for (size_t c = 0; c < def->columns.size(); ++c) {
+      u.layout.push_back(SlotRef{r, static_cast<int>(c)});
+      u.col_names.push_back(def->columns[c].name);
+    }
+    FillUnitPredicates(&u);
+    return u;
+  }
+
+  void FillUnitPredicates(UnitDesc* u) const {
+    double sel = 1.0;
+    for (const auto& f : q_.filters) {
+      SlotRef s{f.column.rel, f.column.col};
+      if (!u->Exposes(s)) continue;
+      FilterBinding fb;
+      fb.slot = s;
+      fb.object_column = ObjectColumnName(*u, s);
+      fb.literal = f.literal;
+      fb.selectivity =
+          card_.EqSelectivity(f.column.table, f.column.column, f.literal);
+      sel *= fb.selectivity;
+      u->filters.push_back(std::move(fb));
+    }
+    for (size_t i = 0; i < q_.in_preds.size(); ++i) {
+      const auto& p = q_.in_preds[i];
+      SlotRef s{p.column.rel, p.column.col};
+      if (!u->Exposes(s)) continue;
+      InBinding ib;
+      ib.slot = s;
+      ib.set_id = static_cast<int>(i);
+      ib.selectivity = card_.InFreqSelectivity(p.sub_table, p.sub_column,
+                                               p.cmp, p.k);
+      sel *= ib.selectivity;
+      u->in_preds.push_back(ib);
+    }
+    for (const auto& j : q_.joins) {
+      SlotRef ls{j.left.rel, j.left.col};
+      SlotRef rs{j.right.rel, j.right.col};
+      if (!u->Exposes(ls) || !u->Exposes(rs)) continue;
+      if (u->is_view && ViewPreApplies(u->view->def, j)) continue;
+      u->residual_joins.emplace_back(ls, rs);
+      sel *= card_.JoinSelectivity(j.left.table, j.left.column,
+                                   j.right.table, j.right.column);
+    }
+    for (int r : u->rels) {
+      for (const auto& s : needed_[static_cast<size_t>(r)]) {
+        if (u->Exposes(s)) u->needed.push_back(s);
+      }
+    }
+    u->filtered_rows = std::max(1e-6, u->base_rows * sel);
+  }
+
+  static bool ViewPreApplies(const ViewDef& vd, const BoundJoin& j) {
+    for (const auto& vj : vd.joins) {
+      auto is = [&](const BoundColumn& a, const std::string& table,
+                    const std::string& column) {
+        return a.table == table && a.column == column;
+      };
+      if ((is(j.left, vj.left_table, vj.left_column) &&
+           is(j.right, vj.right_table, vj.right_column)) ||
+          (is(j.left, vj.right_table, vj.right_column) &&
+           is(j.right, vj.left_table, vj.left_column))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string ObjectColumnName(const UnitDesc& u, const SlotRef& s) const {
+    for (size_t i = 0; i < u.layout.size(); ++i) {
+      if (u.layout[i] == s) return u.col_names[i];
+    }
+    return "";
+  }
+
+  // --------------------------------------------------------- view matching
+
+  std::vector<ViewMatch> FindViewMatches() const {
+    std::vector<ViewMatch> matches;
+    for (const auto& pv : view_.views) {
+      const ViewDef& vd = pv.def;
+      // Candidate rels per view table.
+      std::vector<std::vector<int>> cands(vd.tables.size());
+      for (size_t t = 0; t < vd.tables.size(); ++t) {
+        for (int r = 0; r < q_.num_relations(); ++r) {
+          if (q_.relations[static_cast<size_t>(r)] == vd.tables[t]) {
+            cands[t].push_back(r);
+          }
+        }
+        if (cands[t].empty()) goto next_view;
+      }
+      // Enumerate injective assignments (view tables <= 3 in practice).
+      {
+        std::vector<int> assign(vd.tables.size(), -1);
+        EnumerateAssignments(pv, cands, 0, &assign, &matches);
+      }
+    next_view:;
+    }
+    return matches;
+  }
+
+  void EnumerateAssignments(const PhysicalView& pv,
+                            const std::vector<std::vector<int>>& cands,
+                            size_t t, std::vector<int>* assign,
+                            std::vector<ViewMatch>* out) const {
+    const ViewDef& vd = pv.def;
+    if (t == cands.size()) {
+      if (ViewJoinsPresent(vd, *assign) && ViewCoversNeeded(vd, *assign)) {
+        out->push_back(ViewMatch{&pv, *assign});
+      }
+      return;
+    }
+    for (int r : cands[t]) {
+      bool used = false;
+      for (size_t i = 0; i < t; ++i) {
+        if ((*assign)[i] == r) used = true;
+      }
+      if (used) continue;
+      (*assign)[t] = r;
+      EnumerateAssignments(pv, cands, t + 1, assign, out);
+      (*assign)[t] = -1;
+    }
+  }
+
+  int RelOfViewTable(const ViewDef& vd, const std::vector<int>& assign,
+                     const std::string& table) const {
+    for (size_t t = 0; t < vd.tables.size(); ++t) {
+      if (vd.tables[t] == table) return assign[t];
+    }
+    return -1;
+  }
+
+  bool ViewJoinsPresent(const ViewDef& vd,
+                        const std::vector<int>& assign) const {
+    for (const auto& vj : vd.joins) {
+      int lr = RelOfViewTable(vd, assign, vj.left_table);
+      int rr = RelOfViewTable(vd, assign, vj.right_table);
+      if (lr < 0 || rr < 0) return false;
+      bool found = false;
+      for (const auto& qj : q_.joins) {
+        auto is = [&](const BoundColumn& a, int rel, const std::string& col) {
+          return a.rel == rel && a.column == col;
+        };
+        if ((is(qj.left, lr, vj.left_column) &&
+             is(qj.right, rr, vj.right_column)) ||
+            (is(qj.left, rr, vj.right_column) &&
+             is(qj.right, lr, vj.left_column))) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+
+  bool ViewCoversNeeded(const ViewDef& vd,
+                        const std::vector<int>& assign) const {
+    auto covered = [&](int rel) {
+      return std::find(assign.begin(), assign.end(), rel) != assign.end();
+    };
+    for (size_t t = 0; t < vd.tables.size(); ++t) {
+      int r = assign[t];
+      const TableDef* def = view_.catalog->FindTable(vd.tables[t]);
+      for (const auto& s : needed_[static_cast<size_t>(r)]) {
+        // A slot whose only uses are join predicates *internal* to the view
+        // need not be projected: the view pre-applied those joins.
+        bool needed_externally = false;
+        for (const auto& f : q_.filters) {
+          if (SlotRef{f.column.rel, f.column.col} == s) {
+            needed_externally = true;
+          }
+        }
+        for (const auto& p : q_.in_preds) {
+          if (SlotRef{p.column.rel, p.column.col} == s) {
+            needed_externally = true;
+          }
+        }
+        for (const auto& g : q_.group_by) {
+          if (SlotRef{g.rel, g.col} == s) needed_externally = true;
+        }
+        for (const auto& sel : q_.select) {
+          if (sel.kind != BoundSelectItem::Kind::kCountStar &&
+              SlotRef{sel.column.rel, sel.column.col} == s) {
+            needed_externally = true;
+          }
+        }
+        for (const auto& j : q_.joins) {
+          bool left_is_s = SlotRef{j.left.rel, j.left.col} == s;
+          bool right_is_s = SlotRef{j.right.rel, j.right.col} == s;
+          if (!left_is_s && !right_is_s) continue;
+          int other = left_is_s ? j.right.rel : j.left.rel;
+          if (!covered(other)) {
+            needed_externally = true;
+            continue;
+          }
+          // Both sides covered; internal only if the view pre-applies this
+          // exact predicate — otherwise it must run as a residual and needs
+          // the column.
+          bool in_view_joins = false;
+          for (const auto& vj : vd.joins) {
+            auto is = [&](const BoundColumn& a, const std::string& table,
+                          const std::string& column) {
+              return a.table == table && a.column == column;
+            };
+            if ((is(j.left, vj.left_table, vj.left_column) &&
+                 is(j.right, vj.right_table, vj.right_column)) ||
+                (is(j.left, vj.right_table, vj.right_column) &&
+                 is(j.right, vj.left_table, vj.left_column))) {
+              in_view_joins = true;
+            }
+          }
+          if (!in_view_joins) needed_externally = true;
+        }
+        if (!needed_externally) continue;
+        const std::string& col =
+            def->columns[static_cast<size_t>(s.col)].name;
+        if (vd.ViewColumnIndex(vd.tables[t], col) < 0) return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<UnitDesc> PartitionWithView(const ViewMatch& m) const {
+    std::vector<UnitDesc> units;
+    UnitDesc vu;
+    vu.is_view = true;
+    vu.view = m.view;
+    vu.object = m.view->def.name;
+    vu.rels = m.rel_of_table;
+    std::sort(vu.rels.begin(), vu.rels.end());
+    vu.base_rows = std::max(1.0, m.view->rows);
+    vu.pages = std::max(1.0, m.view->pages);
+    vu.row_bytes = 0;
+    const ViewDef& vd = m.view->def;
+    for (const auto& pc : vd.projection) {
+      int rel = RelOfViewTable(vd, m.rel_of_table, pc.table);
+      const TableDef* def = view_.catalog->FindTable(pc.table);
+      int ci = def->ColumnIndex(pc.column);
+      vu.layout.push_back(SlotRef{rel, ci});
+      vu.col_names.push_back(pc.view_name);
+      vu.row_bytes += def->columns[static_cast<size_t>(ci)].avg_width;
+    }
+    vu.row_bytes = std::max(16.0, vu.row_bytes);
+    FillUnitPredicates(&vu);
+    units.push_back(std::move(vu));
+    for (int r = 0; r < q_.num_relations(); ++r) {
+      bool covered = false;
+      for (int c : units[0].rels) {
+        if (c == r) covered = true;
+      }
+      if (!covered) units.push_back(MakeBaseUnit(r));
+    }
+    return units;
+  }
+
+  // ---------------------------------------------------------- access paths
+
+  /// Residual predicates for the unit, excluding filters whose slots appear
+  /// in `consumed_filters` (already used for an index seek).
+  std::vector<ResidualPred> UnitResiduals(
+      const UnitDesc& u, const std::set<std::string>& consumed_filters) const {
+    std::vector<ResidualPred> out;
+    for (const auto& f : u.filters) {
+      if (consumed_filters.count(f.object_column)) continue;
+      ResidualPred p;
+      p.kind = ResidualPred::Kind::kColEqLit;
+      p.a = f.slot;
+      p.literal = f.literal;
+      out.push_back(std::move(p));
+    }
+    for (const auto& ip : u.in_preds) {
+      ResidualPred p;
+      p.kind = ResidualPred::Kind::kInSet;
+      p.a = ip.slot;
+      p.in_set = ip.set_id;
+      out.push_back(std::move(p));
+    }
+    for (const auto& [ls, rs] : u.residual_joins) {
+      ResidualPred p;
+      p.kind = ResidualPred::Kind::kColEqCol;
+      p.a = ls;
+      p.b = rs;
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+
+  /// All scan paths for a unit (used as the leftmost input or as a hash-join
+  /// input). Each option's `rows` reflects every unit predicate.
+  std::vector<SubPlan> UnitPaths(const UnitDesc& u) const {
+    std::vector<SubPlan> paths;
+
+    // 1. Sequential scan.
+    {
+      SubPlan p;
+      p.node = std::make_unique<PlanNode>();
+      p.node->kind = PlanNode::Kind::kSeqScan;
+      p.node->object = u.object;
+      p.node->is_view = u.is_view;
+      p.node->output_cols = u.layout;
+      p.node->residual = UnitResiduals(u, {});
+      p.rows = u.filtered_rows;
+      p.cost = cost_.SeqScan(u.pages, u.base_rows);
+      p.row_bytes = u.row_bytes;
+      p.rels = u.rels;
+      p.node->est_rows = p.rows;
+      p.node->est_cost = p.cost;
+      paths.push_back(std::move(p));
+    }
+
+    // 2. Index paths.
+    for (const PhysicalIndex* idx : view_.IndexesOn(u.object)) {
+      // Map key columns to unit positions; skip if any key column is
+      // unknown to the unit (cannot happen for base tables).
+      std::vector<int> key_pos;
+      bool ok = true;
+      for (const auto& kc : idx->def.columns) {
+        int pos = u.ColumnPos(kc);
+        if (pos < 0) {
+          ok = false;
+          break;
+        }
+        key_pos.push_back(pos);
+      }
+      if (!ok) continue;
+
+      bool covering = idx->allow_index_only && Covers(u, key_pos);
+
+      // 2a. Seek with leading literal filters.
+      std::vector<SeekKeyPart> seek;
+      std::set<std::string> consumed;
+      double seek_sel = 1.0;
+      for (int pos : key_pos) {
+        const FilterBinding* fb = nullptr;
+        for (const auto& f : u.filters) {
+          if (f.slot == u.layout[static_cast<size_t>(pos)]) {
+            fb = &f;
+            break;
+          }
+        }
+        if (fb == nullptr) break;
+        SeekKeyPart part;
+        part.from_outer = false;
+        part.literal = fb->literal;
+        seek.push_back(std::move(part));
+        consumed.insert(fb->object_column);
+        seek_sel *= fb->selectivity;
+      }
+      if (!seek.empty()) {
+        double matching = std::max(1e-6, u.base_rows * seek_sel);
+        SubPlan p;
+        p.node = std::make_unique<PlanNode>();
+        p.node->kind = PlanNode::Kind::kIndexScan;
+        p.node->object = u.object;
+        p.node->is_view = u.is_view;
+        p.node->index_name =
+            idx->physical_name.empty() ? idx->def.name : idx->physical_name;
+        p.node->seek = seek;
+        p.node->index_only = covering;
+        p.node->output_cols =
+            covering ? KeyLayout(u, key_pos) : u.layout;
+        p.node->residual = UnitResiduals(u, consumed);
+        p.rows = u.filtered_rows;  // all predicates applied by the end
+        p.cost = cost_.IndexProbe(*idx, matching, covering);
+        p.row_bytes = u.row_bytes;
+        p.rels = u.rels;
+        p.node->est_rows = p.rows;
+        p.node->est_cost = p.cost;
+        paths.push_back(std::move(p));
+      }
+
+      // 2b. Covering index-only full scan (no seekable filter needed).
+      if (covering) {
+        SubPlan p;
+        p.node = std::make_unique<PlanNode>();
+        p.node->kind = PlanNode::Kind::kIndexScan;
+        p.node->object = u.object;
+        p.node->is_view = u.is_view;
+        p.node->index_name =
+            idx->physical_name.empty() ? idx->def.name : idx->physical_name;
+        p.node->index_only = true;
+        p.node->output_cols = KeyLayout(u, key_pos);
+        p.node->residual = UnitResiduals(u, {});
+        p.rows = u.filtered_rows;
+        p.cost = cost_.IndexOnlyScan(*idx);
+        p.row_bytes = std::max(16.0, u.row_bytes / 2.0);
+        p.rels = u.rels;
+        p.node->est_rows = p.rows;
+        p.node->est_cost = p.cost;
+        paths.push_back(std::move(p));
+      }
+    }
+    return paths;
+  }
+
+  bool Covers(const UnitDesc& u, const std::vector<int>& key_pos) const {
+    for (const auto& need : u.needed) {
+      bool found = false;
+      for (int pos : key_pos) {
+        if (u.layout[static_cast<size_t>(pos)] == need) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+
+  std::vector<SlotRef> KeyLayout(const UnitDesc& u,
+                                 const std::vector<int>& key_pos) const {
+    std::vector<SlotRef> out;
+    for (int pos : key_pos) out.push_back(u.layout[static_cast<size_t>(pos)]);
+    return out;
+  }
+
+  // ------------------------------------------------------------------ joins
+
+  /// Join predicates connecting `rels` (already joined) with unit `u`.
+  /// Returned with `left` on the already-joined side.
+  std::vector<BoundJoin> ConnectingJoins(const std::vector<int>& rels,
+                                         const UnitDesc& u) const {
+    auto in = [](const std::vector<int>& v, int r) {
+      return std::find(v.begin(), v.end(), r) != v.end();
+    };
+    std::vector<BoundJoin> out;
+    for (const auto& j : q_.joins) {
+      if (in(rels, j.left.rel) && in(u.rels, j.right.rel)) {
+        out.push_back(j);
+      } else if (in(rels, j.right.rel) && in(u.rels, j.left.rel)) {
+        out.push_back(BoundJoin{j.right, j.left});
+      }
+    }
+    return out;
+  }
+
+  double JoinOutputRows(double acc_rows, const UnitDesc& u,
+                        const std::vector<BoundJoin>& joins) const {
+    double rows = acc_rows * u.filtered_rows;
+    for (const auto& j : joins) {
+      rows *= card_.JoinSelectivity(j.left.table, j.left.column,
+                                    j.right.table, j.right.column);
+    }
+    return std::max(1e-6, rows);
+  }
+
+  /// Extends `acc` with unit `u`; returns the cheapest join alternative.
+  Result<SubPlan> JoinStep(SubPlan acc, const UnitDesc& u) const {
+    std::vector<BoundJoin> joins = ConnectingJoins(acc.rels, u);
+    double out_rows = JoinOutputRows(acc.rows, u, joins);
+    double out_bytes = acc.row_bytes + u.row_bytes;
+
+    SubPlan best;
+    best.cost = kInf;
+
+    // Option A: hash join (build on the smaller input).
+    {
+      std::vector<SubPlan> unit_paths = UnitPaths(u);
+      for (auto& up : unit_paths) {
+        bool build_acc = acc.rows <= up.rows;
+        const SubPlan& build = build_acc ? acc : up;
+        const SubPlan& probe = build_acc ? up : acc;
+        bool spilled = cost_.WouldSpill(build.rows, build.row_bytes);
+        double cost = acc.cost + up.cost +
+                      cost_.HashBuild(build.rows, build.row_bytes) +
+                      cost_.HashProbe(probe.rows, out_rows, spilled,
+                                      probe.row_bytes);
+        if (cost >= best.cost) continue;
+
+        auto node = std::make_unique<PlanNode>();
+        node->kind = PlanNode::Kind::kHashJoin;
+        // Clone inputs: plans own their nodes, so deep-copy on demand.
+        node->children.push_back(ClonePlan(*(build_acc ? acc.node : up.node)));
+        node->children.push_back(ClonePlan(*(build_acc ? up.node : acc.node)));
+        for (const auto& j : joins) {
+          SlotRef accs{j.left.rel, j.left.col};
+          SlotRef us{j.right.rel, j.right.col};
+          if (build_acc) {
+            node->hash_keys.emplace_back(accs, us);
+          } else {
+            node->hash_keys.emplace_back(us, accs);
+          }
+        }
+        node->output_cols = node->children[0]->output_cols;
+        node->output_cols.insert(node->output_cols.end(),
+                                 node->children[1]->output_cols.begin(),
+                                 node->children[1]->output_cols.end());
+        node->est_rows = out_rows;
+        node->est_cost = cost;
+        best.node = std::move(node);
+        best.rows = out_rows;
+        best.cost = cost;
+        best.row_bytes = out_bytes;
+      }
+    }
+
+    // Option B: index nested-loop join (single-object inner with an index
+    // whose leading key columns are bound by join columns or literals).
+    if (!joins.empty()) {
+      for (const PhysicalIndex* idx : view_.IndexesOn(u.object)) {
+        std::vector<int> key_pos;
+        bool ok = true;
+        for (const auto& kc : idx->def.columns) {
+          int pos = u.ColumnPos(kc);
+          if (pos < 0) {
+            ok = false;
+            break;
+          }
+          key_pos.push_back(pos);
+        }
+        if (!ok) continue;
+
+        std::vector<SeekKeyPart> seek;
+        std::set<std::string> consumed;
+        std::set<size_t> used_joins;
+        double probe_sel = 1.0;
+        bool used_outer = false;
+        for (int pos : key_pos) {
+          const SlotRef& slot = u.layout[static_cast<size_t>(pos)];
+          // Prefer a join binding for this key column.
+          bool bound = false;
+          for (size_t ji = 0; ji < joins.size(); ++ji) {
+            if (used_joins.count(ji)) continue;
+            const auto& j = joins[ji];
+            if (SlotRef{j.right.rel, j.right.col} == slot) {
+              SeekKeyPart part;
+              part.from_outer = true;
+              part.outer = SlotRef{j.left.rel, j.left.col};
+              seek.push_back(std::move(part));
+              used_joins.insert(ji);
+              probe_sel /= card_.Distinct(j.right.table, j.right.column);
+              bound = true;
+              used_outer = true;
+              break;
+            }
+          }
+          if (!bound) {
+            for (const auto& f : u.filters) {
+              if (f.slot == slot) {
+                SeekKeyPart part;
+                part.from_outer = false;
+                part.literal = f.literal;
+                seek.push_back(std::move(part));
+                consumed.insert(f.object_column);
+                probe_sel *= f.selectivity;
+                bound = true;
+                break;
+              }
+            }
+          }
+          if (!bound) break;
+        }
+        if (!used_outer || seek.empty()) continue;
+
+        bool covering = idx->allow_index_only && Covers(u, key_pos);
+        double matching = std::max(1e-6, u.base_rows * probe_sel);
+        double per_probe = cost_.IndexProbe(*idx, matching, covering);
+        double cost = acc.cost + acc.rows * per_probe;
+        if (cost >= best.cost) continue;
+
+        auto node = std::make_unique<PlanNode>();
+        node->kind = PlanNode::Kind::kIndexNLJoin;
+        node->children.push_back(ClonePlan(*acc.node));
+        node->object = u.object;
+        node->is_view = u.is_view;
+        node->index_name =
+            idx->physical_name.empty() ? idx->def.name : idx->physical_name;
+        node->seek = seek;
+        node->index_only = covering;
+        node->output_cols = node->children[0]->output_cols;
+        std::vector<SlotRef> inner_cols =
+            covering ? KeyLayout(u, key_pos) : u.layout;
+        node->output_cols.insert(node->output_cols.end(), inner_cols.begin(),
+                                 inner_cols.end());
+        // Residuals: unit predicates not consumed by the seek, plus join
+        // predicates not used as seek columns.
+        node->residual = UnitResiduals(u, consumed);
+        for (size_t ji = 0; ji < joins.size(); ++ji) {
+          if (used_joins.count(ji)) continue;
+          ResidualPred p;
+          p.kind = ResidualPred::Kind::kColEqCol;
+          p.a = SlotRef{joins[ji].left.rel, joins[ji].left.col};
+          p.b = SlotRef{joins[ji].right.rel, joins[ji].right.col};
+          node->residual.push_back(std::move(p));
+        }
+        node->est_rows = out_rows;
+        node->est_cost = cost;
+        best.node = std::move(node);
+        best.rows = out_rows;
+        best.cost = cost;
+        best.row_bytes = out_bytes;
+      }
+    }
+
+    if (best.cost == kInf) {
+      return Status::Internal("no join method applicable");
+    }
+    best.rels = acc.rels;
+    for (int r : u.rels) best.rels.push_back(r);
+    std::sort(best.rels.begin(), best.rels.end());
+    return best;
+  }
+
+  static std::unique_ptr<PlanNode> ClonePlan(const PlanNode& n) {
+    auto out = std::make_unique<PlanNode>();
+    out->kind = n.kind;
+    out->output_cols = n.output_cols;
+    out->residual = n.residual;
+    out->object = n.object;
+    out->is_view = n.is_view;
+    out->index_name = n.index_name;
+    out->seek = n.seek;
+    out->index_only = n.index_only;
+    out->hash_keys = n.hash_keys;
+    out->select = n.select;
+    out->group_by = n.group_by;
+    out->est_rows = n.est_rows;
+    out->est_cost = n.est_cost;
+    for (const auto& c : n.children) out->children.push_back(ClonePlan(*c));
+    return out;
+  }
+
+  // ----------------------------------------------------------- enumeration
+
+  Result<PhysicalPlan> PlanUnits(std::vector<UnitDesc>* units) const {
+    const size_t n = units->size();
+    std::vector<size_t> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = i;
+
+    SubPlan best;
+    best.cost = kInf;
+    do {
+      auto plan = PlanPermutation(*units, perm);
+      if (!plan.ok()) continue;
+      if (plan->cost < best.cost) best = std::move(*plan);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    if (best.cost == kInf) {
+      return Status::Internal("no join order worked");
+    }
+    return Finalize(std::move(best));
+  }
+
+  Result<SubPlan> PlanPermutation(const std::vector<UnitDesc>& units,
+                                  const std::vector<size_t>& perm) const {
+    // Leftmost unit: cheapest access path.
+    std::vector<SubPlan> first = UnitPaths(units[perm[0]]);
+    SubPlan acc;
+    acc.cost = kInf;
+    for (auto& p : first) {
+      if (p.cost < acc.cost) acc = std::move(p);
+    }
+    if (acc.cost == kInf) return Status::Internal("no access path");
+    for (size_t i = 1; i < perm.size(); ++i) {
+      auto next = JoinStep(std::move(acc), units[perm[i]]);
+      if (!next.ok()) return next.status();
+      acc = std::move(*next);
+    }
+    return acc;
+  }
+
+  Result<PhysicalPlan> Finalize(SubPlan acc) const {
+    PhysicalPlan plan;
+    plan.in_sets = in_specs_;
+    double total = acc.cost;
+    for (double c : in_set_costs_) total += c;
+
+    if (q_.IsAggregate()) {
+      auto root = std::make_unique<PlanNode>();
+      root->kind = PlanNode::Kind::kHashAggregate;
+      root->select = q_.select;
+      root->group_by = q_.group_by;
+      double groups = card_.GroupCount(q_.group_by, acc.rows);
+      bool has_distinct = false;
+      for (const auto& s : q_.select) {
+        if (s.kind == BoundSelectItem::Kind::kCountDistinct) {
+          has_distinct = true;
+        }
+      }
+      double key_bytes = 16.0 * static_cast<double>(q_.group_by.size());
+      total += cost_.Aggregate(acc.rows, groups, key_bytes,
+                               has_distinct ? acc.rows : 0.0);
+      root->est_rows = groups;
+      root->children.push_back(std::move(acc.node));
+      // Aggregate output: select-list shape; output_cols unused above root.
+      root->est_cost = total;
+      plan.root = std::move(root);
+    } else {
+      auto root = std::make_unique<PlanNode>();
+      root->kind = PlanNode::Kind::kProject;
+      root->select = q_.select;
+      root->est_rows = acc.rows;
+      root->est_cost = total;
+      root->children.push_back(std::move(acc.node));
+      plan.root = std::move(root);
+    }
+    plan.est_cost = total;
+    return plan;
+  }
+
+  const BoundQuery& q_;
+  const ConfigView& view_;
+  CardinalityEstimator card_;
+  CostModel cost_;
+  std::vector<InSetSpec> in_specs_;
+  std::vector<double> in_set_costs_;
+  std::vector<std::vector<SlotRef>> needed_;
+};
+
+}  // namespace
+
+Result<PhysicalPlan> PlanQuery(const BoundQuery& q, const ConfigView& view) {
+  if (view.catalog == nullptr || view.stats == nullptr) {
+    return Status::InvalidArgument("ConfigView missing catalog or stats");
+  }
+  Planner p(q, view);
+  return p.Run();
+}
+
+Result<double> EstimateCost(const BoundQuery& q, const ConfigView& view) {
+  PhysicalPlan plan;
+  TB_ASSIGN_OR_RETURN(plan, PlanQuery(q, view));
+  return plan.est_cost;
+}
+
+}  // namespace tabbench

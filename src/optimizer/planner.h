@@ -1,0 +1,31 @@
+#ifndef TABBENCH_OPTIMIZER_PLANNER_H_
+#define TABBENCH_OPTIMIZER_PLANNER_H_
+
+#include "exec/plan.h"
+#include "optimizer/config_view.h"
+#include "sql/binder.h"
+#include "util/status.h"
+
+namespace tabbench {
+
+/// Cost-based planning of a bound query against a configuration.
+///
+/// Search space: for every partition of the FROM occurrences into units
+/// (base relations, or materialized views matched to a subset of them),
+/// every left-deep order of the units, with per-unit access paths
+/// (sequential scan, index seek on literal prefixes, covering index-only
+/// scan) and per-step join methods (hash join, index nested-loop join).
+/// IN-frequency subqueries are planned as one materialization each, either
+/// a heap scan or an index-only walk of an index led by the subquery
+/// column.
+///
+/// Returns the cheapest plan found together with its estimated cost
+/// E(q, C) in `PhysicalPlan::est_cost` (simulated seconds).
+Result<PhysicalPlan> PlanQuery(const BoundQuery& q, const ConfigView& view);
+
+/// Convenience: only the estimated cost E(q, C).
+Result<double> EstimateCost(const BoundQuery& q, const ConfigView& view);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_OPTIMIZER_PLANNER_H_

@@ -1,0 +1,236 @@
+#include "optimizer/whatif.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/page_store.h"
+
+namespace tabbench {
+
+namespace {
+
+double ColumnWidth(const Catalog& catalog, const std::string& table,
+                   const std::string& column) {
+  const TableDef* def = catalog.FindTable(table);
+  if (def == nullptr) return 8.0;
+  int ci = def->ColumnIndex(column);
+  if (ci < 0) return 8.0;
+  return static_cast<double>(def->columns[static_cast<size_t>(ci)].avg_width);
+}
+
+double ColumnNdv(const DatabaseStats& stats, const std::string& table,
+                 const std::string& column) {
+  const ColumnStats* cs = stats.FindColumn(table, column);
+  if (cs == nullptr || cs->num_distinct == 0) return 1.0;
+  return static_cast<double>(cs->num_distinct);
+}
+
+double ColumnNdvForWhatIf(const DatabaseStats& stats,
+                          const std::string& table,
+                          const std::string& column) {
+  return ColumnNdv(stats, table, column);
+}
+
+}  // namespace
+
+double EstimateIndexPages(const IndexDef& def, const Catalog& catalog,
+                          const DatabaseStats& stats, double leaf_fill,
+                          double target_rows) {
+  double key_bytes = 0;
+  for (const auto& c : def.columns) {
+    key_bytes += ColumnWidth(catalog, def.target, c);
+  }
+  double rows = target_rows;
+  if (rows <= 0) {
+    const TableStats* ts = stats.FindTable(def.target);
+    rows = ts == nullptr ? 1.0 : static_cast<double>(ts->row_count);
+  }
+  double entry_bytes = std::max(12.0, key_bytes + 8.0);
+  double fanout =
+      std::max(8.0, (static_cast<double>(kPageSize) - 64.0) / entry_bytes) *
+      leaf_fill;
+  double leaf_pages = std::max(1.0, rows / fanout);
+  // Interior levels add ~1/fanout overhead per level; geometric sum.
+  return leaf_pages * (1.0 + 2.0 / fanout) + 1.0;
+}
+
+PhysicalIndex DeriveHypotheticalIndex(const IndexDef& def,
+                                      const Catalog& catalog,
+                                      const DatabaseStats& stats,
+                                      const HypotheticalRules& rules,
+                                      double target_rows) {
+  PhysicalIndex out;
+  out.def = def;
+  out.physical_name = "";
+  out.hypothetical = true;
+  out.allow_index_only = rules.credit_index_only;
+
+  double rows = target_rows;
+  if (rows <= 0) {
+    const TableStats* ts = stats.FindTable(def.target);
+    rows = ts == nullptr ? 1.0 : static_cast<double>(ts->row_count);
+  }
+  rows = std::max(1.0, rows);
+  out.entries = rows;
+
+  double key_bytes = 0;
+  for (const auto& c : def.columns) {
+    key_bytes += ColumnWidth(catalog, def.target, c);
+  }
+  double entry_bytes = std::max(12.0, key_bytes + 8.0);
+  double fanout =
+      std::max(8.0, (static_cast<double>(kPageSize) - 64.0) / entry_bytes) *
+      rules.leaf_fill;
+  out.leaf_pages = std::max(1.0, rows / fanout);
+
+  double height = 1.0;
+  double level = out.leaf_pages;
+  while (level > 1.0) {
+    level /= std::max(8.0, fanout);
+    height += 1.0;
+  }
+  out.height = height;
+
+  if (rules.composite_ndv_product) {
+    double prod = 1.0;
+    for (const auto& c : def.columns) {
+      prod *= ColumnNdv(stats, def.target, c);
+      if (prod > rows) break;
+    }
+    out.distinct_keys = std::min(prod, rows);
+  } else {
+    // Conservative: credit only the leading column's distinctness.
+    out.distinct_keys =
+        def.columns.empty()
+            ? 1.0
+            : std::min(ColumnNdv(stats, def.target, def.columns[0]), rows);
+  }
+  out.distinct_keys = std::max(1.0, out.distinct_keys);
+
+  out.clustering_factor = rows * rules.clustering_pessimism;
+  return out;
+}
+
+ViewSizeEstimate EstimateViewSize(const ViewDef& def, const Catalog& catalog,
+                                  const DatabaseStats& stats) {
+  ViewSizeEstimate out;
+  double rows = 1.0;
+  for (const auto& t : def.tables) {
+    const TableStats* ts = stats.FindTable(t);
+    rows *= ts == nullptr ? 1.0 : std::max<double>(1.0, ts->row_count);
+  }
+  for (const auto& j : def.joins) {
+    double d1 = ColumnNdv(stats, j.left_table, j.left_column);
+    double d2 = ColumnNdv(stats, j.right_table, j.right_column);
+    rows /= std::max({d1, d2, 1.0});
+  }
+  out.rows = std::max(1.0, rows);
+  double row_bytes = 0;
+  for (const auto& pc : def.projection) {
+    row_bytes += ColumnWidth(catalog, pc.table, pc.column);
+  }
+  row_bytes = std::max(16.0, row_bytes + 2.0 * def.projection.size());
+  out.pages =
+      std::max(1.0, out.rows * row_bytes / static_cast<double>(kPageSize));
+  return out;
+}
+
+DatabaseStats DegradeToUniform(const DatabaseStats& stats) {
+  DatabaseStats out = stats;
+  for (auto& [tname, ts] : out.tables) {
+    for (auto& [cname, cs] : ts.columns) {
+      cs.mcvs.clear();
+      cs.histogram = EquiDepthHistogram();
+    }
+  }
+  return out;
+}
+
+Result<ConfigView> MakeHypotheticalView(const Configuration& config,
+                                        const ConfigView& base,
+                                        const HypotheticalRules& rules) {
+  if (base.catalog == nullptr || base.stats == nullptr) {
+    return Status::InvalidArgument("base view missing catalog or stats");
+  }
+  ConfigView out;
+  out.catalog = base.catalog;
+  out.stats = base.stats;
+  out.params = base.params;
+
+  // Primary-key indexes exist in every configuration; inherit them (with
+  // their measured stats) from the current built view.
+  for (const auto& idx : base.indexes) {
+    if (idx.def.is_primary) out.indexes.push_back(idx);
+  }
+
+  // Hypothetical views first, so hypothetical indexes over views can size
+  // themselves from the view's estimated row count.
+  for (const auto& vd : config.views) {
+    ViewSizeEstimate est = EstimateViewSize(vd, *base.catalog, *base.stats);
+    PhysicalView pv;
+    pv.def = vd;
+    pv.physical_name = "";
+    pv.rows = est.rows;
+    pv.pages = est.pages;
+    pv.hypothetical = true;
+    out.views.push_back(std::move(pv));
+  }
+
+  for (const auto& def : config.indexes) {
+    if (def.is_primary) continue;  // already inherited
+    const PhysicalView* pv = out.FindView(def.target);
+    if (pv == nullptr) {
+      out.indexes.push_back(DeriveHypotheticalIndex(
+          def, *base.catalog, *base.stats, rules, /*target_rows=*/-1.0));
+      continue;
+    }
+    // Index over a hypothetical view: translate the view columns back to
+    // their base-table columns so widths and NDVs come from real stats.
+    IndexDef base_equiv = def;
+    PhysicalIndex pi;
+    {
+      std::vector<double> ndvs;
+      double key_bytes = 0.0;
+      for (auto& c : base_equiv.columns) {
+        for (const auto& pc : pv->def.projection) {
+          if (pc.view_name != c) continue;
+          ndvs.push_back(ColumnNdvForWhatIf(*base.stats, pc.table, pc.column));
+          key_bytes += ColumnWidth(*base.catalog, pc.table, pc.column);
+          break;
+        }
+      }
+      pi.def = def;
+      pi.hypothetical = true;
+      pi.allow_index_only = rules.credit_index_only;
+      pi.entries = std::max(1.0, pv->rows);
+      double entry_bytes = std::max(12.0, key_bytes + 8.0);
+      double fanout = std::max(
+          8.0, (static_cast<double>(kPageSize) - 64.0) / entry_bytes) *
+          rules.leaf_fill;
+      pi.leaf_pages = std::max(1.0, pi.entries / fanout);
+      double height = 1.0;
+      for (double level = pi.leaf_pages; level > 1.0;
+           level /= std::max(8.0, fanout)) {
+        height += 1.0;
+      }
+      pi.height = height;
+      if (rules.composite_ndv_product) {
+        double prod = 1.0;
+        for (double d : ndvs) {
+          prod *= d;
+          if (prod > pi.entries) break;
+        }
+        pi.distinct_keys = std::max(1.0, std::min(prod, pi.entries));
+      } else {
+        pi.distinct_keys =
+            ndvs.empty() ? 1.0
+                         : std::max(1.0, std::min(ndvs.front(), pi.entries));
+      }
+      pi.clustering_factor = pi.entries * rules.clustering_pessimism;
+    }
+    out.indexes.push_back(std::move(pi));
+  }
+  return out;
+}
+
+}  // namespace tabbench

@@ -1,0 +1,59 @@
+#include "sql/ast.h"
+
+#include "util/strings.h"
+
+namespace tabbench {
+
+std::string AstSelectItem::ToSql() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return column.ToSql();
+    case Kind::kCountStar:
+      return "COUNT(*)";
+    case Kind::kCountDistinct:
+      return "COUNT(DISTINCT " + column.ToSql() + ")";
+  }
+  return "";
+}
+
+std::string AstInSubquery::ToSql() const {
+  return StrFormat("(SELECT %s FROM %s GROUP BY %s HAVING COUNT(*) %c %lld)",
+                   column.c_str(), table.c_str(), column.c_str(), cmp,
+                   static_cast<long long>(k));
+}
+
+std::string AstPredicate::ToSql() const {
+  switch (kind) {
+    case Kind::kColEqCol:
+      return left.ToSql() + " = " + right.ToSql();
+    case Kind::kColEqLiteral:
+      return left.ToSql() + " = " + literal.ToString();
+    case Kind::kColInSubquery:
+      return left.ToSql() + " IN " + sub.ToSql();
+  }
+  return "";
+}
+
+std::string SelectStmt::ToSql() const {
+  std::vector<std::string> parts;
+  for (const auto& i : items) parts.push_back(i.ToSql());
+  std::string sql = "SELECT " + StrJoin(parts, ", ");
+
+  parts.clear();
+  for (const auto& t : from) parts.push_back(t.ToSql());
+  sql += " FROM " + StrJoin(parts, ", ");
+
+  if (!where.empty()) {
+    parts.clear();
+    for (const auto& p : where) parts.push_back(p.ToSql());
+    sql += " WHERE " + StrJoin(parts, " AND ");
+  }
+  if (!group_by.empty()) {
+    parts.clear();
+    for (const auto& g : group_by) parts.push_back(g.ToSql());
+    sql += " GROUP BY " + StrJoin(parts, ", ");
+  }
+  return sql;
+}
+
+}  // namespace tabbench

@@ -1,0 +1,80 @@
+#ifndef TABBENCH_SQL_AST_H_
+#define TABBENCH_SQL_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace tabbench {
+
+/// `qualifier.column` as written in the query (qualifier = alias or table).
+struct AstColumnRef {
+  std::string qualifier;
+  std::string column;
+
+  std::string ToSql() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+  bool operator==(const AstColumnRef& o) const {
+    return qualifier == o.qualifier && column == o.column;
+  }
+};
+
+/// An item in the SELECT list: a grouping column, COUNT(*), or
+/// COUNT(DISTINCT col) — the only aggregates the benchmark families use.
+struct AstSelectItem {
+  enum class Kind { kColumn, kCountStar, kCountDistinct };
+  Kind kind = Kind::kColumn;
+  AstColumnRef column;  // for kColumn / kCountDistinct
+
+  std::string ToSql() const;
+};
+
+/// `table [alias]` in the FROM clause.
+struct AstTableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+
+  std::string ToSql() const {
+    return alias.empty() || alias == table ? table : table + " " + alias;
+  }
+};
+
+/// `col IN (SELECT c FROM T GROUP BY c HAVING COUNT(*) <op> k)` — the
+/// frequency-restriction subquery used by families NREF2J and SkTH3J.
+struct AstInSubquery {
+  std::string table;
+  std::string column;
+  char cmp = '<';  // '<' or '='
+  int64_t k = 0;
+
+  std::string ToSql() const;
+};
+
+/// One conjunct of the WHERE clause.
+struct AstPredicate {
+  enum class Kind { kColEqCol, kColEqLiteral, kColInSubquery };
+  Kind kind = Kind::kColEqCol;
+  AstColumnRef left;
+  AstColumnRef right;   // kColEqCol
+  Value literal;        // kColEqLiteral
+  AstInSubquery sub;    // kColInSubquery
+
+  std::string ToSql() const;
+};
+
+/// The benchmark SQL fragment: select-project-join with simple aggregates,
+/// equality predicates, and at most one level of nesting (Section 3.2.2).
+struct SelectStmt {
+  std::vector<AstSelectItem> items;
+  std::vector<AstTableRef> from;
+  std::vector<AstPredicate> where;
+  std::vector<AstColumnRef> group_by;
+
+  std::string ToSql() const;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_SQL_AST_H_

@@ -1,0 +1,85 @@
+#ifndef TABBENCH_SQL_BINDER_H_
+#define TABBENCH_SQL_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace tabbench {
+
+/// A column resolved against the FROM list: `rel` is the occurrence index in
+/// BoundQuery::relations (distinguishing the two sides of a self-join),
+/// `col` the column position in the base table.
+struct BoundColumn {
+  int rel = -1;
+  int col = -1;
+  std::string table;   // base table name
+  std::string column;  // column name
+  TypeId type = TypeId::kInt;
+
+  bool SameAs(const BoundColumn& o) const {
+    return rel == o.rel && col == o.col;
+  }
+  std::string ToString() const {
+    return table + "[" + std::to_string(rel) + "]." + column;
+  }
+};
+
+struct BoundJoin {
+  BoundColumn left, right;
+};
+
+struct BoundFilter {
+  BoundColumn column;
+  Value literal;
+};
+
+/// `column IN (SELECT sub_column FROM sub_table GROUP BY .. HAVING
+/// COUNT(*) cmp k)`.
+struct BoundInFreq {
+  BoundColumn column;
+  std::string sub_table;
+  std::string sub_column;
+  char cmp = '<';
+  int64_t k = 0;
+};
+
+struct BoundSelectItem {
+  enum class Kind { kColumn, kCountStar, kCountDistinct };
+  Kind kind = Kind::kColumn;
+  BoundColumn column;  // kColumn / kCountDistinct
+};
+
+/// A type-checked query over the catalog — the form consumed by both the
+/// optimizer and the executor.
+struct BoundQuery {
+  std::vector<std::string> relations;  // base-table name per FROM occurrence
+  std::vector<std::string> aliases;
+  std::vector<BoundSelectItem> select;
+  std::vector<BoundColumn> group_by;
+  std::vector<BoundJoin> joins;
+  std::vector<BoundFilter> filters;
+  std::vector<BoundInFreq> in_preds;
+
+  bool IsAggregate() const;
+  /// Number of distinct relation occurrences.
+  int num_relations() const { return static_cast<int>(relations.size()); }
+  /// All equality/IN/group-by predicates touching occurrence `rel`.
+  std::vector<BoundColumn> ColumnsOf(int rel) const;
+};
+
+/// Resolves aliases and column references, type-checks literals, and
+/// validates the aggregate shape (every plain select column must be a
+/// GROUP BY column when aggregates are present).
+Result<BoundQuery> Bind(const SelectStmt& stmt, const Catalog& catalog);
+
+/// Convenience: parse + bind.
+Result<BoundQuery> ParseAndBind(const std::string& sql,
+                                const Catalog& catalog);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_SQL_BINDER_H_

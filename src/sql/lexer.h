@@ -1,0 +1,43 @@
+#ifndef TABBENCH_SQL_LEXER_H_
+#define TABBENCH_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tabbench {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,   // normalized to upper case
+  kInt,
+  kDouble,
+  kString,    // quoted literal, quotes stripped
+  kComma,
+  kLParen,
+  kRParen,
+  kDot,
+  kStar,
+  kEq,
+  kLt,
+  kGt,
+  kEof,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;       // identifier (as written) / keyword (upper) / literal text
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;    // byte offset, for error messages
+};
+
+/// Tokenizes the SQL fragment used by the benchmark query families.
+/// Keywords are case-insensitive; identifiers keep their original case.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_SQL_LEXER_H_

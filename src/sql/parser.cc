@@ -1,0 +1,211 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+#include "util/strings.h"
+
+namespace tabbench {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> Parse() {
+    SelectStmt stmt;
+    TB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    TB_RETURN_IF_ERROR(ParseItems(&stmt));
+    TB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    TB_RETURN_IF_ERROR(ParseTables(&stmt));
+    if (AcceptKeyword("WHERE")) {
+      TB_RETURN_IF_ERROR(ParseConjuncts(&stmt));
+    }
+    if (AcceptKeyword("GROUP")) {
+      TB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      TB_RETURN_IF_ERROR(ParseGroupBy(&stmt));
+    }
+    if (Peek().type != TokenType::kEof) {
+      return Err("trailing tokens after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Accept(TokenType t) {
+    if (Peek().type == t) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) return Err("expected " + kw);
+    return Status::OK();
+  }
+  Status Expect(TokenType t, const std::string& what) {
+    if (!Accept(t)) return Err("expected " + what);
+    return Status::OK();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrFormat("parse error at offset %zu ('%s'): %s", Peek().position,
+                  Peek().text.c_str(), msg.c_str()));
+  }
+
+  Result<AstColumnRef> ParseColumnRef() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument(
+          StrFormat("parse error at offset %zu: expected column reference",
+                    Peek().position));
+    }
+    AstColumnRef ref;
+    std::string first = Advance().text;
+    if (Accept(TokenType::kDot)) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Status::InvalidArgument("expected column after '.'");
+      }
+      ref.qualifier = first;
+      ref.column = Advance().text;
+    } else {
+      ref.column = first;
+    }
+    return ref;
+  }
+
+  Status ParseItems(SelectStmt* stmt) {
+    do {
+      AstSelectItem item;
+      if (AcceptKeyword("COUNT")) {
+        TB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+        if (Accept(TokenType::kStar)) {
+          item.kind = AstSelectItem::Kind::kCountStar;
+        } else {
+          TB_RETURN_IF_ERROR(ExpectKeyword("DISTINCT"));
+          TB_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+          item.kind = AstSelectItem::Kind::kCountDistinct;
+        }
+        TB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      } else {
+        TB_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+        item.kind = AstSelectItem::Kind::kColumn;
+      }
+      stmt->items.push_back(std::move(item));
+    } while (Accept(TokenType::kComma));
+    return Status::OK();
+  }
+
+  Status ParseTables(SelectStmt* stmt) {
+    do {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Err("expected table name");
+      }
+      AstTableRef ref;
+      ref.table = Advance().text;
+      AcceptKeyword("AS");
+      if (Peek().type == TokenType::kIdentifier) {
+        ref.alias = Advance().text;
+      } else {
+        ref.alias = ref.table;
+      }
+      stmt->from.push_back(std::move(ref));
+    } while (Accept(TokenType::kComma));
+    return Status::OK();
+  }
+
+  Status ParseConjuncts(SelectStmt* stmt) {
+    do {
+      AstPredicate pred;
+      TB_ASSIGN_OR_RETURN(pred.left, ParseColumnRef());
+      if (AcceptKeyword("IN")) {
+        pred.kind = AstPredicate::Kind::kColInSubquery;
+        TB_RETURN_IF_ERROR(ParseInSubquery(&pred.sub));
+      } else {
+        TB_RETURN_IF_ERROR(Expect(TokenType::kEq, "'='"));
+        const Token& t = Peek();
+        if (t.type == TokenType::kIdentifier) {
+          pred.kind = AstPredicate::Kind::kColEqCol;
+          TB_ASSIGN_OR_RETURN(pred.right, ParseColumnRef());
+        } else if (t.type == TokenType::kInt) {
+          pred.kind = AstPredicate::Kind::kColEqLiteral;
+          pred.literal = Value(Advance().int_value);
+        } else if (t.type == TokenType::kDouble) {
+          pred.kind = AstPredicate::Kind::kColEqLiteral;
+          pred.literal = Value(Advance().double_value);
+        } else if (t.type == TokenType::kString) {
+          pred.kind = AstPredicate::Kind::kColEqLiteral;
+          pred.literal = Value(Advance().text);
+        } else {
+          return Err("expected column or literal after '='");
+        }
+      }
+      stmt->where.push_back(std::move(pred));
+    } while (AcceptKeyword("AND"));
+    return Status::OK();
+  }
+
+  Status ParseInSubquery(AstInSubquery* sub) {
+    TB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    TB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    if (Peek().type != TokenType::kIdentifier) return Err("expected column");
+    sub->column = Advance().text;
+    TB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Peek().type != TokenType::kIdentifier) return Err("expected table");
+    sub->table = Advance().text;
+    TB_RETURN_IF_ERROR(ExpectKeyword("GROUP"));
+    TB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    if (Peek().type != TokenType::kIdentifier ||
+        Peek().text != sub->column) {
+      return Err("subquery GROUP BY must match its SELECT column");
+    }
+    Advance();
+    TB_RETURN_IF_ERROR(ExpectKeyword("HAVING"));
+    TB_RETURN_IF_ERROR(ExpectKeyword("COUNT"));
+    TB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    TB_RETURN_IF_ERROR(Expect(TokenType::kStar, "'*'"));
+    TB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    if (Accept(TokenType::kLt)) {
+      sub->cmp = '<';
+    } else if (Accept(TokenType::kEq)) {
+      sub->cmp = '=';
+    } else {
+      return Err("expected '<' or '=' in HAVING");
+    }
+    if (Peek().type != TokenType::kInt) return Err("expected integer");
+    sub->k = Advance().int_value;
+    TB_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    return Status::OK();
+  }
+
+  Status ParseGroupBy(SelectStmt* stmt) {
+    do {
+      AstColumnRef ref;
+      TB_ASSIGN_OR_RETURN(ref, ParseColumnRef());
+      stmt->group_by.push_back(std::move(ref));
+    } while (Accept(TokenType::kComma));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(const std::string& sql) {
+  std::vector<Token> tokens;
+  TB_ASSIGN_OR_RETURN(tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace tabbench

@@ -1,0 +1,26 @@
+#ifndef TABBENCH_SQL_PARSER_H_
+#define TABBENCH_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace tabbench {
+
+/// Parses the benchmark SQL fragment into a SelectStmt. Grammar:
+///
+///   stmt      := SELECT items FROM tables [WHERE conj] [GROUP BY cols]
+///   items     := item (',' item)*
+///   item      := colref | COUNT '(' '*' ')' | COUNT '(' DISTINCT colref ')'
+///   tables    := table [alias] (',' table [alias])*
+///   conj      := pred (AND pred)*
+///   pred      := colref '=' (colref | literal)
+///              | colref IN '(' SELECT ident FROM ident
+///                  GROUP BY ident HAVING COUNT '(' '*' ')' ('<'|'=') int ')'
+///   colref    := ident ['.' ident]
+Result<SelectStmt> ParseSelect(const std::string& sql);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_SQL_PARSER_H_

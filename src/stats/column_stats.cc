@@ -1,0 +1,86 @@
+#include "stats/column_stats.h"
+#include <cmath>
+
+namespace tabbench {
+
+double ColumnStats::EstimateEqRows(const Value& v) const {
+  if (row_count == 0) return 0.0;
+  if (v.is_null()) return static_cast<double>(null_count);
+  for (const auto& [mv, freq] : mcvs) {
+    if (mv == v) return static_cast<double>(freq);
+  }
+  if (!histogram.empty()) return histogram.EstimateEqRows(v);
+  // No histogram: uniform assumption over distinct values.
+  if (num_distinct == 0) return 0.0;
+  return static_cast<double>(row_count) / static_cast<double>(num_distinct);
+}
+
+double ColumnStats::EstimateEqSelectivity(const Value& v) const {
+  if (row_count == 0) return 0.0;
+  return EstimateEqRows(v) / static_cast<double>(row_count);
+}
+
+double ColumnStats::FracRowsValueFreqLess(uint64_t k) const {
+  if (row_count == 0) return 0.0;
+  uint64_t rows = 0;
+  for (const auto& [f, d] : freq_of_freq) {
+    if (f >= k) break;
+    rows += f * d;
+  }
+  return static_cast<double>(rows) / static_cast<double>(row_count);
+}
+
+double ColumnStats::FracRowsValueFreqEq(uint64_t k) const {
+  if (row_count == 0) return 0.0;
+  for (const auto& [f, d] : freq_of_freq) {
+    if (f == k) {
+      return static_cast<double>(f * d) / static_cast<double>(row_count);
+    }
+    if (f > k) break;
+  }
+  return 0.0;
+}
+
+uint64_t ColumnStats::DistinctWithFreqLess(uint64_t k) const {
+  uint64_t d_total = 0;
+  for (const auto& [f, d] : freq_of_freq) {
+    if (f >= k) break;
+    d_total += d;
+  }
+  return d_total;
+}
+
+uint64_t ColumnStats::DistinctWithFreqEq(uint64_t k) const {
+  for (const auto& [f, d] : freq_of_freq) {
+    if (f == k) return d;
+    if (f > k) break;
+  }
+  return 0;
+}
+
+Value ColumnStats::ExampleWithFreqNear(uint64_t freq,
+                                       uint64_t* actual_freq) const {
+  Value best;
+  uint64_t best_freq = 0;
+  double best_dist = -1.0;
+  for (const auto& [f, v] : freq_examples) {
+    // Distance in log space: "an order of magnitude larger" semantics.
+    double d = std::fabs(std::log2(static_cast<double>(f)) -
+                         std::log2(static_cast<double>(freq)));
+    if (best_dist < 0.0 || d < best_dist) {
+      best_dist = d;
+      best = v;
+      best_freq = f;
+    }
+  }
+  if (actual_freq != nullptr) *actual_freq = best_freq;
+  return best;
+}
+
+double ColumnStats::AvgFreq() const {
+  if (num_distinct == 0) return 0.0;
+  return static_cast<double>(row_count - null_count) /
+         static_cast<double>(num_distinct);
+}
+
+}  // namespace tabbench

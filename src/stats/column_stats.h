@@ -1,0 +1,66 @@
+#ifndef TABBENCH_STATS_COLUMN_STATS_H_
+#define TABBENCH_STATS_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "types/value.h"
+
+namespace tabbench {
+
+/// Statistics of one column, collected by a full scan (the paper directs the
+/// systems "to collect statistics before obtaining the recommendations and
+/// before running the queries", Section 3.2.3).
+struct ColumnStats {
+  uint64_t row_count = 0;
+  uint64_t null_count = 0;
+  uint64_t num_distinct = 0;
+  Value min, max;
+
+  /// Most common values with their exact frequencies (top-k by count).
+  std::vector<std::pair<Value, uint64_t>> mcvs;
+
+  /// Equi-depth histogram over the non-MCV remainder.
+  EquiDepthHistogram histogram;
+
+  /// Frequency-of-frequency summary: sorted (frequency f, number of distinct
+  /// values occurring exactly f times). Drives estimates of the benchmark's
+  /// `c IN (SELECT c FROM T GROUP BY c HAVING COUNT(*) < k)` predicates.
+  std::vector<std::pair<uint64_t, uint64_t>> freq_of_freq;
+
+  /// One example value per distinct frequency (sorted by frequency,
+  /// capped). The workload generators use these to realize the paper's
+  /// constant-selection rule: pick k1 with the highest selectivity and
+  /// k2/k3 whose frequencies are one and two orders of magnitude larger
+  /// (Section 3.2.2).
+  std::vector<std::pair<uint64_t, Value>> freq_examples;
+
+  /// An example value whose frequency is closest to `freq` (nullptr-like
+  /// empty Value when the column has no values).
+  Value ExampleWithFreqNear(uint64_t freq, uint64_t* actual_freq) const;
+
+  /// Estimated number of rows with column == v. Uses MCVs exactly, histogram
+  /// otherwise.
+  double EstimateEqRows(const Value& v) const;
+
+  /// Estimated selectivity (fraction of rows) of column == v.
+  double EstimateEqSelectivity(const Value& v) const;
+
+  /// Fraction of *rows* whose value occurs with frequency `cmp_lt`-than k:
+  /// RowsWithValueFreqLess(4) = P[row's value occurs < 4 times].
+  double FracRowsValueFreqLess(uint64_t k) const;
+  /// Fraction of rows whose value occurs exactly k times.
+  double FracRowsValueFreqEq(uint64_t k) const;
+  /// Number of distinct values with frequency < k.
+  uint64_t DistinctWithFreqLess(uint64_t k) const;
+  /// Number of distinct values with frequency == k.
+  uint64_t DistinctWithFreqEq(uint64_t k) const;
+
+  /// Average rows per distinct value (>= 1 when non-empty).
+  double AvgFreq() const;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_STATS_COLUMN_STATS_H_

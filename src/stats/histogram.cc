@@ -1,0 +1,65 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tabbench {
+
+EquiDepthHistogram EquiDepthHistogram::Build(
+    const std::vector<Value>& sorted_values, size_t num_buckets) {
+  EquiDepthHistogram h;
+  const size_t n = sorted_values.size();
+  if (n == 0 || num_buckets == 0) return h;
+  h.total_rows_ = n;
+  num_buckets = std::min(num_buckets, n);
+  const size_t target_depth = (n + num_buckets - 1) / num_buckets;
+
+  Bucket cur;
+  uint64_t cur_rows = 0, cur_distinct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool new_value = (i == 0) || (sorted_values[i] != sorted_values[i - 1]);
+    if (new_value) ++cur_distinct;
+    ++cur_rows;
+    // Close the bucket at value boundaries once the target depth is met, so
+    // that a single value never straddles two buckets.
+    const bool last = (i + 1 == n);
+    const bool boundary = last || (sorted_values[i + 1] != sorted_values[i]);
+    if (boundary && (cur_rows >= target_depth || last)) {
+      cur.upper = sorted_values[i];
+      cur.rows = cur_rows;
+      cur.distinct = cur_distinct;
+      h.buckets_.push_back(cur);
+      cur_rows = 0;
+      cur_distinct = 0;
+    }
+  }
+  return h;
+}
+
+double EquiDepthHistogram::EstimateEqRows(const Value& v) const {
+  if (buckets_.empty()) return 0.0;
+  // Find the first bucket whose upper bound >= v.
+  auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), v,
+      [](const Bucket& b, const Value& x) { return b.upper < x; });
+  if (it == buckets_.end()) return 0.0;  // above max
+  if (it->distinct == 0) return 0.0;
+  return static_cast<double>(it->rows) / static_cast<double>(it->distinct);
+}
+
+double EquiDepthHistogram::EstimateLeRows(const Value& v) const {
+  double rows = 0.0;
+  for (const auto& b : buckets_) {
+    if (b.upper <= v) {
+      rows += static_cast<double>(b.rows);
+    } else {
+      // Partial bucket: assume half the bucket qualifies (no lower bound
+      // tracked; adequate for the equality-only benchmark workloads).
+      rows += static_cast<double>(b.rows) / 2.0;
+      break;
+    }
+  }
+  return rows;
+}
+
+}  // namespace tabbench

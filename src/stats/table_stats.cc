@@ -1,0 +1,24 @@
+#include "stats/table_stats.h"
+
+namespace tabbench {
+
+const ColumnStats* TableStats::FindColumn(const std::string& name) const {
+  auto it = columns.find(name);
+  if (it == columns.end()) return nullptr;
+  return &it->second;
+}
+
+const TableStats* DatabaseStats::FindTable(const std::string& name) const {
+  auto it = tables.find(name);
+  if (it == tables.end()) return nullptr;
+  return &it->second;
+}
+
+const ColumnStats* DatabaseStats::FindColumn(const std::string& table,
+                                             const std::string& column) const {
+  const TableStats* t = FindTable(table);
+  if (t == nullptr) return nullptr;
+  return t->FindColumn(column);
+}
+
+}  // namespace tabbench

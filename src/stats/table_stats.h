@@ -1,0 +1,32 @@
+#ifndef TABBENCH_STATS_TABLE_STATS_H_
+#define TABBENCH_STATS_TABLE_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "stats/column_stats.h"
+
+namespace tabbench {
+
+/// Statistics of one table (or materialized view).
+struct TableStats {
+  uint64_t row_count = 0;
+  uint64_t pages = 0;
+  double avg_row_bytes = 0.0;
+  std::map<std::string, ColumnStats> columns;
+
+  const ColumnStats* FindColumn(const std::string& name) const;
+};
+
+/// Statistics of every table in a database instance, keyed by table name.
+struct DatabaseStats {
+  std::map<std::string, TableStats> tables;
+
+  const TableStats* FindTable(const std::string& name) const;
+  const ColumnStats* FindColumn(const std::string& table,
+                                const std::string& column) const;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_STATS_TABLE_STATS_H_

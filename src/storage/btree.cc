@@ -1,0 +1,332 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tabbench {
+
+int CompareKeys(const IndexKey& a, const IndexKey& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+bool KeyHasPrefix(const IndexKey& key, const IndexKey& prefix) {
+  if (prefix.size() > key.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (key[i] != prefix[i]) return false;
+  }
+  return true;
+}
+
+struct BTree::Node {
+  PageId page_id = kInvalidPageId;
+  bool is_leaf = true;
+  // Leaf: keys_/rids_ are parallel entry arrays. Internal: keys_[i] is the
+  // smallest key reachable under children_[i+1]; children_.size() ==
+  // keys_.size() + 1.
+  std::vector<IndexKey> keys;
+  std::vector<Rid> rids;
+  std::vector<std::unique_ptr<Node>> children;
+  Node* next_leaf = nullptr;
+};
+
+BTree::BTree(std::string name, size_t num_key_columns, size_t key_width_bytes,
+             PageStore* store)
+    : name_(std::move(name)),
+      num_key_columns_(num_key_columns),
+      store_(store) {
+  const size_t entry_bytes = std::max<size_t>(key_width_bytes, 4) + 8;
+  leaf_capacity_ = std::max<size_t>(8, (kPageSize - 64) / entry_bytes);
+  internal_capacity_ =
+      std::max<size_t>(8, (kPageSize - 64) / (std::max<size_t>(key_width_bytes, 4) + 8));
+  root_ = MakeNode(/*leaf=*/true);
+}
+
+BTree::~BTree() { Drop(); }
+
+std::unique_ptr<BTree::Node> BTree::MakeNode(bool leaf) {
+  auto n = std::make_unique<Node>();
+  n->is_leaf = leaf;
+  n->page_id = store_->Allocate();
+  ++num_pages_;
+  return n;
+}
+
+BTree::Node* BTree::FindLeaf(const IndexKey& prefix,
+                             const PageTouchFn& touch) const {
+  Node* node = root_.get();
+  for (;;) {
+    if (touch) touch(node->page_id);
+    if (node->is_leaf) return node;
+    // Descend to the first child that can contain `prefix`: the last
+    // separator strictly below it. Strictness matters for duplicates — when
+    // a run of equal keys straddles two leaves the separator equals the key,
+    // and a non-strict comparison would skip the left part of the run. The
+    // iterator walks rightward through the leaf chain from here.
+    size_t i = 0;
+    while (i < node->keys.size() && CompareKeys(node->keys[i], prefix) < 0) {
+      ++i;
+    }
+    node = node->children[i].get();
+  }
+}
+
+void BTree::Insert(const IndexKey& key, const Rid& rid,
+                   const PageTouchFn& touch) {
+  assert(key.size() == num_key_columns_);
+  IndexKey split_key;
+  std::unique_ptr<Node> split_node;
+  InsertRec(root_.get(), key, rid, touch, &split_key, &split_node);
+  if (split_node != nullptr) {
+    auto new_root = MakeNode(/*leaf=*/false);
+    new_root->keys.push_back(std::move(split_key));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split_node));
+    root_ = std::move(new_root);
+    if (touch) touch(root_->page_id);
+  }
+  ++num_entries_;
+  cache_valid_ = false;
+}
+
+void BTree::InsertRec(Node* node, const IndexKey& key, const Rid& rid,
+                      const PageTouchFn& touch, IndexKey* split_key,
+                      std::unique_ptr<Node>* split_node) {
+  if (touch) touch(node->page_id);
+  if (node->is_leaf) {
+    auto it = std::upper_bound(
+        node->keys.begin(), node->keys.end(), key,
+        [](const IndexKey& a, const IndexKey& b) { return CompareKeys(a, b) < 0; });
+    size_t pos = static_cast<size_t>(it - node->keys.begin());
+    node->keys.insert(it, key);
+    node->rids.insert(node->rids.begin() + static_cast<long>(pos), rid);
+    if (node->keys.size() > leaf_capacity_) {
+      // Split: move the upper half into a new right sibling.
+      size_t mid = node->keys.size() / 2;
+      auto right = MakeNode(/*leaf=*/true);
+      right->keys.assign(node->keys.begin() + static_cast<long>(mid),
+                         node->keys.end());
+      right->rids.assign(node->rids.begin() + static_cast<long>(mid),
+                         node->rids.end());
+      node->keys.resize(mid);
+      node->rids.resize(mid);
+      right->next_leaf = node->next_leaf;
+      node->next_leaf = right.get();
+      *split_key = right->keys.front();
+      if (touch) touch(right->page_id);
+      *split_node = std::move(right);
+    }
+    return;
+  }
+  size_t i = 0;
+  while (i < node->keys.size() && CompareKeys(node->keys[i], key) <= 0) ++i;
+  IndexKey child_split_key;
+  std::unique_ptr<Node> child_split;
+  InsertRec(node->children[i].get(), key, rid, touch, &child_split_key,
+            &child_split);
+  if (child_split != nullptr) {
+    node->keys.insert(node->keys.begin() + static_cast<long>(i),
+                      std::move(child_split_key));
+    node->children.insert(node->children.begin() + static_cast<long>(i) + 1,
+                          std::move(child_split));
+    if (node->keys.size() > internal_capacity_) {
+      size_t mid = node->keys.size() / 2;
+      auto right = MakeNode(/*leaf=*/false);
+      *split_key = node->keys[mid];
+      right->keys.assign(node->keys.begin() + static_cast<long>(mid) + 1,
+                         node->keys.end());
+      for (size_t c = mid + 1; c < node->children.size(); ++c) {
+        right->children.push_back(std::move(node->children[c]));
+      }
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+      if (touch) touch(right->page_id);
+      *split_node = std::move(right);
+    }
+  }
+}
+
+void BTree::BulkBuild(std::vector<std::pair<IndexKey, Rid>> sorted_entries) {
+  // Rebuild from scratch: pack leaves to ~90% fill, then stack internals.
+  Drop();
+  num_entries_ = sorted_entries.size();
+  cache_valid_ = false;
+  const size_t leaf_fill = std::max<size_t>(4, leaf_capacity_ * 9 / 10);
+
+  std::vector<std::unique_ptr<Node>> level;
+  Node* prev_leaf = nullptr;
+  for (size_t i = 0; i < sorted_entries.size();) {
+    auto leaf = MakeNode(/*leaf=*/true);
+    size_t end = std::min(i + leaf_fill, sorted_entries.size());
+    for (size_t j = i; j < end; ++j) {
+      leaf->keys.push_back(std::move(sorted_entries[j].first));
+      leaf->rids.push_back(sorted_entries[j].second);
+    }
+    if (prev_leaf != nullptr) prev_leaf->next_leaf = leaf.get();
+    prev_leaf = leaf.get();
+    level.push_back(std::move(leaf));
+    i = end;
+  }
+  if (level.empty()) {
+    root_ = MakeNode(/*leaf=*/true);
+    return;
+  }
+  const size_t internal_fill = std::max<size_t>(4, internal_capacity_ * 9 / 10);
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> parents;
+    for (size_t i = 0; i < level.size();) {
+      auto parent = MakeNode(/*leaf=*/false);
+      size_t end = std::min(i + internal_fill + 1, level.size());
+      for (size_t j = i; j < end; ++j) {
+        if (j > i) {
+          // Separator: smallest key under this child.
+          Node* c = level[j].get();
+          while (!c->is_leaf) c = c->children.front().get();
+          parent->keys.push_back(c->keys.front());
+        }
+        parent->children.push_back(std::move(level[j]));
+      }
+      parents.push_back(std::move(parent));
+      i = end;
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+}
+
+BTree::Iterator BTree::SeekPrefix(const IndexKey& prefix,
+                                  const PageTouchFn& touch) const {
+  Iterator it;
+  it.tree_ = this;
+  it.prefix_ = prefix;
+  it.touch_ = touch;
+  Node* leaf = FindLeaf(prefix, touch);
+  it.leaf_ = leaf;
+  it.touched_current_ = true;  // FindLeaf already reported this leaf.
+  // Position at the first entry >= prefix within the leaf.
+  auto pos = std::lower_bound(
+      leaf->keys.begin(), leaf->keys.end(), prefix,
+      [](const IndexKey& a, const IndexKey& b) { return CompareKeys(a, b) < 0; });
+  it.idx_ = static_cast<size_t>(pos - leaf->keys.begin());
+  return it;
+}
+
+BTree::Iterator BTree::ScanAll(const PageTouchFn& touch) const {
+  Iterator it;
+  it.tree_ = this;
+  it.touch_ = touch;
+  Node* node = root_.get();
+  for (;;) {
+    if (touch) touch(node->page_id);
+    if (node->is_leaf) break;
+    node = node->children.front().get();
+  }
+  it.leaf_ = node;
+  it.idx_ = 0;
+  it.touched_current_ = true;
+  return it;
+}
+
+bool BTree::Iterator::Next(IndexKey* key, Rid* rid) {
+  const Node* leaf = static_cast<const Node*>(leaf_);
+  for (;;) {
+    if (leaf == nullptr) return false;
+    if (!touched_current_) {
+      if (touch_) touch_(leaf->page_id);
+      touched_current_ = true;
+    }
+    if (idx_ < leaf->keys.size()) {
+      const IndexKey& k = leaf->keys[idx_];
+      if (!prefix_.empty()) {
+        if (!KeyHasPrefix(k, prefix_)) {
+          // Entries are sorted; once past the prefix range we are done.
+          if (CompareKeys(k, prefix_) > 0) return false;
+          ++idx_;
+          continue;
+        }
+      }
+      *key = k;
+      *rid = leaf->rids[idx_];
+      ++idx_;
+      return true;
+    }
+    leaf = leaf->next_leaf;
+    leaf_ = leaf;
+    idx_ = 0;
+    touched_current_ = false;
+  }
+}
+
+uint64_t BTree::num_distinct_keys() const {
+  if (!cache_valid_) {
+    // Single leaf-chain walk computes both cached metrics.
+    uint64_t distinct = 0, clustering = 0;
+    const Node* node = root_.get();
+    while (!node->is_leaf) node = node->children.front().get();
+    const IndexKey* prev_key = nullptr;
+    const Rid* prev_rid = nullptr;
+    for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next_leaf) {
+      for (size_t i = 0; i < leaf->keys.size(); ++i) {
+        if (prev_key == nullptr || CompareKeys(*prev_key, leaf->keys[i]) != 0) {
+          ++distinct;
+        }
+        if (prev_rid == nullptr ||
+            prev_rid->page_ordinal != leaf->rids[i].page_ordinal) {
+          ++clustering;
+        }
+        prev_key = &leaf->keys[i];
+        prev_rid = &leaf->rids[i];
+      }
+    }
+    cached_distinct_ = distinct;
+    cached_clustering_ = clustering;
+    cache_valid_ = true;
+  }
+  return cached_distinct_;
+}
+
+uint64_t BTree::clustering_factor() const {
+  num_distinct_keys();  // fills the cache
+  return cached_clustering_;
+}
+
+size_t BTree::height() const {
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    ++h;
+    node = node->children.front().get();
+  }
+  return h;
+}
+
+size_t BTree::num_leaf_pages() const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = node->children.front().get();
+  size_t n = 0;
+  for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next_leaf) ++n;
+  return n;
+}
+
+void BTree::Drop() {
+  // Free pages via a post-order traversal.
+  if (root_ == nullptr) return;
+  std::vector<Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    store_->Free(n->page_id);
+    for (auto& c : n->children) stack.push_back(c.get());
+  }
+  root_.reset();
+  num_pages_ = 0;
+  num_entries_ = 0;
+  cache_valid_ = false;
+}
+
+}  // namespace tabbench

@@ -1,0 +1,121 @@
+#ifndef TABBENCH_STORAGE_BTREE_H_
+#define TABBENCH_STORAGE_BTREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/heap_table.h"
+#include "storage/page_store.h"
+#include "types/value.h"
+
+namespace tabbench {
+
+/// Composite index key: one Value per indexed column, compared
+/// lexicographically.
+using IndexKey = std::vector<Value>;
+
+/// Lexicographic three-way comparison; a shorter key that is a prefix of the
+/// longer one compares equal on the shared prefix then shorter-first.
+int CompareKeys(const IndexKey& a, const IndexKey& b);
+
+/// True iff the first `prefix.size()` columns of `key` equal `prefix`.
+bool KeyHasPrefix(const IndexKey& key, const IndexKey& prefix);
+
+/// A B+-tree over composite keys, mapping key -> Rid (duplicates allowed).
+///
+/// Nodes are in-memory structures, but every node owns a page in the
+/// PageStore: descending the tree or walking the leaf chain reports each
+/// node's PageId through a PageTouchFn, so buffer-pool hits/misses and
+/// simulated I/O time are accounted exactly as if nodes were serialized
+/// 8 KiB pages. Node fanout is derived from the estimated key width so page
+/// counts and heights match what a serialized tree would have.
+class BTree {
+ public:
+  /// `key_width_bytes`: average encoded key size, used to size node fanout.
+  BTree(std::string name, size_t num_key_columns, size_t key_width_bytes,
+        PageStore* store);
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts one entry, reporting touched node pages (root-to-leaf path and
+  /// any splits) through `touch`. Used for the incremental-insert
+  /// experiment (paper Section 4.4).
+  void Insert(const IndexKey& key, const Rid& rid, const PageTouchFn& touch);
+
+  /// Builds the tree from entries sorted by (key, rid). Much faster than
+  /// repeated Insert; used by the configuration builder.
+  void BulkBuild(std::vector<std::pair<IndexKey, Rid>> sorted_entries);
+
+  /// Iterator over entries with a given key prefix (equality probe), or over
+  /// the whole tree (full index scan, for index-only plans).
+  class Iterator {
+   public:
+    /// Advances; false at end. On true sets *key and *rid.
+    bool Next(IndexKey* key, Rid* rid);
+
+   private:
+    friend class BTree;
+    const BTree* tree_ = nullptr;
+    const void* leaf_ = nullptr;  // current leaf node
+    size_t idx_ = 0;
+    IndexKey prefix_;  // empty = unbounded
+    PageTouchFn touch_;
+    bool touched_current_ = false;
+  };
+
+  /// Equality probe: all entries whose key starts with `prefix`. The
+  /// root-to-leaf descent pages are reported through `touch` immediately;
+  /// leaf pages are reported as the iterator reaches them.
+  Iterator SeekPrefix(const IndexKey& prefix, const PageTouchFn& touch) const;
+
+  /// Full scan in key order (descends to the leftmost leaf).
+  Iterator ScanAll(const PageTouchFn& touch) const;
+
+  // -- Measured metadata (what the optimizer reads in a *built*
+  //    configuration; hypothetical configurations must derive these). --
+  const std::string& name() const { return name_; }
+  size_t num_key_columns() const { return num_key_columns_; }
+  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_distinct_keys() const;
+  size_t height() const;
+  size_t num_leaf_pages() const;
+  size_t num_pages() const { return num_pages_; }
+  size_t leaf_fanout() const { return leaf_capacity_; }
+
+  /// Oracle-style clustering factor: the number of heap-page switches when
+  /// fetching every row in index-key order. Lower = better correlation
+  /// between index order and heap order. Heap fetch cost per matched entry
+  /// is approximately clustering_factor() / num_entries() pages.
+  uint64_t clustering_factor() const;
+
+  /// Frees all node pages.
+  void Drop();
+
+ private:
+  struct Node;
+
+  Node* FindLeaf(const IndexKey& prefix, const PageTouchFn& touch) const;
+  void InsertRec(Node* node, const IndexKey& key, const Rid& rid,
+                 const PageTouchFn& touch, IndexKey* split_key,
+                 std::unique_ptr<Node>* split_node);
+  std::unique_ptr<Node> MakeNode(bool leaf);
+
+  std::string name_;
+  size_t num_key_columns_;
+  size_t leaf_capacity_;
+  size_t internal_capacity_;
+  PageStore* store_;
+  std::unique_ptr<Node> root_;
+  uint64_t num_entries_ = 0;
+  size_t num_pages_ = 0;
+  mutable uint64_t cached_distinct_ = 0;
+  mutable uint64_t cached_clustering_ = 0;
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_STORAGE_BTREE_H_

@@ -1,0 +1,49 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace tabbench {
+
+BufferPool::BufferPool(size_t capacity_pages)
+    : capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+bool BufferPool::Touch(PageId id) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= capacity_) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(id);
+  map_[id] = lru_.begin();
+  return false;
+}
+
+void BufferPool::Evict(PageId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+void BufferPool::SetCapacity(size_t capacity_pages) {
+  capacity_ = capacity_pages == 0 ? 1 : capacity_pages;
+  while (map_.size() > capacity_) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+}
+
+}  // namespace tabbench

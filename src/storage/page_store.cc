@@ -1,0 +1,31 @@
+#include "storage/page_store.h"
+
+#include <cassert>
+
+namespace tabbench {
+
+PageId PageStore::Allocate() {
+  pages_.push_back(std::make_unique<Page>());
+  ++live_pages_;
+  return pages_.size() - 1;
+}
+
+Page* PageStore::GetPage(PageId id) {
+  assert(id < pages_.size() && pages_[id] != nullptr);
+  return pages_[id].get();
+}
+
+const Page* PageStore::GetPage(PageId id) const {
+  assert(id < pages_.size() && pages_[id] != nullptr);
+  return pages_[id].get();
+}
+
+void PageStore::Free(PageId id) {
+  assert(id < pages_.size());
+  if (pages_[id] != nullptr) {
+    pages_[id].reset();
+    --live_pages_;
+  }
+}
+
+}  // namespace tabbench

@@ -1,0 +1,28 @@
+#ifndef TABBENCH_STORAGE_STATS_COLLECTOR_H_
+#define TABBENCH_STORAGE_STATS_COLLECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "stats/table_stats.h"
+#include "storage/heap_table.h"
+
+namespace tabbench {
+
+/// Options for statistics collection.
+struct StatsOptions {
+  size_t histogram_buckets = 64;
+  size_t num_mcvs = 16;
+};
+
+/// Builds full statistics for a table by scanning it once per column.
+/// `column_names` must parallel the table's codec column order.
+/// This is the paper's "collect statistics before obtaining the
+/// recommendations and before running the queries" step (Section 3.2.3).
+TableStats CollectTableStats(const HeapTable& table,
+                             const std::vector<std::string>& column_names,
+                             const StatsOptions& opts = {});
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_STORAGE_STATS_COLLECTOR_H_

@@ -1,0 +1,68 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <cstdio>
+#include <functional>
+
+#include "util/strings.h"
+
+namespace tabbench {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kInt:
+      return "INT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  assert(v_.index() == other.v_.index() && "cross-type comparison");
+  if (is_int()) {
+    int64_t a = as_int(), b = other.as_int();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_double()) {
+    double a = as_double(), b = other.as_double();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  int c = as_string().compare(other.as_string());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ULL;
+  if (is_int()) return std::hash<int64_t>()(as_int());
+  if (is_double()) return std::hash<double>()(as_double());
+  return std::hash<std::string>()(as_string());
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) return StrFormat("%g", as_double());
+  std::string out = "'";
+  for (char c : as_string()) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+size_t Value::ByteSize() const {
+  if (is_null()) return 1;
+  if (is_int()) return 8;
+  if (is_double()) return 8;
+  return 2 + as_string().size();
+}
+
+}  // namespace tabbench

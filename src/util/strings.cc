@@ -1,0 +1,64 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace tabbench {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (auto& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds < 1e-3) return StrFormat("%.0fus", seconds * 1e6);
+  if (seconds < 1.0) return StrFormat("%.1fms", seconds * 1e3);
+  if (seconds < 120.0) return StrFormat("%.1fs", seconds);
+  if (seconds < 7200.0) return StrFormat("%.1fmin", seconds / 60.0);
+  return StrFormat("%.1fh", seconds / 3600.0);
+}
+
+std::string HumanBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return StrFormat("%.1f %s", bytes, units[u]);
+}
+
+}  // namespace tabbench

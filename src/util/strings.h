@@ -1,0 +1,31 @@
+#ifndef TABBENCH_UTIL_STRINGS_H_
+#define TABBENCH_UTIL_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace tabbench {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// ASCII lower-casing (SQL keywords, identifiers).
+std::string ToLower(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Renders a duration in seconds as a compact human string ("3.2s", "45min").
+std::string HumanSeconds(double seconds);
+
+/// Renders a byte count as "12.3 MB" style.
+std::string HumanBytes(double bytes);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_UTIL_STRINGS_H_

@@ -1,0 +1,39 @@
+#ifndef TABBENCH_UTIL_ZIPF_H_
+#define TABBENCH_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tabbench {
+
+/// Zipfian sampler over ranks 0..n-1 with exponent `theta`. Rank r is drawn
+/// with probability proportional to 1/(r+1)^theta. theta = 1 matches the
+/// "Zipfian factor of 1" used for the paper's skewed TPC-H database
+/// (Chaudhuri & Narasayya's TPC-D skew generator, reference [5]).
+///
+/// Sampling is by binary search over the precomputed CDF: O(n) setup,
+/// O(log n) per draw, exact distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws a rank in [0, n). Rank 0 is the most frequent.
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank r.
+  double Pmf(size_t r) const;
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  size_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_UTIL_ZIPF_H_

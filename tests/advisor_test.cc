@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "advisor/candidates.h"
+#include "advisor/profiles.h"
+#include "core/benchmark_suite.h"
+#include "test_util.h"
+
+namespace tabbench {
+namespace {
+
+using testing::TinyDb;
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { tiny_ = new TinyDb(TinyDb::Make(6000, 50)); }
+  static void TearDownTestSuite() {
+    delete tiny_;
+    tiny_ = nullptr;
+  }
+  Database* db() { return tiny_->db.get(); }
+
+  std::vector<BoundQuery> BindAll(const std::vector<std::string>& sql) {
+    std::vector<BoundQuery> out;
+    for (const auto& q : sql) {
+      auto b = ParseAndBind(q, db()->catalog());
+      EXPECT_TRUE(b.ok()) << q << ": " << b.status().ToString();
+      if (b.ok()) out.push_back(b.TakeValue());
+    }
+    return out;
+  }
+
+  static TinyDb* tiny_;
+};
+
+TinyDb* AdvisorTest::tiny_ = nullptr;
+
+TEST_F(AdvisorTest, CandidatesIncludeFilterAndJoinColumns) {
+  auto workload = BindAll({
+      "SELECT p.city, COUNT(*) FROM people p, depts d WHERE p.dept = "
+      "d.dept_id AND p.score = 17 GROUP BY p.city",
+  });
+  CandidateOptions opts;
+  CandidateSet cs =
+      GenerateCandidates(workload, db()->catalog(), db()->stats(), opts);
+  auto has = [&](const std::string& target,
+                 const std::vector<std::string>& cols) {
+    for (const auto& c : cs.indexes) {
+      if (c.def.target == target && c.def.columns == cols) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("people", {"score"}));
+  EXPECT_TRUE(has("people", {"dept"}));
+  EXPECT_TRUE(has("depts", {"dept_id"}));
+}
+
+TEST_F(AdvisorTest, CompositeCandidatesCapAtFourColumns) {
+  auto workload = BindAll({
+      "SELECT p.city, p.score, COUNT(*) FROM people p, depts d WHERE "
+      "p.dept = d.dept_id AND p.id = 3 AND p.score = 17 "
+      "GROUP BY p.city, p.score",
+  });
+  CandidateOptions opts;
+  CandidateSet cs =
+      GenerateCandidates(workload, db()->catalog(), db()->stats(), opts);
+  bool found_composite = false;
+  for (const auto& c : cs.indexes) {
+    EXPECT_LE(c.def.columns.size(), 4u);
+    if (c.def.columns.size() > 1) found_composite = true;
+    EXPECT_GT(c.est_pages, 0.0);
+  }
+  EXPECT_TRUE(found_composite);
+}
+
+TEST_F(AdvisorTest, SubqueryColumnToggle) {
+  auto workload = BindAll({
+      "SELECT COUNT(*) FROM people p WHERE p.city IN (SELECT city FROM "
+      "people GROUP BY city HAVING COUNT(*) < 10)",
+  });
+  CandidateOptions off;
+  off.analyze_subquery_columns = false;
+  CandidateOptions on;
+  on.analyze_subquery_columns = true;
+  auto cs_off =
+      GenerateCandidates(workload, db()->catalog(), db()->stats(), off);
+  auto cs_on =
+      GenerateCandidates(workload, db()->catalog(), db()->stats(), on);
+  EXPECT_GE(cs_on.indexes.size(), cs_off.indexes.size());
+}
+
+TEST_F(AdvisorTest, RejectsCountDistinctSelfJoins) {
+  auto workload = BindAll({
+      "SELECT a.city, COUNT(DISTINCT b.id) FROM people a, people b "
+      "WHERE a.city = b.city GROUP BY a.city",
+  });
+  CandidateOptions opts;
+  opts.reject_count_distinct_self_joins = true;
+  CandidateSet cs =
+      GenerateCandidates(workload, db()->catalog(), db()->stats(), opts);
+  EXPECT_EQ(cs.unsupported_queries, 1u);
+}
+
+TEST_F(AdvisorTest, ViewCandidatesOnlyForFkJoins) {
+  auto workload = BindAll({
+      // FK join (dept -> dept_id) plus a non-key join (city = city).
+      "SELECT d.region, COUNT(*) FROM people p, depts d WHERE p.dept = "
+      "d.dept_id GROUP BY d.region",
+      "SELECT d.region, COUNT(*) FROM people p, depts d WHERE p.city = "
+      "d.city GROUP BY d.region",
+  });
+  CandidateOptions opts;
+  opts.enable_views = true;
+  CandidateSet cs =
+      GenerateCandidates(workload, db()->catalog(), db()->stats(), opts);
+  for (const auto& v : cs.views) {
+    if (v.def.tables.size() < 2) continue;  // projection views are fine
+    ASSERT_EQ(v.def.joins.size(), 1u);
+    EXPECT_EQ(v.def.joins[0].left_column, "dept");
+    EXPECT_EQ(v.def.joins[0].right_column, "dept_id");
+  }
+}
+
+TEST_F(AdvisorTest, RecommendationImprovesEstimatedCost) {
+  auto workload = BindAll({
+      "SELECT p.city, COUNT(*) FROM people p WHERE p.score = 17 "
+      "GROUP BY p.city",
+      "SELECT p.city, COUNT(*) FROM people p, depts d WHERE p.dept = "
+      "d.dept_id AND d.region = 2 GROUP BY p.city",
+  });
+  AdvisorOptions opts = SystemAProfile();
+  ConfigView view = db()->CurrentView();
+  Advisor advisor(view, opts);
+  auto rec = advisor.Recommend(workload);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_LT(rec->est_cost_after, rec->est_cost_before);
+  EXPECT_FALSE(rec->config.indexes.empty());
+  EXPECT_GT(rec->candidates_considered, 0u);
+}
+
+TEST_F(AdvisorTest, BudgetRespected) {
+  auto workload = BindAll({
+      "SELECT p.city, COUNT(*) FROM people p WHERE p.score = 17 "
+      "GROUP BY p.city",
+      "SELECT p.city, COUNT(*) FROM people p, depts d WHERE p.dept = "
+      "d.dept_id AND d.region = 2 GROUP BY p.city",
+  });
+  AdvisorOptions opts = SystemAProfile();
+  opts.space_budget_pages = 10.0;  // almost nothing fits
+  ConfigView view = db()->CurrentView();
+  Advisor advisor(view, opts);
+  auto rec = advisor.Recommend(workload);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_LE(rec->est_pages, 10.0);
+}
+
+TEST_F(AdvisorTest, ZeroBudgetYieldsEmptyRecommendation) {
+  auto workload = BindAll({
+      "SELECT p.city, COUNT(*) FROM people p WHERE p.score = 17 "
+      "GROUP BY p.city",
+  });
+  AdvisorOptions opts = SystemAProfile();
+  opts.space_budget_pages = 0.0;
+  Advisor advisor(db()->CurrentView(), opts);
+  auto rec = advisor.Recommend(workload);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->config.indexes.empty());
+  EXPECT_DOUBLE_EQ(rec->est_cost_after, rec->est_cost_before);
+}
+
+TEST_F(AdvisorTest, FailureModeOnUnanalyzableWorkload) {
+  auto workload = BindAll({
+      "SELECT a.city, COUNT(DISTINCT b.id) FROM people a, people b "
+      "WHERE a.city = b.city GROUP BY a.city",
+  });
+  AdvisorOptions opts = SystemAProfile();  // rejects this shape
+  Advisor advisor(db()->CurrentView(), opts);
+  auto rec = advisor.Recommend(workload);
+  EXPECT_TRUE(rec.status().IsNotFound());
+}
+
+TEST_F(AdvisorTest, SystemBToleratesCountDistinctSelfJoins) {
+  auto workload = BindAll({
+      "SELECT a.city, COUNT(DISTINCT b.id) FROM people a, people b "
+      "WHERE a.city = b.city AND a.score = 17 GROUP BY a.city",
+  });
+  AdvisorOptions opts = SystemBProfile();
+  Advisor advisor(db()->CurrentView(), opts);
+  auto rec = advisor.Recommend(workload);
+  EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+}
+
+TEST_F(AdvisorTest, EmptyWorkloadRejected) {
+  Advisor advisor(db()->CurrentView(), SystemAProfile());
+  EXPECT_FALSE(advisor.Recommend({}).ok());
+}
+
+TEST_F(AdvisorTest, DeterministicAcrossRuns) {
+  auto workload = BindAll({
+      "SELECT p.city, COUNT(*) FROM people p WHERE p.score = 17 "
+      "GROUP BY p.city",
+      "SELECT p.city, COUNT(*) FROM people p, depts d WHERE p.dept = "
+      "d.dept_id AND d.region = 2 GROUP BY p.city",
+  });
+  Advisor a1(db()->CurrentView(), SystemAProfile());
+  Advisor a2(db()->CurrentView(), SystemAProfile());
+  auto r1 = a1.Recommend(workload);
+  auto r2 = a2.Recommend(workload);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1->config.indexes.size(), r2->config.indexes.size());
+  for (size_t i = 0; i < r1->config.indexes.size(); ++i) {
+    EXPECT_TRUE(r1->config.indexes[i] == r2->config.indexes[i]);
+  }
+}
+
+TEST_F(AdvisorTest, ProfilesDiffer) {
+  AdvisorOptions a = SystemAProfile();
+  AdvisorOptions b = SystemBProfile();
+  AdvisorOptions c = SystemCProfile();
+  EXPECT_TRUE(a.candidates.reject_count_distinct_self_joins);
+  EXPECT_FALSE(b.candidates.reject_count_distinct_self_joins);
+  EXPECT_TRUE(a.whatif.credit_index_only);
+  EXPECT_FALSE(b.whatif.credit_index_only);
+  EXPECT_TRUE(c.candidates.enable_views);
+  EXPECT_FALSE(a.candidates.enable_views);
+  EXPECT_GT(c.view_score_boost, 1.0);
+  EXPECT_TRUE(ProfileByName("A").candidates.reject_count_distinct_self_joins);
+  EXPECT_FALSE(ProfileByName("B").whatif.credit_index_only);
+  EXPECT_TRUE(ProfileByName("C").candidates.enable_views);
+}
+
+}  // namespace
+}  // namespace tabbench

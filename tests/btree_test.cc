@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "storage/btree.h"
+#include "storage/page_store.h"
+#include "util/rng.h"
+
+namespace tabbench {
+namespace {
+
+IndexKey IKey(int64_t a) { return {Value(a)}; }
+IndexKey IKey2(int64_t a, int64_t b) { return {Value(a), Value(b)}; }
+
+TEST(CompareKeysTest, Lexicographic) {
+  EXPECT_LT(CompareKeys(IKey2(1, 5), IKey2(2, 0)), 0);
+  EXPECT_GT(CompareKeys(IKey2(2, 0), IKey2(1, 9)), 0);
+  EXPECT_EQ(CompareKeys(IKey2(3, 3), IKey2(3, 3)), 0);
+}
+
+TEST(CompareKeysTest, PrefixComparesShorterFirst) {
+  EXPECT_LT(CompareKeys(IKey(1), IKey2(1, 0)), 0);
+  EXPECT_GT(CompareKeys(IKey2(1, 0), IKey(1)), 0);
+}
+
+TEST(KeyHasPrefixTest, Basics) {
+  EXPECT_TRUE(KeyHasPrefix(IKey2(4, 7), IKey(4)));
+  EXPECT_FALSE(KeyHasPrefix(IKey2(4, 7), IKey(5)));
+  EXPECT_FALSE(KeyHasPrefix(IKey(4), IKey2(4, 7)));
+  EXPECT_TRUE(KeyHasPrefix(IKey2(4, 7), IKey2(4, 7)));
+}
+
+TEST(BTreeTest, EmptyTreeScans) {
+  PageStore store;
+  BTree tree("ix", 1, 8, &store);
+  auto it = tree.ScanAll(nullptr);
+  IndexKey k;
+  Rid r;
+  EXPECT_FALSE(it.Next(&k, &r));
+  EXPECT_EQ(tree.num_entries(), 0u);
+}
+
+TEST(BTreeTest, InsertAndScanSorted) {
+  PageStore store;
+  BTree tree("ix", 1, 8, &store);
+  Rng rng(1);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t k = static_cast<int64_t>(rng.Uniform(100000));
+    keys.push_back(k);
+    tree.Insert(IKey(k), Rid{static_cast<uint32_t>(i), 0}, nullptr);
+  }
+  std::sort(keys.begin(), keys.end());
+  auto it = tree.ScanAll(nullptr);
+  IndexKey k;
+  Rid r;
+  size_t i = 0;
+  while (it.Next(&k, &r)) {
+    ASSERT_LT(i, keys.size());
+    EXPECT_EQ(k[0].as_int(), keys[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, keys.size());
+}
+
+TEST(BTreeTest, SeekPrefixFindsAllDuplicates) {
+  PageStore store;
+  BTree tree("ix", 1, 8, &store);
+  // Value v occurs v times for v in 1..60.
+  for (int64_t v = 1; v <= 60; ++v) {
+    for (int64_t j = 0; j < v; ++j) {
+      tree.Insert(IKey(v), Rid{static_cast<uint32_t>(v), static_cast<uint32_t>(j)},
+                  nullptr);
+    }
+  }
+  for (int64_t v : {1, 13, 37, 60}) {
+    auto it = tree.SeekPrefix(IKey(v), nullptr);
+    IndexKey k;
+    Rid r;
+    int64_t count = 0;
+    while (it.Next(&k, &r)) {
+      EXPECT_EQ(k[0].as_int(), v);
+      ++count;
+    }
+    EXPECT_EQ(count, v);
+  }
+}
+
+TEST(BTreeTest, SeekPrefixMissingKeyYieldsNothing) {
+  PageStore store;
+  BTree tree("ix", 1, 8, &store);
+  for (int64_t v = 0; v < 100; v += 2) {
+    tree.Insert(IKey(v), Rid{0, static_cast<uint32_t>(v)}, nullptr);
+  }
+  auto it = tree.SeekPrefix(IKey(51), nullptr);
+  IndexKey k;
+  Rid r;
+  EXPECT_FALSE(it.Next(&k, &r));
+}
+
+TEST(BTreeTest, CompositePrefixSeek) {
+  PageStore store;
+  BTree tree("ix", 2, 16, &store);
+  for (int64_t a = 0; a < 30; ++a) {
+    for (int64_t b = 0; b < 10; ++b) {
+      tree.Insert(IKey2(a, b),
+                  Rid{static_cast<uint32_t>(a), static_cast<uint32_t>(b)},
+                  nullptr);
+    }
+  }
+  // Seek on the leading column only: all 10 b-values for a=17.
+  auto it = tree.SeekPrefix(IKey(17), nullptr);
+  IndexKey k;
+  Rid r;
+  int64_t expected_b = 0;
+  while (it.Next(&k, &r)) {
+    EXPECT_EQ(k[0].as_int(), 17);
+    EXPECT_EQ(k[1].as_int(), expected_b++);
+  }
+  EXPECT_EQ(expected_b, 10);
+  // Full-key seek: exactly one entry.
+  auto it2 = tree.SeekPrefix(IKey2(3, 4), nullptr);
+  int n = 0;
+  while (it2.Next(&k, &r)) ++n;
+  EXPECT_EQ(n, 1);
+}
+
+TEST(BTreeTest, BulkBuildMatchesInserts) {
+  PageStore store;
+  Rng rng(7);
+  std::vector<std::pair<IndexKey, Rid>> entries;
+  for (uint32_t i = 0; i < 10000; ++i) {
+    entries.emplace_back(IKey(static_cast<int64_t>(rng.Uniform(3000))),
+                         Rid{i, 0});
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    int c = CompareKeys(a.first, b.first);
+    if (c != 0) return c < 0;
+    return a.second < b.second;
+  });
+
+  BTree bulk("bulk", 1, 8, &store);
+  bulk.BulkBuild(entries);
+  BTree incr("incr", 1, 8, &store);
+  for (const auto& [k, r] : entries) incr.Insert(k, r, nullptr);
+
+  EXPECT_EQ(bulk.num_entries(), incr.num_entries());
+  EXPECT_EQ(bulk.num_distinct_keys(), incr.num_distinct_keys());
+
+  auto bi = bulk.ScanAll(nullptr);
+  auto ii = incr.ScanAll(nullptr);
+  IndexKey bk, ik;
+  Rid br, ir;
+  while (true) {
+    bool bmore = bi.Next(&bk, &br);
+    bool imore = ii.Next(&ik, &ir);
+    ASSERT_EQ(bmore, imore);
+    if (!bmore) break;
+    EXPECT_EQ(CompareKeys(bk, ik), 0);
+  }
+}
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  PageStore store;
+  BTree tree("ix", 1, 8, &store);
+  EXPECT_EQ(tree.height(), 1u);
+  std::vector<std::pair<IndexKey, Rid>> entries;
+  for (uint32_t i = 0; i < 200000; ++i) {
+    entries.emplace_back(IKey(static_cast<int64_t>(i)), Rid{i, 0});
+  }
+  tree.BulkBuild(std::move(entries));
+  EXPECT_GE(tree.height(), 2u);
+  EXPECT_LE(tree.height(), 4u);
+  EXPECT_EQ(tree.num_entries(), 200000u);
+}
+
+TEST(BTreeTest, LeafPageCountTracksFanout) {
+  PageStore store;
+  BTree tree("ix", 1, 8, &store);
+  std::vector<std::pair<IndexKey, Rid>> entries;
+  for (uint32_t i = 0; i < 50000; ++i) {
+    entries.emplace_back(IKey(static_cast<int64_t>(i)), Rid{i, 0});
+  }
+  tree.BulkBuild(std::move(entries));
+  double per_leaf =
+      50000.0 / static_cast<double>(tree.num_leaf_pages());
+  EXPECT_GT(per_leaf, 50.0);
+  EXPECT_LT(per_leaf, 1000.0);
+  EXPECT_GE(tree.num_pages(), tree.num_leaf_pages());
+}
+
+TEST(BTreeTest, ClusteringFactorDetectsCorrelation) {
+  PageStore store;
+  // Clustered: key order == heap order (few page switches).
+  BTree clustered("c", 1, 8, &store);
+  std::vector<std::pair<IndexKey, Rid>> entries;
+  for (uint32_t i = 0; i < 10000; ++i) {
+    entries.emplace_back(IKey(static_cast<int64_t>(i)), Rid{i / 100, i % 100});
+  }
+  clustered.BulkBuild(entries);
+
+  // Scattered: key order uncorrelated with heap pages.
+  BTree scattered("s", 1, 8, &store);
+  Rng rng(3);
+  for (auto& [k, r] : entries) {
+    r.page_ordinal = static_cast<uint32_t>(rng.Uniform(100));
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    return CompareKeys(a.first, b.first) < 0;
+  });
+  scattered.BulkBuild(entries);
+
+  EXPECT_LT(clustered.clustering_factor(), 200u);
+  EXPECT_GT(scattered.clustering_factor(), 5000u);
+}
+
+TEST(BTreeTest, TouchReportsDescentPages) {
+  PageStore store;
+  BTree tree("ix", 1, 8, &store);
+  std::vector<std::pair<IndexKey, Rid>> entries;
+  for (uint32_t i = 0; i < 100000; ++i) {
+    entries.emplace_back(IKey(static_cast<int64_t>(i)), Rid{i, 0});
+  }
+  tree.BulkBuild(std::move(entries));
+  size_t touched = 0;
+  auto it = tree.SeekPrefix(IKey(54321), [&](PageId) { ++touched; });
+  IndexKey k;
+  Rid r;
+  ASSERT_TRUE(it.Next(&k, &r));
+  EXPECT_EQ(touched, tree.height());
+}
+
+TEST(BTreeTest, DropFreesAllPages) {
+  PageStore store;
+  BTree tree("ix", 1, 8, &store);
+  for (uint32_t i = 0; i < 5000; ++i) {
+    tree.Insert(IKey(static_cast<int64_t>(i)), Rid{i, 0}, nullptr);
+  }
+  EXPECT_GT(store.allocated_pages(), 0u);
+  tree.Drop();
+  EXPECT_EQ(store.allocated_pages(), 0u);
+}
+
+TEST(BTreeTest, StringKeys) {
+  PageStore store;
+  BTree tree("ix", 1, 20, &store);
+  for (int i = 0; i < 1000; ++i) {
+    tree.Insert({Value("key" + std::to_string(i))},
+                Rid{static_cast<uint32_t>(i), 0}, nullptr);
+  }
+  auto it = tree.SeekPrefix({Value(std::string("key500"))}, nullptr);
+  IndexKey k;
+  Rid r;
+  ASSERT_TRUE(it.Next(&k, &r));
+  EXPECT_EQ(k[0].as_string(), "key500");
+  EXPECT_EQ(r.page_ordinal, 500u);
+  EXPECT_FALSE(it.Next(&k, &r));
+}
+
+class BTreeSizeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BTreeSizeSweep, OrderedAndComplete) {
+  auto [n, dup] = GetParam();
+  PageStore store;
+  BTree tree("ix", 1, 8, &store);
+  Rng rng(static_cast<uint64_t>(n * 31 + dup));
+  std::map<int64_t, int> expected;
+  for (int i = 0; i < n; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(
+        std::max(1, n / dup))));
+    tree.Insert(IKey(key), Rid{static_cast<uint32_t>(i), 0}, nullptr);
+    expected[key]++;
+  }
+  // Scan is sorted and complete.
+  auto it = tree.ScanAll(nullptr);
+  IndexKey k;
+  Rid r;
+  int64_t prev = -1;
+  size_t total = 0;
+  std::map<int64_t, int> seen;
+  while (it.Next(&k, &r)) {
+    EXPECT_GE(k[0].as_int(), prev);
+    prev = k[0].as_int();
+    seen[prev]++;
+    ++total;
+  }
+  EXPECT_EQ(total, static_cast<size_t>(n));
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(tree.num_distinct_keys(), expected.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BTreeSizeSweep,
+    ::testing::Combine(::testing::Values(10, 1000, 20000),
+                       ::testing::Values(1, 4, 64)));
+
+}  // namespace
+}  // namespace tabbench

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/configuration.h"
+#include "datagen/nref_gen.h"
+#include "datagen/tpch_gen.h"
+
+namespace tabbench {
+namespace {
+
+TableDef SimpleTable() {
+  TableDef t;
+  t.name = "t";
+  t.columns = {{"a", TypeId::kInt, "d1", true, 8},
+               {"b", TypeId::kInt, "d2", true, 8},
+               {"c", TypeId::kString, "", false, 20}};
+  t.primary_key = {"a"};
+  return t;
+}
+
+TEST(TableDefTest, ColumnIndex) {
+  TableDef t = SimpleTable();
+  EXPECT_EQ(t.ColumnIndex("a"), 0);
+  EXPECT_EQ(t.ColumnIndex("c"), 2);
+  EXPECT_EQ(t.ColumnIndex("zz"), -1);
+}
+
+TEST(TableDefTest, IndexableColumnsSkipsNonIndexable) {
+  TableDef t = SimpleTable();
+  EXPECT_EQ(t.IndexableColumns(), (std::vector<int>{0, 1}));
+}
+
+TEST(TableDefTest, PrimaryKeyColumns) {
+  TableDef t = SimpleTable();
+  EXPECT_EQ(t.PrimaryKeyColumns(), (std::vector<int>{0}));
+}
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(SimpleTable()).ok());
+  EXPECT_NE(c.FindTable("t"), nullptr);
+  EXPECT_EQ(c.FindTable("nope"), nullptr);
+  EXPECT_TRUE(c.GetTable("nope").status().IsNotFound());
+}
+
+TEST(CatalogTest, RejectsDuplicates) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(SimpleTable()).ok());
+  EXPECT_FALSE(c.AddTable(SimpleTable()).ok());
+}
+
+TEST(CatalogTest, RejectsBadPrimaryKey) {
+  Catalog c;
+  TableDef t = SimpleTable();
+  t.primary_key = {"missing"};
+  EXPECT_TRUE(c.AddTable(t).IsInvalidArgument());
+}
+
+TEST(CatalogTest, RejectsBadForeignKey) {
+  Catalog c;
+  TableDef t = SimpleTable();
+  t.foreign_keys = {{{"a", "b"}, "other", {"x"}}};  // arity mismatch
+  EXPECT_TRUE(c.AddTable(t).IsInvalidArgument());
+}
+
+TEST(CatalogTest, JoinCompatibilityRequiresSharedDomain) {
+  Catalog c;
+  AddNrefSchema(&c);
+  // Same "nref" domain, different tables.
+  EXPECT_TRUE(c.JoinCompatible({"protein", "nref_id"},
+                               {"source", "nref_id"}));
+  // lineage vs name: different domains.
+  EXPECT_FALSE(c.JoinCompatible({"taxonomy", "lineage"},
+                                {"taxonomy", "species_name"}));
+  // Non-indexable sequence never joins.
+  EXPECT_FALSE(c.JoinCompatible({"protein", "sequence"},
+                                {"protein", "sequence"}));
+}
+
+TEST(CatalogTest, DomainOf) {
+  Catalog c;
+  AddNrefSchema(&c);
+  EXPECT_EQ(c.DomainOf({"taxonomy", "lineage"}), "lineage");
+  EXPECT_EQ(c.DomainOf({"missing", "x"}), "");
+}
+
+TEST(CatalogTest, JoinCompatiblePairsSelfJoinToggle) {
+  Catalog c;
+  AddNrefSchema(&c);
+  auto with_self = c.JoinCompatiblePairs(/*include_self_joins=*/true);
+  auto without = c.JoinCompatiblePairs(/*include_self_joins=*/false);
+  EXPECT_GT(with_self.size(), without.size());
+  for (const auto& [a, b] : without) {
+    EXPECT_FALSE(a.table == b.table && a.column == b.column);
+  }
+}
+
+TEST(CatalogTest, ForeignKeyJoinFindsDeclaredEdges) {
+  Catalog c;
+  AddTpchSchema(&c);
+  auto fk = c.ForeignKeyJoin("lineitem", "orders");
+  ASSERT_EQ(fk.size(), 1u);
+  EXPECT_EQ(fk[0].first.column, "l_orderkey");
+  EXPECT_EQ(fk[0].second.column, "o_orderkey");
+  // Composite FK lineitem -> partsupp.
+  auto fk2 = c.ForeignKeyJoin("lineitem", "partsupp");
+  EXPECT_EQ(fk2.size(), 2u);
+  // No FK orders -> lineitem in that direction.
+  EXPECT_TRUE(c.ForeignKeyJoin("orders", "lineitem").empty());
+}
+
+TEST(CatalogTest, IndexableColumnsExcludeSequence) {
+  Catalog c;
+  AddNrefSchema(&c);
+  for (const auto& ref : c.IndexableColumns()) {
+    EXPECT_NE(ref.column, "sequence");
+  }
+}
+
+// ----------------------------------------------------------- Configuration
+
+TEST(ConfigurationTest, HasIndexComparesTargetAndColumns) {
+  Configuration c;
+  c.indexes.push_back({"i1", "t", {"a", "b"}, false});
+  EXPECT_TRUE(c.HasIndex({"other_name", "t", {"a", "b"}, false}));
+  EXPECT_FALSE(c.HasIndex({"i1", "t", {"b", "a"}, false}));
+}
+
+TEST(ConfigurationTest, CountIndexesByWidthSkipsPrimary) {
+  Configuration c;
+  c.indexes.push_back({"pk", "t", {"a"}, /*is_primary=*/true});
+  c.indexes.push_back({"i1", "t", {"a"}, false});
+  c.indexes.push_back({"i2", "t", {"a", "b"}, false});
+  c.indexes.push_back({"i3", "u", {"a"}, false});
+  EXPECT_EQ(c.CountIndexes("t", 1), 1);
+  EXPECT_EQ(c.CountIndexes("t", 2), 1);
+  EXPECT_EQ(c.CountIndexes("t", 3), 0);
+  EXPECT_EQ(c.CountIndexes("u", 1), 1);
+}
+
+TEST(ViewDefTest, ViewColumnIndex) {
+  ViewDef v;
+  v.projection = {{"t", "a", "t_a"}, {"u", "b", "u_b"}};
+  EXPECT_EQ(v.ViewColumnIndex("t", "a"), 0);
+  EXPECT_EQ(v.ViewColumnIndex("u", "b"), 1);
+  EXPECT_EQ(v.ViewColumnIndex("t", "b"), -1);
+}
+
+}  // namespace
+}  // namespace tabbench

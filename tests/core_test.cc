@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cfc.h"
+#include "core/configurations.h"
+#include "core/goal.h"
+#include "core/improvement.h"
+#include "core/nref_families.h"
+#include "core/query_family.h"
+#include "core/report.h"
+#include "core/tpch_families.h"
+#include "datagen/nref_gen.h"
+#include "datagen/tpch_gen.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace tabbench {
+namespace {
+
+std::vector<QueryTiming> Timings(std::vector<double> secs,
+                                 size_t timeouts = 0) {
+  std::vector<QueryTiming> out;
+  for (double s : secs) out.push_back({s, false});
+  for (size_t i = 0; i < timeouts; ++i) out.push_back({1800.0, true});
+  return out;
+}
+
+// --------------------------------------------------------------------- CFC
+
+TEST(CfcTest, AtUsesStrictLessThan) {
+  auto cfc = CumulativeFrequency::FromTimings(Timings({10, 20, 30, 40}));
+  EXPECT_DOUBLE_EQ(cfc.At(10.0), 0.0);   // strict '<'
+  EXPECT_DOUBLE_EQ(cfc.At(10.01), 0.25);
+  EXPECT_DOUBLE_EQ(cfc.At(25.0), 0.5);
+  EXPECT_DOUBLE_EQ(cfc.At(1e9), 1.0);
+}
+
+TEST(CfcTest, TimeoutsNeverCount) {
+  auto cfc = CumulativeFrequency::FromTimings(Timings({10, 20}, 2));
+  EXPECT_EQ(cfc.total(), 4u);
+  EXPECT_EQ(cfc.timeouts(), 2u);
+  EXPECT_DOUBLE_EQ(cfc.At(1e12), 0.5);
+}
+
+TEST(CfcTest, QuantileReadsOff) {
+  auto cfc = CumulativeFrequency::FromTimings(Timings({1, 2, 3, 4, 5}));
+  EXPECT_DOUBLE_EQ(cfc.Quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(cfc.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cfc.Quantile(1.0), 5.0);
+}
+
+TEST(CfcTest, QuantileInfiniteWhenTimeoutsBlock) {
+  auto cfc = CumulativeFrequency::FromTimings(Timings({1, 2}, 2));
+  EXPECT_TRUE(std::isinf(cfc.Quantile(0.9)));
+  EXPECT_DOUBLE_EQ(cfc.Quantile(0.5), 2.0);
+}
+
+TEST(CfcTest, DominatesDetectsCleanSeparation) {
+  auto fast = CumulativeFrequency::FromTimings(Timings({1, 2, 3, 4}));
+  auto slow = CumulativeFrequency::FromTimings(Timings({10, 20, 30, 40}));
+  EXPECT_TRUE(fast.Dominates(slow));
+  EXPECT_FALSE(slow.Dominates(fast));
+}
+
+TEST(CfcTest, CrossingCurvesDoNotDominate) {
+  auto a = CumulativeFrequency::FromTimings(Timings({1, 100}));
+  auto b = CumulativeFrequency::FromTimings(Timings({10, 20}));
+  EXPECT_FALSE(a.Dominates(b));
+  EXPECT_FALSE(b.Dominates(a));
+}
+
+TEST(CfcTest, SelfDominanceIsFalse) {
+  auto a = CumulativeFrequency::FromTimings(Timings({1, 2, 3}));
+  EXPECT_FALSE(a.Dominates(a));
+}
+
+TEST(CfcTest, FewerTimeoutsHelpDominance) {
+  auto a = CumulativeFrequency::FromTimings(Timings({1, 2, 3}, 0));
+  auto b = CumulativeFrequency::FromTimings(Timings({1, 2, 3}, 1));
+  EXPECT_TRUE(a.Dominates(b));
+  EXPECT_FALSE(b.Dominates(a));
+}
+
+class CfcPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CfcPropertyTest, MonotoneAndBounded) {
+  Rng rng(GetParam());
+  std::vector<QueryTiming> ts;
+  for (int i = 0; i < 100; ++i) {
+    bool to = rng.Bernoulli(0.2);
+    ts.push_back({to ? 1800.0 : rng.UniformDouble() * 1000.0, to});
+  }
+  auto cfc = CumulativeFrequency::FromTimings(ts);
+  double prev = -1;
+  for (double x = 0; x < 2000; x += 37) {
+    double v = cfc.At(x);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+  // Curve tops out at 1 - timeout fraction.
+  EXPECT_NEAR(cfc.At(1e18),
+              1.0 - static_cast<double>(cfc.timeouts()) / 100.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CfcPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------------ LogHistogram
+
+TEST(LogHistogramTest, BinsAndTimeouts) {
+  auto h = LogHistogram::Build(Timings({0.5, 1.5, 15, 150, 1500}, 2), 1.0,
+                               1800.0, 1);
+  EXPECT_EQ(h.timeouts, 2u);
+  EXPECT_EQ(h.below_range, 1u);  // the 0.5s query
+  uint64_t counted = 0;
+  for (uint64_t c : h.counts) counted += c;
+  EXPECT_EQ(counted, 4u);
+}
+
+TEST(LogHistogramTest, HalfDecadeEdges) {
+  auto h = LogHistogram::Build({}, 1.0, 100.0, 2);
+  ASSERT_GE(h.edges.size(), 5u);
+  EXPECT_NEAR(h.edges[1] / h.edges[0], std::sqrt(10.0), 1e-9);
+}
+
+TEST(LogHistogramTest, ValuesAboveRangeClampToLastBin) {
+  auto h = LogHistogram::Build(Timings({999999.0}), 1.0, 1000.0, 1);
+  EXPECT_EQ(h.counts.back(), 1u);
+}
+
+// -------------------------------------------------------------------- Goal
+
+TEST(GoalTest, PaperExample2Shape) {
+  PerformanceGoal g = PerformanceGoal::PaperExample2();
+  EXPECT_DOUBLE_EQ(g.At(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.At(10.0), 0.10);
+  EXPECT_DOUBLE_EQ(g.At(59.0), 0.10);
+  EXPECT_DOUBLE_EQ(g.At(60.0), 0.50);
+  EXPECT_DOUBLE_EQ(g.At(1800.0), 0.90);
+}
+
+TEST(GoalTest, SatisfactionBoundary) {
+  PerformanceGoal g = PerformanceGoal::FromSteps({{10.0, 0.5}});
+  // 5 of 10 queries under 10s: satisfied (CFC > G needs >= 50% at 10s).
+  auto pass = CumulativeFrequency::FromTimings(
+      Timings({1, 2, 3, 4, 5, 20, 30, 40, 50, 60}));
+  EXPECT_TRUE(g.SatisfiedBy(pass));
+  auto fail = CumulativeFrequency::FromTimings(
+      Timings({1, 2, 3, 4, 15, 20, 30, 40, 50, 60}));
+  EXPECT_FALSE(g.SatisfiedBy(fail));
+  EXPECT_NEAR(g.Shortfall(fail), 0.1, 1e-12);
+}
+
+TEST(GoalTest, TimeoutsCauseShortfall) {
+  PerformanceGoal g = PerformanceGoal::FromSteps({{1800.0, 0.9}});
+  auto cfc = CumulativeFrequency::FromTimings(Timings({1, 2}, 8));
+  EXPECT_FALSE(g.SatisfiedBy(cfc));
+  EXPECT_NEAR(g.Shortfall(cfc), 0.9 - 0.2, 1e-12);
+}
+
+TEST(GoalTest, ToStringMentionsSteps) {
+  std::string s = PerformanceGoal::PaperExample2().ToString();
+  EXPECT_NE(s.find("10%"), std::string::npos);
+  EXPECT_NE(s.find("90%"), std::string::npos);
+}
+
+TEST(GoalTest, ImprovementRatio) {
+  EXPECT_DOUBLE_EQ(ImprovementRatio(100.0, 10.0), 10.0);
+  EXPECT_TRUE(std::isinf(ImprovementRatio(5.0, 0.0)));
+}
+
+// ------------------------------------------------------------- Improvement
+
+TEST(ImprovementTest, ActualSkipsTimeouts) {
+  std::vector<QueryTiming> ci = {{100, false}, {1800, true}, {50, false}};
+  std::vector<QueryTiming> cj = {{10, false}, {10, false}, {1800, true}};
+  auto r = ActualImprovementRatios(ci, cj);
+  // Only the first pair survives (others involve a timeout).
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0], 10.0);
+}
+
+TEST(ImprovementTest, EstimatedRatios) {
+  auto r = EstimatedImprovementRatios({100, 30}, {10, 30});
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], 10.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+}
+
+// ---------------------------------------------------------- Configurations
+
+TEST(ConfigurationsTest, OneColumnConfigCoversEveryIndexableColumn) {
+  Catalog catalog;
+  AddNrefSchema(&catalog);
+  Configuration c = Make1CConfig(catalog);
+  EXPECT_EQ(c.name, "1C");
+  EXPECT_EQ(c.indexes.size(), catalog.IndexableColumns().size());
+  for (const auto& idx : c.indexes) {
+    EXPECT_EQ(idx.columns.size(), 1u);
+    EXPECT_FALSE(idx.is_primary);
+  }
+  EXPECT_TRUE(MakePConfig().indexes.empty());
+}
+
+// ---------------------------------------------------------------- Families
+
+TEST(FamilyTest, PickConstantsSpreadsFrequencies) {
+  ColumnStats cs;
+  cs.row_count = 10000;
+  cs.freq_examples = {{1, Value(int64_t{100})},
+                      {12, Value(int64_t{200})},
+                      {95, Value(int64_t{300})},
+                      {800, Value(int64_t{400})}};
+  auto t = PickConstants(cs);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->k1, Value(int64_t{100}));
+  EXPECT_EQ(t->f1, 1u);
+  EXPECT_EQ(t->f2, 12u);
+  EXPECT_EQ(t->f3, 95u);
+}
+
+TEST(FamilyTest, PickConstantsRejectsFlatColumns) {
+  ColumnStats cs;
+  cs.row_count = 100;
+  cs.freq_examples = {{1, Value(int64_t{1})}, {2, Value(int64_t{2})}};
+  EXPECT_FALSE(PickConstants(cs).has_value());
+}
+
+TEST(FamilyTest, GroupSetsExcludeAnchor) {
+  auto sets = GroupSets({"a", "b", "c"}, "b", 2, 3);
+  ASSERT_FALSE(sets.empty());
+  for (const auto& s : sets) {
+    for (const auto& c : s) EXPECT_NE(c, "b");
+  }
+}
+
+class NrefFamilyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = testing::MakeMiniNref(/*scale_inverse=*/1000.0).release();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* NrefFamilyTest::db_ = nullptr;
+
+TEST_F(NrefFamilyTest, Nref2JGeneratesAndBinds) {
+  QueryFamily f = GenerateNref2J(db_->catalog(), db_->stats());
+  EXPECT_GT(f.queries.size(), 50u);
+  // Every generated query must parse and bind — the family is only useful
+  // if the engine accepts all of it.
+  for (const auto& q : f.queries) {
+    auto b = ParseAndBind(q.sql, db_->catalog());
+    ASSERT_TRUE(b.ok()) << q.sql << "\n" << b.status().ToString();
+    EXPECT_EQ(b->num_relations(), 2);
+    EXPECT_EQ(b->in_preds.size(), 2u);
+    EXPECT_TRUE(b->IsAggregate());
+  }
+}
+
+TEST_F(NrefFamilyTest, Nref3JGeneratesAndBinds) {
+  QueryFamily f = GenerateNref3J(db_->catalog(), db_->stats());
+  EXPECT_GT(f.queries.size(), 50u);
+  for (const auto& q : f.queries) {
+    auto b = ParseAndBind(q.sql, db_->catalog());
+    ASSERT_TRUE(b.ok()) << q.sql << "\n" << b.status().ToString();
+    EXPECT_EQ(b->num_relations(), 3);
+    ASSERT_EQ(b->filters.size(), 1u);
+    // Self-join: two occurrences of the same base table.
+    EXPECT_EQ(b->relations[0], b->relations[1]);
+  }
+}
+
+TEST_F(NrefFamilyTest, Nref3JHasCountDistinct) {
+  QueryFamily f = GenerateNref3J(db_->catalog(), db_->stats());
+  ASSERT_FALSE(f.queries.empty());
+  for (const auto& q : f.queries) {
+    EXPECT_NE(q.sql.find("COUNT(DISTINCT"), std::string::npos);
+  }
+}
+
+class TpchFamilyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = testing::MakeMiniTpch(1000.0, 1.0).release();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* TpchFamilyTest::db_ = nullptr;
+
+TEST_F(TpchFamilyTest, Tpch3JGeneratesAndBinds) {
+  QueryFamily f = GenerateTpch3J(db_->catalog(), db_->stats(), "SkTH3J");
+  EXPECT_GT(f.queries.size(), 20u);
+  for (const auto& q : f.queries) {
+    auto b = ParseAndBind(q.sql, db_->catalog());
+    ASSERT_TRUE(b.ok()) << q.sql << "\n" << b.status().ToString();
+    EXPECT_EQ(b->num_relations(), 3);
+  }
+}
+
+TEST_F(TpchFamilyTest, SimpleVariantRestrictsTablesAndTheta) {
+  QueryFamily f = GenerateTpch3Js(db_->catalog(), db_->stats());
+  EXPECT_GT(f.queries.size(), 5u);
+  for (const auto& q : f.queries) {
+    // theta is always equality — no IN in the simple family.
+    EXPECT_EQ(q.sql.find(" IN "), std::string::npos) << q.sql;
+    auto b = ParseAndBind(q.sql, db_->catalog());
+    ASSERT_TRUE(b.ok()) << q.sql;
+    for (const auto& rel : b->relations) {
+      EXPECT_TRUE(rel == "lineitem" || rel == "orders" || rel == "partsupp")
+          << rel;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Report
+
+TEST(ReportTest, CfcComparisonContainsConfigsAndTimeouts) {
+  std::vector<NamedCurve> curves = {
+      {"P", CumulativeFrequency::FromTimings(Timings({100, 500}, 2))},
+      {"1C", CumulativeFrequency::FromTimings(Timings({1, 2, 3, 4}))},
+  };
+  std::string s = RenderCfcComparison(curves, {}, "title");
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("P"), std::string::npos);
+  EXPECT_NE(s.find("1C"), std::string::npos);
+  EXPECT_NE(s.find("timeouts"), std::string::npos);
+}
+
+TEST(ReportTest, HistogramRendersTimeoutBin) {
+  auto h = LogHistogram::Build(Timings({5, 50, 500}, 3), 1, 1800, 1);
+  std::string s = RenderHistogram(h, "hist");
+  EXPECT_NE(s.find("t_out"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(ReportTest, GoalCheckNamesVerdicts) {
+  std::vector<NamedCurve> curves = {
+      {"good", CumulativeFrequency::FromTimings(
+                   Timings({1, 1, 1, 1, 1, 1, 1, 1, 1, 1}))},
+      {"bad", CumulativeFrequency::FromTimings(Timings({1}, 9))},
+  };
+  std::string s =
+      RenderGoalCheck(PerformanceGoal::PaperExample2(), curves);
+  EXPECT_NE(s.find("SATISFIES"), std::string::npos);
+  EXPECT_NE(s.find("fails"), std::string::npos);
+}
+
+TEST(ReportTest, QuantilesRenderTimeoutMarker) {
+  std::vector<NamedCurve> curves = {
+      {"X", CumulativeFrequency::FromTimings(Timings({10}, 9))}};
+  std::string s = RenderQuantiles(curves, {0.05, 0.9});
+  EXPECT_NE(s.find("t_out"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tabbench

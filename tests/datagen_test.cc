@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/nref_gen.h"
+#include "datagen/tpch_gen.h"
+#include "test_util.h"
+
+namespace tabbench {
+namespace {
+
+class NrefGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = testing::MakeMiniNref(/*scale_inverse=*/2000.0).release();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* NrefGenTest::db_ = nullptr;
+
+TEST_F(NrefGenTest, RowCountsPreservePaperRatios) {
+  ASSERT_NE(db_, nullptr);
+  // Paper sizes: Protein 1.1M, Source 3M, Taxonomy 15.1M, Organism 1.2M,
+  // Neighboring 78.7M, Identical 0.5M. Scale 1/2000.
+  EXPECT_EQ(db_->TableRowCount("protein"), 550u);
+  EXPECT_EQ(db_->TableRowCount("source"), 1500u);
+  EXPECT_EQ(db_->TableRowCount("taxonomy"), 7550u);
+  EXPECT_EQ(db_->TableRowCount("organism"), 600u);
+  EXPECT_EQ(db_->TableRowCount("neighboring_seq"), 39350u);
+  EXPECT_EQ(db_->TableRowCount("identical_seq"), 250u);
+}
+
+TEST_F(NrefGenTest, PrimaryKeysAreUnique) {
+  for (const char* table : {"protein", "taxonomy", "neighboring_seq"}) {
+    const TableDef* def = db_->catalog().FindTable(table);
+    std::vector<int> pk = def->PrimaryKeyColumns();
+    const HeapTable* heap = db_->FindHeap(table);
+    std::set<std::string> seen;
+    auto cur = heap->Scan(nullptr);
+    Tuple t;
+    while (cur.Next(&t, nullptr)) {
+      std::string key;
+      for (int c : pk) key += t.at(static_cast<size_t>(c)).ToString() + "|";
+      EXPECT_TRUE(seen.insert(key).second)
+          << table << " duplicate PK " << key;
+    }
+  }
+}
+
+TEST_F(NrefGenTest, ForeignKeysResolve) {
+  // Every source.nref_id references an existing protein.
+  uint64_t n_protein = db_->TableRowCount("protein");
+  const HeapTable* src = db_->FindHeap("source");
+  auto cur = src->Scan(nullptr);
+  Tuple t;
+  while (cur.Next(&t, nullptr)) {
+    int64_t ref = t.at(0).as_int();
+    EXPECT_GE(ref, 0);
+    EXPECT_LT(ref, static_cast<int64_t>(n_protein));
+  }
+}
+
+TEST_F(NrefGenTest, StatsReady) {
+  EXPECT_NE(db_->stats().FindColumn("taxonomy", "lineage"), nullptr);
+  EXPECT_GT(db_->stats().FindColumn("taxonomy", "lineage")->num_distinct, 1u);
+}
+
+TEST_F(NrefGenTest, LineageIsSkewedEnoughForConstantRules) {
+  const ColumnStats* cs = db_->stats().FindColumn("taxonomy", "lineage");
+  ASSERT_NE(cs, nullptr);
+  ASSERT_FALSE(cs->freq_examples.empty());
+  EXPECT_GE(cs->freq_examples.back().first,
+            cs->freq_examples.front().first * 30);
+}
+
+TEST_F(NrefGenTest, PkIndexesBuilt) {
+  EXPECT_NE(db_->FindIndex("protein_pk"), nullptr);
+  EXPECT_NE(db_->FindIndex("neighboring_seq_pk"), nullptr);
+  EXPECT_EQ(db_->current_config().name, "P");
+}
+
+TEST_F(NrefGenTest, DeterministicGeneration) {
+  auto db2 = testing::MakeMiniNref(/*scale_inverse=*/2000.0);
+  ASSERT_NE(db2, nullptr);
+  // Same seed, same data: compare a fingerprint of one table.
+  auto fingerprint = [](Database* db) {
+    size_t h = 0;
+    const HeapTable* heap = db->FindHeap("taxonomy");
+    auto cur = heap->Scan(nullptr);
+    Tuple t;
+    while (cur.Next(&t, nullptr)) h ^= t.Hash() + 0x9e3779b9 + (h << 6);
+    return h;
+  };
+  EXPECT_EQ(fingerprint(db_), fingerprint(db2.get()));
+}
+
+class TpchGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    uniform_ = testing::MakeMiniTpch(2000.0, 0.0).release();
+    skewed_ = testing::MakeMiniTpch(2000.0, 1.0).release();
+  }
+  static void TearDownTestSuite() {
+    delete uniform_;
+    delete skewed_;
+    uniform_ = skewed_ = nullptr;
+  }
+  static Database* uniform_;
+  static Database* skewed_;
+};
+
+Database* TpchGenTest::uniform_ = nullptr;
+Database* TpchGenTest::skewed_ = nullptr;
+
+TEST_F(TpchGenTest, RowCountsAtScale) {
+  ASSERT_NE(uniform_, nullptr);
+  EXPECT_EQ(uniform_->TableRowCount("lineitem"), 30000u);
+  EXPECT_EQ(uniform_->TableRowCount("orders"), 7500u);
+  EXPECT_EQ(uniform_->TableRowCount("partsupp"), 4000u);
+  EXPECT_EQ(uniform_->TableRowCount("part"), 1000u);
+}
+
+TEST_F(TpchGenTest, LineitemFkIntoPartsupp) {
+  // (l_partkey, l_suppkey) must exist in partsupp.
+  std::set<std::pair<int64_t, int64_t>> ps;
+  {
+    auto cur = uniform_->FindHeap("partsupp")->Scan(nullptr);
+    Tuple t;
+    while (cur.Next(&t, nullptr)) {
+      ps.insert({t.at(0).as_int(), t.at(1).as_int()});
+    }
+  }
+  auto cur = uniform_->FindHeap("lineitem")->Scan(nullptr);
+  Tuple t;
+  size_t checked = 0;
+  while (cur.Next(&t, nullptr) && checked < 2000) {
+    EXPECT_TRUE(ps.count({t.at(2).as_int(), t.at(3).as_int()}))
+        << "dangling partsupp ref";
+    ++checked;
+  }
+}
+
+TEST_F(TpchGenTest, SkewChangesFrequencyProfile) {
+  const ColumnStats* u = uniform_->stats().FindColumn("lineitem", "l_partkey");
+  const ColumnStats* s = skewed_->stats().FindColumn("lineitem", "l_partkey");
+  ASSERT_NE(u, nullptr);
+  ASSERT_NE(s, nullptr);
+  ASSERT_FALSE(u->mcvs.empty());
+  ASSERT_FALSE(s->mcvs.empty());
+  // Top value under Zipf(1) is far heavier than under uniform.
+  EXPECT_GT(s->mcvs[0].second, u->mcvs[0].second * 5);
+}
+
+TEST_F(TpchGenTest, UniformDatesCoverRange) {
+  const ColumnStats* cs =
+      uniform_->stats().FindColumn("orders", "o_orderdate");
+  ASSERT_NE(cs, nullptr);
+  EXPECT_GT(cs->num_distinct, 1000u);
+}
+
+TEST_F(TpchGenTest, SharedDomainsEnableNonKeyJoins) {
+  const Catalog& c = uniform_->catalog();
+  EXPECT_TRUE(c.JoinCompatible({"lineitem", "l_shipdate"},
+                               {"orders", "o_orderdate"}));
+  EXPECT_TRUE(c.JoinCompatible({"lineitem", "l_quantity"},
+                               {"partsupp", "ps_availqty"}));
+  EXPECT_TRUE(c.JoinCompatible({"customer", "c_nationkey"},
+                               {"supplier", "s_nationkey"}));
+  // Status domains intentionally do NOT join (3-value blow-up guard).
+  EXPECT_FALSE(c.JoinCompatible({"lineitem", "l_linestatus"},
+                                {"orders", "o_orderstatus"}));
+}
+
+TEST(ScaledOptionsTest, HardwareScalesWithData) {
+  DatabaseOptions a = ScaledOptions(100.0);
+  DatabaseOptions b = ScaledOptions(400.0);
+  EXPECT_GT(b.cost.page_io_seconds, a.cost.page_io_seconds);
+  EXPECT_LT(b.buffer_pool_pages, a.buffer_pool_pages);
+  // Random I/O is a physical seek: never scaled.
+  EXPECT_DOUBLE_EQ(b.cost.random_io_seconds, a.cost.random_io_seconds);
+  // Timeout is the paper's 30 minutes regardless of scale.
+  EXPECT_DOUBLE_EQ(a.cost.timeout_seconds, 1800.0);
+  EXPECT_DOUBLE_EQ(b.cost.timeout_seconds, 1800.0);
+}
+
+}  // namespace
+}  // namespace tabbench

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "core/configurations.h"
+#include "engine/database.h"
+#include "test_util.h"
+
+namespace tabbench {
+namespace {
+
+using testing::TinyDb;
+
+TEST(EngineTest, CreateTableValidations) {
+  Database db;
+  TableDef t;
+  t.name = "t";
+  t.columns = {{"a", TypeId::kInt, "d", true, 8}};
+  t.primary_key = {"a"};
+  ASSERT_TRUE(db.CreateTable(t).ok());
+  EXPECT_EQ(db.CreateTable(t).code(), Status::Code::kAlreadyExists);
+}
+
+TEST(EngineTest, InsertArityChecked) {
+  Database db;
+  TableDef t;
+  t.name = "t";
+  t.columns = {{"a", TypeId::kInt, "d", true, 8},
+               {"b", TypeId::kInt, "d", true, 8}};
+  t.primary_key = {"a"};
+  ASSERT_TRUE(db.CreateTable(t).ok());
+  EXPECT_FALSE(db.Insert("t", Tuple(std::vector<Value>{Value(int64_t{1})})).ok());
+  EXPECT_TRUE(db.Insert("t", Tuple(std::vector<Value>{Value(int64_t{1}),
+                                                    Value(int64_t{2})}))
+                  .ok());
+  EXPECT_TRUE(db.Insert("missing", Tuple()).IsNotFound());
+}
+
+TEST(EngineTest, RunBeforeFinishLoadFails) {
+  Database db;
+  TableDef t;
+  t.name = "t";
+  t.columns = {{"a", TypeId::kInt, "d", true, 8}};
+  t.primary_key = {"a"};
+  ASSERT_TRUE(db.CreateTable(t).ok());
+  EXPECT_FALSE(db.Run("SELECT a FROM t").ok());
+}
+
+TEST(EngineTest, FinishLoadBuildsPkIndexes) {
+  TinyDb tiny = TinyDb::Make(500, 10);
+  ConfigView v = tiny.db->CurrentView();
+  int pk_count = 0;
+  for (const auto& idx : v.indexes) {
+    if (idx.def.is_primary) ++pk_count;
+  }
+  EXPECT_EQ(pk_count, 2);  // people_pk + depts_pk
+  EXPECT_NE(tiny.db->FindIndex("people_pk"), nullptr);
+}
+
+TEST(EngineTest, ApplyAndResetConfiguration) {
+  TinyDb tiny = TinyDb::Make(2000, 20);
+  Database* db = tiny.db.get();
+  uint64_t base = db->BasePages();
+  EXPECT_EQ(db->SecondaryPages(), 0u);
+
+  Configuration one_c = Make1CConfig(db->catalog());
+  auto rep = db->ApplyConfiguration(one_c);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(rep->objects.size(), one_c.indexes.size());
+  EXPECT_GT(rep->secondary_pages, 0u);
+  EXPECT_GT(rep->build_seconds, 0.0);
+  EXPECT_EQ(db->SecondaryPages(), rep->secondary_pages);
+  EXPECT_EQ(db->BasePages(), base);
+  EXPECT_EQ(db->current_config().name, "1C");
+
+  ASSERT_TRUE(db->ResetToPrimary().ok());
+  EXPECT_EQ(db->SecondaryPages(), 0u);
+  EXPECT_EQ(db->current_config().name, "P");
+}
+
+TEST(EngineTest, ReapplyReplacesPreviousConfiguration) {
+  TinyDb tiny = TinyDb::Make(1000, 10);
+  Database* db = tiny.db.get();
+  Configuration a;
+  a.name = "A";
+  a.indexes.push_back({"ix_a", "people", {"dept"}, false});
+  Configuration b;
+  b.name = "B";
+  b.indexes.push_back({"ix_b", "people", {"city"}, false});
+  ASSERT_TRUE(db->ApplyConfiguration(a).ok());
+  uint64_t pages_a = db->SecondaryPages();
+  ASSERT_TRUE(db->ApplyConfiguration(b).ok());
+  EXPECT_EQ(db->FindIndex("ix_a"), nullptr);
+  EXPECT_NE(db->FindIndex("ix_b"), nullptr);
+  EXPECT_NEAR(static_cast<double>(db->SecondaryPages()),
+              static_cast<double>(pages_a), pages_a * 0.9 + 4);
+}
+
+TEST(EngineTest, ApplyUnknownTargetFails) {
+  TinyDb tiny = TinyDb::Make(100, 5);
+  Configuration bad;
+  bad.indexes.push_back({"ix", "nope", {"x"}, false});
+  EXPECT_FALSE(tiny.db->ApplyConfiguration(bad).ok());
+}
+
+TEST(EngineTest, BuildReportTracksPerObjectCosts) {
+  TinyDb tiny = TinyDb::Make(3000, 10);
+  Configuration cfg;
+  cfg.name = "two";
+  cfg.indexes.push_back({"ix1", "people", {"dept"}, false});
+  cfg.indexes.push_back({"ix2", "people", {"dept", "city", "score"}, false});
+  auto rep = tiny.db->ApplyConfiguration(cfg);
+  ASSERT_TRUE(rep.ok());
+  ASSERT_EQ(rep->objects.size(), 2u);
+  // The wider index occupies more pages.
+  EXPECT_GT(rep->objects[1].pages, rep->objects[0].pages);
+  for (const auto& o : rep->objects) {
+    EXPECT_GT(o.build_seconds, 0.0);
+    EXPECT_GT(o.pages, 0u);
+  }
+}
+
+TEST(EngineTest, ViewBuildMaterializesJoin) {
+  TinyDb tiny = TinyDb::Make(2000, 20);
+  Database* db = tiny.db.get();
+  Configuration cfg;
+  cfg.name = "V";
+  ViewDef v;
+  v.name = "pd";
+  v.tables = {"people", "depts"};
+  v.joins = {{"people", "dept", "depts", "dept_id"}};
+  v.projection = {{"people", "id", "people_id"},
+                  {"depts", "region", "depts_region"}};
+  cfg.views.push_back(v);
+  // Plus an index over the view.
+  cfg.indexes.push_back({"ix_pd_region", "pd", {"depts_region"}, false});
+  auto rep = db->ApplyConfiguration(cfg);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  const HeapTable* view_heap = db->FindHeap("pd");
+  ASSERT_NE(view_heap, nullptr);
+  // Every person has a dept (FK): one view row per person.
+  EXPECT_EQ(view_heap->num_rows(), 2000u);
+  EXPECT_NE(db->FindIndex("ix_pd_region"), nullptr);
+  ASSERT_TRUE(db->ResetToPrimary().ok());
+  EXPECT_EQ(db->FindHeap("pd"), nullptr);
+}
+
+TEST(EngineTest, TimedInsertCostGrowsWithIndexCount) {
+  TinyDb tiny = TinyDb::Make(4000, 20);
+  Database* db = tiny.db.get();
+
+  auto insert_cost = [&](int64_t id) {
+    std::vector<Value> row;
+    row.emplace_back(id);
+    row.emplace_back(int64_t{3});
+    row.emplace_back(std::string("cityX"));
+    row.emplace_back(int64_t{500});
+    auto c = db->TimedInsert("people", Tuple(std::move(row)));
+    EXPECT_TRUE(c.ok());
+    return c.ok() ? *c : 0.0;
+  };
+
+  ASSERT_TRUE(db->ResetToPrimary().ok());
+  double cost_p = insert_cost(1000001);
+  ASSERT_TRUE(db->ApplyConfiguration(Make1CConfig(db->catalog())).ok());
+  double cost_1c = insert_cost(1000002);
+  EXPECT_GT(cost_1c, cost_p);
+  ASSERT_TRUE(db->ResetToPrimary().ok());
+}
+
+TEST(EngineTest, TimedInsertVisibleToQueries) {
+  TinyDb tiny = TinyDb::Make(500, 5);
+  Database* db = tiny.db.get();
+  auto before = db->Run("SELECT COUNT(*) FROM people p WHERE p.dept = 2");
+  ASSERT_TRUE(before.ok());
+  std::vector<Value> row{Value(int64_t{990001}), Value(int64_t{2}),
+                         Value(std::string("cityZ")), Value(int64_t{1})};
+  ASSERT_TRUE(db->TimedInsert("people", Tuple(std::move(row))).ok());
+  auto after = db->Run("SELECT COUNT(*) FROM people p WHERE p.dept = 2");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows[0].at(0).as_int(),
+            before->rows[0].at(0).as_int() + 1);
+}
+
+TEST(EngineTest, CollectStatisticsRefreshesCounts) {
+  TinyDb tiny = TinyDb::Make(300, 5);
+  Database* db = tiny.db.get();
+  EXPECT_EQ(db->stats().FindTable("people")->row_count, 300u);
+  for (int64_t i = 0; i < 50; ++i) {
+    std::vector<Value> row{Value(int64_t{800000 + i}), Value(int64_t{1}),
+                           Value(std::string("c")), Value(int64_t{1})};
+    ASSERT_TRUE(db->Insert("people", Tuple(std::move(row))).ok());
+  }
+  ASSERT_TRUE(db->CollectStatistics().ok());
+  EXPECT_EQ(db->stats().FindTable("people")->row_count, 350u);
+}
+
+TEST(EngineTest, CurrentViewReflectsBuiltState) {
+  TinyDb tiny = TinyDb::Make(2000, 10);
+  Database* db = tiny.db.get();
+  Configuration cfg;
+  cfg.name = "one";
+  cfg.indexes.push_back({"ix_city", "people", {"city"}, false});
+  ASSERT_TRUE(db->ApplyConfiguration(cfg).ok());
+  ConfigView v = db->CurrentView();
+  const PhysicalIndex* found = nullptr;
+  for (const auto& idx : v.indexes) {
+    if (idx.def.name == "ix_city") found = &idx;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_FALSE(found->hypothetical);
+  EXPECT_DOUBLE_EQ(found->entries, 2000.0);
+  EXPECT_GT(found->distinct_keys, 1.0);
+  EXPECT_GT(found->leaf_pages, 0.0);
+}
+
+}  // namespace
+}  // namespace tabbench

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "advisor/profiles.h"
+#include "core/benchmark_suite.h"
+#include "core/nref_families.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "core/sampling.h"
+#include "test_util.h"
+
+namespace tabbench {
+namespace {
+
+/// End-to-end checks of the benchmark protocol on a small NREF instance.
+/// These mirror the paper's qualitative claims at miniature scale:
+/// configurations never change answers, 1C improves on P, sampling
+/// preserves the family, System A declines NREF3J.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = testing::MakeMiniNref(/*scale_inverse=*/1600.0).release();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* IntegrationTest::db_ = nullptr;
+
+TEST_F(IntegrationTest, SamplingPreservesSizeAndMembership) {
+  QueryFamily fam = GenerateNref2J(db_->catalog(), db_->stats());
+  ASSERT_GT(fam.queries.size(), 20u);
+  ASSERT_TRUE(db_->ResetToPrimary().ok());
+  auto sampled = SampleFamily(fam, db_, 20, /*seed=*/5);
+  ASSERT_TRUE(sampled.ok()) << sampled.status().ToString();
+  EXPECT_EQ(sampled->queries.size(), 20u);
+  // Every sampled query is a member of the family.
+  for (const auto& q : sampled->queries) {
+    bool found = false;
+    for (const auto& orig : fam.queries) {
+      if (orig.sql == q.sql) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(IntegrationTest, SamplingIsDeterministic) {
+  QueryFamily fam = GenerateNref2J(db_->catalog(), db_->stats());
+  auto s1 = SampleFamily(fam, db_, 15, 9);
+  auto s2 = SampleFamily(fam, db_, 15, 9);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  for (size_t i = 0; i < 15; ++i) {
+    EXPECT_EQ(s1->queries[i].sql, s2->queries[i].sql);
+  }
+}
+
+TEST_F(IntegrationTest, SamplingCoversCostSpectrum) {
+  QueryFamily fam = GenerateNref2J(db_->catalog(), db_->stats());
+  ASSERT_TRUE(db_->ResetToPrimary().ok());
+  auto sampled = SampleFamily(fam, db_, 20, 5);
+  ASSERT_TRUE(sampled.ok());
+  // The sample must include both cheap and expensive queries (stratified):
+  // compare min and max estimated cost within the sample.
+  double lo = 1e18, hi = 0;
+  for (const auto& q : sampled->queries) {
+    auto e = db_->Estimate(q.sql);
+    ASSERT_TRUE(e.ok());
+    lo = std::min(lo, *e);
+    hi = std::max(hi, *e);
+  }
+  EXPECT_GT(hi, lo * 3) << "sample collapsed to one cost class";
+}
+
+TEST_F(IntegrationTest, RunWorkloadCollectsTimingsAndEstimates) {
+  QueryFamily fam = GenerateNref2J(db_->catalog(), db_->stats());
+  ASSERT_TRUE(db_->ResetToPrimary().ok());
+  auto sampled = SampleFamily(fam, db_, 8, 3);
+  ASSERT_TRUE(sampled.ok());
+  RunOptions opts;
+  opts.collect_estimates = true;
+  auto res = RunWorkload(db_, sampled->Sql(), opts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->timings.size(), 8u);
+  EXPECT_EQ(res->estimates.size(), 8u);
+  for (const auto& t : res->timings) {
+    EXPECT_GE(t.seconds, 0.0);
+  }
+  EXPECT_GT(res->total_clamped_seconds, 0.0);
+}
+
+TEST_F(IntegrationTest, OneColumnConfigImprovesWorkload) {
+  QueryFamily fam = GenerateNref2J(db_->catalog(), db_->stats());
+  ExperimentOptions opts;
+  opts.workload_size = 12;
+  FamilyExperiment exp(db_, fam, opts);
+  ASSERT_TRUE(exp.Prepare().ok());
+  auto runs = exp.RunStandard(nullptr);  // P and 1C
+  ASSERT_TRUE(runs.ok()) << runs.status().ToString();
+  ASSERT_EQ(runs->size(), 2u);
+  const auto& p = (*runs)[0];
+  const auto& one_c = (*runs)[1];
+  EXPECT_EQ(p.config_name, "P");
+  EXPECT_EQ(one_c.config_name, "1C");
+  EXPECT_LT(one_c.result.total_clamped_seconds,
+            p.result.total_clamped_seconds);
+  EXPECT_LE(one_c.result.timeouts, p.result.timeouts);
+}
+
+TEST_F(IntegrationTest, SystemADeclinesNref3J) {
+  QueryFamily fam = GenerateNref3J(db_->catalog(), db_->stats());
+  ASSERT_GT(fam.queries.size(), 10u);
+  ExperimentOptions opts;
+  opts.workload_size = 12;
+  FamilyExperiment exp(db_, fam, opts);
+  ASSERT_TRUE(exp.Prepare().ok());
+  auto rec = exp.Recommend(SystemAProfile());
+  EXPECT_TRUE(rec.status().IsNotFound()) << "System A must fail on NREF3J";
+}
+
+TEST_F(IntegrationTest, SystemBRecommendsForNref3J) {
+  QueryFamily fam = GenerateNref3J(db_->catalog(), db_->stats());
+  ExperimentOptions opts;
+  opts.workload_size = 12;
+  FamilyExperiment exp(db_, fam, opts);
+  ASSERT_TRUE(exp.Prepare().ok());
+  auto rec = exp.Recommend(SystemBProfile());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_FALSE(rec->config.indexes.empty());
+  // The benchmark's budget rule: no recommendation may exceed 1C's size.
+  EXPECT_LE(rec->est_pages, exp.SpaceBudgetPages());
+  // Paper Tables 2-3: nothing wider than 4 columns.
+  for (const auto& idx : rec->config.indexes) {
+    EXPECT_LE(idx.columns.size(), 4u);
+  }
+}
+
+TEST_F(IntegrationTest, RecommendedConfigBuildsAndRuns) {
+  QueryFamily fam = GenerateNref3J(db_->catalog(), db_->stats());
+  ExperimentOptions opts;
+  opts.workload_size = 10;
+  FamilyExperiment exp(db_, fam, opts);
+  ASSERT_TRUE(exp.Prepare().ok());
+  auto rec = exp.Recommend(SystemBProfile());
+  ASSERT_TRUE(rec.ok());
+  auto runs = exp.RunStandard(&rec->config);
+  ASSERT_TRUE(runs.ok()) << runs.status().ToString();
+  ASSERT_EQ(runs->size(), 3u);
+  EXPECT_EQ((*runs)[1].config_name, "R");
+  // R should not be worse than P (it was tuned on exactly this workload).
+  EXPECT_LE((*runs)[1].result.total_clamped_seconds,
+            (*runs)[0].result.total_clamped_seconds * 1.05);
+}
+
+TEST_F(IntegrationTest, EstimateCurvesOrderedLikeActuals) {
+  // EP vs E1C: the optimizer must know 1C is better, even if it is
+  // conservative about how much (Fig. 10's qualitative content).
+  QueryFamily fam = GenerateNref3J(db_->catalog(), db_->stats());
+  ExperimentOptions opts;
+  opts.workload_size = 10;
+  FamilyExperiment exp(db_, fam, opts);
+  ASSERT_TRUE(exp.Prepare().ok());
+  ASSERT_TRUE(db_->ResetToPrimary().ok());
+  auto ep = EstimateWorkload(db_, exp.workload().Sql());
+  ASSERT_TRUE(ep.ok());
+  ASSERT_TRUE(
+      db_->ApplyConfiguration(Make1CConfig(db_->catalog())).ok());
+  auto e1c = EstimateWorkload(db_, exp.workload().Sql());
+  ASSERT_TRUE(e1c.ok());
+  double sum_p = 0, sum_1c = 0;
+  for (double v : *ep) sum_p += v;
+  for (double v : *e1c) sum_1c += v;
+  EXPECT_LT(sum_1c, sum_p);
+  ASSERT_TRUE(db_->ResetToPrimary().ok());
+}
+
+TEST_F(IntegrationTest, HypotheticalMoreConservativeThanTarget) {
+  // H(q,1C,P) should overstate costs relative to E(q,1C) measured in 1C —
+  // the Section 5 discrepancy, aggregated over a small workload.
+  QueryFamily fam = GenerateNref3J(db_->catalog(), db_->stats());
+  ExperimentOptions opts;
+  opts.workload_size = 10;
+  FamilyExperiment exp(db_, fam, opts);
+  ASSERT_TRUE(exp.Prepare().ok());
+  Configuration one_c = Make1CConfig(db_->catalog());
+  ASSERT_TRUE(db_->ResetToPrimary().ok());
+  HypotheticalRules rules;  // B-style conservatism
+  rules.credit_index_only = false;
+  auto h1c = HypotheticalWorkload(db_, exp.workload().Sql(), one_c, rules);
+  ASSERT_TRUE(h1c.ok());
+  ASSERT_TRUE(db_->ApplyConfiguration(one_c).ok());
+  auto e1c = EstimateWorkload(db_, exp.workload().Sql());
+  ASSERT_TRUE(e1c.ok());
+  double sum_h = 0, sum_e = 0;
+  for (double v : *h1c) sum_h += v;
+  for (double v : *e1c) sum_e += v;
+  EXPECT_GT(sum_h, sum_e);
+  ASSERT_TRUE(db_->ResetToPrimary().ok());
+}
+
+}  // namespace
+}  // namespace tabbench

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/column_stats.h"
+#include "stats/histogram.h"
+#include "stats/table_stats.h"
+#include "storage/heap_table.h"
+#include "storage/page_store.h"
+#include "storage/stats_collector.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace tabbench {
+namespace {
+
+std::vector<Value> IntValues(std::vector<int64_t> xs) {
+  std::vector<Value> out;
+  for (auto x : xs) out.emplace_back(x);
+  return out;
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, EmptyInput) {
+  EquiDepthHistogram h = EquiDepthHistogram::Build({}, 8);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.EstimateEqRows(Value(int64_t{1})), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  auto h = EquiDepthHistogram::Build(IntValues({5, 5, 5, 5}), 4);
+  EXPECT_EQ(h.total_rows(), 4u);
+  EXPECT_DOUBLE_EQ(h.EstimateEqRows(Value(int64_t{5})), 4.0);
+}
+
+TEST(HistogramTest, BucketsCoverAllRows) {
+  std::vector<Value> vals;
+  for (int64_t i = 0; i < 1000; ++i) vals.emplace_back(i % 97);
+  std::sort(vals.begin(), vals.end());
+  auto h = EquiDepthHistogram::Build(vals, 16);
+  uint64_t total = 0;
+  for (const auto& b : h.buckets()) total += b.rows;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(HistogramTest, ValueNeverStraddlesBuckets) {
+  // 10 copies each of 50 values: bucket boundaries must fall between values.
+  std::vector<Value> vals;
+  for (int64_t v = 0; v < 50; ++v) {
+    for (int k = 0; k < 10; ++k) vals.emplace_back(v);
+  }
+  auto h = EquiDepthHistogram::Build(vals, 7);
+  for (size_t i = 1; i < h.buckets().size(); ++i) {
+    EXPECT_LT(h.buckets()[i - 1].upper, h.buckets()[i].upper);
+  }
+  // Each estimate should be ~10 (exact when distinct counts are right).
+  for (int64_t v = 0; v < 50; v += 7) {
+    EXPECT_NEAR(h.EstimateEqRows(Value(v)), 10.0, 5.0);
+  }
+}
+
+TEST(HistogramTest, AboveMaxEstimatesZero) {
+  auto h = EquiDepthHistogram::Build(IntValues({1, 2, 3}), 2);
+  EXPECT_EQ(h.EstimateEqRows(Value(int64_t{99})), 0.0);
+}
+
+TEST(HistogramTest, LeEstimateMonotone) {
+  std::vector<Value> vals;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    vals.emplace_back(static_cast<int64_t>(rng.Uniform(1000)));
+  }
+  std::sort(vals.begin(), vals.end());
+  auto h = EquiDepthHistogram::Build(vals, 10);
+  double prev = -1;
+  for (int64_t x = 0; x <= 1000; x += 100) {
+    double est = h.EstimateLeRows(Value(x));
+    EXPECT_GE(est, prev - 1e9 * 0);  // non-strict monotonicity
+    EXPECT_GE(est, 0.0);
+    EXPECT_LE(est, 500.0);
+    prev = est;
+  }
+}
+
+class HistogramBucketSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HistogramBucketSweep, EstimatesSumApproxTotal) {
+  size_t buckets = GetParam();
+  std::vector<Value> vals;
+  Rng rng(buckets);
+  for (int i = 0; i < 2000; ++i) {
+    vals.emplace_back(static_cast<int64_t>(rng.Uniform(200)));
+  }
+  std::sort(vals.begin(), vals.end());
+  auto h = EquiDepthHistogram::Build(vals, buckets);
+  // Summing the equality estimate over every distinct value should land
+  // near the true row count (property of depth/distinct bookkeeping).
+  double sum = 0;
+  for (int64_t v = 0; v < 200; ++v) sum += h.EstimateEqRows(Value(v));
+  EXPECT_NEAR(sum, 2000.0, 2000.0 * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, HistogramBucketSweep,
+                         ::testing::Values(1, 4, 16, 64, 256));
+
+// ----------------------------------------------------------- ColumnStats
+
+ColumnStats MakeStats(const std::vector<int64_t>& data) {
+  // Route through the real collector via a heap table.
+  PageStore store;
+  HeapTable heap("t", TupleCodec({TypeId::kInt}), &store);
+  for (int64_t v : data) heap.Append(Tuple({Value(v)}));
+  TableStats ts = CollectTableStats(heap, {"c"});
+  return ts.columns.at("c");
+}
+
+TEST(ColumnStatsTest, BasicCounts) {
+  ColumnStats cs = MakeStats({1, 1, 2, 3, 3, 3});
+  EXPECT_EQ(cs.row_count, 6u);
+  EXPECT_EQ(cs.num_distinct, 3u);
+  EXPECT_EQ(cs.min, Value(int64_t{1}));
+  EXPECT_EQ(cs.max, Value(int64_t{3}));
+}
+
+TEST(ColumnStatsTest, McvsAreExact) {
+  ColumnStats cs = MakeStats({7, 7, 7, 7, 8, 8, 9});
+  EXPECT_DOUBLE_EQ(cs.EstimateEqRows(Value(int64_t{7})), 4.0);
+  EXPECT_DOUBLE_EQ(cs.EstimateEqRows(Value(int64_t{8})), 2.0);
+}
+
+TEST(ColumnStatsTest, NullCounting) {
+  PageStore store;
+  HeapTable heap("t", TupleCodec({TypeId::kInt}), &store);
+  heap.Append(Tuple({Value(int64_t{1})}));
+  heap.Append(Tuple({Value()}));
+  heap.Append(Tuple({Value()}));
+  TableStats ts = CollectTableStats(heap, {"c"});
+  EXPECT_EQ(ts.columns.at("c").null_count, 2u);
+  EXPECT_EQ(ts.columns.at("c").num_distinct, 1u);
+}
+
+TEST(ColumnStatsTest, FreqOfFreq) {
+  // Frequencies: value 1 x3, value 2 x3, value 3 x1.
+  ColumnStats cs = MakeStats({1, 1, 1, 2, 2, 2, 3});
+  // freq 1 -> one distinct value; freq 3 -> two distinct values.
+  EXPECT_EQ(cs.DistinctWithFreqEq(1), 1u);
+  EXPECT_EQ(cs.DistinctWithFreqEq(3), 2u);
+  EXPECT_EQ(cs.DistinctWithFreqLess(3), 1u);
+  EXPECT_DOUBLE_EQ(cs.FracRowsValueFreqLess(2), 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(cs.FracRowsValueFreqEq(3), 6.0 / 7.0);
+}
+
+TEST(ColumnStatsTest, FreqExamplesHaveStatedFrequencies) {
+  std::vector<int64_t> data;
+  for (int64_t v = 0; v < 10; ++v) {
+    for (int64_t k = 0; k <= v; ++k) data.push_back(v);
+  }
+  ColumnStats cs = MakeStats(data);
+  for (const auto& [f, v] : cs.freq_examples) {
+    // Value v occurs exactly f times by construction (value x occurs x+1
+    // times).
+    EXPECT_EQ(static_cast<uint64_t>(v.as_int()) + 1, f);
+  }
+}
+
+TEST(ColumnStatsTest, ExampleWithFreqNearPicksClosest) {
+  std::vector<int64_t> data;
+  for (int64_t v = 0; v < 8; ++v) {
+    int64_t reps = int64_t{1} << v;  // freq 1,2,4,...,128
+    for (int64_t k = 0; k < reps; ++k) data.push_back(v);
+  }
+  ColumnStats cs = MakeStats(data);
+  uint64_t f = 0;
+  Value v = cs.ExampleWithFreqNear(120, &f);
+  EXPECT_EQ(f, 128u);
+  EXPECT_EQ(v, Value(int64_t{7}));
+}
+
+TEST(ColumnStatsTest, AvgFreq) {
+  ColumnStats cs = MakeStats({1, 1, 2, 2, 3, 3});
+  EXPECT_DOUBLE_EQ(cs.AvgFreq(), 2.0);
+}
+
+TEST(DatabaseStatsTest, Lookup) {
+  DatabaseStats s;
+  s.tables["t"].row_count = 10;
+  s.tables["t"].columns["c"].row_count = 10;
+  EXPECT_NE(s.FindTable("t"), nullptr);
+  EXPECT_EQ(s.FindTable("u"), nullptr);
+  EXPECT_NE(s.FindColumn("t", "c"), nullptr);
+  EXPECT_EQ(s.FindColumn("t", "d"), nullptr);
+  EXPECT_EQ(s.FindColumn("u", "c"), nullptr);
+}
+
+TEST(StatsCollectorTest, PagesAndWidths) {
+  PageStore store;
+  HeapTable heap("t", TupleCodec({TypeId::kInt, TypeId::kString}), &store);
+  for (int i = 0; i < 1000; ++i) {
+    heap.Append(Tuple({Value(int64_t{i}), Value(std::string(50, 'x'))}));
+  }
+  TableStats ts = CollectTableStats(heap, {"a", "b"});
+  EXPECT_EQ(ts.row_count, 1000u);
+  EXPECT_GT(ts.pages, 1u);
+  EXPECT_GT(ts.avg_row_bytes, 50.0);
+  EXPECT_EQ(ts.columns.size(), 2u);
+}
+
+TEST(StatsCollectorTest, ZipfColumnHasWideFreqSpread) {
+  PageStore store;
+  HeapTable heap("t", TupleCodec({TypeId::kInt}), &store);
+  Rng rng(17);
+  ZipfSampler zipf(500, 1.0);
+  for (int i = 0; i < 20000; ++i) {
+    heap.Append(Tuple({Value(static_cast<int64_t>(zipf.Sample(&rng)))}));
+  }
+  TableStats ts = CollectTableStats(heap, {"c"});
+  const ColumnStats& cs = ts.columns.at("c");
+  ASSERT_FALSE(cs.freq_examples.empty());
+  uint64_t min_f = cs.freq_examples.front().first;
+  uint64_t max_f = cs.freq_examples.back().first;
+  EXPECT_GE(max_f, min_f * 100) << "zipf(1) should span 2+ orders";
+}
+
+}  // namespace
+}  // namespace tabbench

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace tabbench {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int());
+}
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value(std::string("x")).is_string());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int64_t{-9}).as_int(), -9);
+  EXPECT_DOUBLE_EQ(Value(2.25).as_double(), 2.25);
+  EXPECT_EQ(Value(std::string("abc")).as_string(), "abc");
+}
+
+TEST(ValueTest, IntOrdering) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value(int64_t{3}), Value(int64_t{3}));
+  EXPECT_GT(Value(int64_t{4}), Value(int64_t{3}));
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value(std::string("abc")), Value(std::string("abd")));
+  EXPECT_LT(Value(std::string("ab")), Value(std::string("abc")));
+}
+
+TEST(ValueTest, NullSortsFirstAndEqualsNull) {
+  EXPECT_LT(Value(), Value(int64_t{-100}));
+  EXPECT_LT(Value(), Value(std::string("")));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{42}).Hash(), Value(int64_t{42}).Hash());
+  EXPECT_EQ(Value(std::string("q")).Hash(), Value(std::string("q")).Hash());
+}
+
+TEST(ValueTest, HashSetUsable) {
+  std::unordered_set<Value, ValueHash> s;
+  s.insert(Value(int64_t{1}));
+  s.insert(Value(int64_t{1}));
+  s.insert(Value(std::string("1")));
+  s.insert(Value());
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.count(Value(int64_t{1})));
+}
+
+TEST(ValueTest, ToStringRendersSqlLiterals) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(std::string("it's")).ToString(), "'it''s'");
+}
+
+TEST(ValueTest, ByteSize) {
+  EXPECT_EQ(Value().ByteSize(), 1u);
+  EXPECT_EQ(Value(int64_t{1}).ByteSize(), 8u);
+  EXPECT_EQ(Value(std::string("abcd")).ByteSize(), 6u);
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(TypeName(TypeId::kInt), "INT");
+  EXPECT_STREQ(TypeName(TypeId::kDouble), "DOUBLE");
+  EXPECT_STREQ(TypeName(TypeId::kString), "STRING");
+}
+
+// ----------------------------------------------------------------- Tuple
+
+TEST(TupleTest, ConcatOrdersLeftThenRight) {
+  Tuple a({Value(int64_t{1}), Value(int64_t{2})});
+  Tuple b({Value(std::string("x"))});
+  Tuple c = Tuple::Concat(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.at(0), Value(int64_t{1}));
+  EXPECT_EQ(c.at(2), Value(std::string("x")));
+}
+
+TEST(TupleTest, Project) {
+  Tuple t({Value(int64_t{10}), Value(int64_t{20}), Value(int64_t{30})});
+  Tuple p = t.Project({2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.at(0), Value(int64_t{30}));
+  EXPECT_EQ(p.at(1), Value(int64_t{10}));
+}
+
+TEST(TupleTest, EqualityAndHash) {
+  Tuple a({Value(int64_t{1}), Value(std::string("s"))});
+  Tuple b({Value(int64_t{1}), Value(std::string("s"))});
+  Tuple c({Value(int64_t{2}), Value(std::string("s"))});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t({Value(int64_t{1}), Value()});
+  EXPECT_EQ(t.ToString(), "(1, NULL)");
+}
+
+TEST(TupleTest, ByteSizeSumsValues) {
+  Tuple t({Value(int64_t{1}), Value(std::string("ab"))});
+  EXPECT_EQ(t.ByteSize(), 8u + 4u);
+}
+
+}  // namespace
+}  // namespace tabbench

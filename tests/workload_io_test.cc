@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/nref_families.h"
+#include "core/workload_io.h"
+#include "test_util.h"
+
+namespace tabbench {
+namespace {
+
+QueryFamily SampleFamilyFixture() {
+  QueryFamily f;
+  f.name = "TEST2J";
+  f.queries.push_back(
+      {"SELECT a FROM t WHERE t.a = 'x;y'", "R=t c1=a"});
+  f.queries.push_back({"SELECT b, COUNT(*) FROM u GROUP BY b", ""});
+  return f;
+}
+
+TEST(WorkloadIoTest, RoundTripThroughString) {
+  QueryFamily f = SampleFamilyFixture();
+  std::string text = FamilyToString(f);
+  auto back = FamilyFromString(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->name, "TEST2J");
+  ASSERT_EQ(back->queries.size(), 2u);
+  EXPECT_EQ(back->queries[0].sql, f.queries[0].sql);
+  EXPECT_EQ(back->queries[0].binding, "R=t c1=a");
+  EXPECT_EQ(back->queries[1].sql, f.queries[1].sql);
+  EXPECT_EQ(back->queries[1].binding, "");
+}
+
+TEST(WorkloadIoTest, RejectsMissingHeader) {
+  EXPECT_FALSE(FamilyFromString("SELECT a FROM t;\n").ok());
+}
+
+TEST(WorkloadIoTest, RejectsUnterminatedQuery) {
+  EXPECT_FALSE(FamilyFromString("# tabbench workload v1\nSELECT a FROM t\n")
+                   .ok());
+}
+
+TEST(WorkloadIoTest, SaveAndLoadFile) {
+  QueryFamily f = SampleFamilyFixture();
+  std::string path = ::testing::TempDir() + "/tabbench_workload_test.sql";
+  TB_ASSERT_OK(SaveFamily(f, path));
+  auto back = LoadFamily(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->queries.size(), f.queries.size());
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, LoadMissingFileIsNotFound) {
+  EXPECT_TRUE(LoadFamily("/nonexistent/nowhere.sql").status().IsNotFound());
+}
+
+TEST(WorkloadIoTest, GeneratedFamilySurvivesRoundTripAndRebinds) {
+  auto db = tabbench::testing::MakeMiniNref(4000.0);
+  ASSERT_NE(db, nullptr);
+  QueryFamily f = GenerateNref2J(db->catalog(), db->stats());
+  ASSERT_FALSE(f.queries.empty());
+  auto back = FamilyFromString(FamilyToString(f));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->queries.size(), f.queries.size());
+  for (size_t i = 0; i < back->queries.size(); ++i) {
+    EXPECT_EQ(back->queries[i].sql, f.queries[i].sql);
+    // Every reloaded query must still bind against the schema.
+    EXPECT_TRUE(ParseAndBind(back->queries[i].sql, db->catalog()).ok())
+        << back->queries[i].sql;
+  }
+}
+
+}  // namespace
+}  // namespace tabbench
