@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_insertions.cc" "bench/CMakeFiles/bench_insertions.dir/bench_insertions.cc.o" "gcc" "bench/CMakeFiles/bench_insertions.dir/bench_insertions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_goalcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

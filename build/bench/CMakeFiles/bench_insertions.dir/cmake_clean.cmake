@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_insertions.dir/bench_insertions.cc.o"
+  "CMakeFiles/bench_insertions.dir/bench_insertions.cc.o.d"
+  "bench_insertions"
+  "bench_insertions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insertions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

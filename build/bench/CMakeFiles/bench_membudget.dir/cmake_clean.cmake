@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_membudget.dir/bench_membudget.cc.o"
+  "CMakeFiles/bench_membudget.dir/bench_membudget.cc.o.d"
+  "bench_membudget"
+  "bench_membudget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_membudget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_totals.dir/bench_totals.cc.o"
+  "CMakeFiles/bench_totals.dir/bench_totals.cc.o.d"
+  "bench_totals"
+  "bench_totals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_totals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_shootout.dir/advisor_shootout.cpp.o"
+  "CMakeFiles/advisor_shootout.dir/advisor_shootout.cpp.o.d"
+  "advisor_shootout"
+  "advisor_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

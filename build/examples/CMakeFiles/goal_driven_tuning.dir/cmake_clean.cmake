@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goal_driven_tuning.dir/goal_driven_tuning.cpp.o"
+  "CMakeFiles/goal_driven_tuning.dir/goal_driven_tuning.cpp.o.d"
+  "goal_driven_tuning"
+  "goal_driven_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goal_driven_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nref_exploration.dir/nref_exploration.cpp.o"
+  "CMakeFiles/nref_exploration.dir/nref_exploration.cpp.o.d"
+  "nref_exploration"
+  "nref_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nref_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

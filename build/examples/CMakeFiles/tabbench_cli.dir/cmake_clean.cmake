@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabbench_cli.dir/tabbench_cli.cpp.o"
+  "CMakeFiles/tabbench_cli.dir/tabbench_cli.cpp.o.d"
+  "tabbench_cli"
+  "tabbench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabbench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

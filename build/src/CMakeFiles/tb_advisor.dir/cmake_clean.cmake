@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_advisor.dir/advisor/advisor.cc.o"
+  "CMakeFiles/tb_advisor.dir/advisor/advisor.cc.o.d"
+  "CMakeFiles/tb_advisor.dir/advisor/candidates.cc.o"
+  "CMakeFiles/tb_advisor.dir/advisor/candidates.cc.o.d"
+  "CMakeFiles/tb_advisor.dir/advisor/goal_advisor.cc.o"
+  "CMakeFiles/tb_advisor.dir/advisor/goal_advisor.cc.o.d"
+  "CMakeFiles/tb_advisor.dir/advisor/profiles.cc.o"
+  "CMakeFiles/tb_advisor.dir/advisor/profiles.cc.o.d"
+  "libtb_advisor.a"
+  "libtb_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

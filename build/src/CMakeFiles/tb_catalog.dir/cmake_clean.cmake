@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_catalog.dir/catalog/catalog.cc.o"
+  "CMakeFiles/tb_catalog.dir/catalog/catalog.cc.o.d"
+  "CMakeFiles/tb_catalog.dir/catalog/configuration.cc.o"
+  "CMakeFiles/tb_catalog.dir/catalog/configuration.cc.o.d"
+  "CMakeFiles/tb_catalog.dir/catalog/table_def.cc.o"
+  "CMakeFiles/tb_catalog.dir/catalog/table_def.cc.o.d"
+  "libtb_catalog.a"
+  "libtb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

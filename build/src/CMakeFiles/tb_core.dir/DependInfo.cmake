@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/benchmark_suite.cc" "src/CMakeFiles/tb_core.dir/core/benchmark_suite.cc.o" "gcc" "src/CMakeFiles/tb_core.dir/core/benchmark_suite.cc.o.d"
+  "/root/repo/src/core/configurations.cc" "src/CMakeFiles/tb_core.dir/core/configurations.cc.o" "gcc" "src/CMakeFiles/tb_core.dir/core/configurations.cc.o.d"
+  "/root/repo/src/core/improvement.cc" "src/CMakeFiles/tb_core.dir/core/improvement.cc.o" "gcc" "src/CMakeFiles/tb_core.dir/core/improvement.cc.o.d"
+  "/root/repo/src/core/nref_families.cc" "src/CMakeFiles/tb_core.dir/core/nref_families.cc.o" "gcc" "src/CMakeFiles/tb_core.dir/core/nref_families.cc.o.d"
+  "/root/repo/src/core/query_family.cc" "src/CMakeFiles/tb_core.dir/core/query_family.cc.o" "gcc" "src/CMakeFiles/tb_core.dir/core/query_family.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/tb_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/tb_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/tb_core.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/tb_core.dir/core/runner.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/CMakeFiles/tb_core.dir/core/sampling.cc.o" "gcc" "src/CMakeFiles/tb_core.dir/core/sampling.cc.o.d"
+  "/root/repo/src/core/tpch_families.cc" "src/CMakeFiles/tb_core.dir/core/tpch_families.cc.o" "gcc" "src/CMakeFiles/tb_core.dir/core/tpch_families.cc.o.d"
+  "/root/repo/src/core/workload_io.cc" "src/CMakeFiles/tb_core.dir/core/workload_io.cc.o" "gcc" "src/CMakeFiles/tb_core.dir/core/workload_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tb_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_goalcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_core.dir/core/benchmark_suite.cc.o"
+  "CMakeFiles/tb_core.dir/core/benchmark_suite.cc.o.d"
+  "CMakeFiles/tb_core.dir/core/configurations.cc.o"
+  "CMakeFiles/tb_core.dir/core/configurations.cc.o.d"
+  "CMakeFiles/tb_core.dir/core/improvement.cc.o"
+  "CMakeFiles/tb_core.dir/core/improvement.cc.o.d"
+  "CMakeFiles/tb_core.dir/core/nref_families.cc.o"
+  "CMakeFiles/tb_core.dir/core/nref_families.cc.o.d"
+  "CMakeFiles/tb_core.dir/core/query_family.cc.o"
+  "CMakeFiles/tb_core.dir/core/query_family.cc.o.d"
+  "CMakeFiles/tb_core.dir/core/report.cc.o"
+  "CMakeFiles/tb_core.dir/core/report.cc.o.d"
+  "CMakeFiles/tb_core.dir/core/runner.cc.o"
+  "CMakeFiles/tb_core.dir/core/runner.cc.o.d"
+  "CMakeFiles/tb_core.dir/core/sampling.cc.o"
+  "CMakeFiles/tb_core.dir/core/sampling.cc.o.d"
+  "CMakeFiles/tb_core.dir/core/tpch_families.cc.o"
+  "CMakeFiles/tb_core.dir/core/tpch_families.cc.o.d"
+  "CMakeFiles/tb_core.dir/core/workload_io.cc.o"
+  "CMakeFiles/tb_core.dir/core/workload_io.cc.o.d"
+  "libtb_core.a"
+  "libtb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_datagen.dir/datagen/nref_gen.cc.o"
+  "CMakeFiles/tb_datagen.dir/datagen/nref_gen.cc.o.d"
+  "CMakeFiles/tb_datagen.dir/datagen/tpch_gen.cc.o"
+  "CMakeFiles/tb_datagen.dir/datagen/tpch_gen.cc.o.d"
+  "libtb_datagen.a"
+  "libtb_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

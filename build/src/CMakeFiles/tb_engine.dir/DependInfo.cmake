@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/config_builder.cc" "src/CMakeFiles/tb_engine.dir/engine/config_builder.cc.o" "gcc" "src/CMakeFiles/tb_engine.dir/engine/config_builder.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/tb_engine.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/tb_engine.dir/engine/database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tb_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_engine.dir/engine/config_builder.cc.o"
+  "CMakeFiles/tb_engine.dir/engine/config_builder.cc.o.d"
+  "CMakeFiles/tb_engine.dir/engine/database.cc.o"
+  "CMakeFiles/tb_engine.dir/engine/database.cc.o.d"
+  "libtb_engine.a"
+  "libtb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

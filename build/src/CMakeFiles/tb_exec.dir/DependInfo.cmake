@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/exec_context.cc" "src/CMakeFiles/tb_exec.dir/exec/exec_context.cc.o" "gcc" "src/CMakeFiles/tb_exec.dir/exec/exec_context.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/tb_exec.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/tb_exec.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/CMakeFiles/tb_exec.dir/exec/plan.cc.o" "gcc" "src/CMakeFiles/tb_exec.dir/exec/plan.cc.o.d"
+  "/root/repo/src/exec/plan_executor.cc" "src/CMakeFiles/tb_exec.dir/exec/plan_executor.cc.o" "gcc" "src/CMakeFiles/tb_exec.dir/exec/plan_executor.cc.o.d"
+  "/root/repo/src/exec/plan_validate.cc" "src/CMakeFiles/tb_exec.dir/exec/plan_validate.cc.o" "gcc" "src/CMakeFiles/tb_exec.dir/exec/plan_validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

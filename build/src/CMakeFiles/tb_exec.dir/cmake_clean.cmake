@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_exec.dir/exec/exec_context.cc.o"
+  "CMakeFiles/tb_exec.dir/exec/exec_context.cc.o.d"
+  "CMakeFiles/tb_exec.dir/exec/operators.cc.o"
+  "CMakeFiles/tb_exec.dir/exec/operators.cc.o.d"
+  "CMakeFiles/tb_exec.dir/exec/plan.cc.o"
+  "CMakeFiles/tb_exec.dir/exec/plan.cc.o.d"
+  "CMakeFiles/tb_exec.dir/exec/plan_executor.cc.o"
+  "CMakeFiles/tb_exec.dir/exec/plan_executor.cc.o.d"
+  "CMakeFiles/tb_exec.dir/exec/plan_validate.cc.o"
+  "CMakeFiles/tb_exec.dir/exec/plan_validate.cc.o.d"
+  "libtb_exec.a"
+  "libtb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_goalcore.dir/core/cfc.cc.o"
+  "CMakeFiles/tb_goalcore.dir/core/cfc.cc.o.d"
+  "CMakeFiles/tb_goalcore.dir/core/goal.cc.o"
+  "CMakeFiles/tb_goalcore.dir/core/goal.cc.o.d"
+  "libtb_goalcore.a"
+  "libtb_goalcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_goalcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

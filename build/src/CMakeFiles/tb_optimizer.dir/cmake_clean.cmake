@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_optimizer.dir/optimizer/cardinality.cc.o"
+  "CMakeFiles/tb_optimizer.dir/optimizer/cardinality.cc.o.d"
+  "CMakeFiles/tb_optimizer.dir/optimizer/cost_model.cc.o"
+  "CMakeFiles/tb_optimizer.dir/optimizer/cost_model.cc.o.d"
+  "CMakeFiles/tb_optimizer.dir/optimizer/planner.cc.o"
+  "CMakeFiles/tb_optimizer.dir/optimizer/planner.cc.o.d"
+  "CMakeFiles/tb_optimizer.dir/optimizer/whatif.cc.o"
+  "CMakeFiles/tb_optimizer.dir/optimizer/whatif.cc.o.d"
+  "libtb_optimizer.a"
+  "libtb_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

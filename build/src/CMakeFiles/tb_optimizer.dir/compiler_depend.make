@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tb_optimizer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/tb_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/tb_sql.dir/sql/binder.cc.o"
+  "CMakeFiles/tb_sql.dir/sql/binder.cc.o.d"
+  "CMakeFiles/tb_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/tb_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/tb_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/tb_sql.dir/sql/parser.cc.o.d"
+  "libtb_sql.a"
+  "libtb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_stats.dir/stats/column_stats.cc.o"
+  "CMakeFiles/tb_stats.dir/stats/column_stats.cc.o.d"
+  "CMakeFiles/tb_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/tb_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/tb_stats.dir/stats/table_stats.cc.o"
+  "CMakeFiles/tb_stats.dir/stats/table_stats.cc.o.d"
+  "libtb_stats.a"
+  "libtb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/tb_storage.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/tb_storage.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/tb_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/tb_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/heap_table.cc" "src/CMakeFiles/tb_storage.dir/storage/heap_table.cc.o" "gcc" "src/CMakeFiles/tb_storage.dir/storage/heap_table.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/CMakeFiles/tb_storage.dir/storage/page_store.cc.o" "gcc" "src/CMakeFiles/tb_storage.dir/storage/page_store.cc.o.d"
+  "/root/repo/src/storage/stats_collector.cc" "src/CMakeFiles/tb_storage.dir/storage/stats_collector.cc.o" "gcc" "src/CMakeFiles/tb_storage.dir/storage/stats_collector.cc.o.d"
+  "/root/repo/src/storage/tuple_codec.cc" "src/CMakeFiles/tb_storage.dir/storage/tuple_codec.cc.o" "gcc" "src/CMakeFiles/tb_storage.dir/storage/tuple_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

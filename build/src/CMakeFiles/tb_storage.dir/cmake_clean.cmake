@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_storage.dir/storage/btree.cc.o"
+  "CMakeFiles/tb_storage.dir/storage/btree.cc.o.d"
+  "CMakeFiles/tb_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/tb_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/tb_storage.dir/storage/heap_table.cc.o"
+  "CMakeFiles/tb_storage.dir/storage/heap_table.cc.o.d"
+  "CMakeFiles/tb_storage.dir/storage/page_store.cc.o"
+  "CMakeFiles/tb_storage.dir/storage/page_store.cc.o.d"
+  "CMakeFiles/tb_storage.dir/storage/stats_collector.cc.o"
+  "CMakeFiles/tb_storage.dir/storage/stats_collector.cc.o.d"
+  "CMakeFiles/tb_storage.dir/storage/tuple_codec.cc.o"
+  "CMakeFiles/tb_storage.dir/storage/tuple_codec.cc.o.d"
+  "libtb_storage.a"
+  "libtb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_types.dir/types/tuple.cc.o"
+  "CMakeFiles/tb_types.dir/types/tuple.cc.o.d"
+  "CMakeFiles/tb_types.dir/types/value.cc.o"
+  "CMakeFiles/tb_types.dir/types/value.cc.o.d"
+  "libtb_types.a"
+  "libtb_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

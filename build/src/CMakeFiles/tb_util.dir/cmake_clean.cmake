@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_util.dir/util/rng.cc.o"
+  "CMakeFiles/tb_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/tb_util.dir/util/status.cc.o"
+  "CMakeFiles/tb_util.dir/util/status.cc.o.d"
+  "CMakeFiles/tb_util.dir/util/strings.cc.o"
+  "CMakeFiles/tb_util.dir/util/strings.cc.o.d"
+  "CMakeFiles/tb_util.dir/util/zipf.cc.o"
+  "CMakeFiles/tb_util.dir/util/zipf.cc.o.d"
+  "libtb_util.a"
+  "libtb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

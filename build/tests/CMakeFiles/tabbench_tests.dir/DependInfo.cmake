@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisor_test.cc" "tests/CMakeFiles/tabbench_tests.dir/advisor_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/advisor_test.cc.o.d"
+  "/root/repo/tests/analyze_test.cc" "tests/CMakeFiles/tabbench_tests.dir/analyze_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/analyze_test.cc.o.d"
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/tabbench_tests.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/tabbench_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/tabbench_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/tabbench_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/tabbench_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/equivalence_test.cc" "tests/CMakeFiles/tabbench_tests.dir/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/equivalence_test.cc.o.d"
+  "/root/repo/tests/exec_context_test.cc" "tests/CMakeFiles/tabbench_tests.dir/exec_context_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/exec_context_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/tabbench_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/tabbench_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/goal_advisor_test.cc" "tests/CMakeFiles/tabbench_tests.dir/goal_advisor_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/goal_advisor_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/tabbench_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/tabbench_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/tabbench_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/tabbench_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/tabbench_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/tabbench_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/tabbench_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/tabbench_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/value_test.cc.o.d"
+  "/root/repo/tests/workload_io_test.cc" "tests/CMakeFiles/tabbench_tests.dir/workload_io_test.cc.o" "gcc" "tests/CMakeFiles/tabbench_tests.dir/workload_io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_goalcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
