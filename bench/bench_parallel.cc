@@ -1,0 +1,99 @@
+// Wall-clock ablation for the concurrent execution layer (src/service/):
+// runs the same NREF2J workload through the sequential runner and through
+// RunWorkloadParallel at increasing worker counts, reporting speedup and
+// verifying the parallel results are bit-identical to the sequential ones
+// (the trace-record/replay determinism contract, src/core/runner.h).
+//
+// Knobs: TABBENCH_SCALE, TABBENCH_WORKLOAD (bench_support.h), and
+// TABBENCH_WORKERS (max worker count to sweep to, default 8).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_support.h"
+#include "core/runner.h"
+#include "core/sampling.h"
+#include "service/thread_pool.h"
+
+int main() {
+  using namespace tabbench;
+  using namespace tabbench::bench;
+  using Clock = std::chrono::steady_clock;
+
+  std::printf("=== Parallel workload execution: wall-time vs workers ===\n");
+
+  auto db = MakeNrefDb();
+  if (!db) return 1;
+  QueryFamily family = GenerateNref2J(db->catalog(), db->stats());
+  auto sampled = SampleFamily(family, db.get(), WorkloadSize(), /*seed=*/7);
+  if (!sampled.ok()) {
+    std::printf("sampling failed: %s\n", sampled.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::string> sql = sampled->Sql();
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("workload: %zu NREF2J queries, scale 1/%.0f, %u core%s\n",
+              sql.size(), ScaleInverse(), cores, cores == 1 ? "" : "s");
+  if (cores <= 1) {
+    std::printf("(single core: workers time-slice one CPU, so no speedup "
+                "is expected here —\n this run checks determinism and "
+                "measures the sequential replay floor)\n");
+  }
+  std::printf("\n");
+
+  RunOptions opts;
+  opts.collect_estimates = true;
+
+  auto t0 = Clock::now();
+  auto seq = RunWorkload(db.get(), sql, opts);
+  auto t1 = Clock::now();
+  if (!seq.ok()) {
+    std::printf("sequential run failed: %s\n",
+                seq.status().ToString().c_str());
+    return 1;
+  }
+  const double seq_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::printf("%-12s %10.1f ms   (%zu timeouts, total %.1f sim-s)\n",
+              "sequential", seq_ms, seq->timeouts,
+              seq->total_clamped_seconds);
+
+  size_t max_workers = 8;
+  if (const char* w = std::getenv("TABBENCH_WORKERS")) {
+    max_workers = static_cast<size_t>(std::atoi(w));
+  }
+  for (size_t workers = 1; workers <= max_workers; workers *= 2) {
+    ThreadPool pool(workers);
+    ParallelOptions par;
+    par.pool = &pool;
+    auto p0 = Clock::now();
+    auto parallel = RunWorkloadParallel(db.get(), sql, par, opts);
+    auto p1 = Clock::now();
+    if (!parallel.ok()) {
+      std::printf("parallel run failed: %s\n",
+                  parallel.status().ToString().c_str());
+      return 1;
+    }
+    const double par_ms =
+        std::chrono::duration<double, std::milli>(p1 - p0).count();
+
+    bool identical = parallel->timings.size() == seq->timings.size() &&
+                     parallel->timeouts == seq->timeouts &&
+                     parallel->total_clamped_seconds ==
+                         seq->total_clamped_seconds;
+    for (size_t i = 0; identical && i < seq->timings.size(); ++i) {
+      identical = parallel->timings[i].seconds == seq->timings[i].seconds &&
+                  parallel->timings[i].timed_out == seq->timings[i].timed_out;
+    }
+    for (size_t i = 0; identical && i < seq->estimates.size(); ++i) {
+      identical = parallel->estimates[i] == seq->estimates[i];
+    }
+    std::printf("%zu worker%-5s %10.1f ms   speedup %4.2fx   results %s\n",
+                workers, workers == 1 ? "" : "s", par_ms, seq_ms / par_ms,
+                identical ? "bit-identical" : "DIVERGED (bug!)");
+    if (!identical) return 1;
+  }
+  return 0;
+}

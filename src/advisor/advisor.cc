@@ -130,68 +130,97 @@ Result<Recommendation> Advisor::Recommend(
   double pages_used = 0.0;
   std::vector<bool> taken(units.size(), false);
 
+  // Scored outcome of trying one unit in one round. Units are evaluated
+  // into per-unit slots — in parallel when options_.eval_pool is set, since
+  // each trial's what-if costing is independent and read-only — and the
+  // winner is then chosen by a sequential scan, so the pick (and therefore
+  // the whole recommendation) is identical either way.
+  struct UnitEval {
+    bool eligible = false;  // passed budget + benefit bars
+    double benefit = 0.0;
+    double score = 0.0;
+    std::vector<double> costs;
+    Status status;
+  };
+
   for (int round = 0; round < options_.max_picks; ++round) {
-    int best_unit = -1;
-    double best_score = 0.0;
-    double best_benefit = 0.0;
-    std::vector<double> best_costs;
     double current_total =
         std::accumulate(cur_cost.begin(), cur_cost.end(), 0.0,
                         [](double a, double b) { return a + b; });
     double min_benefit =
         std::max(1e-6, options_.min_benefit_frac * current_total);
 
-    for (size_t ui = 0; ui < units.size(); ++ui) {
-      if (taken[ui]) continue;
-      const Unit& u = units[ui];
-      if (options_.space_budget_pages >= 0.0 &&
-          pages_used + u.pages > options_.space_budget_pages) {
-        continue;
-      }
-      // Hypothetical view with the unit added.
-      std::vector<const Unit*> trial = chosen;
-      trial.push_back(&u);
-      Configuration config = MakeConfig(trial);
-      auto v = MakeHypotheticalView(config, whatif_base, options_.whatif);
-      if (!v.ok()) return v.status();
+    std::vector<UnitEval> evals(units.size());
+    ParallelFor(
+        options_.eval_pool, units.size(),
+        [&](size_t ui) {
+          UnitEval& ev = evals[ui];
+          if (taken[ui]) return;
+          const Unit& u = units[ui];
+          if (options_.space_budget_pages >= 0.0 &&
+              pages_used + u.pages > options_.space_budget_pages) {
+            return;
+          }
+          // Hypothetical view with the unit added.
+          std::vector<const Unit*> trial = chosen;
+          trial.push_back(&u);
+          Configuration config = MakeConfig(trial);
+          auto v = MakeHypotheticalView(config, whatif_base, options_.whatif);
+          if (!v.ok()) {
+            ev.status = v.status();
+            return;
+          }
 
-      double benefit = 0.0;
-      std::vector<double> costs = cur_cost;
-      for (size_t i = 0; i < sample.size(); ++i) {
-        if (!u.RelevantTo(*sample[i])) continue;
-        auto c = EstimateCost(*sample[i], *v);
-        if (!c.ok()) return c.status();
-        costs[i] = *c;
-        benefit += cur_cost[i] - *c;
-      }
-      // Update-aware charging: maintaining the structure costs I/O per
-      // insert (descent + leaf write; views also re-derive their rows).
-      if (options_.updates_per_query > 0.0) {
-        const CostParams& cp = base_.params;
-        double per_insert =
-            2.0 * cp.random_io_seconds + cp.page_io_seconds;
-        double structures = u.is_view
-                                ? 2.0 * (1.0 + static_cast<double>(
-                                                   u.view.indexes.size()))
-                                : 1.0;
-        benefit -= options_.updates_per_query *
-                   static_cast<double>(sample.size()) * per_insert *
-                   structures;
-        if (benefit <= min_benefit) continue;
-      }
-      if (benefit <= min_benefit) continue;
-      double score = benefit / std::max(1.0, u.pages);
-      if (u.is_view) score *= options_.view_score_boost;
-      if (score > best_score) {
-        best_score = score;
+          double benefit = 0.0;
+          std::vector<double> costs = cur_cost;
+          for (size_t i = 0; i < sample.size(); ++i) {
+            if (!u.RelevantTo(*sample[i])) continue;
+            auto c = EstimateCost(*sample[i], *v);
+            if (!c.ok()) {
+              ev.status = c.status();
+              return;
+            }
+            costs[i] = *c;
+            benefit += cur_cost[i] - *c;
+          }
+          // Update-aware charging: maintaining the structure costs I/O per
+          // insert (descent + leaf write; views also re-derive their rows).
+          if (options_.updates_per_query > 0.0) {
+            const CostParams& cp = base_.params;
+            double per_insert =
+                2.0 * cp.random_io_seconds + cp.page_io_seconds;
+            double structures = u.is_view
+                                    ? 2.0 * (1.0 + static_cast<double>(
+                                                       u.view.indexes.size()))
+                                    : 1.0;
+            benefit -= options_.updates_per_query *
+                       static_cast<double>(sample.size()) * per_insert *
+                       structures;
+          }
+          if (benefit <= min_benefit) return;
+          double score = benefit / std::max(1.0, u.pages);
+          if (u.is_view) score *= options_.view_score_boost;
+          ev.eligible = true;
+          ev.benefit = benefit;
+          ev.score = score;
+          ev.costs = std::move(costs);
+        },
+        [&](size_t ui, Status s) { evals[ui].status = std::move(s); });
+
+    int best_unit = -1;
+    double best_score = 0.0;
+    for (size_t ui = 0; ui < units.size(); ++ui) {
+      if (!evals[ui].status.ok()) return evals[ui].status;
+      // Strict > keeps the sequential loop's ascending-index tie-break.
+      if (evals[ui].eligible && evals[ui].score > best_score) {
+        best_score = evals[ui].score;
         best_unit = static_cast<int>(ui);
-        best_benefit = benefit;
-        best_costs = std::move(costs);
       }
     }
 
     if (best_unit < 0) break;
-    (void)best_benefit;
+    std::vector<double> best_costs =
+        std::move(evals[static_cast<size_t>(best_unit)].costs);
     taken[static_cast<size_t>(best_unit)] = true;
     chosen.push_back(&units[static_cast<size_t>(best_unit)]);
     pages_used += units[static_cast<size_t>(best_unit)].pages;

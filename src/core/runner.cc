@@ -1,8 +1,24 @@
 #include "core/runner.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 namespace tabbench {
+
+namespace {
+
+/// What one worker records for one query. Slots are preallocated per batch,
+/// so workers write disjoint memory and the batch joins race-free.
+struct RecordedQuery {
+  AccessTrace trace;
+  Status run_status;
+  double estimate = 0.0;
+  Status est_status;
+};
+
+}  // namespace
 
 Result<WorkloadResult> RunWorkload(Database* db,
                                    const std::vector<std::string>& sql,
@@ -67,6 +83,176 @@ Result<std::vector<double>> HypotheticalWorkload(
     out.push_back(*est);
   }
   return out;
+}
+
+Result<WorkloadResult> RunWorkloadParallel(Database* db,
+                                           const std::vector<std::string>& sql,
+                                           const ParallelOptions& par,
+                                           const RunOptions& opts) {
+  if (par.pool == nullptr) return RunWorkload(db, sql, opts);
+
+  WorkloadResult out;
+  if (opts.cold_start) db->buffer_pool()->Clear();
+  const CostParams cost = db->options().cost;
+  const double timeout = cost.timeout_seconds;
+
+  size_t window = par.window;
+  if (window == 0) {
+    window = std::max<size_t>(4 * par.pool->num_workers(), size_t{8});
+  }
+
+  // Recording runs on a cold pool, so a doomed query need not execute to
+  // completion: a replay from any warm pool saves at most one first-touch
+  // hit per resident page, so once the cold clock is this far past the
+  // timeout, every replay is guaranteed to trip inside the recorded prefix.
+  const double record_budget =
+      timeout + static_cast<double>(db->options().buffer_pool_pages) *
+                    std::max(cost.page_io_seconds, cost.random_io_seconds);
+
+  double record_ms = 0.0, replay_ms = 0.0;
+  uint64_t trace_events = 0;
+  const bool phase_timing = std::getenv("TABBENCH_PHASE_TIMING") != nullptr;
+
+  // Batched so at most `window` full traces are alive at once.
+  for (size_t base = 0; base < sql.size(); base += window) {
+    const size_t count = std::min(window, sql.size() - base);
+    std::vector<RecordedQuery> rec(count);
+
+    // Record phase (parallel): every query executes against a private cold
+    // pool with the timeout off, capturing its full charge trace. The trace
+    // is pool-independent, so one recording serves all repetitions.
+    auto t0 = std::chrono::steady_clock::now();
+    ParallelFor(
+        par.pool, count,
+        [&](size_t i) {
+          RecordedQuery& r = rec[i];
+          const std::string& q = sql[base + i];
+          if (par.cancel.cancelled()) {
+            r.run_status = Status::Cancelled("workload cancelled");
+            return;
+          }
+          BufferPool session_pool(db->options().buffer_pool_pages);
+          ExecContext ctx = db->MakeSessionContext(&session_pool, cost);
+          ctx.set_cancellation_token(par.cancel);
+          ctx.set_enforce_timeout(false);
+          ctx.set_record_budget(record_budget);
+          ctx.set_trace(&r.trace);
+          auto res = db->RunWithContext(q, &ctx);
+          if (!res.ok()) r.run_status = res.status();
+          if (opts.collect_estimates) {
+            auto est = db->Estimate(q);
+            if (est.ok()) {
+              r.estimate = *est;
+            } else {
+              r.est_status = est.status();
+            }
+          }
+        },
+        [&](size_t i, Status s) { rec[i].run_status = std::move(s); });
+    auto t1 = std::chrono::steady_clock::now();
+    record_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+    for (const auto& r : rec) trace_events += r.trace.size();
+
+    // Replay phase (sequential): walk the traces in workload order through
+    // the shared pool, mirroring RunWorkload's loop exactly — same
+    // repetition averaging, same single-run rule for timeout queries, same
+    // first-error-wins ordering, same final pool state.
+    for (size_t i = 0; i < count; ++i) {
+      RecordedQuery& r = rec[i];
+      if (!r.run_status.ok()) return r.run_status;
+      QueryTiming timing;
+      double total = 0.0;
+      int runs = 0;
+      for (int rep = 0; rep < std::max(1, opts.repetitions); ++rep) {
+        ReplayOutcome ro = ReplayTrace(r.trace, db->buffer_pool(), cost);
+        if (ro.timed_out) {
+          timing.timed_out = true;
+          timing.seconds = timeout;
+          break;
+        }
+        total += ro.sim_seconds;
+        ++runs;
+      }
+      if (!timing.timed_out) {
+        timing.seconds = runs > 0 ? total / runs : 0.0;
+      } else {
+        ++out.timeouts;
+      }
+      out.total_clamped_seconds += std::min(timing.seconds, timeout);
+      out.timings.push_back(timing);
+
+      if (opts.collect_estimates) {
+        if (!r.est_status.ok()) return r.est_status;
+        out.estimates.push_back(r.estimate);
+      }
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    replay_ms += std::chrono::duration<double, std::milli>(t2 - t1).count();
+  }
+  if (phase_timing) {
+    std::fprintf(stderr,
+                 "[phase] record %.1f ms, replay %.1f ms, %llu events\n",
+                 record_ms, replay_ms,
+                 static_cast<unsigned long long>(trace_events));
+  }
+  return out;
+}
+
+Result<std::vector<double>> EstimateWorkloadParallel(
+    Database* db, const std::vector<std::string>& sql,
+    const ParallelOptions& par) {
+  if (par.pool == nullptr) return EstimateWorkload(db, sql);
+  std::vector<double> ests(sql.size(), 0.0);
+  std::vector<Status> sts(sql.size());
+  ParallelFor(
+      par.pool, sql.size(),
+      [&](size_t i) {
+        if (par.cancel.cancelled()) {
+          sts[i] = Status::Cancelled("workload cancelled");
+          return;
+        }
+        auto est = db->Estimate(sql[i]);
+        if (est.ok()) {
+          ests[i] = *est;
+        } else {
+          sts[i] = est.status();
+        }
+      },
+      [&](size_t i, Status s) { sts[i] = std::move(s); });
+  for (size_t i = 0; i < sql.size(); ++i) {
+    if (!sts[i].ok()) return sts[i];  // first error in workload order
+  }
+  return ests;
+}
+
+Result<std::vector<double>> HypotheticalWorkloadParallel(
+    Database* db, const std::vector<std::string>& sql,
+    const Configuration& hypothetical, const HypotheticalRules& rules,
+    const ParallelOptions& par) {
+  if (par.pool == nullptr) {
+    return HypotheticalWorkload(db, sql, hypothetical, rules);
+  }
+  std::vector<double> ests(sql.size(), 0.0);
+  std::vector<Status> sts(sql.size());
+  ParallelFor(
+      par.pool, sql.size(),
+      [&](size_t i) {
+        if (par.cancel.cancelled()) {
+          sts[i] = Status::Cancelled("workload cancelled");
+          return;
+        }
+        auto est = db->HypotheticalEstimate(sql[i], hypothetical, rules);
+        if (est.ok()) {
+          ests[i] = *est;
+        } else {
+          sts[i] = est.status();
+        }
+      },
+      [&](size_t i, Status s) { sts[i] = std::move(s); });
+  for (size_t i = 0; i < sql.size(); ++i) {
+    if (!sts[i].ok()) return sts[i];
+  }
+  return ests;
 }
 
 }  // namespace tabbench

@@ -6,6 +6,8 @@
 
 #include "core/cfc.h"
 #include "engine/database.h"
+#include "service/thread_pool.h"
+#include "util/cancellation.h"
 
 namespace tabbench {
 
@@ -50,6 +52,55 @@ Result<std::vector<double>> EstimateWorkload(
 Result<std::vector<double>> HypotheticalWorkload(
     Database* db, const std::vector<std::string>& sql,
     const Configuration& hypothetical, const HypotheticalRules& rules);
+
+/// Knobs for the parallel front-ends below.
+struct ParallelOptions {
+  /// Worker pool that executes the fan-out. nullptr degrades every
+  /// parallel front-end to its sequential twin (handy for A/B runs).
+  ThreadPool* pool = nullptr;
+  /// Queries traced in flight per batch of RunWorkloadParallel; bounds
+  /// peak trace memory. 0 picks 4x the pool width.
+  size_t window = 0;
+  /// Cancels the whole run (the Result carries Status::Cancelled).
+  CancellationToken cancel;
+};
+
+/// Parallel twin of RunWorkload, *bit-identical* in output and in the
+/// shared buffer pool's final state.
+///
+/// Sequential timings depend on the shared pool's warm-cache evolution
+/// across queries, which naive parallelism scrambles. The key invariant
+/// (see TraceEvent in exec/exec_context.h) is that a query's *charge
+/// sequence* — which pages it touches, in what order, and every CPU/spill
+/// charge — does not depend on buffer state; only the hit/miss pricing
+/// does. So:
+///   1. record phase (parallel): workers execute queries concurrently,
+///      each against a private cold session pool with timeout enforcement
+///      off, recording full charge traces;
+///   2. replay phase (sequential, cheap): the traces are replayed in
+///      workload order through the database's real pool — pure LRU walks,
+///      no query re-execution — re-pricing every touch against the exact
+///      pool state the sequential runner would have had, and re-applying
+///      the timeout at the recorded check points.
+/// The expensive work (planning, joins, aggregation) parallelizes; the
+/// order-sensitive part costs one LRU pass per query.
+Result<WorkloadResult> RunWorkloadParallel(Database* db,
+                                           const std::vector<std::string>& sql,
+                                           const ParallelOptions& par,
+                                           const RunOptions& opts = {});
+
+/// Parallel twin of EstimateWorkload (planning is read-only and
+/// order-independent, so this is a plain deterministic fan-out).
+Result<std::vector<double>> EstimateWorkloadParallel(
+    Database* db, const std::vector<std::string>& sql,
+    const ParallelOptions& par);
+
+/// Parallel twin of HypotheticalWorkload — the advisors' what-if loop is
+/// built from exactly these calls.
+Result<std::vector<double>> HypotheticalWorkloadParallel(
+    Database* db, const std::vector<std::string>& sql,
+    const Configuration& hypothetical, const HypotheticalRules& rules,
+    const ParallelOptions& par);
 
 }  // namespace tabbench
 

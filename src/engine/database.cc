@@ -117,6 +117,23 @@ Result<QueryResult> Database::Run(const std::string& sql) {
   return ExecutePlan(plan, *this, &ctx);
 }
 
+ExecContext Database::MakeSessionContext(BufferPool* session_pool,
+                                         CostParams params) const {
+  // Query execution never writes through the context's store handle; the
+  // cast only threads the shared simulated disk into a read-only context.
+  return ExecContext(const_cast<PageStore*>(&store_), session_pool, params);
+}
+
+Result<QueryResult> Database::RunWithContext(const std::string& sql,
+                                             ExecContext* ctx) const {
+  if (!stats_ready_) {
+    return Status::Internal("statistics not collected; call FinishLoad()");
+  }
+  PhysicalPlan plan;
+  TB_ASSIGN_OR_RETURN(plan, Plan(sql));
+  return ExecutePlan(plan, *this, ctx);
+}
+
 Result<Database::AnalyzedRun> Database::RunAnalyze(const std::string& sql) {
   if (!stats_ready_) {
     return Status::Internal("statistics not collected; call FinishLoad()");
@@ -128,14 +145,14 @@ Result<Database::AnalyzedRun> Database::RunAnalyze(const std::string& sql) {
   return out;
 }
 
-Result<PhysicalPlan> Database::Plan(const std::string& sql) {
+Result<PhysicalPlan> Database::Plan(const std::string& sql) const {
   BoundQuery q;
   TB_ASSIGN_OR_RETURN(q, ParseAndBind(sql, catalog_));
   ConfigView view = CurrentView();
   return PlanQuery(q, view);
 }
 
-Result<double> Database::Estimate(const std::string& sql) {
+Result<double> Database::Estimate(const std::string& sql) const {
   PhysicalPlan plan;
   TB_ASSIGN_OR_RETURN(plan, Plan(sql));
   return plan.est_cost;
@@ -143,7 +160,7 @@ Result<double> Database::Estimate(const std::string& sql) {
 
 Result<double> Database::HypotheticalEstimate(
     const std::string& sql, const Configuration& hypothetical,
-    const HypotheticalRules& rules) {
+    const HypotheticalRules& rules) const {
   BoundQuery q;
   TB_ASSIGN_OR_RETURN(q, ParseAndBind(sql, catalog_));
   ConfigView base = CurrentView();

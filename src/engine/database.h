@@ -88,8 +88,26 @@ class Database : public ObjectResolver {
   /// back-to-back as in the paper's workload runs).
   Result<QueryResult> Run(const std::string& sql);
 
+  /// Builds an ExecContext whose page accounting goes to `session_pool` — a
+  /// session's private buffer-pool view — instead of the shared pool. The
+  /// storage it routes over is the database's (read-only under queries).
+  ExecContext MakeSessionContext(BufferPool* session_pool,
+                                 CostParams params) const;
+
+  /// Like Run, but executes in the caller-provided context (private session
+  /// pool, per-job deadline/cancellation, optional trace recording). Purely
+  /// read-only with respect to the database: many threads may call this
+  /// concurrently — each with its own context — as long as no DDL,
+  /// configuration change, or insert runs at the same time. This is the
+  /// execution path of the concurrent WorkloadService (src/service/) and of
+  /// the parallel workload runners (src/core/runner.h).
+  Result<QueryResult> RunWithContext(const std::string& sql,
+                                     ExecContext* ctx) const;
+
   /// Optimizes only; returns the chosen plan with E(q, C_current).
-  Result<PhysicalPlan> Plan(const std::string& sql);
+  /// Read-only and safe to call concurrently (planning consults only the
+  /// catalog, statistics, and built-structure metadata).
+  Result<PhysicalPlan> Plan(const std::string& sql) const;
 
   /// EXPLAIN ANALYZE: executes and returns both the result and the plan
   /// annotated with measured per-operator cardinalities (the paper's
@@ -101,13 +119,15 @@ class Database : public ObjectResolver {
   Result<AnalyzedRun> RunAnalyze(const std::string& sql);
 
   /// E(q, C_current): the optimizer's estimate in the built configuration.
-  Result<double> Estimate(const std::string& sql);
+  /// Concurrency-safe like Plan().
+  Result<double> Estimate(const std::string& sql) const;
 
   /// H(q, C_h, C_current): what-if estimate of a configuration that is NOT
-  /// built, derived per `rules` (Section 5 of the paper).
+  /// built, derived per `rules` (Section 5 of the paper). Concurrency-safe
+  /// like Plan().
   Result<double> HypotheticalEstimate(const std::string& sql,
                                       const Configuration& hypothetical,
-                                      const HypotheticalRules& rules);
+                                      const HypotheticalRules& rules) const;
 
   /// Planner view of the currently built configuration, with measured
   /// index/view statistics.
@@ -118,6 +138,9 @@ class Database : public ObjectResolver {
   const Catalog& catalog() const { return catalog_; }
   const DatabaseStats& stats() const { return stats_; }
   BufferPool* buffer_pool() { return &pool_; }
+  const BufferPool& buffer_pool() const { return pool_; }
+  /// Hit/miss accounting of the shared pool since the last Clear().
+  BufferPoolStats buffer_stats() const { return pool_.stats(); }
   const DatabaseOptions& options() const { return options_; }
 
   /// Pages of base heaps + primary-key indexes (the P footprint).

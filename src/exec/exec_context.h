@@ -2,9 +2,11 @@
 #define TABBENCH_EXEC_EXEC_CONTEXT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace tabbench {
@@ -41,8 +43,58 @@ struct CostParams {
   double timeout_seconds = 1800.0;
 };
 
+/// One recorded cost-model charge of a query execution. A query's sequence
+/// of charges is a pure function of the plan and the data — the buffer-pool
+/// state only decides which *touches* are hits vs. misses, never which
+/// pages are touched or in what order. That invariant is what lets the
+/// parallel workload runner execute queries concurrently against private
+/// session pools and later *replay* the recorded traces through the shared
+/// pool, reproducing the sequential timings bit for bit (src/core/runner.h,
+/// RunWorkloadParallel).
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    kTouchSeq,      // TouchPage(arg)
+    kTouchRandom,   // TouchPageRandom(arg)
+    kIoPages,       // ChargeIoPages(arg)
+    kTuples,        // ChargeTuples(arg)
+    kHashOps,       // ChargeHashOps(arg)
+    kTimeoutCheck,  // CheckTimeout() — a potential abort point
+    /// arg repetitions of {ChargeTuples(1); CheckTimeout()} — the executor's
+    /// per-tuple inner loop, coalesced so traces stay ~2 events per *page*
+    /// instead of ~2 per tuple. Replay applies the identical per-repetition
+    /// FP add and compare, so coalescing changes neither timings nor the
+    /// abort tuple.
+    kUnitTuplesChecked,
+    /// arg repetitions of {ChargeHashOps(1); CheckTimeout()}.
+    kUnitHashChecked,
+  };
+  Kind kind;
+  uint64_t arg = 0;  // PageId for touches, count for charges, 0 for checks
+};
+
+using AccessTrace = std::vector<TraceEvent>;
+
+/// Replays a recorded trace against `pool`, applying the same charges in
+/// the same order (and the same floating-point operation shapes) the live
+/// executor would, and aborting at the first recorded timeout check whose
+/// accumulated simulated time exceeds `params.timeout_seconds`. The pool is
+/// left exactly as a live (timeout-enforced) execution would leave it.
+struct ReplayOutcome {
+  double sim_seconds = 0.0;  // clamped to the timeout when timed_out
+  uint64_t pages_read = 0;
+  bool timed_out = false;
+};
+ReplayOutcome ReplayTrace(const AccessTrace& trace, BufferPool* pool,
+                          const CostParams& params);
+
 /// Per-query execution state: routes every page access through the buffer
 /// pool, accumulates simulated elapsed time, and trips the timeout.
+///
+/// Concurrency contract: an ExecContext (and the BufferPool it routes to)
+/// belongs to one thread at a time. Concurrent query execution gives every
+/// session its *own* context + pool view over the shared read-only storage
+/// (see src/service/session.h); the engine's shared pool is only ever
+/// advanced single-threaded.
 class ExecContext {
  public:
   ExecContext(PageStore* store, BufferPool* pool, CostParams params)
@@ -51,6 +103,7 @@ class ExecContext {
   /// Declares a *sequential* access to `id`: LRU bookkeeping plus a
   /// streaming I/O charge on miss.
   void TouchPage(PageId id) {
+    if (trace_) trace_->push_back({TraceEvent::Kind::kTouchSeq, id});
     if (!pool_->Touch(id)) {
       ++pages_read_;
       sim_time_ += params_.page_io_seconds;
@@ -60,6 +113,7 @@ class ExecContext {
   /// Declares a *random* access to `id` (probe, fetch): LRU bookkeeping
   /// plus a seek-priced charge on miss.
   void TouchPageRandom(PageId id) {
+    if (trace_) trace_->push_back({TraceEvent::Kind::kTouchRandom, id});
     if (!pool_->Touch(id)) {
       ++pages_read_;
       sim_time_ += params_.random_io_seconds;
@@ -68,26 +122,63 @@ class ExecContext {
 
   /// Charges pure I/O without buffer-pool interaction (spill writes/reads).
   void ChargeIoPages(uint64_t n) {
+    if (trace_) trace_->push_back({TraceEvent::Kind::kIoPages, n});
     pages_read_ += n;
     sim_time_ += static_cast<double>(n) * params_.page_io_seconds;
   }
 
   void ChargeTuples(uint64_t n) {
+    if (trace_) trace_->push_back({TraceEvent::Kind::kTuples, n});
     tuples_ += n;
     sim_time_ += static_cast<double>(n) * params_.cpu_tuple_seconds;
   }
 
   void ChargeHashOps(uint64_t n) {
+    if (trace_) trace_->push_back({TraceEvent::Kind::kHashOps, n});
     sim_time_ += static_cast<double>(n) * params_.cpu_hash_seconds;
   }
 
-  bool TimedOut() const { return sim_time_ > params_.timeout_seconds; }
+  bool TimedOut() const {
+    return enforce_timeout_ && sim_time_ > params_.timeout_seconds;
+  }
 
-  /// OK, or Timeout once the simulated clock passes the limit.
+  /// OK; Cancelled once the context's token is revoked; Timeout once the
+  /// simulated clock passes the limit. Every call site is a safe abort
+  /// point, which makes this the cancellation poll as well.
   Status CheckTimeout() const {
+    if (trace_) RecordCheck();
+    if (cancel_.cancelled()) return Status::Cancelled("query cancelled");
     if (TimedOut()) return Status::Timeout("query exceeded timeout");
+    if (record_budget_ > 0.0 && sim_time_ > record_budget_) {
+      return Status::Timeout("record budget exceeded");
+    }
     return Status::OK();
   }
+
+  /// Attaches a cooperative cancellation token; CheckTimeout() fails with
+  /// Cancelled once it is revoked.
+  void set_cancellation_token(CancellationToken token) {
+    cancel_ = std::move(token);
+  }
+
+  /// Directs every subsequent charge into `trace` (nullptr stops
+  /// recording). Recording does not change any charge or timing.
+  void set_trace(AccessTrace* trace) { trace_ = trace; }
+
+  /// When disabled, the timeout never trips (CheckTimeout still records its
+  /// abort points into the trace). Trace-recording runs disable enforcement
+  /// so the *full* charge sequence is captured; the replay re-applies the
+  /// timeout at the recorded check points.
+  void set_enforce_timeout(bool enforce) { enforce_timeout_ = enforce; }
+
+  /// Aborts execution (as a timeout) once simulated time passes `budget`,
+  /// independent of enforce_timeout(). Trace-recording runs use this to
+  /// avoid executing doomed queries to completion: an LRU replay of the
+  /// trace from *any* starting pool saves at most `pool capacity` first-
+  /// touch hits versus the cold recording run, so once the cold clock is
+  /// past timeout + capacity * max_io_cost every replay is guaranteed to
+  /// trip within the recorded prefix (see RunWorkloadParallel). 0 disables.
+  void set_record_budget(double budget) { record_budget_ = budget; }
 
   double sim_time() const { return sim_time_; }
   uint64_t pages_read() const { return pages_read_; }
@@ -97,9 +188,47 @@ class ExecContext {
   BufferPool* pool() const { return pool_; }
 
  private:
+  /// Trace bookkeeping for CheckTimeout(). Two rewrites keep traces small
+  /// without changing what a replay computes:
+  ///  - a check right after a single-unit tuple/hash charge folds the pair
+  ///    into a counted kUnitTuplesChecked/kUnitHashChecked event (the
+  ///    executor charges per tuple, so these runs dominate trace volume);
+  ///  - consecutive checks with no intervening charge collapse — and a
+  ///    coalesced event already ends on a check, so one directly after it
+  ///    is dropped too. Comparisons repeat bit-identically; no FP state
+  ///    changes between them.
+  void RecordCheck() const {
+    if (!trace_->empty()) {
+      TraceEvent& back = trace_->back();
+      if (back.kind == TraceEvent::Kind::kTimeoutCheck ||
+          back.kind == TraceEvent::Kind::kUnitTuplesChecked ||
+          back.kind == TraceEvent::Kind::kUnitHashChecked) {
+        return;
+      }
+      if (back.arg == 1 && (back.kind == TraceEvent::Kind::kTuples ||
+                            back.kind == TraceEvent::Kind::kHashOps)) {
+        TraceEvent::Kind merged = back.kind == TraceEvent::Kind::kTuples
+                                      ? TraceEvent::Kind::kUnitTuplesChecked
+                                      : TraceEvent::Kind::kUnitHashChecked;
+        trace_->pop_back();
+        if (!trace_->empty() && trace_->back().kind == merged) {
+          ++trace_->back().arg;
+        } else {
+          trace_->push_back({merged, 1});
+        }
+        return;
+      }
+    }
+    trace_->push_back({TraceEvent::Kind::kTimeoutCheck, 0});
+  }
+
   PageStore* store_;
   BufferPool* pool_;
   CostParams params_;
+  CancellationToken cancel_;
+  AccessTrace* trace_ = nullptr;
+  bool enforce_timeout_ = true;
+  double record_budget_ = 0.0;
   double sim_time_ = 0.0;
   uint64_t pages_read_ = 0;
   uint64_t tuples_ = 0;

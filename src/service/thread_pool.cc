@@ -1,0 +1,111 @@
+#include "service/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tabbench {
+
+ThreadPool::ThreadPool(Options options)
+    : max_queue_(options.max_queue) {
+  size_t n = options.workers;
+  if (n == 0) {
+    n = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      ++rejected_;
+      return Status::Unavailable("thread pool is shut down");
+    }
+    if (max_queue_ > 0 && queue_.size() >= max_queue_) {
+      ++rejected_;
+      return Status::Unavailable("job queue is full");
+    }
+    queue_.push_back(std::move(job));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+Status ThreadPool::SubmitOrRun(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::Unavailable("thread pool is shut down");
+    if (max_queue_ == 0 || queue_.size() < max_queue_) {
+      queue_.push_back(std::move(job));
+      ++pending_;
+      work_cv_.notify_one();
+      return Status::OK();
+    }
+  }
+  // Queue full: caller-runs backpressure.
+  job();
+  return Status::OK();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      // Already requested; fall through to join below (idempotent: joined
+      // threads are cleared).
+    }
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t ThreadPool::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+uint64_t ThreadPool::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace tabbench

@@ -1,0 +1,132 @@
+#ifndef TABBENCH_SERVICE_THREAD_POOL_H_
+#define TABBENCH_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tabbench {
+
+/// Fixed-size worker pool over a bounded FIFO job queue.
+///
+/// - `Submit` enqueues a job or fails fast with `Unavailable` when the
+///   queue is at capacity (admission control) or the pool is shutting down
+///   — it never blocks the caller.
+/// - `SubmitOrRun` is the backpressure policy for internal fan-outs: when
+///   the queue is full the caller's own thread runs the job (caller-runs),
+///   so bulk submitters throttle themselves instead of failing.
+/// - Shutdown (explicit or via the destructor) stops admission, drains
+///   every already-accepted job, and joins the workers.
+class ThreadPool {
+ public:
+  struct Options {
+    /// Worker threads; 0 means std::thread::hardware_concurrency().
+    size_t workers = 0;
+    /// Queue capacity; 0 means unbounded (no admission control).
+    size_t max_queue = 0;
+  };
+
+  explicit ThreadPool(Options options);
+  explicit ThreadPool(size_t workers) : ThreadPool(Options{workers, 0}) {}
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `job`; Unavailable when the queue is full or after Shutdown.
+  Status Submit(std::function<void()> job);
+
+  /// Enqueues `job`, or runs it on the calling thread when the queue is
+  /// full. Fails only after Shutdown.
+  Status SubmitOrRun(std::function<void()> job);
+
+  /// Blocks until every job accepted so far has finished. The pool stays
+  /// usable afterwards.
+  void Wait();
+
+  /// Stops accepting jobs, drains the queue, joins the workers. Idempotent.
+  void Shutdown();
+
+  size_t num_workers() const { return workers_.size(); }
+  size_t queue_capacity() const { return max_queue_; }
+  /// Jobs currently queued (excludes running ones).
+  size_t queued() const;
+  /// Jobs rejected by admission control since construction.
+  uint64_t rejected() const;
+  uint64_t completed() const;
+
+ private:
+  void WorkerLoop();
+
+  const size_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs/shutdown
+  std::condition_variable idle_cv_;   // Wait() waits for pending_ == 0
+  std::deque<std::function<void()>> queue_;
+  size_t pending_ = 0;  // queued + running
+  uint64_t rejected_ = 0;
+  uint64_t completed_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// One-shot join point for a known number of events.
+class Latch {
+ public:
+  explicit Latch(size_t count) : count_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_;
+};
+
+/// Runs `fn(i)` for every i in [0, n) on the pool — with the caller's own
+/// thread pitching in when the queue is full (SubmitOrRun) — and joins
+/// before returning. A shared pool may carry unrelated work, so this joins
+/// on its own Latch, never ThreadPool::Wait().
+///
+/// `fn` must not throw and must write only state owned by its index (the
+/// fan-out/fan-in makes per-slot results race-free without locks). When the
+/// pool refuses a job (shut down mid-run), `on_reject(i, status)` runs on
+/// the calling thread instead of `fn(i)`. A nullptr pool degrades to a
+/// plain sequential loop.
+template <typename Fn, typename Reject>
+void ParallelFor(ThreadPool* pool, size_t n, Fn&& fn, Reject&& on_reject) {
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Latch latch(n);
+  for (size_t i = 0; i < n; ++i) {
+    Status s = pool->SubmitOrRun([i, &fn, &latch] {
+      fn(i);
+      latch.CountDown();
+    });
+    if (!s.ok()) {
+      on_reject(i, std::move(s));
+      latch.CountDown();
+    }
+  }
+  latch.Wait();
+}
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_SERVICE_THREAD_POOL_H_

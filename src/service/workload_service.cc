@@ -1,0 +1,221 @@
+#include "service/workload_service.h"
+
+#include <utility>
+
+namespace tabbench {
+
+namespace {
+
+/// A future already holding `status` (admission rejections, dead sessions).
+template <typename T>
+std::future<Result<T>> ReadyFuture(Status status) {
+  std::promise<Result<T>> p;
+  p.set_value(Result<T>(std::move(status)));
+  return p.get_future();
+}
+
+}  // namespace
+
+WorkloadService::WorkloadService(const Database* db, ServiceOptions options)
+    : db_(db),
+      options_(options),
+      // Admission control lives at the service level (max_in_flight), so
+      // the pool queue itself is unbounded: every admitted job is owed a
+      // fulfilled future and must reach a worker.
+      pool_(ThreadPool::Options{options.workers, 0}) {}
+
+WorkloadService::~WorkloadService() { Shutdown(); }
+
+bool WorkloadService::AdmitLocked() {
+  if (shutdown_) {
+    ++stats_.rejected;
+    return false;
+  }
+  if (options_.max_in_flight > 0 && in_flight_ >= options_.max_in_flight) {
+    ++stats_.rejected;
+    return false;
+  }
+  ++in_flight_;
+  ++stats_.submitted;
+  return true;
+}
+
+Status WorkloadService::Dispatch(SessionId id, std::function<void()> job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == kNoSession) {
+    if (!AdmitLocked()) return Status::Unavailable("service at capacity");
+    // Holding mu_ across Submit is what makes the shutdown_ check
+    // authoritative: Shutdown() flips the flag under mu_ before shutting
+    // the pool, so an admitted job always reaches a live pool.
+    return pool_.Submit(std::move(job));
+  }
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second->closing) {
+    return Status::NotFound("no such session");
+  }
+  if (!AdmitLocked()) return Status::Unavailable("service at capacity");
+  SessionState* st = it->second.get();
+  st->jobs.push_back(std::move(job));
+  if (!st->running) {
+    st->running = true;
+    return pool_.Submit([this, id] { DrainSession(id); });
+  }
+  return Status::OK();
+}
+
+void WorkloadService::DrainSession(SessionId id) {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = sessions_.find(id);
+      if (it == sessions_.end()) return;
+      SessionState* st = it->second.get();
+      if (st->jobs.empty()) {
+        st->running = false;
+        if (st->closing) sessions_.erase(it);
+        return;
+      }
+      job = std::move(st->jobs.front());
+      st->jobs.pop_front();
+    }
+    job();
+  }
+}
+
+void WorkloadService::FinishJob(bool was_cancelled, size_t timeouts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  ++stats_.completed;
+  if (was_cancelled) ++stats_.cancelled;
+  stats_.query_timeouts += timeouts;
+}
+
+std::future<Result<QueryResult>> WorkloadService::SubmitQuery(
+    std::string sql, JobOptions options) {
+  auto prom = std::make_shared<std::promise<Result<QueryResult>>>();
+  std::future<Result<QueryResult>> fut = prom->get_future();
+
+  Session* strand_session = nullptr;
+  if (options.session != kNoSession) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(options.session);
+    if (it == sessions_.end() || it->second->closing) {
+      return ReadyFuture<QueryResult>(Status::NotFound("no such session"));
+    }
+    strand_session = &it->second->session;
+  }
+
+  auto job = [this, sql = std::move(sql), options, strand_session, prom] {
+    Result<QueryResult> r = [&]() -> Result<QueryResult> {
+      if (options.cancel.cancelled()) {
+        return Status::Cancelled("cancelled before execution");
+      }
+      if (strand_session != nullptr) {
+        return strand_session->Execute(sql, options.deadline_seconds,
+                                       options.cancel);
+      }
+      Session ephemeral(db_, options_.session);
+      return ephemeral.Execute(sql, options.deadline_seconds, options.cancel);
+    }();
+    FinishJob(!r.ok() && r.status().IsCancelled(),
+              r.ok() && r->timed_out ? 1 : 0);
+    prom->set_value(std::move(r));
+  };
+
+  Status dispatched = Dispatch(options.session, std::move(job));
+  if (!dispatched.ok()) return ReadyFuture<QueryResult>(dispatched);
+  return fut;
+}
+
+std::future<Result<std::vector<QueryResult>>> WorkloadService::SubmitWorkload(
+    std::vector<std::string> sql, JobOptions options) {
+  auto prom =
+      std::make_shared<std::promise<Result<std::vector<QueryResult>>>>();
+  auto fut = prom->get_future();
+
+  Session* strand_session = nullptr;
+  if (options.session != kNoSession) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(options.session);
+    if (it == sessions_.end() || it->second->closing) {
+      return ReadyFuture<std::vector<QueryResult>>(
+          Status::NotFound("no such session"));
+    }
+    strand_session = &it->second->session;
+  }
+
+  auto job = [this, sql = std::move(sql), options, strand_session, prom] {
+    size_t timeouts = 0;
+    Result<std::vector<QueryResult>> r =
+        [&]() -> Result<std::vector<QueryResult>> {
+      Session ephemeral(db_, options_.session);
+      Session* session =
+          strand_session != nullptr ? strand_session : &ephemeral;
+      std::vector<QueryResult> out;
+      out.reserve(sql.size());
+      for (const auto& q : sql) {
+        if (options.cancel.cancelled()) {
+          return Status::Cancelled("workload cancelled");
+        }
+        auto qr = session->Execute(q, options.deadline_seconds,
+                                   options.cancel);
+        if (!qr.ok()) return qr.status();
+        if (qr->timed_out) ++timeouts;
+        out.push_back(qr.TakeValue());
+      }
+      return out;
+    }();
+    FinishJob(!r.ok() && r.status().IsCancelled(), timeouts);
+    prom->set_value(std::move(r));
+  };
+
+  Status dispatched = Dispatch(options.session, std::move(job));
+  if (!dispatched.ok()) {
+    return ReadyFuture<std::vector<QueryResult>>(dispatched);
+  }
+  return fut;
+}
+
+SessionId WorkloadService::OpenSession(SessionOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return kNoSession;
+  SessionId id = next_session_++;
+  sessions_.emplace(id, std::make_unique<SessionState>(db_, options));
+  return id;
+}
+
+Status WorkloadService::CloseSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return Status::NotFound("no such session");
+  SessionState* st = it->second.get();
+  if (st->running || !st->jobs.empty()) {
+    st->closing = true;  // destroyed once the strand drains
+  } else {
+    sessions_.erase(it);
+  }
+  return Status::OK();
+}
+
+Result<double> WorkloadService::SessionClock(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return Status::NotFound("no such session");
+  return it->second->session.clock_seconds();
+}
+
+ServiceStats WorkloadService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WorkloadService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  pool_.Shutdown();  // drains every accepted job; their futures resolve
+}
+
+}  // namespace tabbench

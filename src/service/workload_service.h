@@ -1,0 +1,149 @@
+#ifndef TABBENCH_SERVICE_WORKLOAD_SERVICE_H_
+#define TABBENCH_SERVICE_WORKLOAD_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "service/session.h"
+#include "service/thread_pool.h"
+#include "util/cancellation.h"
+
+namespace tabbench {
+
+/// Handle to a service session. 0 is "no session".
+using SessionId = uint64_t;
+inline constexpr SessionId kNoSession = 0;
+
+struct ServiceOptions {
+  /// Worker threads; 0 means hardware concurrency.
+  size_t workers = 0;
+  /// Admission-control cap on jobs in flight (queued + running). Further
+  /// submissions are rejected with Unavailable until load drains. 0 = no cap.
+  size_t max_in_flight = 64;
+  /// Defaults for sessions the service creates (both OpenSession and the
+  /// ephemeral cold session a sessionless job runs on).
+  SessionOptions session;
+};
+
+/// Per-job execution knobs.
+struct JobOptions {
+  /// Simulated-seconds deadline folded into the paper's 30-minute timeout
+  /// as min(timeout, deadline); a trip is reported as a timed-out result,
+  /// the `t_out` convention. <= 0 uses the session/database default.
+  double deadline_seconds = -1.0;
+  /// Cooperative cancellation; polled at every executor safe point. A
+  /// cancelled job's future holds Status::Cancelled.
+  CancellationToken cancel;
+  /// Session to run on. kNoSession runs on a fresh cold private session
+  /// (deterministic in isolation); a real session id gives warm-cache
+  /// continuity, with the service serializing that session's jobs in
+  /// submission order.
+  SessionId session = kNoSession;
+};
+
+/// Service-level counters (monotone since construction).
+struct ServiceStats {
+  uint64_t submitted = 0;  // accepted jobs (queries count 1, workloads 1)
+  uint64_t completed = 0;
+  uint64_t rejected = 0;   // admission-control rejections
+  uint64_t cancelled = 0;  // jobs that finished with Status::Cancelled
+  uint64_t query_timeouts = 0;  // executed queries reported timed_out
+};
+
+/// The concurrent query-serving front of the engine: a thread-pool-backed
+/// service that accepts single queries or whole workloads against one
+/// Database and hands back futures.
+///
+/// Responsibilities:
+///  - scheduling: a fixed worker pool; per-session FIFO strands so one
+///    session's jobs never interleave (its pool view stays deterministic)
+///    while different sessions run fully in parallel;
+///  - deadlines: per-job simulated-seconds deadlines folded into the
+///    paper's per-query timeout;
+///  - cancellation: cooperative tokens threaded into ExecContext;
+///  - admission control: an in-flight cap with graceful Unavailable
+///    rejection instead of unbounded queueing.
+///
+/// The database must stay read-only (no DDL / ApplyConfiguration / inserts)
+/// while jobs are in flight; the service itself only ever executes queries.
+class WorkloadService {
+ public:
+  explicit WorkloadService(const Database* db, ServiceOptions options = {});
+  ~WorkloadService();
+
+  WorkloadService(const WorkloadService&) = delete;
+  WorkloadService& operator=(const WorkloadService&) = delete;
+
+  /// Submits one query. The returned future holds the QueryResult, or
+  /// Unavailable (rejected / shutting down), Cancelled, or a genuine
+  /// execution error. Timeouts are successful results with timed_out set.
+  std::future<Result<QueryResult>> SubmitQuery(std::string sql,
+                                               JobOptions options = {});
+
+  /// Submits a whole workload as one job: the queries run back-to-back on
+  /// one session (warm cache across queries, like the sequential runner),
+  /// producing per-query results in workload order.
+  std::future<Result<std::vector<QueryResult>>> SubmitWorkload(
+      std::vector<std::string> sql, JobOptions options = {});
+
+  /// Creates a session with its own buffer-pool view and simulated clock.
+  SessionId OpenSession(SessionOptions options);
+  SessionId OpenSession() { return OpenSession(options_.session); }
+
+  /// Closes a session. Jobs already accepted for it still run; the session
+  /// is destroyed once they drain. New submissions to it are rejected.
+  Status CloseSession(SessionId id);
+
+  /// Accumulated simulated seconds of a session's queries, or NotFound.
+  Result<double> SessionClock(SessionId id) const;
+
+  ServiceStats stats() const;
+  size_t num_workers() const { return pool_.num_workers(); }
+
+  /// Stops accepting work, drains accepted jobs, joins workers. Idempotent;
+  /// also run by the destructor.
+  void Shutdown();
+
+ private:
+  struct SessionState {
+    explicit SessionState(const Database* db, SessionOptions opts)
+        : session(db, opts) {}
+    Session session;
+    std::deque<std::function<void()>> jobs;  // pending, FIFO
+    bool running = false;  // a worker is draining this strand
+    bool closing = false;  // destroy once drained
+  };
+
+  /// Admission check + accounting; returns false (and bumps `rejected`)
+  /// when the job must be turned away. Caller holds mu_.
+  bool AdmitLocked();
+  /// Enqueues `job` on the session's strand (scheduling a drain if idle)
+  /// or directly on the pool for sessionless jobs. Returns Unavailable on
+  /// admission rejection, NotFound for a dead session.
+  Status Dispatch(SessionId id, std::function<void()> job);
+  /// Runs a session's pending jobs in FIFO order until its queue empties.
+  void DrainSession(SessionId id);
+  void FinishJob(bool was_cancelled, size_t timeouts);
+
+  const Database* db_;
+  ServiceOptions options_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  bool shutdown_ = false;
+  uint64_t in_flight_ = 0;
+  SessionId next_session_ = 1;
+  std::map<SessionId, std::unique_ptr<SessionState>> sessions_;
+  ServiceStats stats_;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_SERVICE_WORKLOAD_SERVICE_H_

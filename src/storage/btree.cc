@@ -262,36 +262,41 @@ bool BTree::Iterator::Next(IndexKey* key, Rid* rid) {
   }
 }
 
-uint64_t BTree::num_distinct_keys() const {
-  if (!cache_valid_) {
-    // Single leaf-chain walk computes both cached metrics.
-    uint64_t distinct = 0, clustering = 0;
-    const Node* node = root_.get();
-    while (!node->is_leaf) node = node->children.front().get();
-    const IndexKey* prev_key = nullptr;
-    const Rid* prev_rid = nullptr;
-    for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next_leaf) {
-      for (size_t i = 0; i < leaf->keys.size(); ++i) {
-        if (prev_key == nullptr || CompareKeys(*prev_key, leaf->keys[i]) != 0) {
-          ++distinct;
-        }
-        if (prev_rid == nullptr ||
-            prev_rid->page_ordinal != leaf->rids[i].page_ordinal) {
-          ++clustering;
-        }
-        prev_key = &leaf->keys[i];
-        prev_rid = &leaf->rids[i];
+void BTree::FillStatsCache() const {
+  if (cache_valid_) return;
+  // Single leaf-chain walk computes both cached metrics.
+  uint64_t distinct = 0, clustering = 0;
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = node->children.front().get();
+  const IndexKey* prev_key = nullptr;
+  const Rid* prev_rid = nullptr;
+  for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next_leaf) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (prev_key == nullptr || CompareKeys(*prev_key, leaf->keys[i]) != 0) {
+        ++distinct;
       }
+      if (prev_rid == nullptr ||
+          prev_rid->page_ordinal != leaf->rids[i].page_ordinal) {
+        ++clustering;
+      }
+      prev_key = &leaf->keys[i];
+      prev_rid = &leaf->rids[i];
     }
-    cached_distinct_ = distinct;
-    cached_clustering_ = clustering;
-    cache_valid_ = true;
   }
+  cached_distinct_ = distinct;
+  cached_clustering_ = clustering;
+  cache_valid_ = true;
+}
+
+uint64_t BTree::num_distinct_keys() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  FillStatsCache();
   return cached_distinct_;
 }
 
 uint64_t BTree::clustering_factor() const {
-  num_distinct_keys();  // fills the cache
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  FillStatsCache();
   return cached_clustering_;
 }
 

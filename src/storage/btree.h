@@ -2,6 +2,7 @@
 #define TABBENCH_STORAGE_BTREE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,10 @@ class BTree {
                  std::unique_ptr<Node>* split_node);
   std::unique_ptr<Node> MakeNode(bool leaf);
 
+  /// Walks the leaf chain once to fill both cached metrics. Caller holds
+  /// cache_mu_.
+  void FillStatsCache() const;
+
   std::string name_;
   size_t num_key_columns_;
   size_t leaf_capacity_;
@@ -111,6 +116,11 @@ class BTree {
   std::unique_ptr<Node> root_;
   uint64_t num_entries_ = 0;
   size_t num_pages_ = 0;
+  /// Lazily computed distinct/clustering metrics. The mutex makes the lazy
+  /// fill safe under concurrent read-only planning (many threads build
+  /// ConfigViews of the same built tree at once); writes (Insert/BulkBuild)
+  /// are single-threaded by the engine's contract and just invalidate.
+  mutable std::mutex cache_mu_;
   mutable uint64_t cached_distinct_ = 0;
   mutable uint64_t cached_clustering_ = 0;
   mutable bool cache_valid_ = false;

@@ -35,6 +35,7 @@ void BufferPool::Evict(PageId id) {
 void BufferPool::Clear() {
   lru_.clear();
   map_.clear();
+  ResetCounters();
 }
 
 void BufferPool::SetCapacity(size_t capacity_pages) {

@@ -1,0 +1,35 @@
+#ifndef TABBENCH_UTIL_CANCELLATION_H_
+#define TABBENCH_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+namespace tabbench {
+
+/// Cooperative cancellation flag shared between a submitter and the worker
+/// executing its job. Copies alias the same flag; the default-constructed
+/// token is live (never-cancelled) and cheap enough to pass by value
+/// everywhere a cancellation point might be reached.
+///
+/// Cancellation is *cooperative*: requesting it only flips the flag. The
+/// executing side observes it at its existing safe points (the executor's
+/// per-row `ExecContext::CheckTimeout` calls) and unwinds with
+/// `Status::Cancelled`. Nothing is interrupted mid-operation, so partially
+/// evaluated queries leave no broken state behind.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void RequestCancel() const { flag_->store(true, std::memory_order_relaxed); }
+
+  /// True once any copy of this token was cancelled.
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_UTIL_CANCELLATION_H_

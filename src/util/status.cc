@@ -21,6 +21,10 @@ const char* CodeName(Status::Code code) {
       return "ResourceExhausted";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -25,6 +25,12 @@ class Status {
     kTimeout,
     kResourceExhausted,
     kInternal,
+    /// The caller revoked the work via a CancellationToken before it
+    /// finished. Like kTimeout this is a cooperative, expected outcome.
+    kCancelled,
+    /// The service cannot accept the request right now (admission control:
+    /// the job queue is full or the service is shutting down). Retryable.
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -51,9 +57,17 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsTimeout() const { return code_ == Code::kTimeout; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsUnsupported() const { return code_ == Code::kUnsupported; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }

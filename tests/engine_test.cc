@@ -34,6 +34,33 @@ TEST(EngineTest, InsertArityChecked) {
   EXPECT_TRUE(db.Insert("missing", Tuple()).IsNotFound());
 }
 
+TEST(EngineTest, BufferStatsExposeSharedPoolAccounting) {
+  TinyDb tiny = TinyDb::Make(500, 10);
+  Database* db = tiny.db.get();
+  db->buffer_pool()->Clear();
+  BufferPoolStats cold = db->buffer_stats();
+  EXPECT_EQ(cold.accesses(), 0u);
+  EXPECT_EQ(cold.resident, 0u);
+  EXPECT_EQ(cold.capacity, db->options().buffer_pool_pages);
+
+  ASSERT_TRUE(db->Run("SELECT p.city, COUNT(*) FROM people p "
+                      "GROUP BY p.city").ok());
+  BufferPoolStats after_cold = db->buffer_stats();
+  EXPECT_GT(after_cold.misses, 0u);
+
+  // A second, warm run only adds hits.
+  ASSERT_TRUE(db->Run("SELECT p.city, COUNT(*) FROM people p "
+                      "GROUP BY p.city").ok());
+  BufferPoolStats after_warm = db->buffer_stats();
+  EXPECT_EQ(after_warm.misses, after_cold.misses);
+  EXPECT_GT(after_warm.hits, after_cold.hits);
+  EXPECT_GT(after_warm.HitRatio(), after_cold.HitRatio());
+
+  // Clear() starts a new accounting epoch (cold-start runs are comparable).
+  db->buffer_pool()->Clear();
+  EXPECT_EQ(db->buffer_stats().accesses(), 0u);
+}
+
 TEST(EngineTest, RunBeforeFinishLoadFails) {
   Database db;
   TableDef t;

@@ -87,6 +87,89 @@ TEST(ExecContextTest, EvictionMakesReaccessCostAgain) {
   EXPECT_DOUBLE_EQ(ctx.sim_time(), before + 1.0);
 }
 
+TEST(ExecContextTest, TraceCoalescesPerTupleChargeCheckPairs) {
+  PageStore store;
+  BufferPool pool(4);
+  ExecContext ctx(&store, &pool, TestParams());
+  AccessTrace trace;
+  ctx.set_trace(&trace);
+
+  // The executor's inner loop: charge one tuple, poll the timeout.
+  for (int i = 0; i < 1000; ++i) {
+    ctx.ChargeTuples(1);
+    ASSERT_TRUE(ctx.CheckTimeout().ok());
+  }
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].kind, TraceEvent::Kind::kUnitTuplesChecked);
+  EXPECT_EQ(trace[0].arg, 1000u);
+
+  // Redundant back-to-back checks collapse; multi-unit charges stay raw.
+  ASSERT_TRUE(ctx.CheckTimeout().ok());
+  EXPECT_EQ(trace.size(), 1u);
+  ctx.ChargeTuples(7);
+  ASSERT_TRUE(ctx.CheckTimeout().ok());
+  ctx.ChargeHashOps(1);
+  ASSERT_TRUE(ctx.CheckTimeout().ok());
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[1].kind, TraceEvent::Kind::kTuples);
+  EXPECT_EQ(trace[1].arg, 7u);
+  EXPECT_EQ(trace[2].kind, TraceEvent::Kind::kTimeoutCheck);
+  EXPECT_EQ(trace[3].kind, TraceEvent::Kind::kUnitHashChecked);
+  EXPECT_EQ(trace[3].arg, 1u);
+
+  // Replay reproduces the live clock exactly (same FP operations).
+  BufferPool replay_pool(4);
+  ReplayOutcome ro = ReplayTrace(trace, &replay_pool, TestParams());
+  EXPECT_EQ(ro.sim_seconds, ctx.sim_time());
+  EXPECT_FALSE(ro.timed_out);
+}
+
+TEST(ExecContextTest, ReplayAbortsMidCoalescedRunAtTheExactTuple) {
+  CostParams p = TestParams();
+  p.timeout_seconds = 0.0105;  // 10.5 tuple charges at 0.001 s each...
+  PageStore store;
+  BufferPool pool(4);
+  // ...but charge 11.5 of slack so live recording (enforcement off) runs on.
+  ExecContext ctx(&store, &pool, p);
+  ctx.set_enforce_timeout(false);
+  AccessTrace trace;
+  ctx.set_trace(&trace);
+  for (int i = 0; i < 20; ++i) {
+    ctx.ChargeTuples(1);
+    ASSERT_TRUE(ctx.CheckTimeout().ok());
+  }
+  ASSERT_EQ(trace.size(), 1u);
+  ASSERT_EQ(trace[0].arg, 20u);
+
+  // The live enforced run would trip at tuple 11; the replay must too.
+  BufferPool replay_pool(4);
+  ReplayOutcome ro = ReplayTrace(trace, &replay_pool, p);
+  EXPECT_TRUE(ro.timed_out);
+  EXPECT_EQ(ro.sim_seconds, p.timeout_seconds);
+
+  ExecContext live(&store, &pool, p);
+  int tuples = 0;
+  for (int i = 0; i < 20; ++i) {
+    live.ChargeTuples(1);
+    if (!live.CheckTimeout().ok()) break;
+    ++tuples;
+  }
+  EXPECT_EQ(tuples, 10);  // aborts on the 11th charge, as the replay did
+}
+
+TEST(ExecContextTest, RecordBudgetAbortsWithTimeoutDespiteEnforcementOff) {
+  CostParams p = TestParams();
+  PageStore store;
+  BufferPool pool(4);
+  ExecContext ctx(&store, &pool, p);
+  ctx.set_enforce_timeout(false);
+  ctx.set_record_budget(2.0 * p.timeout_seconds);
+  ctx.ChargeIoPages(150);  // past the timeout, under the budget
+  EXPECT_TRUE(ctx.CheckTimeout().ok());
+  ctx.ChargeIoPages(60);  // past the budget
+  EXPECT_TRUE(ctx.CheckTimeout().IsTimeout());
+}
+
 /// End-to-end: the same query's page profile shifts from sequential-heavy
 /// (P: scans) to random-heavy (1C: probes) — the mechanism that preserves
 /// the paper's index-vs-scan economics at 1/400 scale (DESIGN.md §3).

@@ -1,0 +1,593 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/profiles.h"
+#include "core/benchmark_suite.h"
+#include "core/nref_families.h"
+#include "core/runner.h"
+#include "core/sampling.h"
+#include "service/session.h"
+#include "service/thread_pool.h"
+#include "service/workload_service.h"
+#include "test_util.h"
+
+namespace tabbench {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsSubmittedJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    TB_ASSERT_OK(pool.Submit([&count] { ++count; }));
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.completed(), 100u);
+}
+
+TEST(ThreadPoolTest, WaitLeavesPoolUsable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  TB_ASSERT_OK(pool.Submit([&count] { ++count; }));
+  pool.Wait();
+  TB_ASSERT_OK(pool.Submit([&count] { ++count; }));
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, BoundedQueueRejectsWithUnavailable) {
+  // One worker blocked on a gate + a one-slot queue: the third submission
+  // must be turned away, deterministically.
+  ThreadPool pool(ThreadPool::Options{1, 1});
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> started;
+  TB_ASSERT_OK(pool.Submit([opened, &started] {
+    started.set_value();
+    opened.wait();
+  }));
+  started.get_future().wait();  // the worker is now occupied
+  TB_ASSERT_OK(pool.Submit([] {}));  // fills the single queue slot
+  Status s = pool.Submit([] {});
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_EQ(pool.rejected(), 1u);
+  gate.set_value();
+  pool.Wait();
+  EXPECT_EQ(pool.completed(), 2u);
+}
+
+TEST(ThreadPoolTest, SubmitOrRunFallsBackToCaller) {
+  ThreadPool pool(ThreadPool::Options{1, 1});
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> started;
+  TB_ASSERT_OK(pool.Submit([opened, &started] {
+    started.set_value();
+    opened.wait();
+  }));
+  started.get_future().wait();
+  TB_ASSERT_OK(pool.Submit([] {}));  // queue now full
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  TB_ASSERT_OK(pool.SubmitOrRun([&ran_on] {
+    ran_on = std::this_thread::get_id();
+  }));
+  EXPECT_EQ(ran_on, caller);  // caller-runs backpressure
+  gate.set_value();
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsAcceptedJobsThenRejects) {
+  std::atomic<int> count{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 50; ++i) {
+    TB_ASSERT_OK(pool.Submit([&count] { ++count; }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 50);  // every accepted job ran
+  EXPECT_TRUE(pool.Submit([] {}).IsUnavailable());
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnceAndJoins) {
+  ThreadPool pool(4);
+  std::vector<int> hits(257, 0);
+  ParallelFor(
+      &pool, hits.size(), [&](size_t i) { hits[i]++; },
+      [](size_t, Status) { FAIL() << "no rejection expected"; });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+  // nullptr pool degrades to a sequential loop.
+  ParallelFor(
+      nullptr, hits.size(), [&](size_t i) { hits[i]++; },
+      [](size_t, Status) {});
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 2) << i;
+}
+
+// ------------------------------------------------------------------ Session
+
+class ServiceDbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tiny_ = new testing::TinyDb(testing::TinyDb::Make(3000, 20));
+  }
+  static void TearDownTestSuite() {
+    delete tiny_;
+    tiny_ = nullptr;
+  }
+  static Database* db() { return tiny_->db.get(); }
+  static testing::TinyDb* tiny_;
+
+  static constexpr const char* kScan =
+      "SELECT p.dept, COUNT(*) FROM people p GROUP BY p.dept";
+  static constexpr const char* kGrouped =
+      "SELECT p.city, COUNT(*) FROM people p WHERE p.dept = 3 "
+      "GROUP BY p.city";
+};
+
+testing::TinyDb* ServiceDbTest::tiny_ = nullptr;
+
+TEST_F(ServiceDbTest, SessionMatchesColdSharedPoolRun) {
+  // A fresh session's private pool is cold, so its first execution must be
+  // bit-identical to a cold run on the shared pool.
+  db()->buffer_pool()->Clear();
+  auto shared = db()->Run(kGrouped);
+  ASSERT_TRUE(shared.ok());
+
+  Session session(db());
+  auto own = session.Execute(kGrouped);
+  ASSERT_TRUE(own.ok());
+  EXPECT_DOUBLE_EQ(own->sim_seconds, shared->sim_seconds);
+  EXPECT_EQ(own->pages_read, shared->pages_read);
+  EXPECT_EQ(own->rows.size(), shared->rows.size());
+  EXPECT_DOUBLE_EQ(session.clock_seconds(), shared->sim_seconds);
+  EXPECT_EQ(session.queries_run(), 1u);
+}
+
+TEST_F(ServiceDbTest, SessionWarmCacheAndClear) {
+  Session session(db());
+  auto cold = session.Execute(kGrouped);
+  ASSERT_TRUE(cold.ok());
+  auto warm = session.Execute(kGrouped);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LT(warm->sim_seconds, cold->sim_seconds);  // buffer hits
+  session.ClearCache();
+  auto recold = session.Execute(kGrouped);
+  ASSERT_TRUE(recold.ok());
+  EXPECT_DOUBLE_EQ(recold->sim_seconds, cold->sim_seconds);
+}
+
+TEST_F(ServiceDbTest, SessionsAreIsolated) {
+  // Activity on one session must not perturb another's timings.
+  Session alone(db());
+  auto baseline = alone.Execute(kGrouped);
+  ASSERT_TRUE(baseline.ok());
+
+  Session noisy(db());
+  Session measured(db());
+  ASSERT_TRUE(noisy.Execute(kScan).ok());
+  ASSERT_TRUE(noisy.Execute(kGrouped).ok());
+  auto r = measured.Execute(kGrouped);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->sim_seconds, baseline->sim_seconds);
+}
+
+TEST_F(ServiceDbTest, DeadlineTripsAsTimeout) {
+  Session probe(db());
+  auto full = probe.Execute(kScan);
+  ASSERT_TRUE(full.ok());
+  ASSERT_FALSE(full->timed_out);
+  const double deadline = full->sim_seconds / 2.0;
+
+  Session session(db());
+  auto r = session.Execute(kScan, deadline);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->timed_out);
+  // The paper's lower-bound convention: a tripped query reports exactly the
+  // limit it tripped, here the folded-in deadline.
+  EXPECT_DOUBLE_EQ(r->sim_seconds, deadline);
+  EXPECT_EQ(session.timeouts(), 1u);
+}
+
+TEST_F(ServiceDbTest, CancellationReportsCancelled) {
+  Session session(db());
+  CancellationToken token;
+  token.RequestCancel();
+  auto r = session.Execute(kScan, /*deadline_seconds=*/-1.0, token);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
+  EXPECT_EQ(session.queries_run(), 0u);
+}
+
+// ---------------------------------------------------------- WorkloadService
+
+TEST_F(ServiceDbTest, ServiceRunsQueriesAndMatchesColdRun) {
+  db()->buffer_pool()->Clear();
+  auto expect = db()->Run(kGrouped);
+  ASSERT_TRUE(expect.ok());
+
+  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  auto fut = service.SubmitQuery(kGrouped);
+  auto r = fut.get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Sessionless jobs run on a fresh cold session: deterministic timings.
+  EXPECT_DOUBLE_EQ(r->sim_seconds, expect->sim_seconds);
+  EXPECT_EQ(r->rows.size(), expect->rows.size());
+  EXPECT_EQ(service.stats().completed, 1u);
+}
+
+TEST_F(ServiceDbTest, ServiceSessionStrandKeepsWarmOrder) {
+  // Two queries on one service session == the same two queries on a private
+  // Session object (strand serialization preserves warm-cache evolution).
+  Session reference(db());
+  auto first = reference.Execute(kGrouped);
+  auto second = reference.Execute(kGrouped);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  WorkloadService service(db(), ServiceOptions{4, 0, {}});
+  SessionId id = service.OpenSession();
+  ASSERT_NE(id, kNoSession);
+  JobOptions on_session;
+  on_session.session = id;
+  auto f1 = service.SubmitQuery(kGrouped, on_session);
+  auto f2 = service.SubmitQuery(kGrouped, on_session);
+  auto r1 = f1.get();
+  auto r2 = f2.get();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1->sim_seconds, first->sim_seconds);
+  EXPECT_DOUBLE_EQ(r2->sim_seconds, second->sim_seconds);
+  auto clock = service.SessionClock(id);
+  ASSERT_TRUE(clock.ok());
+  EXPECT_DOUBLE_EQ(*clock, first->sim_seconds + second->sim_seconds);
+  TB_ASSERT_OK(service.CloseSession(id));
+  EXPECT_TRUE(service.SubmitQuery(kGrouped, on_session).get().status()
+                  .IsNotFound());
+}
+
+TEST_F(ServiceDbTest, ServiceSubmitWorkloadMatchesSequentialSession) {
+  std::vector<std::string> sql = {kGrouped, kScan, kGrouped};
+  Session reference(db());
+  std::vector<double> expect;
+  for (const auto& q : sql) {
+    auto r = reference.Execute(q);
+    ASSERT_TRUE(r.ok());
+    expect.push_back(r->sim_seconds);
+  }
+
+  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  auto fut = service.SubmitWorkload(sql);
+  auto r = fut.get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), sql.size());
+  for (size_t i = 0; i < sql.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*r)[i].sim_seconds, expect[i]) << i;
+  }
+}
+
+TEST_F(ServiceDbTest, ServiceDeadlineAndCancellation) {
+  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+
+  Session probe(db());
+  auto full = probe.Execute(kScan);
+  ASSERT_TRUE(full.ok());
+  JobOptions tight;
+  tight.deadline_seconds = full->sim_seconds / 2.0;
+  auto timed = service.SubmitQuery(kScan, tight).get();
+  ASSERT_TRUE(timed.ok());
+  EXPECT_TRUE(timed->timed_out);
+  EXPECT_EQ(service.stats().query_timeouts, 1u);
+
+  JobOptions doomed;
+  doomed.cancel.RequestCancel();
+  auto cancelled = service.SubmitQuery(kScan, doomed).get();
+  EXPECT_TRUE(cancelled.status().IsCancelled());
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+TEST_F(ServiceDbTest, AdmissionControlRejectsWhenSaturated) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_in_flight = 1;
+  WorkloadService service(db(), opts);
+  // Occupy the only in-flight slot with a long job (a whole workload);
+  // admission happens synchronously in SubmitWorkload, so the next submit
+  // races only against the job *finishing* — 60 queries of headroom.
+  std::vector<std::string> busy(60, kGrouped);
+  auto long_job = service.SubmitWorkload(busy);
+  auto rejected = service.SubmitQuery(kGrouped).get();
+  EXPECT_TRUE(rejected.status().IsUnavailable())
+      << rejected.status().ToString();
+  EXPECT_GE(service.stats().rejected, 1u);
+  ASSERT_TRUE(long_job.get().ok());
+  // Capacity freed: accepted again.
+  EXPECT_TRUE(service.SubmitQuery(kGrouped).get().ok());
+}
+
+TEST_F(ServiceDbTest, ShutdownRejectsNewWorkAndResolvesFutures) {
+  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  std::vector<std::future<Result<QueryResult>>> futs;
+  for (int i = 0; i < 8; ++i) futs.push_back(service.SubmitQuery(kGrouped));
+  service.Shutdown();
+  for (auto& f : futs) {
+    auto r = f.get();  // accepted jobs drained, never dropped
+    EXPECT_TRUE(r.ok() || r.status().IsUnavailable()) << r.status().ToString();
+  }
+  EXPECT_TRUE(service.SubmitQuery(kGrouped).get().status().IsUnavailable());
+  EXPECT_EQ(service.OpenSession(), kNoSession);
+}
+
+TEST_F(ServiceDbTest, ConcurrentFloodAllFuturesResolve) {
+  // TSan workhorse: many sessions, sessionless jobs, stats reads, and a
+  // monitor thread all at once.
+  WorkloadService service(db(), ServiceOptions{4, 0, {}});
+  std::vector<SessionId> ids;
+  for (int s = 0; s < 4; ++s) ids.push_back(service.OpenSession());
+
+  std::atomic<bool> stop{false};
+  std::thread monitor([&] {
+    while (!stop.load()) {
+      (void)service.stats();
+      for (SessionId id : ids) (void)service.SessionClock(id);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::future<Result<QueryResult>>> futs;
+  for (int i = 0; i < 32; ++i) {
+    JobOptions jo;
+    jo.session = ids[static_cast<size_t>(i) % ids.size()];
+    futs.push_back(service.SubmitQuery(kGrouped, jo));
+    futs.push_back(service.SubmitQuery(kScan));
+  }
+  size_t ok = 0;
+  for (auto& f : futs) {
+    auto r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ++ok;
+  }
+  EXPECT_EQ(ok, futs.size());
+  stop.store(true);
+  monitor.join();
+  for (SessionId id : ids) TB_ASSERT_OK(service.CloseSession(id));
+}
+
+// ------------------------------------------------- parallel workload runner
+
+class ParallelRunnerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = testing::MakeMiniNref(/*scale_inverse=*/1000.0).release();
+    ASSERT_NE(db_, nullptr);
+    QueryFamily family = GenerateNref2J(db_->catalog(), db_->stats());
+    auto sampled = SampleFamily(family, db_, 100, /*seed=*/7);
+    ASSERT_TRUE(sampled.ok()) << sampled.status().ToString();
+    sample_ = sampled->Sql();
+    ASSERT_EQ(sample_.size(), 100u);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static void ExpectIdentical(const WorkloadResult& a,
+                              const WorkloadResult& b) {
+    ASSERT_EQ(a.timings.size(), b.timings.size());
+    for (size_t i = 0; i < a.timings.size(); ++i) {
+      EXPECT_EQ(a.timings[i].timed_out, b.timings[i].timed_out) << i;
+      // Bit-identical (EXPECT_EQ on doubles is exact ==), not approximately
+      // equal: the replay applies the very same floating-point operations
+      // in the very same order.
+      EXPECT_EQ(a.timings[i].seconds, b.timings[i].seconds) << i;
+    }
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.total_clamped_seconds, b.total_clamped_seconds);
+    ASSERT_EQ(a.estimates.size(), b.estimates.size());
+    for (size_t i = 0; i < a.estimates.size(); ++i) {
+      EXPECT_EQ(a.estimates[i], b.estimates[i]) << i;
+    }
+    // Derived CFC curves therefore agree everywhere.
+    auto ca = a.Cfc();
+    auto cb = b.Cfc();
+    for (double x : {0.1, 1.0, 10.0, 100.0, 1800.0}) {
+      EXPECT_DOUBLE_EQ(ca.At(x), cb.At(x)) << x;
+    }
+  }
+
+  static Database* db_;
+  static std::vector<std::string> sample_;
+};
+
+Database* ParallelRunnerTest::db_ = nullptr;
+std::vector<std::string> ParallelRunnerTest::sample_;
+
+TEST_F(ParallelRunnerTest, MatchesSequentialBitForBit) {
+  RunOptions opts;
+  opts.collect_estimates = true;
+  auto seq = RunWorkload(db_, sample_, opts);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  auto seq_pool = db_->buffer_stats();
+
+  ThreadPool pool(4);
+  ParallelOptions par;
+  par.pool = &pool;
+  auto parallel = RunWorkloadParallel(db_, sample_, par, opts);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  auto par_pool = db_->buffer_stats();
+
+  ExpectIdentical(*seq, *parallel);
+  // The shared pool ends in the exact state the sequential run left it in.
+  EXPECT_EQ(par_pool.hits, seq_pool.hits);
+  EXPECT_EQ(par_pool.misses, seq_pool.misses);
+  EXPECT_EQ(par_pool.resident, seq_pool.resident);
+}
+
+TEST_F(ParallelRunnerTest, MatchesSequentialWithRepetitionsAndWarmStart) {
+  std::vector<std::string> subset(sample_.begin(), sample_.begin() + 30);
+  RunOptions opts;
+  opts.repetitions = 3;
+  opts.cold_start = false;  // start from whatever the previous test left
+
+  // Capture the warm pool by running the sequential pass first from a known
+  // state, then restore that state for the parallel pass.
+  db_->buffer_pool()->Clear();
+  ASSERT_TRUE(RunWorkload(db_, {sample_[40]}, RunOptions{}).ok());  // warm it
+  auto seq = RunWorkload(db_, subset, opts);
+  ASSERT_TRUE(seq.ok());
+
+  db_->buffer_pool()->Clear();
+  ASSERT_TRUE(RunWorkload(db_, {sample_[40]}, RunOptions{}).ok());
+  ThreadPool pool(5);
+  ParallelOptions par;
+  par.pool = &pool;
+  par.window = 7;  // odd window: exercise batch boundaries
+  auto parallel = RunWorkloadParallel(db_, subset, par, opts);
+  ASSERT_TRUE(parallel.ok());
+
+  ExpectIdentical(*seq, *parallel);
+}
+
+TEST_F(ParallelRunnerTest, NullPoolDegradesToSequential) {
+  std::vector<std::string> subset(sample_.begin(), sample_.begin() + 5);
+  auto seq = RunWorkload(db_, subset, RunOptions{});
+  ASSERT_TRUE(seq.ok());
+  auto degraded = RunWorkloadParallel(db_, subset, ParallelOptions{});
+  ASSERT_TRUE(degraded.ok());
+  ExpectIdentical(*seq, *degraded);
+}
+
+TEST_F(ParallelRunnerTest, CancelledRunReportsCancelled) {
+  ThreadPool pool(2);
+  ParallelOptions par;
+  par.pool = &pool;
+  par.cancel.RequestCancel();
+  auto r = RunWorkloadParallel(db_, sample_, par);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
+}
+
+TEST_F(ParallelRunnerTest, EstimateAndHypotheticalMatchSequential) {
+  auto seq = EstimateWorkload(db_, sample_);
+  ASSERT_TRUE(seq.ok());
+  ThreadPool pool(4);
+  ParallelOptions par;
+  par.pool = &pool;
+  auto parallel = EstimateWorkloadParallel(db_, sample_, par);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(parallel->size(), seq->size());
+  for (size_t i = 0; i < seq->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*parallel)[i], (*seq)[i]) << i;
+  }
+
+  Configuration hypo;  // the P baseline as a hypothetical
+  hypo.name = "hypo";
+  HypotheticalRules rules;
+  auto hseq = HypotheticalWorkload(db_, sample_, hypo, rules);
+  ASSERT_TRUE(hseq.ok());
+  auto hpar = HypotheticalWorkloadParallel(db_, sample_, hypo, rules, par);
+  ASSERT_TRUE(hpar.ok());
+  ASSERT_EQ(hpar->size(), hseq->size());
+  for (size_t i = 0; i < hseq->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*hpar)[i], (*hseq)[i]) << i;
+  }
+}
+
+// Timeout determinism is the crux of the replay design: the parallel record
+// phase runs with enforcement off and the replay re-applies the limit at
+// the recorded check points. Build twin databases whose timeout sits
+// between a cheap probe and an expensive scan so the workload mixes both.
+TEST(ParallelRunnerTimeoutTest, TimeoutsReplayIdentically) {
+  auto build = [](double timeout_seconds) {
+    DatabaseOptions opts;
+    opts.cost.timeout_seconds = timeout_seconds;
+    auto db = std::make_unique<Database>(opts);
+    TableDef t;
+    t.name = "t";
+    t.columns = {{"a", TypeId::kInt, "d", true, 8},
+                 {"b", TypeId::kInt, "d", true, 8}};
+    t.primary_key = {"a"};
+    EXPECT_TRUE(db->CreateTable(t).ok());
+    for (int64_t i = 0; i < 4000; ++i) {
+      EXPECT_TRUE(db->Insert("t", Tuple({Value(i), Value(i % 97)})).ok());
+    }
+    EXPECT_TRUE(db->FinishLoad().ok());
+    return db;
+  };
+
+  const std::string probe = "SELECT t.b FROM t WHERE t.a = 17";
+  const std::string scan = "SELECT t.b, COUNT(*) FROM t GROUP BY t.b";
+
+  auto calib = build(1800.0);
+  auto cheap = calib->Run(probe);
+  auto dear = calib->Run(scan);
+  ASSERT_TRUE(cheap.ok());
+  ASSERT_TRUE(dear.ok());
+  ASSERT_LT(cheap->sim_seconds, dear->sim_seconds);
+
+  auto db = build((cheap->sim_seconds + dear->sim_seconds) / 2.0);
+  std::vector<std::string> sql = {scan, probe, scan, probe, probe, scan};
+  RunOptions opts;
+  opts.repetitions = 2;  // timeout queries must still run exactly once
+  auto seq = RunWorkload(db.get(), sql, opts);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq->timeouts, 3u);
+
+  ThreadPool pool(4);
+  ParallelOptions par;
+  par.pool = &pool;
+  auto parallel = RunWorkloadParallel(db.get(), sql, par, opts);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(parallel->timings.size(), seq->timings.size());
+  for (size_t i = 0; i < seq->timings.size(); ++i) {
+    EXPECT_EQ(parallel->timings[i].timed_out, seq->timings[i].timed_out) << i;
+    EXPECT_DOUBLE_EQ(parallel->timings[i].seconds, seq->timings[i].seconds)
+        << i;
+  }
+  EXPECT_EQ(parallel->timeouts, seq->timeouts);
+  EXPECT_DOUBLE_EQ(parallel->total_clamped_seconds,
+                   seq->total_clamped_seconds);
+}
+
+// ------------------------------------------------------------------ advisor
+
+TEST_F(ParallelRunnerTest, AdvisorParallelEvaluationMatchesSequential) {
+  QueryFamily family = GenerateNref2J(db_->catalog(), db_->stats());
+  auto workload = BindWorkload(family, db_->catalog());
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  AdvisorOptions opts = SystemBProfile();
+  Advisor sequential(db_->CurrentView(), opts);
+  auto seq = sequential.Recommend(*workload);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+  ThreadPool pool(4);
+  opts.eval_pool = &pool;
+  Advisor concurrent(db_->CurrentView(), opts);
+  auto par = concurrent.Recommend(*workload);
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+  // Same picks, same order, same bookkeeping — parallel evaluation must not
+  // change the recommendation at all.
+  ASSERT_EQ(par->config.indexes.size(), seq->config.indexes.size());
+  for (size_t i = 0; i < seq->config.indexes.size(); ++i) {
+    EXPECT_EQ(par->config.indexes[i].name, seq->config.indexes[i].name) << i;
+  }
+  ASSERT_EQ(par->config.views.size(), seq->config.views.size());
+  for (size_t i = 0; i < seq->config.views.size(); ++i) {
+    EXPECT_EQ(par->config.views[i].name, seq->config.views[i].name) << i;
+  }
+  EXPECT_DOUBLE_EQ(par->est_cost_before, seq->est_cost_before);
+  EXPECT_DOUBLE_EQ(par->est_cost_after, seq->est_cost_after);
+  EXPECT_DOUBLE_EQ(par->est_pages, seq->est_pages);
+}
+
+}  // namespace
+}  // namespace tabbench

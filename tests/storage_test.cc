@@ -101,6 +101,59 @@ TEST(BufferPoolTest, ZeroCapacityClampsToOne) {
   EXPECT_TRUE(p.Touch(1));
 }
 
+TEST(BufferPoolTest, ClearResetsCounters) {
+  // A cleared pool starts a fresh accounting epoch: hit/miss counters from
+  // before the clear would otherwise leak one workload's ratio into the
+  // next cold-start run.
+  BufferPool p(4);
+  p.Touch(1);
+  p.Touch(1);
+  ASSERT_EQ(p.stats().accesses(), 2u);
+  p.Clear();
+  EXPECT_EQ(p.hits(), 0u);
+  EXPECT_EQ(p.misses(), 0u);
+  EXPECT_DOUBLE_EQ(p.stats().HitRatio(), 0.0);
+}
+
+TEST(BufferPoolTest, StatsSnapshotAndHitRatio) {
+  BufferPool p(4);
+  EXPECT_DOUBLE_EQ(p.stats().HitRatio(), 0.0);  // no accesses yet
+  p.Touch(1);  // miss
+  p.Touch(1);  // hit
+  p.Touch(2);  // miss
+  p.Touch(1);  // hit
+  BufferPoolStats s = p.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.resident, 2u);
+  EXPECT_EQ(s.capacity, 4u);
+  EXPECT_DOUBLE_EQ(s.HitRatio(), 0.5);
+}
+
+TEST(BufferPoolTest, HitRatioAccountingPinnedAcrossShrink) {
+  BufferPool p(4);
+  for (PageId i = 0; i < 4; ++i) p.Touch(i);  // 4 misses, pool full
+  for (PageId i = 0; i < 4; ++i) p.Touch(i);  // 4 hits
+  ASSERT_DOUBLE_EQ(p.stats().HitRatio(), 0.5);
+
+  // Shrinking evicts LRU pages but must not rewrite accounting history:
+  // counters describe accesses, not residency.
+  p.SetCapacity(2);
+  EXPECT_EQ(p.resident(), 2u);
+  BufferPoolStats s = p.stats();
+  EXPECT_EQ(s.hits, 4u);
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.capacity, 2u);
+  EXPECT_DOUBLE_EQ(s.HitRatio(), 0.5);
+
+  // The 2 MRU pages (2, 3) survived the shrink; 0 and 1 were evicted.
+  EXPECT_TRUE(p.Touch(3));
+  EXPECT_TRUE(p.Touch(2));
+  EXPECT_FALSE(p.Touch(0));
+  EXPECT_FALSE(p.Touch(1));
+  EXPECT_DOUBLE_EQ(p.stats().HitRatio(), 0.5);  // 6 hits / 12 accesses
+}
+
 // -------------------------------------------------------------- TupleCodec
 
 TEST(TupleCodecTest, RoundTripAllTypes) {
