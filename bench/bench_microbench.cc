@@ -82,7 +82,10 @@ BENCHMARK(BM_BufferPoolTouch);
 /// Shared small database for the end-to-end benchmarks.
 Database* SharedDb() {
   static Database* db = [] {
-    auto* d = new Database();
+    // Deliberately leaked: function-local static shared by all benchmarks,
+    // alive until process exit (destruction order vs. benchmark teardown
+    // is unspecified). NOLINT(tabbench-naked-new)
+    auto* d = new Database();  // NOLINT(tabbench-naked-new)
     TableDef t;
     t.name = "t";
     t.columns = {{"a", TypeId::kInt, "d1", true, 8},

@@ -525,7 +525,9 @@ Result<std::unordered_set<Value, ValueHash>> MaterializeInSet(
     }
   }
   std::unordered_set<Value, ValueHash> out;
-  for (const auto& [v, c] : counts) {
+  // Order-insensitive: fills another unordered set (membership probes
+  // only), so hash-iteration order never reaches any ordered output.
+  for (const auto& [v, c] : counts) {  // NOLINT(tabbench-unordered-iter)
     bool keep = (spec.cmp == '<') ? (c < static_cast<uint64_t>(spec.k))
                                   : (c == static_cast<uint64_t>(spec.k));
     if (keep && !v.is_null()) out.insert(v);

@@ -66,6 +66,12 @@ class Session {
   const Database* db() const { return db_; }
 
  private:
+  // Deliberately no Mutex / TB_GUARDED_BY here: the service's strand
+  // invariant means at most one thread executes inside a session at a
+  // time (WorkloadService::mu_ guards the SessionState that enforces it),
+  // and the atomics below are the only fields monitoring threads read
+  // concurrently. pool_ and options_ are touched solely by the executing
+  // thread.
   const Database* db_;
   SessionOptions options_;
   BufferPool pool_;

@@ -5,14 +5,20 @@
 
 namespace tabbench {
 
+namespace {
+
+size_t ResolveWorkers(size_t requested) {
+  if (requested > 0) return requested;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(Options options)
-    : max_queue_(options.max_queue) {
-  size_t n = options.workers;
-  if (n == 0) {
-    n = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
-  workers_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
+    : max_queue_(options.max_queue),
+      num_workers_(ResolveWorkers(options.workers)) {
+  workers_.reserve(num_workers_);
+  for (size_t i = 0; i < num_workers_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -21,7 +27,7 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 Status ThreadPool::Submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) {
       ++rejected_;
       return Status::Unavailable("thread pool is shut down");
@@ -33,18 +39,18 @@ Status ThreadPool::Submit(std::function<void()> job) {
     queue_.push_back(std::move(job));
     ++pending_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return Status::OK();
 }
 
 Status ThreadPool::SubmitOrRun(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) return Status::Unavailable("thread pool is shut down");
     if (max_queue_ == 0 || queue_.size() < max_queue_) {
       queue_.push_back(std::move(job));
       ++pending_;
-      work_cv_.notify_one();
+      work_cv_.NotifyOne();
       return Status::OK();
     }
   }
@@ -54,38 +60,39 @@ Status ThreadPool::SubmitOrRun(std::function<void()> job) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_ != 0) idle_cv_.Wait(mu_);
 }
 
 void ThreadPool::Shutdown() {
+  // Joining must happen outside mu_ (workers take mu_ to drain the queue),
+  // so move the thread vector out under the lock and join the local copy.
+  // A concurrent or repeated Shutdown() moves an empty vector: idempotent.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
-      // Already requested; fall through to join below (idempotent: joined
-      // threads are cleared).
-    }
+    MutexLock lock(&mu_);
     shutdown_ = true;
+    workers = std::move(workers_);
+    workers_.clear();
   }
-  work_cv_.notify_all();
-  for (auto& t : workers_) {
+  work_cv_.NotifyAll();
+  for (auto& t : workers) {
     if (t.joinable()) t.join();
   }
-  workers_.clear();
 }
 
 size_t ThreadPool::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 uint64_t ThreadPool::rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rejected_;
 }
 
 uint64_t ThreadPool::completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return completed_;
 }
 
@@ -93,17 +100,17 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       job = std::move(queue_.front());
       queue_.pop_front();
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++completed_;
-      if (--pending_ == 0) idle_cv_.notify_all();
+      if (--pending_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

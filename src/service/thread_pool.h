@@ -1,15 +1,16 @@
 #ifndef TABBENCH_SERVICE_THREAD_POOL_H_
 #define TABBENCH_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tabbench {
 
@@ -23,6 +24,10 @@ namespace tabbench {
 ///   so bulk submitters throttle themselves instead of failing.
 /// - Shutdown (explicit or via the destructor) stops admission, drains
 ///   every already-accepted job, and joins the workers.
+///
+/// All mutable state is guarded by `mu_` and annotated for Clang's
+/// -Wthread-safety analysis (see util/thread_annotations.h); the CI script
+/// compiles this file with -Werror=thread-safety under Clang.
 class ThreadPool {
  public:
   struct Options {
@@ -40,40 +45,46 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `job`; Unavailable when the queue is full or after Shutdown.
-  Status Submit(std::function<void()> job);
+  Status Submit(std::function<void()> job) TB_EXCLUDES(mu_);
 
   /// Enqueues `job`, or runs it on the calling thread when the queue is
   /// full. Fails only after Shutdown.
-  Status SubmitOrRun(std::function<void()> job);
+  Status SubmitOrRun(std::function<void()> job) TB_EXCLUDES(mu_);
 
   /// Blocks until every job accepted so far has finished. The pool stays
   /// usable afterwards.
-  void Wait();
+  void Wait() TB_EXCLUDES(mu_);
 
   /// Stops accepting jobs, drains the queue, joins the workers. Idempotent.
-  void Shutdown();
+  void Shutdown() TB_EXCLUDES(mu_);
 
-  size_t num_workers() const { return workers_.size(); }
+  /// Workers the pool was built with. Immutable after construction, so this
+  /// stays valid (and race-free) even while Shutdown() joins the threads.
+  size_t num_workers() const { return num_workers_; }
   size_t queue_capacity() const { return max_queue_; }
   /// Jobs currently queued (excludes running ones).
-  size_t queued() const;
+  size_t queued() const TB_EXCLUDES(mu_);
   /// Jobs rejected by admission control since construction.
-  uint64_t rejected() const;
-  uint64_t completed() const;
+  uint64_t rejected() const TB_EXCLUDES(mu_);
+  uint64_t completed() const TB_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() TB_EXCLUDES(mu_);
 
   const size_t max_queue_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for jobs/shutdown
-  std::condition_variable idle_cv_;   // Wait() waits for pending_ == 0
-  std::deque<std::function<void()>> queue_;
-  size_t pending_ = 0;  // queued + running
-  uint64_t rejected_ = 0;
-  uint64_t completed_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  const size_t num_workers_;
+  mutable Mutex mu_;
+  CondVar work_cv_;   // workers wait for jobs/shutdown
+  CondVar idle_cv_;   // Wait() waits for pending_ == 0
+  std::deque<std::function<void()>> queue_ TB_GUARDED_BY(mu_);
+  size_t pending_ TB_GUARDED_BY(mu_) = 0;  // queued + running
+  uint64_t rejected_ TB_GUARDED_BY(mu_) = 0;
+  uint64_t completed_ TB_GUARDED_BY(mu_) = 0;
+  bool shutdown_ TB_GUARDED_BY(mu_) = false;
+  /// Joined and cleared by the first Shutdown(); guarded so concurrent
+  /// Shutdown() calls (e.g. explicit + destructor) cannot race on the
+  /// vector itself — the joining happens on a moved-out local copy.
+  std::vector<std::thread> workers_ TB_GUARDED_BY(mu_);
 };
 
 /// One-shot join point for a known number of events.
@@ -81,20 +92,20 @@ class Latch {
  public:
   explicit Latch(size_t count) : count_(count) {}
 
-  void CountDown() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--count_ == 0) cv_.notify_all();
+  void CountDown() TB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (--count_ == 0) cv_.NotifyAll();
   }
 
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return count_ == 0; });
+  void Wait() TB_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (count_ != 0) cv_.Wait(mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t count_;
+  Mutex mu_;
+  CondVar cv_;
+  size_t count_ TB_GUARDED_BY(mu_);
 };
 
 /// Runs `fn(i)` for every i in [0, n) on the pool — with the caller's own

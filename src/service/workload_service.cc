@@ -41,7 +41,7 @@ bool WorkloadService::AdmitLocked() {
 }
 
 Status WorkloadService::Dispatch(SessionId id, std::function<void()> job) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id == kNoSession) {
     if (!AdmitLocked()) return Status::Unavailable("service at capacity");
     // Holding mu_ across Submit is what makes the shutdown_ check
@@ -67,7 +67,7 @@ void WorkloadService::DrainSession(SessionId id) {
   for (;;) {
     std::function<void()> job;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       auto it = sessions_.find(id);
       if (it == sessions_.end()) return;
       SessionState* st = it->second.get();
@@ -84,7 +84,7 @@ void WorkloadService::DrainSession(SessionId id) {
 }
 
 void WorkloadService::FinishJob(bool was_cancelled, size_t timeouts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   --in_flight_;
   ++stats_.completed;
   if (was_cancelled) ++stats_.cancelled;
@@ -98,7 +98,7 @@ std::future<Result<QueryResult>> WorkloadService::SubmitQuery(
 
   Session* strand_session = nullptr;
   if (options.session != kNoSession) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = sessions_.find(options.session);
     if (it == sessions_.end() || it->second->closing) {
       return ReadyFuture<QueryResult>(Status::NotFound("no such session"));
@@ -136,7 +136,7 @@ std::future<Result<std::vector<QueryResult>>> WorkloadService::SubmitWorkload(
 
   Session* strand_session = nullptr;
   if (options.session != kNoSession) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = sessions_.find(options.session);
     if (it == sessions_.end() || it->second->closing) {
       return ReadyFuture<std::vector<QueryResult>>(
@@ -178,7 +178,7 @@ std::future<Result<std::vector<QueryResult>>> WorkloadService::SubmitWorkload(
 }
 
 SessionId WorkloadService::OpenSession(SessionOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (shutdown_) return kNoSession;
   SessionId id = next_session_++;
   sessions_.emplace(id, std::make_unique<SessionState>(db_, options));
@@ -186,7 +186,7 @@ SessionId WorkloadService::OpenSession(SessionOptions options) {
 }
 
 Status WorkloadService::CloseSession(SessionId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return Status::NotFound("no such session");
   SessionState* st = it->second.get();
@@ -199,20 +199,20 @@ Status WorkloadService::CloseSession(SessionId id) {
 }
 
 Result<double> WorkloadService::SessionClock(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return Status::NotFound("no such session");
   return it->second->session.clock_seconds();
 }
 
 ServiceStats WorkloadService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void WorkloadService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
   pool_.Shutdown();  // drains every accepted job; their futures resolve

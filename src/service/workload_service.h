@@ -14,6 +14,8 @@
 #include "service/session.h"
 #include "service/thread_pool.h"
 #include "util/cancellation.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tabbench {
 
@@ -94,22 +96,22 @@ class WorkloadService {
       std::vector<std::string> sql, JobOptions options = {});
 
   /// Creates a session with its own buffer-pool view and simulated clock.
-  SessionId OpenSession(SessionOptions options);
+  SessionId OpenSession(SessionOptions options) TB_EXCLUDES(mu_);
   SessionId OpenSession() { return OpenSession(options_.session); }
 
   /// Closes a session. Jobs already accepted for it still run; the session
   /// is destroyed once they drain. New submissions to it are rejected.
-  Status CloseSession(SessionId id);
+  Status CloseSession(SessionId id) TB_EXCLUDES(mu_);
 
   /// Accumulated simulated seconds of a session's queries, or NotFound.
-  Result<double> SessionClock(SessionId id) const;
+  Result<double> SessionClock(SessionId id) const TB_EXCLUDES(mu_);
 
-  ServiceStats stats() const;
+  ServiceStats stats() const TB_EXCLUDES(mu_);
   size_t num_workers() const { return pool_.num_workers(); }
 
   /// Stops accepting work, drains accepted jobs, joins workers. Idempotent;
   /// also run by the destructor.
-  void Shutdown();
+  void Shutdown() TB_EXCLUDES(mu_);
 
  private:
   struct SessionState {
@@ -122,26 +124,30 @@ class WorkloadService {
   };
 
   /// Admission check + accounting; returns false (and bumps `rejected`)
-  /// when the job must be turned away. Caller holds mu_.
-  bool AdmitLocked();
+  /// when the job must be turned away.
+  bool AdmitLocked() TB_REQUIRES(mu_);
   /// Enqueues `job` on the session's strand (scheduling a drain if idle)
   /// or directly on the pool for sessionless jobs. Returns Unavailable on
   /// admission rejection, NotFound for a dead session.
-  Status Dispatch(SessionId id, std::function<void()> job);
+  Status Dispatch(SessionId id, std::function<void()> job) TB_EXCLUDES(mu_);
   /// Runs a session's pending jobs in FIFO order until its queue empties.
-  void DrainSession(SessionId id);
-  void FinishJob(bool was_cancelled, size_t timeouts);
+  void DrainSession(SessionId id) TB_EXCLUDES(mu_);
+  void FinishJob(bool was_cancelled, size_t timeouts) TB_EXCLUDES(mu_);
 
   const Database* db_;
   ServiceOptions options_;
   ThreadPool pool_;
 
-  mutable std::mutex mu_;
-  bool shutdown_ = false;
-  uint64_t in_flight_ = 0;
-  SessionId next_session_ = 1;
-  std::map<SessionId, std::unique_ptr<SessionState>> sessions_;
-  ServiceStats stats_;
+  mutable Mutex mu_;
+  bool shutdown_ TB_GUARDED_BY(mu_) = false;
+  uint64_t in_flight_ TB_GUARDED_BY(mu_) = 0;
+  SessionId next_session_ TB_GUARDED_BY(mu_) = 1;
+  /// The map (membership, strand queues, flags) is guarded by mu_. The
+  /// Session object *inside* a SessionState is deliberately not: exactly one
+  /// drain job touches it at a time (the strand invariant), outside mu_.
+  std::map<SessionId, std::unique_ptr<SessionState>> sessions_
+      TB_GUARDED_BY(mu_);
+  ServiceStats stats_ TB_GUARDED_BY(mu_);
 };
 
 }  // namespace tabbench

@@ -91,7 +91,7 @@ void BTree::Insert(const IndexKey& key, const Rid& rid,
     if (touch) touch(root_->page_id);
   }
   ++num_entries_;
-  cache_valid_ = false;
+  InvalidateStatsCache();
 }
 
 void BTree::InsertRec(Node* node, const IndexKey& key, const Rid& rid,
@@ -155,7 +155,7 @@ void BTree::BulkBuild(std::vector<std::pair<IndexKey, Rid>> sorted_entries) {
   // Rebuild from scratch: pack leaves to ~90% fill, then stack internals.
   Drop();
   num_entries_ = sorted_entries.size();
-  cache_valid_ = false;
+  InvalidateStatsCache();
   const size_t leaf_fill = std::max<size_t>(4, leaf_capacity_ * 9 / 10);
 
   std::vector<std::unique_ptr<Node>> level;
@@ -288,14 +288,19 @@ void BTree::FillStatsCache() const {
   cache_valid_ = true;
 }
 
+void BTree::InvalidateStatsCache() {
+  MutexLock lock(&cache_mu_);
+  cache_valid_ = false;
+}
+
 uint64_t BTree::num_distinct_keys() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(&cache_mu_);
   FillStatsCache();
   return cached_distinct_;
 }
 
 uint64_t BTree::clustering_factor() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(&cache_mu_);
   FillStatsCache();
   return cached_clustering_;
 }
@@ -331,7 +336,7 @@ void BTree::Drop() {
   root_.reset();
   num_pages_ = 0;
   num_entries_ = 0;
-  cache_valid_ = false;
+  InvalidateStatsCache();
 }
 
 }  // namespace tabbench

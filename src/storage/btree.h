@@ -2,13 +2,14 @@
 #define TABBENCH_STORAGE_BTREE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "storage/heap_table.h"
 #include "storage/page_store.h"
 #include "types/value.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tabbench {
 
@@ -104,9 +105,10 @@ class BTree {
                  std::unique_ptr<Node>* split_node);
   std::unique_ptr<Node> MakeNode(bool leaf);
 
-  /// Walks the leaf chain once to fill both cached metrics. Caller holds
-  /// cache_mu_.
-  void FillStatsCache() const;
+  /// Walks the leaf chain once to fill both cached metrics.
+  void FillStatsCache() const TB_REQUIRES(cache_mu_);
+  /// Marks the lazy metrics stale (called by every structural mutation).
+  void InvalidateStatsCache() TB_EXCLUDES(cache_mu_);
 
   std::string name_;
   size_t num_key_columns_;
@@ -119,11 +121,12 @@ class BTree {
   /// Lazily computed distinct/clustering metrics. The mutex makes the lazy
   /// fill safe under concurrent read-only planning (many threads build
   /// ConfigViews of the same built tree at once); writes (Insert/BulkBuild)
-  /// are single-threaded by the engine's contract and just invalidate.
-  mutable std::mutex cache_mu_;
-  mutable uint64_t cached_distinct_ = 0;
-  mutable uint64_t cached_clustering_ = 0;
-  mutable bool cache_valid_ = false;
+  /// are single-threaded by the engine's contract and invalidate under the
+  /// same mutex so the annotations (and TSan) can prove the protocol.
+  mutable Mutex cache_mu_;
+  mutable uint64_t cached_distinct_ TB_GUARDED_BY(cache_mu_) = 0;
+  mutable uint64_t cached_clustering_ TB_GUARDED_BY(cache_mu_) = 0;
+  mutable bool cache_valid_ TB_GUARDED_BY(cache_mu_) = false;
 };
 
 }  // namespace tabbench

@@ -11,7 +11,11 @@ namespace tabbench {
 /// Outcome of a fallible operation. Modeled on the RocksDB / Arrow Status
 /// idiom: no exceptions cross library boundaries; every fallible call returns
 /// a Status (or a Result<T>, below) that the caller must inspect.
-class Status {
+///
+/// [[nodiscard]] makes dropping a returned Status a compile error — the
+/// compile-time twin of tabbench_lint's `unchecked-status` rule. Callers
+/// that really mean to ignore an outcome must write `(void)Foo();`.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -87,7 +91,7 @@ class Status {
 
 /// A value or an error. `ok()` must be checked before dereferencing.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status)                          // NOLINT(runtime/explicit)

@@ -1,0 +1,71 @@
+#ifndef TABBENCH_UTIL_THREAD_ANNOTATIONS_H_
+#define TABBENCH_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Compiler-portable Clang thread-safety-analysis annotations, in the style
+/// of Abseil's thread_annotations.h. Under Clang with -Wthread-safety these
+/// expand to the `capability` attribute family and the analysis *proves* at
+/// compile time that every access to a `TB_GUARDED_BY(mu)` field happens
+/// with `mu` held; under GCC (which has no such analysis) they expand to
+/// nothing. tools/ci/check.sh runs the Clang build with
+/// -Werror=thread-safety whenever a clang++ is on PATH, so annotation
+/// violations fail CI the same way a lint violation does.
+///
+/// The annotations only work on types the analysis knows are lockable —
+/// std::mutex is opaque to it on libstdc++ — so mutex-protected code uses
+/// the annotated wrappers in util/mutex.h rather than std::mutex directly.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TB_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define TB_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex").
+#define TB_CAPABILITY(x) TB_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define TB_SCOPED_CAPABILITY TB_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// A data member that may only be read or written with `x` held.
+#define TB_GUARDED_BY(x) TB_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// A pointer member whose *pointee* may only be accessed with `x` held.
+#define TB_PT_GUARDED_BY(x) TB_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// The function may only be called with the listed capabilities held.
+#define TB_REQUIRES(...) \
+  TB_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// The function may only be called with the listed capabilities NOT held
+/// (deadlock prevention for non-reentrant locks).
+#define TB_EXCLUDES(...) \
+  TB_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define TB_ACQUIRE(...) \
+  TB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability (which must be held on entry).
+#define TB_RELEASE(...) \
+  TB_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns true.
+#define TB_TRY_ACQUIRE(...) \
+  TB_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Runtime assertion (debug-checked, analysis-trusted) that the capability
+/// is held.
+#define TB_ASSERT_CAPABILITY(x) \
+  TB_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define TB_RETURN_CAPABILITY(x) TB_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: the function intentionally accesses guarded state without
+/// the analysis being able to prove safety (e.g. constructors/destructors of
+/// the owning object). Use sparingly and leave a comment explaining why.
+#define TB_NO_THREAD_SAFETY_ANALYSIS \
+  TB_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // TABBENCH_UTIL_THREAD_ANNOTATIONS_H_

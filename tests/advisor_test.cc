@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "advisor/advisor.h"
 #include "advisor/candidates.h"
 #include "advisor/profiles.h"
@@ -13,10 +15,9 @@ using testing::TinyDb;
 
 class AdvisorTest : public ::testing::Test {
  protected:
-  static void SetUpTestSuite() { tiny_ = new TinyDb(TinyDb::Make(6000, 50)); }
+  static void SetUpTestSuite() { tiny_ = std::make_unique<TinyDb>(TinyDb::Make(6000, 50)); }
   static void TearDownTestSuite() {
-    delete tiny_;
-    tiny_ = nullptr;
+    tiny_.reset();
   }
   Database* db() { return tiny_->db.get(); }
 
@@ -30,10 +31,10 @@ class AdvisorTest : public ::testing::Test {
     return out;
   }
 
-  static TinyDb* tiny_;
+  static std::unique_ptr<TinyDb> tiny_;
 };
 
-TinyDb* AdvisorTest::tiny_ = nullptr;
+std::unique_ptr<TinyDb> AdvisorTest::tiny_;
 
 TEST_F(AdvisorTest, CandidatesIncludeFilterAndJoinColumns) {
   auto workload = BindAll({

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/configurations.h"
 #include "engine/database.h"
 #include "test_util.h"
@@ -11,16 +13,15 @@ using testing::TinyDb;
 
 class AnalyzeTest : public ::testing::Test {
  protected:
-  static void SetUpTestSuite() { tiny_ = new TinyDb(TinyDb::Make(3000, 30)); }
+  static void SetUpTestSuite() { tiny_ = std::make_unique<TinyDb>(TinyDb::Make(3000, 30)); }
   static void TearDownTestSuite() {
-    delete tiny_;
-    tiny_ = nullptr;
+    tiny_.reset();
   }
   Database* db() { return tiny_->db.get(); }
-  static TinyDb* tiny_;
+  static std::unique_ptr<TinyDb> tiny_;
 };
 
-TinyDb* AnalyzeTest::tiny_ = nullptr;
+std::unique_ptr<TinyDb> AnalyzeTest::tiny_;
 
 TEST_F(AnalyzeTest, ScanActualRowsMatchTable) {
   auto run = db()->RunAnalyze(

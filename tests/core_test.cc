@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <cmath>
 
 #include "core/cfc.h"
@@ -240,15 +242,19 @@ TEST(FamilyTest, GroupSetsExcludeAnchor) {
 class NrefFamilyTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    db_ = testing::MakeMiniNref(/*scale_inverse=*/1000.0).release();
+    owner_ = testing::MakeMiniNref(/*scale_inverse=*/1000.0);
+    db_ = owner_.get();
   }
   static void TearDownTestSuite() {
-    delete db_;
+    owner_.reset();
     db_ = nullptr;
   }
+  // Owning handle; db_ stays a raw alias so call sites read naturally.
+  static std::unique_ptr<Database> owner_;
   static Database* db_;
 };
 
+std::unique_ptr<Database> NrefFamilyTest::owner_;
 Database* NrefFamilyTest::db_ = nullptr;
 
 TEST_F(NrefFamilyTest, Nref2JGeneratesAndBinds) {
@@ -289,15 +295,19 @@ TEST_F(NrefFamilyTest, Nref3JHasCountDistinct) {
 class TpchFamilyTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    db_ = testing::MakeMiniTpch(1000.0, 1.0).release();
+    owner_ = testing::MakeMiniTpch(1000.0, 1.0);
+    db_ = owner_.get();
   }
   static void TearDownTestSuite() {
-    delete db_;
+    owner_.reset();
     db_ = nullptr;
   }
+  // Owning handle; db_ stays a raw alias so call sites read naturally.
+  static std::unique_ptr<Database> owner_;
   static Database* db_;
 };
 
+std::unique_ptr<Database> TpchFamilyTest::owner_;
 Database* TpchFamilyTest::db_ = nullptr;
 
 TEST_F(TpchFamilyTest, Tpch3JGeneratesAndBinds) {

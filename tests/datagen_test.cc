@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <set>
 
 #include "datagen/nref_gen.h"
@@ -12,15 +14,19 @@ namespace {
 class NrefGenTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    db_ = testing::MakeMiniNref(/*scale_inverse=*/2000.0).release();
+    owner_ = testing::MakeMiniNref(/*scale_inverse=*/2000.0);
+    db_ = owner_.get();
   }
   static void TearDownTestSuite() {
-    delete db_;
+    owner_.reset();
     db_ = nullptr;
   }
+  // Owning handle; db_ stays a raw alias so call sites read naturally.
+  static std::unique_ptr<Database> owner_;
   static Database* db_;
 };
 
+std::unique_ptr<Database> NrefGenTest::owner_;
 Database* NrefGenTest::db_ = nullptr;
 
 TEST_F(NrefGenTest, RowCountsPreservePaperRatios) {
@@ -102,18 +108,25 @@ TEST_F(NrefGenTest, DeterministicGeneration) {
 class TpchGenTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    uniform_ = testing::MakeMiniTpch(2000.0, 0.0).release();
-    skewed_ = testing::MakeMiniTpch(2000.0, 1.0).release();
+    uniform_owner_ = testing::MakeMiniTpch(2000.0, 0.0);
+    skewed_owner_ = testing::MakeMiniTpch(2000.0, 1.0);
+    uniform_ = uniform_owner_.get();
+    skewed_ = skewed_owner_.get();
   }
   static void TearDownTestSuite() {
-    delete uniform_;
-    delete skewed_;
+    uniform_owner_.reset();
+    skewed_owner_.reset();
     uniform_ = skewed_ = nullptr;
   }
+  // Owning handles; the raw aliases keep call sites reading naturally.
+  static std::unique_ptr<Database> uniform_owner_;
+  static std::unique_ptr<Database> skewed_owner_;
   static Database* uniform_;
   static Database* skewed_;
 };
 
+std::unique_ptr<Database> TpchGenTest::uniform_owner_;
+std::unique_ptr<Database> TpchGenTest::skewed_owner_;
 Database* TpchGenTest::uniform_ = nullptr;
 Database* TpchGenTest::skewed_ = nullptr;
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <algorithm>
 #include <map>
 #include <set>
@@ -33,18 +35,17 @@ std::multiset<std::string> RowsAsStrings(const std::vector<Tuple>& rows) {
 class ExecTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    tiny_ = new TinyDb(TinyDb::Make(4000, 40));
+    tiny_ = std::make_unique<TinyDb>(TinyDb::Make(4000, 40));
   }
   static void TearDownTestSuite() {
-    delete tiny_;
-    tiny_ = nullptr;
+    tiny_.reset();
   }
   Database* db() { return tiny_->db.get(); }
 
-  static TinyDb* tiny_;
+  static std::unique_ptr<TinyDb> tiny_;
 };
 
-TinyDb* ExecTest::tiny_ = nullptr;
+std::unique_ptr<TinyDb> ExecTest::tiny_;
 
 TEST_F(ExecTest, SeqScanFilterCount) {
   // Reference: count people in dept 7.

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "advisor/goal_advisor.h"
 #include "advisor/profiles.h"
 #include "core/benchmark_suite.h"
@@ -12,10 +14,9 @@ using testing::TinyDb;
 
 class GoalAdvisorTest : public ::testing::Test {
  protected:
-  static void SetUpTestSuite() { tiny_ = new TinyDb(TinyDb::Make(8000, 60)); }
+  static void SetUpTestSuite() { tiny_ = std::make_unique<TinyDb>(TinyDb::Make(8000, 60)); }
   static void TearDownTestSuite() {
-    delete tiny_;
-    tiny_ = nullptr;
+    tiny_.reset();
   }
   Database* db() { return tiny_->db.get(); }
 
@@ -39,10 +40,10 @@ class GoalAdvisorTest : public ::testing::Test {
     return out;
   }
 
-  static TinyDb* tiny_;
+  static std::unique_ptr<TinyDb> tiny_;
 };
 
-TinyDb* GoalAdvisorTest::tiny_ = nullptr;
+std::unique_ptr<TinyDb> GoalAdvisorTest::tiny_;
 
 TEST_F(GoalAdvisorTest, TrivialGoalPicksNothing) {
   // A goal the P configuration already meets: no structures needed.

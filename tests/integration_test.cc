@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "advisor/profiles.h"
 #include "core/benchmark_suite.h"
 #include "core/nref_families.h"
@@ -18,15 +20,19 @@ namespace {
 class IntegrationTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    db_ = testing::MakeMiniNref(/*scale_inverse=*/1600.0).release();
+    owner_ = testing::MakeMiniNref(/*scale_inverse=*/1600.0);
+    db_ = owner_.get();
   }
   static void TearDownTestSuite() {
-    delete db_;
+    owner_.reset();
     db_ = nullptr;
   }
+  // Owning handle; db_ stays a raw alias so call sites read naturally.
+  static std::unique_ptr<Database> owner_;
   static Database* db_;
 };
 
+std::unique_ptr<Database> IntegrationTest::owner_;
 Database* IntegrationTest::db_ = nullptr;
 
 TEST_F(IntegrationTest, SamplingPreservesSizeAndMembership) {

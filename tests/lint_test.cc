@@ -1,0 +1,309 @@
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+// Unit tests for tools/lint: every rule must fire on a known-bad snippet,
+// stay quiet on the matching known-good one, and honor the suppression
+// syntax. The snippets are in-memory SourceFiles, so these tests exercise
+// the same code path as the tabbench_lint CLI minus the filesystem walk.
+namespace {
+
+using tabbench_lint::Finding;
+using tabbench_lint::Lint;
+using tabbench_lint::Options;
+using tabbench_lint::SourceFile;
+
+std::vector<Finding> RunLint(std::vector<SourceFile> files,
+                         const Options& opts = {}) {
+  return Lint(files, opts);
+}
+
+size_t CountRule(const std::vector<Finding>& findings,
+                 const std::string& rule) {
+  size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(LintDeterminism, FiresOnAmbientEntropyInResultPaths) {
+  auto findings = RunLint({{"src/core/runner.cc",
+                        "int f() { return rand(); }\n"
+                        "std::random_device rd;\n"
+                        "auto t = time(nullptr);\n"
+                        "auto n = std::chrono::system_clock::now();\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-determinism"), 4u);
+}
+
+TEST(LintDeterminism, ScopedToCoreAndEngineOnly) {
+  // The same ugliness outside the result paths (e.g. a bench harness
+  // measuring wall time) is not this rule's business.
+  auto findings = RunLint({{"bench/bench_totals.cc",
+                        "auto n = std::chrono::system_clock::now();\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-determinism"), 0u);
+}
+
+TEST(LintDeterminism, IgnoresCommentsAndStrings) {
+  auto findings = RunLint({{"src/core/runner.cc",
+                        "// rand() is banned here\n"
+                        "const char* kMsg = \"rand() via util/rng.h\";\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-determinism"), 0u);
+}
+
+// ------------------------------------------------------------- naked-new
+
+TEST(LintNakedNew, FiresOnNewAndDelete) {
+  auto findings = RunLint({{"src/engine/x.cc",
+                        "auto* p = new Foo();\n"
+                        "delete p;\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-naked-new"), 2u);
+}
+
+TEST(LintNakedNew, DeletedSpecialMembersAreFine) {
+  auto findings = RunLint({{"src/engine/x.h",
+                        "#ifndef TABBENCH_ENGINE_X_H_\n"
+                        "#define TABBENCH_ENGINE_X_H_\n"
+                        "struct X { X(const X&) = delete; };\n"
+                        "#endif  // TABBENCH_ENGINE_X_H_\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-naked-new"), 0u);
+}
+
+TEST(LintNakedNew, IdentifiersContainingNewAreFine) {
+  auto findings = RunLint({{"src/engine/x.cc",
+                        "auto new_root = MakeNode();\n"
+                        "int renewal = 2;\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-naked-new"), 0u);
+}
+
+// ------------------------------------------------------------ float-equal
+
+TEST(LintFloatEqual, FiresInCostCode) {
+  auto findings = RunLint({{"src/optimizer/cost_model.cc",
+                        "if (cost == 0.0) return;\n"
+                        "bool b = 1.5e3 != x;\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-float-equal"), 2u);
+}
+
+TEST(LintFloatEqual, OrderedComparisonsAndIntegersAreFine) {
+  auto findings = RunLint({{"src/core/cfc.cc",
+                        "if (cost <= 0.5) return;\n"
+                        "if (total == 0) return;\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-float-equal"), 0u);
+}
+
+TEST(LintFloatEqual, ScopedToCostAndCfcFiles) {
+  auto findings = RunLint({{"src/sql/parser.cc", "bool b = (x == 0.5);\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-float-equal"), 0u);
+}
+
+// ------------------------------------------------------- unchecked-status
+
+TEST(LintUncheckedStatus, FiresOnDiscardedCall) {
+  auto findings = RunLint({{"src/util/api.h",
+                        "#ifndef TABBENCH_UTIL_API_H_\n"
+                        "#define TABBENCH_UTIL_API_H_\n"
+                        "Status DoThing(int x);\n"
+                        "#endif  // TABBENCH_UTIL_API_H_\n"},
+                       {"src/util/use.cc", "void f() {\n  DoThing(1);\n}\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-unchecked-status"), 1u);
+}
+
+TEST(LintUncheckedStatus, ConsumedCallsAreFine) {
+  auto findings = RunLint(
+      {{"src/util/api.h",
+        "#ifndef TABBENCH_UTIL_API_H_\n"
+        "#define TABBENCH_UTIL_API_H_\n"
+        "Status DoThing(int x);\n"
+        "#endif  // TABBENCH_UTIL_API_H_\n"},
+       {"src/util/use.cc",
+        "Status g() {\n"
+        "  Status s = DoThing(1);\n"
+        "  (void)DoThing(2);\n"
+        "  TB_RETURN_IF_ERROR(DoThing(3));\n"
+        "  return DoThing(4);\n"
+        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-unchecked-status"), 0u);
+}
+
+TEST(LintUncheckedStatus, AmbiguousOverloadsAreSkipped) {
+  // `Insert` is declared both void (BTree-style) and Status
+  // (Database-style); a name-level analysis cannot tell the call sites
+  // apart, so it must stay quiet ([[nodiscard]] catches the real ones).
+  auto findings = RunLint({{"src/util/api.h",
+                        "#ifndef TABBENCH_UTIL_API_H_\n"
+                        "#define TABBENCH_UTIL_API_H_\n"
+                        "Status Insert(int x);\n"
+                        "void Insert(int x, int y);\n"
+                        "#endif  // TABBENCH_UTIL_API_H_\n"},
+                       {"src/util/use.cc", "void f() {\n  Insert(1);\n}\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-unchecked-status"), 0u);
+}
+
+TEST(LintUncheckedStatus, ContinuationLinesAreNotBareCalls) {
+  auto findings = RunLint({{"src/util/api.h",
+                        "#ifndef TABBENCH_UTIL_API_H_\n"
+                        "#define TABBENCH_UTIL_API_H_\n"
+                        "Status DoThing(int x);\n"
+                        "#endif  // TABBENCH_UTIL_API_H_\n"},
+                       {"src/util/use.cc",
+                        "void f() {\n"
+                        "  TB_ASSERT_OK(\n"
+                        "      DoThing(1));\n"
+                        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-unchecked-status"), 0u);
+}
+
+// -------------------------------------------------------- unordered-iter
+
+TEST(LintUnorderedIter, FiresOnRangeForOverUnorderedMember) {
+  auto findings = RunLint({{"src/core/x.cc",
+                        "std::unordered_map<int, int> counts;\n"
+                        "void f() {\n"
+                        "  for (const auto& [k, v] : counts) use(k, v);\n"
+                        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-unordered-iter"), 1u);
+}
+
+TEST(LintUnorderedIter, VectorOfUnorderedSetsIsFine) {
+  // The outer container is a vector; its iteration order is deterministic.
+  auto findings = RunLint({{"src/core/x.cc",
+                        "std::vector<std::unordered_set<int>> sets;\n"
+                        "void f() {\n"
+                        "  for (const auto& s : sets) use(s);\n"
+                        "}\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-unordered-iter"), 0u);
+}
+
+// --------------------------------------------------------- include-guard
+
+TEST(LintIncludeGuard, CanonicalGuardDropsLeadingSrc) {
+  EXPECT_EQ(tabbench_lint::CanonicalGuard("src/util/mutex.h"),
+            "TABBENCH_UTIL_MUTEX_H_");
+  EXPECT_EQ(tabbench_lint::CanonicalGuard("tests/test_util.h"),
+            "TABBENCH_TESTS_TEST_UTIL_H_");
+  EXPECT_EQ(tabbench_lint::CanonicalGuard("tools/lint/lint.h"),
+            "TABBENCH_TOOLS_LINT_LINT_H_");
+}
+
+TEST(LintIncludeGuard, FiresOnMissingAndMismatched) {
+  auto missing = RunLint({{"src/util/a.h", "int f();\n"}});
+  EXPECT_EQ(CountRule(missing, "tabbench-include-guard"), 1u);
+
+  auto wrong = RunLint({{"src/util/b.h",
+                     "#ifndef WRONG_GUARD_H\n"
+                     "#define WRONG_GUARD_H\n"
+                     "int f();\n"
+                     "#endif\n"}});
+  EXPECT_EQ(CountRule(wrong, "tabbench-include-guard"), 1u);
+}
+
+TEST(LintIncludeGuard, FixRewritesTheGuardInPlace) {
+  std::vector<SourceFile> files = {{"src/util/b.h",
+                                    "#ifndef WRONG_GUARD_H\n"
+                                    "#define WRONG_GUARD_H\n"
+                                    "int f();\n"
+                                    "#endif\n"}};
+  Options opts;
+  opts.fix = true;
+  auto findings = Lint(files, opts);
+  ASSERT_EQ(CountRule(findings, "tabbench-include-guard"), 1u);
+  EXPECT_NE(findings[0].message.find("[fixed]"), std::string::npos);
+  EXPECT_NE(files[0].content.find("#ifndef TABBENCH_UTIL_B_H_"),
+            std::string::npos);
+  EXPECT_NE(files[0].content.find("#define TABBENCH_UTIL_B_H_"),
+            std::string::npos);
+  EXPECT_NE(files[0].content.find("#endif  // TABBENCH_UTIL_B_H_"),
+            std::string::npos);
+
+  // The fixed file must lint clean on a second pass.
+  auto again = Lint(files);
+  EXPECT_EQ(CountRule(again, "tabbench-include-guard"), 0u);
+}
+
+TEST(LintIncludeGuard, FixWrapsGuardlessHeader) {
+  std::vector<SourceFile> files = {{"src/util/c.h", "int g();\n"}};
+  Options opts;
+  opts.fix = true;
+  auto findings = Lint(files, opts);
+  ASSERT_EQ(CountRule(findings, "tabbench-include-guard"), 1u);
+  auto again = Lint(files);
+  EXPECT_EQ(CountRule(again, "tabbench-include-guard"), 0u);
+  EXPECT_NE(files[0].content.find("int g();"), std::string::npos);
+}
+
+// ------------------------------------------------------- include-hygiene
+
+TEST(LintIncludeHygiene, FiresOnParentRelativeInclude) {
+  auto findings = RunLint({{"src/core/x.cc", "#include \"../util/rng.h\"\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-include-hygiene"), 1u);
+  auto clean = RunLint({{"src/core/y.cc", "#include \"util/rng.h\"\n"}});
+  EXPECT_EQ(CountRule(clean, "tabbench-include-hygiene"), 0u);
+}
+
+// ---------------------------------------------------------- suppressions
+
+TEST(LintSuppressions, NolintOnTheLine) {
+  auto findings =
+      RunLint({{"src/engine/x.cc",
+            "auto* p = new Foo();  // NOLINT(tabbench-naked-new) reason\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-naked-new"), 0u);
+}
+
+TEST(LintSuppressions, BareNolintSuppressesEveryRule) {
+  auto findings = RunLint({{"src/core/x.cc",
+                        "int r = rand();  // NOLINT intentional\n"}});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSuppressions, NolintNextline) {
+  auto findings = RunLint({{"src/engine/x.cc",
+                        "// NOLINTNEXTLINE(tabbench-naked-new)\n"
+                        "auto* p = new Foo();\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-naked-new"), 0u);
+}
+
+TEST(LintSuppressions, NolintFileCoversTheWholeFile) {
+  auto findings = RunLint({{"src/engine/x.cc",
+                        "// NOLINTFILE(tabbench-naked-new): arena code\n"
+                        "auto* a = new Foo();\n"
+                        "auto* b = new Bar();\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-naked-new"), 0u);
+}
+
+TEST(LintSuppressions, WrongRuleNameDoesNotSuppress) {
+  auto findings = RunLint({{"src/engine/x.cc",
+                        "auto* p = new Foo();  // NOLINT(tabbench-float-equal)\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-naked-new"), 1u);
+}
+
+// --------------------------------------------------------------- output
+
+TEST(LintOutput, JsonCarriesEveryField) {
+  auto findings = RunLint({{"src/engine/x.cc", "auto* p = new Foo();\n"}});
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string json = tabbench_lint::ToJson(findings);
+  EXPECT_NE(json.find("\"file\": \"src/engine/x.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"tabbench-naked-new\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"fixable\": false"), std::string::npos);
+}
+
+TEST(LintOutput, RuleTableNamesAreUniqueAndPrefixed) {
+  const auto& rules = tabbench_lint::Rules();
+  ASSERT_GE(rules.size(), 7u);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(std::string(rules[i].name).rfind("tabbench-", 0), 0u);
+    for (size_t j = i + 1; j < rules.size(); ++j) {
+      EXPECT_STRNE(rules[i].name, rules[j].name);
+    }
+  }
+}
+
+}  // namespace

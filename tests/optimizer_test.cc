@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/configurations.h"
 #include "optimizer/cardinality.h"
 #include "optimizer/cost_model.h"
@@ -14,16 +16,15 @@ using testing::TinyDb;
 
 class OptimizerTest : public ::testing::Test {
  protected:
-  static void SetUpTestSuite() { tiny_ = new TinyDb(TinyDb::Make(8000, 60)); }
+  static void SetUpTestSuite() { tiny_ = std::make_unique<TinyDb>(TinyDb::Make(8000, 60)); }
   static void TearDownTestSuite() {
-    delete tiny_;
-    tiny_ = nullptr;
+    tiny_.reset();
   }
   Database* db() { return tiny_->db.get(); }
-  static TinyDb* tiny_;
+  static std::unique_ptr<TinyDb> tiny_;
 };
 
-TinyDb* OptimizerTest::tiny_ = nullptr;
+std::unique_ptr<TinyDb> OptimizerTest::tiny_;
 
 // ------------------------------------------------------------ cardinality
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,6 +16,8 @@
 #include "service/session.h"
 #include "service/thread_pool.h"
 #include "service/workload_service.h"
+#include "storage/btree.h"
+#include "storage/page_store.h"
 #include "test_util.h"
 
 namespace tabbench {
@@ -97,6 +100,46 @@ TEST(ThreadPoolTest, ShutdownDrainsAcceptedJobsThenRejects) {
   pool.Shutdown();  // idempotent
 }
 
+TEST(ThreadPoolTest, NumWorkersStableWhileShutdownJoins) {
+  // Regression test: num_workers() used to read the workers_ vector that
+  // Shutdown() concurrently joined and cleared — a data race TSan (and the
+  // thread-safety annotations) flag. The count is now a constant set at
+  // construction, so readers racing Shutdown() must always see it.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    std::atomic<bool> stop{false};
+    std::atomic<bool> saw_bad{false};
+    std::thread reader([&] {
+      while (!stop.load()) {
+        if (pool.num_workers() != 3) saw_bad.store(true);
+      }
+    });
+    pool.Shutdown();
+    stop.store(true);
+    reader.join();
+    EXPECT_FALSE(saw_bad.load());
+    EXPECT_EQ(pool.num_workers(), 3u);  // still reported after shutdown
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentShutdownIsIdempotent) {
+  // Two threads racing Shutdown() (e.g. explicit call vs. destructor) must
+  // both return with the workers joined exactly once.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+      TB_ASSERT_OK(pool.Submit([&ran] { ++ran; }));
+    }
+    std::thread a([&] { pool.Shutdown(); });
+    std::thread b([&] { pool.Shutdown(); });
+    a.join();
+    b.join();
+    EXPECT_EQ(ran.load(), 8);  // accepted jobs drained before the join
+    EXPECT_TRUE(pool.Submit([] {}).IsUnavailable());
+  }
+}
+
 TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnceAndJoins) {
   ThreadPool pool(4);
   std::vector<int> hits(257, 0);
@@ -116,14 +159,12 @@ TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnceAndJoins) {
 class ServiceDbTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    tiny_ = new testing::TinyDb(testing::TinyDb::Make(3000, 20));
+    tiny_ = std::make_unique<testing::TinyDb>(
+        testing::TinyDb::Make(3000, 20));
   }
-  static void TearDownTestSuite() {
-    delete tiny_;
-    tiny_ = nullptr;
-  }
+  static void TearDownTestSuite() { tiny_.reset(); }
   static Database* db() { return tiny_->db.get(); }
-  static testing::TinyDb* tiny_;
+  static std::unique_ptr<testing::TinyDb> tiny_;
 
   static constexpr const char* kScan =
       "SELECT p.dept, COUNT(*) FROM people p GROUP BY p.dept";
@@ -132,7 +173,7 @@ class ServiceDbTest : public ::testing::Test {
       "GROUP BY p.city";
 };
 
-testing::TinyDb* ServiceDbTest::tiny_ = nullptr;
+std::unique_ptr<testing::TinyDb> ServiceDbTest::tiny_;
 
 TEST_F(ServiceDbTest, SessionMatchesColdSharedPoolRun) {
   // A fresh session's private pool is cold, so its first execution must be
@@ -360,12 +401,61 @@ TEST_F(ServiceDbTest, ConcurrentFloodAllFuturesResolve) {
   for (SessionId id : ids) TB_ASSERT_OK(service.CloseSession(id));
 }
 
+// ------------------------------------------------------ BTree stats cache
+
+TEST(BTreeStatsCacheTest, ConcurrentLazyFillIsConsistent) {
+  // Many planner threads read the lazily-cached distinct/clustering
+  // metrics of one built tree at once (ConfigView construction does this).
+  // The fill must happen under cache_mu_ and every reader must see the
+  // same values. Runs under the concurrency label so the TSan matrix
+  // covers it; the thread-safety annotations prove the same protocol at
+  // compile time under Clang.
+  PageStore store;
+  BTree tree("ix", 1, 8, &store);
+  std::vector<std::pair<IndexKey, Rid>> entries;
+  for (int k = 0; k < 500; ++k) {  // key-sorted, 4 rids per key
+    for (int r = 0; r < 4; ++r) {
+      entries.emplace_back(
+          IndexKey{Value(static_cast<int64_t>(k))},
+          Rid{static_cast<uint32_t>((k * 4 + r) / 64), 0});
+    }
+  }
+  tree.BulkBuild(std::move(entries));
+
+  constexpr int kReaders = 8;
+  std::vector<uint64_t> distinct(kReaders, 0);
+  std::vector<uint64_t> clustering(kReaders, 0);
+  {
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&, t] {
+        distinct[static_cast<size_t>(t)] = tree.num_distinct_keys();
+        clustering[static_cast<size_t>(t)] = tree.clustering_factor();
+      });
+    }
+    for (auto& th : readers) th.join();
+  }
+  for (int t = 1; t < kReaders; ++t) {
+    EXPECT_EQ(distinct[static_cast<size_t>(t)], distinct[0]);
+    EXPECT_EQ(clustering[static_cast<size_t>(t)], clustering[0]);
+  }
+  EXPECT_EQ(distinct[0], 500u);
+
+  // A structural mutation invalidates under the same mutex; the next read
+  // refills and sees the new count.
+  tree.Insert(IndexKey{Value(static_cast<int64_t>(10'000))}, Rid{1, 1},
+              nullptr);
+  EXPECT_EQ(tree.num_distinct_keys(), 501u);
+}
+
 // ------------------------------------------------- parallel workload runner
 
 class ParallelRunnerTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    db_ = testing::MakeMiniNref(/*scale_inverse=*/1000.0).release();
+    owner_ = testing::MakeMiniNref(/*scale_inverse=*/1000.0);
+    db_ = owner_.get();
     ASSERT_NE(db_, nullptr);
     QueryFamily family = GenerateNref2J(db_->catalog(), db_->stats());
     auto sampled = SampleFamily(family, db_, 100, /*seed=*/7);
@@ -374,7 +464,7 @@ class ParallelRunnerTest : public ::testing::Test {
     ASSERT_EQ(sample_.size(), 100u);
   }
   static void TearDownTestSuite() {
-    delete db_;
+    owner_.reset();
     db_ = nullptr;
   }
 
@@ -402,10 +492,13 @@ class ParallelRunnerTest : public ::testing::Test {
     }
   }
 
+  // Owning handle; db_ stays a raw alias so call sites read naturally.
+  static std::unique_ptr<Database> owner_;
   static Database* db_;
   static std::vector<std::string> sample_;
 };
 
+std::unique_ptr<Database> ParallelRunnerTest::owner_;
 Database* ParallelRunnerTest::db_ = nullptr;
 std::vector<std::string> ParallelRunnerTest::sample_;
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# One-shot local CI gate: configure, build, test, lint — and, when a Clang
+# toolchain is on PATH, prove the thread-safety annotations with
+# -Werror=thread-safety. Run from anywhere inside the repo:
+#
+#   tools/ci/check.sh            # full gate
+#   SKIP_BUILD=1 tools/ci/check.sh   # reuse an existing build/ tree
+#
+# Exit status is non-zero on the first failing stage.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${ROOT}/build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+# ---------------------------------------------------------------- build
+if [[ -z "${SKIP_BUILD:-}" ]]; then
+  step "configure (${BUILD_DIR})"
+  cmake -B "${BUILD_DIR}" -S "${ROOT}"
+  step "build (-j${JOBS})"
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+fi
+
+# ---------------------------------------------------------------- tests
+step "ctest"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# ----------------------------------------------------------------- lint
+# ctest already ran lint_repo, but run the binary directly too so the
+# human-readable findings (if any) land at the end of the log.
+step "tabbench_lint"
+"${BUILD_DIR}/tools/lint/tabbench_lint" --root "${ROOT}"
+
+# -------------------------------------------------- thread-safety proof
+# The TB_GUARDED_BY/TB_REQUIRES annotations only carry weight under
+# Clang's -Wthread-safety analysis; GCC compiles them away. Gate this
+# stage on clang++ being available rather than failing on GCC-only boxes.
+if command -v clang++ >/dev/null 2>&1; then
+  step "clang -Werror=thread-safety build"
+  TSA_DIR="${ROOT}/build-tsa"
+  cmake -B "${TSA_DIR}" -S "${ROOT}" \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_C_COMPILER=clang
+  # The annotated surfaces: the service layer and the B-tree stats cache.
+  cmake --build "${TSA_DIR}" -j "${JOBS}" \
+    --target tb_service tb_storage
+else
+  step "clang++ not found — skipping -Wthread-safety build"
+fi
+
+step "all checks passed"

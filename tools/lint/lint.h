@@ -1,0 +1,75 @@
+#ifndef TABBENCH_TOOLS_LINT_LINT_H_
+#define TABBENCH_TOOLS_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// tabbench_lint — the project's static-analysis rules as a library.
+///
+/// The linter works at token/regex level over comment- and string-stripped
+/// source (no libclang dependency), which is exactly enough for the project
+/// rules it enforces: the determinism contract (all randomness through
+/// util/rng.h, no wall-clock reads in result paths), ownership hygiene (no
+/// naked new/delete), numeric hygiene (no float equality in cost/CFC code),
+/// error hygiene (no dropped Status), replay-order hazards (no range-for
+/// over unordered containers), and header hygiene (canonical include
+/// guards, no parent-relative includes).
+///
+/// The library is deliberately dependency-free (standard library only) so
+/// the lint binary builds before — and independently of — everything it
+/// checks. tests/lint_test.cc feeds it in-memory snippets.
+namespace tabbench_lint {
+
+/// One file to analyze. `path` should be repo-relative with forward
+/// slashes; rule applicability (e.g. "determinism applies to src/core and
+/// src/engine") is decided from it.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// One rule violation at a specific line.
+struct Finding {
+  std::string file;
+  size_t line = 0;  // 1-based
+  std::string rule;  // "tabbench-<rule>"
+  std::string message;
+  bool fixable = false;
+};
+
+struct RuleInfo {
+  const char* name;     // "tabbench-<rule>"
+  const char* summary;  // one line, shown by --list-rules
+  bool fixable;         // --fix can repair it mechanically
+};
+
+struct Options {
+  /// Mechanically repair fixable findings by rewriting SourceFile::content
+  /// in place (the caller persists). Fixed findings are still reported,
+  /// with "[fixed]" appended to the message.
+  bool fix = false;
+};
+
+/// The rule table, in evaluation order.
+const std::vector<RuleInfo>& Rules();
+
+/// Runs every rule over `files`. Cross-file knowledge (the set of functions
+/// returning Status/Result, used by the unchecked-status rule) is built
+/// from the whole set, so pass everything you want analyzed in one call.
+/// With opts.fix, fixable findings mutate the file contents in place.
+std::vector<Finding> Lint(std::vector<SourceFile>& files,
+                          const Options& opts = {});
+
+/// Canonical include guard for a header path:
+/// "src/util/mutex.h" -> "TABBENCH_UTIL_MUTEX_H_" (leading "src/" drops,
+/// every other component is kept).
+std::string CanonicalGuard(const std::string& path);
+
+/// Serializers for the CLI.
+std::string ToJson(const std::vector<Finding>& findings);
+std::string ToText(const std::vector<Finding>& findings);
+
+}  // namespace tabbench_lint
+
+#endif  // TABBENCH_TOOLS_LINT_LINT_H_

@@ -1,0 +1,154 @@
+// tabbench_lint — project static-analysis CLI.
+//
+// Usage:
+//   tabbench_lint [--root DIR] [--json] [--fix] [--list-rules] [paths...]
+//
+// Walks the given paths (default: src bench tests tools examples) under
+// --root (default: cwd), lints every .h/.cc/.cpp file, and prints findings
+// in human (default) or JSON (--json) form. Exit status: 0 clean, 1 when
+// unfixed findings remain, 2 on usage or I/O errors. With --fix, fixable
+// findings (include guards) are repaired in place and do not count toward
+// the exit status.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+bool IsExcludedDir(const std::string& name) {
+  // Build trees and VCS metadata; "build", "build-tsan", "build-asan", ...
+  return name == ".git" || name.rfind("build", 0) == 0;
+}
+
+void CollectFiles(const fs::path& root, const fs::path& rel,
+                  std::vector<std::string>* out) {
+  fs::path abs = root / rel;
+  std::error_code ec;
+  if (fs::is_regular_file(abs, ec)) {
+    if (HasSourceExtension(abs)) out->push_back(rel.generic_string());
+    return;
+  }
+  if (!fs::is_directory(abs, ec)) return;
+  for (fs::recursive_directory_iterator it(abs, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_directory(ec)) {
+      if (IsExcludedDir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (it->is_regular_file(ec) && HasSourceExtension(it->path())) {
+      out->push_back(
+          fs::relative(it->path(), root, ec).generic_string());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  tabbench_lint::Options options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) {
+        std::cerr << "--root needs a directory argument\n";
+        return 2;
+      }
+      root = argv[i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fix") {
+      options.fix = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : tabbench_lint::Rules()) {
+        std::cout << rule.name << (rule.fixable ? " [fixable]" : "")
+                  << "\n    " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: tabbench_lint [--root DIR] [--json] [--fix] "
+                   "[--list-rules] [paths...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "bench", "tests", "tools", "examples"};
+  }
+
+  std::vector<std::string> rel_files;
+  for (const auto& p : paths) {
+    CollectFiles(root, p, &rel_files);
+  }
+  if (rel_files.empty()) {
+    std::cerr << "tabbench_lint: no source files under " << root << "\n";
+    return 2;
+  }
+  std::sort(rel_files.begin(), rel_files.end());
+
+  std::vector<tabbench_lint::SourceFile> files;
+  std::vector<std::string> originals;
+  files.reserve(rel_files.size());
+  originals.reserve(rel_files.size());
+  for (const auto& rel : rel_files) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      std::cerr << "tabbench_lint: cannot read " << rel << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.push_back({rel, ss.str()});
+    originals.push_back(files.back().content);
+  }
+
+  std::vector<tabbench_lint::Finding> findings =
+      tabbench_lint::Lint(files, options);
+
+  if (options.fix) {
+    for (size_t i = 0; i < files.size(); ++i) {
+      if (files[i].content == originals[i]) continue;
+      std::ofstream out(fs::path(root) / files[i].path,
+                        std::ios::binary | std::ios::trunc);
+      out << files[i].content;
+    }
+  }
+
+  if (json) {
+    std::cout << tabbench_lint::ToJson(findings);
+  } else {
+    std::cout << tabbench_lint::ToText(findings);
+    if (findings.empty()) {
+      std::cout << "tabbench_lint: " << files.size() << " files clean\n";
+    }
+  }
+
+  size_t unfixed = 0;
+  for (const auto& f : findings) {
+    if (f.message.find("[fixed]") == std::string::npos) ++unfixed;
+  }
+  return unfixed == 0 ? 0 : 1;
+}
