@@ -5,15 +5,32 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/fault_injection.h"
+
 namespace tabbench {
 
 namespace {
 
-/// What one worker records for one query. Slots are preallocated per batch,
-/// so workers write disjoint memory and the batch joins race-free.
-struct RecordedQuery {
+/// Drops a fault latched after an attempt's last safe point so it cannot
+/// leak into the next attempt or repetition. The serial runner, the
+/// parallel record phase, and the service retry loop all call this at the
+/// same attempt boundaries, keeping their fault schedules aligned.
+void DropStaleLatchedFault() {
+  if (FaultInjectionArmed()) (void)FaultRegistry::TakePending();
+}
+
+/// What one worker records for one query: every attempt of its retry loop.
+/// Slots are preallocated per batch, so workers write disjoint memory and
+/// the batch joins race-free.
+struct RecordedAttempt {
   AccessTrace trace;
-  Status run_status;
+  Status status;          // OK, or the attempt's error
+  bool timed_out = false; // QueryResult::timed_out when status is OK
+};
+
+struct RecordedQuery {
+  std::vector<RecordedAttempt> attempts;
+  Status spawn_status;  // ParallelFor rejection / pre-spawn cancellation
   double estimate = 0.0;
   Status est_status;
 };
@@ -25,24 +42,83 @@ Result<WorkloadResult> RunWorkload(Database* db,
                                    const RunOptions& opts) {
   WorkloadResult out;
   if (opts.cold_start) db->buffer_pool()->Clear();
-  const double timeout = db->options().cost.timeout_seconds;
+  const CostParams cost = db->options().cost;
+  const double timeout = cost.timeout_seconds;
 
-  for (const auto& q : sql) {
+  for (size_t k = 0; k < sql.size(); ++k) {
+    const std::string& q = sql[k];
+    // Fault decisions are pure functions of (spec, per-scope hit index,
+    // scope seed); seeding by query index gives query k the same injected
+    // schedule here and in RunWorkloadParallel's record workers.
+    FaultScope scope(opts.fault_scope_salt + k);
     QueryTiming timing;
     double total = 0.0;
     int runs = 0;
-    for (int rep = 0; rep < std::max(1, opts.repetitions); ++rep) {
-      auto res = db->Run(q);
-      if (!res.ok()) return res.status();
-      if (res->timed_out) {
-        // Timeout queries are run once (paper Section 4.1).
-        timing.timed_out = true;
-        timing.seconds = timeout;
+    int attempt = 1;
+
+    // The first repetition carries the retry loop on one cumulative
+    // context: failed attempts and backoff delays stay on the query's
+    // simulated clock, so a retried query pays for its retries in the CFC
+    // and the timeout bounds the whole loop, not each attempt.
+    ExecContext ctx = db->MakeSessionContext(db->buffer_pool(), cost);
+    for (;;) {
+      auto res = db->RunWithContext(q, &ctx);
+      DropStaleLatchedFault();
+      if (res.ok()) {
+        if (res->timed_out) {
+          // Timeout queries are run once (paper Section 4.1).
+          timing.timed_out = true;
+          timing.seconds = timeout;
+        } else {
+          total += res->sim_seconds;
+          ++runs;
+        }
         break;
       }
-      total += res->sim_seconds;
-      ++runs;
+      Status st = res.status();
+      if (st.IsCancelled()) return st;
+      if (opts.retry.ShouldRetry(st, attempt)) {
+        ctx.ChargeBackoff(opts.retry.BackoffSeconds(attempt));
+        ++attempt;
+        ++out.retries;
+        continue;
+      }
+      // Retries exhausted (or the error is not retryable): isolate the
+      // query, censored at the timeout cost exactly like a timed-out query
+      // — the run keeps going, mirroring how the paper keeps scoring an
+      // advisor that "fails outright" (Section 5).
+      timing.timed_out = true;
+      timing.failed = true;
+      timing.seconds = timeout;
+      ++out.failures;
+      out.failure_details.push_back(QueryFailure{k, attempt, std::move(st)});
+      break;
     }
+
+    // Extra repetitions (warm-cache averaging) re-run a query that already
+    // survived its fault schedule; suppression keeps them from re-rolling
+    // it — the parallel runner replays the recorded trace for the same
+    // reason.
+    if (!timing.timed_out) {
+      scope.set_suppressed(true);
+      for (int rep = 1; rep < std::max(1, opts.repetitions); ++rep) {
+        ExecContext rep_ctx = db->MakeSessionContext(db->buffer_pool(), cost);
+        auto res = db->RunWithContext(q, &rep_ctx);
+        if (!res.ok()) {
+          scope.set_suppressed(false);
+          return res.status();
+        }
+        if (res->timed_out) {
+          timing.timed_out = true;
+          timing.seconds = timeout;
+          break;
+        }
+        total += res->sim_seconds;
+        ++runs;
+      }
+      scope.set_suppressed(false);
+    }
+
     if (!timing.timed_out) {
       timing.seconds = runs > 0 ? total / runs : 0.0;
     } else {
@@ -95,6 +171,7 @@ Result<WorkloadResult> RunWorkloadParallel(Database* db,
   if (opts.cold_start) db->buffer_pool()->Clear();
   const CostParams cost = db->options().cost;
   const double timeout = cost.timeout_seconds;
+  const int max_attempts = std::max(1, opts.retry.max_attempts);
 
   size_t window = par.window;
   if (window == 0) {
@@ -103,24 +180,27 @@ Result<WorkloadResult> RunWorkloadParallel(Database* db,
 
   // Recording runs on a cold pool, so a doomed query need not execute to
   // completion: a replay from any warm pool saves at most one first-touch
-  // hit per resident page, so once the cold clock is this far past the
-  // timeout, every replay is guaranteed to trip inside the recorded prefix.
+  // hit per resident page *per attempt* versus the cold recording run, so
+  // once the cold cumulative clock is this far past the timeout, every
+  // replay is guaranteed to trip inside the recorded prefix.
   const double record_budget =
-      timeout + static_cast<double>(db->options().buffer_pool_pages) *
+      timeout + static_cast<double>(max_attempts) *
+                    static_cast<double>(db->options().buffer_pool_pages) *
                     std::max(cost.page_io_seconds, cost.random_io_seconds);
 
   double record_ms = 0.0, replay_ms = 0.0;
   uint64_t trace_events = 0;
   const bool phase_timing = std::getenv("TABBENCH_PHASE_TIMING") != nullptr;
 
-  // Batched so at most `window` full traces are alive at once.
+  // Batched so at most `window` queries' full traces are alive at once.
   for (size_t base = 0; base < sql.size(); base += window) {
     const size_t count = std::min(window, sql.size() - base);
     std::vector<RecordedQuery> rec(count);
 
-    // Record phase (parallel): every query executes against a private cold
-    // pool with the timeout off, capturing its full charge trace. The trace
-    // is pool-independent, so one recording serves all repetitions.
+    // Record phase (parallel): every query runs its whole retry loop
+    // against a private cold pool with the timeout off, capturing one
+    // charge trace per attempt. Traces are pool-independent, so one
+    // recording serves the replay and all repetitions.
     auto t0 = std::chrono::steady_clock::now();
     ParallelFor(
         par.pool, count,
@@ -128,17 +208,32 @@ Result<WorkloadResult> RunWorkloadParallel(Database* db,
           RecordedQuery& r = rec[i];
           const std::string& q = sql[base + i];
           if (par.cancel.cancelled()) {
-            r.run_status = Status::Cancelled("workload cancelled");
+            r.spawn_status = Status::Cancelled("workload cancelled");
             return;
           }
+          // Same scope seed the serial runner gives this query, so the
+          // worker sees the exact fault schedule a serial run would.
+          FaultScope scope(opts.fault_scope_salt + base + i);
           BufferPool session_pool(db->options().buffer_pool_pages);
           ExecContext ctx = db->MakeSessionContext(&session_pool, cost);
           ctx.set_cancellation_token(par.cancel);
           ctx.set_enforce_timeout(false);
           ctx.set_record_budget(record_budget);
-          ctx.set_trace(&r.trace);
-          auto res = db->RunWithContext(q, &ctx);
-          if (!res.ok()) r.run_status = res.status();
+          for (int attempt = 1;; ++attempt) {
+            r.attempts.emplace_back();
+            RecordedAttempt& att = r.attempts.back();
+            ctx.set_trace(&att.trace);
+            auto res = db->RunWithContext(q, &ctx);
+            ctx.set_trace(nullptr);
+            DropStaleLatchedFault();
+            if (res.ok()) {
+              att.timed_out = res->timed_out;
+              break;
+            }
+            att.status = res.status();
+            if (!opts.retry.ShouldRetry(att.status, attempt)) break;
+            ctx.ChargeBackoff(opts.retry.BackoffSeconds(attempt));
+          }
           if (opts.collect_estimates) {
             auto est = db->Estimate(q);
             if (est.ok()) {
@@ -148,31 +243,83 @@ Result<WorkloadResult> RunWorkloadParallel(Database* db,
             }
           }
         },
-        [&](size_t i, Status s) { rec[i].run_status = std::move(s); });
+        [&](size_t i, Status s) { rec[i].spawn_status = std::move(s); });
     auto t1 = std::chrono::steady_clock::now();
     record_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
-    for (const auto& r : rec) trace_events += r.trace.size();
+    for (const auto& r : rec) {
+      for (const auto& att : r.attempts) trace_events += att.trace.size();
+    }
 
-    // Replay phase (sequential): walk the traces in workload order through
-    // the shared pool, mirroring RunWorkload's loop exactly — same
-    // repetition averaging, same single-run rule for timeout queries, same
-    // first-error-wins ordering, same final pool state.
+    // Replay phase (sequential): walk each query's attempts in workload
+    // order through the shared pool, mirroring RunWorkload's loop exactly —
+    // same retry decisions on the recorded statuses, same cumulative clock
+    // (ReplayTrace's start_seconds re-applies the backoff charges), same
+    // repetition averaging and single-run rule for timeouts, same final
+    // pool state. All counters derive from this walk, never from record
+    // counts: when the replay trips a timeout mid-attempt, the serial run
+    // stopped there too, and any further recorded attempts are discarded.
     for (size_t i = 0; i < count; ++i) {
       RecordedQuery& r = rec[i];
-      if (!r.run_status.ok()) return r.run_status;
+      if (!r.spawn_status.ok()) return r.spawn_status;
       QueryTiming timing;
       double total = 0.0;
       int runs = 0;
-      for (int rep = 0; rep < std::max(1, opts.repetitions); ++rep) {
-        ReplayOutcome ro = ReplayTrace(r.trace, db->buffer_pool(), cost);
+      double start = 0.0;
+      size_t final_attempt = 0;
+      bool succeeded = false;
+      for (size_t a = 0; a < r.attempts.size(); ++a) {
+        const RecordedAttempt& att = r.attempts[a];
+        if (att.status.IsCancelled()) return att.status;
+        ReplayOutcome ro =
+            ReplayTrace(att.trace, db->buffer_pool(), cost, start);
         if (ro.timed_out) {
           timing.timed_out = true;
           timing.seconds = timeout;
           break;
         }
-        total += ro.sim_seconds;
-        ++runs;
+        if (att.status.ok()) {
+          if (att.timed_out) {
+            // An injected-timeout attempt: a genuinely doomed query trips
+            // in the replay above instead. Censored like any timeout.
+            timing.timed_out = true;
+            timing.seconds = timeout;
+          } else {
+            total += ro.sim_seconds;
+            ++runs;
+            final_attempt = a;
+            succeeded = true;
+          }
+          break;
+        }
+        if (opts.retry.ShouldRetry(att.status, static_cast<int>(a) + 1)) {
+          start = ro.sim_seconds +
+                  opts.retry.BackoffSeconds(static_cast<int>(a) + 1);
+          ++out.retries;
+          continue;
+        }
+        timing.timed_out = true;
+        timing.failed = true;
+        timing.seconds = timeout;
+        ++out.failures;
+        out.failure_details.push_back(
+            QueryFailure{base + i, static_cast<int>(a) + 1, att.status});
+        break;
       }
+
+      if (succeeded) {
+        for (int rep = 1; rep < std::max(1, opts.repetitions); ++rep) {
+          ReplayOutcome ro = ReplayTrace(r.attempts[final_attempt].trace,
+                                         db->buffer_pool(), cost, 0.0);
+          if (ro.timed_out) {
+            timing.timed_out = true;
+            timing.seconds = timeout;
+            break;
+          }
+          total += ro.sim_seconds;
+          ++runs;
+        }
+      }
+
       if (!timing.timed_out) {
         timing.seconds = runs > 0 ? total / runs : 0.0;
       } else {

@@ -8,6 +8,7 @@
 #include "engine/database.h"
 #include "service/thread_pool.h"
 #include "util/cancellation.h"
+#include "util/retry.h"
 
 namespace tabbench {
 
@@ -21,6 +22,21 @@ struct RunOptions {
   bool collect_estimates = false;
   /// Clear the buffer pool before the workload (cold start).
   bool cold_start = true;
+  /// Transient-error retry (Status::IsTransient) per query. Backoff is
+  /// charged to the query's *simulated* clock, so retried queries pay for
+  /// their retries in the CFC, and the 30-minute timeout bounds the whole
+  /// retry loop, not each attempt. Default: no retry.
+  RetryPolicy retry;
+  /// Added to each query's index to form its FaultScope seed, so distinct
+  /// workload runs can draw distinct (but reproducible) fault schedules.
+  uint64_t fault_scope_salt = 0;
+};
+
+/// Final error of one isolated (censored) query.
+struct QueryFailure {
+  size_t query_index = 0;
+  int attempts = 1;  // executions performed, including the first
+  Status status;     // the non-retryable / retry-exhausting error
 };
 
 /// One workload executed on one configuration.
@@ -28,6 +44,16 @@ struct WorkloadResult {
   std::vector<QueryTiming> timings;   // per query, paper's A(q_k, C)
   std::vector<double> estimates;      // per query E(q_k, C) when collected
   size_t timeouts = 0;
+  /// Queries whose retries were exhausted (or that hit a non-retryable
+  /// error) and were censored at the timeout cost — the paper's treatment
+  /// of the advisor that "fails outright" (Section 5). Every failure also
+  /// counts as a timeout (its timing enters the t_out bin).
+  size_t failures = 0;
+  /// Total retry attempts across the workload (extra executions beyond
+  /// each query's first).
+  size_t retries = 0;
+  /// Per-query detail for the failures, in workload order.
+  std::vector<QueryFailure> failure_details;
   /// Sum over queries of min(time, timeout) — the paper's conservative
   /// lower-bound total (Section 4.3).
   double total_clamped_seconds = 0.0;
@@ -38,8 +64,12 @@ struct WorkloadResult {
 };
 
 /// Runs every query of the workload sequentially on the database's current
-/// configuration (queries that trip the 30-minute simulated timeout are
-/// recorded in the `t_out` bin, not errors).
+/// configuration. Queries that trip the 30-minute simulated timeout are
+/// recorded in the `t_out` bin, not errors; queries that *fail* (transient
+/// errors retried per RunOptions::retry until exhausted, or any other
+/// non-cancellation error) are likewise isolated — censored at the timeout
+/// cost with detail in `failure_details` — so a workload run always
+/// completes. Only Status::kCancelled aborts the run.
 Result<WorkloadResult> RunWorkload(Database* db,
                                    const std::vector<std::string>& sql,
                                    const RunOptions& opts = {});

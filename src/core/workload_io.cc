@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/file_util.h"
 #include "util/strings.h"
 
 namespace tabbench {
@@ -57,12 +58,9 @@ Result<QueryFamily> FamilyFromString(const std::string& text) {
 }
 
 Status SaveFamily(const QueryFamily& family, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.good()) return Status::Internal("cannot open " + path);
-  out << FamilyToString(family);
-  out.close();
-  if (!out.good()) return Status::Internal("write failed: " + path);
-  return Status::OK();
+  // Atomic (temp + rename): a crash mid-save can't truncate a workload
+  // file that later runs would silently load short.
+  return AtomicWriteFile(path, FamilyToString(family));
 }
 
 Result<QueryFamily> LoadFamily(const std::string& path) {

@@ -4,6 +4,7 @@
 #include "engine/database.h"
 #include "exec/operators.h"
 #include "optimizer/planner.h"
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace tabbench {
@@ -195,6 +196,7 @@ Status Database::BuildView(const ViewDef& def, ExecContext* ctx,
 }
 
 Result<BuildReport> Database::ApplyConfiguration(const Configuration& config) {
+  TB_FAULT_POINT("engine.apply_config");
   TB_RETURN_IF_ERROR(ResetToPrimary());
   BuildReport report;
   ExecContext ctx(&store_, &pool_, BuildParams(options_.cost));

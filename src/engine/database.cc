@@ -5,6 +5,7 @@
 #include "optimizer/planner.h"
 #include "sql/parser.h"
 #include "storage/stats_collector.h"
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace tabbench {
@@ -37,6 +38,7 @@ Status Database::Insert(const std::string& table, Tuple row) {
 }
 
 Status Database::FinishLoad() {
+  TB_FAULT_POINT("engine.finish_load");
   TB_RETURN_IF_ERROR(CollectStatistics());
   // Automatic PK indexes: present in every configuration (the paper's P).
   pk_indexes_.clear();
@@ -108,6 +110,7 @@ Result<double> Database::TimedInsert(const std::string& table, Tuple row) {
 // ----------------------------------------------------------------- queries
 
 Result<QueryResult> Database::Run(const std::string& sql) {
+  TB_FAULT_POINT("engine.query");
   if (!stats_ready_) {
     return Status::Internal("statistics not collected; call FinishLoad()");
   }
@@ -126,6 +129,7 @@ ExecContext Database::MakeSessionContext(BufferPool* session_pool,
 
 Result<QueryResult> Database::RunWithContext(const std::string& sql,
                                              ExecContext* ctx) const {
+  TB_FAULT_POINT("engine.query");
   if (!stats_ready_) {
     return Status::Internal("statistics not collected; call FinishLoad()");
   }

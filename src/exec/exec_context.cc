@@ -3,9 +3,9 @@
 namespace tabbench {
 
 ReplayOutcome ReplayTrace(const AccessTrace& trace, BufferPool* pool,
-                          const CostParams& params) {
+                          const CostParams& params, double start_seconds) {
   ReplayOutcome out;
-  double time = 0.0;
+  double time = start_seconds;
   for (const TraceEvent& ev : trace) {
     switch (ev.kind) {
       case TraceEvent::Kind::kTouchSeq:

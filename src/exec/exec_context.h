@@ -7,6 +7,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
 #include "util/cancellation.h"
+#include "util/fault_injection.h"
 #include "util/status.h"
 
 namespace tabbench {
@@ -84,8 +85,17 @@ struct ReplayOutcome {
   uint64_t pages_read = 0;
   bool timed_out = false;
 };
+/// `start_seconds` seeds the replay clock: a retried attempt resumes the
+/// query's cumulative simulated time (prior attempts + backoff charges), and
+/// the replay must apply its FP additions to that same running value to stay
+/// bit-identical with the serial run. The timeout compares against the
+/// cumulative clock, so it bounds the whole retry loop, not one attempt.
 ReplayOutcome ReplayTrace(const AccessTrace& trace, BufferPool* pool,
-                          const CostParams& params);
+                          const CostParams& params, double start_seconds);
+inline ReplayOutcome ReplayTrace(const AccessTrace& trace, BufferPool* pool,
+                                 const CostParams& params) {
+  return ReplayTrace(trace, pool, params, 0.0);
+}
 
 /// Per-query execution state: routes every page access through the buffer
 /// pool, accumulates simulated elapsed time, and trips the timeout.
@@ -144,7 +154,10 @@ class ExecContext {
 
   /// OK; Cancelled once the context's token is revoked; Timeout once the
   /// simulated clock passes the limit. Every call site is a safe abort
-  /// point, which makes this the cancellation poll as well.
+  /// point, which makes this the cancellation poll — and the surfacing
+  /// point for faults latched mid-operation by TB_FAULT_TRIGGER sites.
+  /// Timeout is tested before the latched fault, so a query that would
+  /// time out anyway reports the timeout in serial and replayed runs alike.
   Status CheckTimeout() const {
     if (trace_) RecordCheck();
     if (cancel_.cancelled()) return Status::Cancelled("query cancelled");
@@ -152,8 +165,18 @@ class ExecContext {
     if (record_budget_ > 0.0 && sim_time_ > record_budget_) {
       return Status::Timeout("record budget exceeded");
     }
+    if (FaultInjectionArmed()) {
+      Status injected = FaultRegistry::TakePending();
+      if (!injected.ok()) return injected;
+    }
     return Status::OK();
   }
+
+  /// Advances simulated time by a retry backoff delay. Deliberately NOT a
+  /// trace event: the parallel runner re-applies backoff at attempt
+  /// boundaries via ReplayTrace's start_seconds, so recording it here would
+  /// double-charge the replay.
+  void ChargeBackoff(double seconds) { sim_time_ += seconds; }
 
   /// Attaches a cooperative cancellation token; CheckTimeout() fails with
   /// Cancelled once it is revoked.

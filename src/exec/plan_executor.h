@@ -40,6 +40,10 @@ struct QueryResult {
   uint64_t pages_read = 0;
   uint64_t tuples_processed = 0;
   bool timed_out = false;
+  /// Set by failure-isolating callers (WorkloadService) when the query's
+  /// retries were exhausted and the result is a censored placeholder at the
+  /// timeout cost; the executor itself never sets it.
+  bool failed = false;
 };
 
 /// Runs a physical plan to completion. Timeouts are reported as a successful

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault_injection.h"
+
 namespace tabbench {
 
 Session::Session(const Database* db, SessionOptions options)
@@ -13,6 +15,10 @@ Session::Session(const Database* db, SessionOptions options)
 Result<QueryResult> Session::Execute(const std::string& sql,
                                      double deadline_seconds,
                                      CancellationToken cancel) {
+  // No FaultScope is opened here: the retry loop that owns this call
+  // (WorkloadService) opens one spanning all attempts, so fire-on-Nth
+  // schedules converge across retries instead of re-firing every attempt.
+  TB_FAULT_POINT("service.session_execute");
   CostParams params = db_->options().cost;
   double deadline = deadline_seconds > 0.0 ? deadline_seconds
                                            : options_.deadline_seconds;

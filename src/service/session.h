@@ -64,6 +64,7 @@ class Session {
   }
   BufferPool* pool() { return &pool_; }
   const Database* db() const { return db_; }
+  const SessionOptions& options() const { return options_; }
 
  private:
   // Deliberately no Mutex / TB_GUARDED_BY here: the service's strand

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/fault_injection.h"
+
 namespace tabbench {
 
 namespace {
@@ -26,6 +28,11 @@ ThreadPool::ThreadPool(Options options)
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 Status ThreadPool::Submit(std::function<void()> job) {
+  // Models a spawn rejection, the same shape as real admission-control
+  // refusals below — and like them Unavailable (transient) by convention.
+  // Deliberately not in SubmitOrRun: the runners' caller-runs fan-out must
+  // not be perturbed by injected faults (their work still completes).
+  TB_FAULT_POINT("service.task_spawn");
   {
     MutexLock lock(&mu_);
     if (shutdown_) {

@@ -1,6 +1,11 @@
 #include "service/workload_service.h"
 
+#include <algorithm>
+#include <chrono>
+#include <optional>
 #include <utility>
+
+#include "util/fault_injection.h"
 
 namespace tabbench {
 
@@ -12,6 +17,60 @@ std::future<Result<T>> ReadyFuture(Status status) {
   std::promise<Result<T>> p;
   p.set_value(Result<T>(std::move(status)));
   return p.get_future();
+}
+
+/// Drops a fault latched after an attempt's last safe point so it cannot
+/// leak into the next attempt (the runner does the same at its attempt
+/// boundaries).
+void DropStaleLatchedFault() {
+  if (FaultInjectionArmed()) (void)FaultRegistry::TakePending();
+}
+
+/// Seed for the FaultScope of query `idx` of job `ordinal`. The shift
+/// keeps distinct jobs' query seeds from colliding for workloads of up to
+/// ~1M queries; schedules stay deterministic per (job, query) pair.
+uint64_t JobScopeSeed(uint64_t ordinal, size_t idx) {
+  return (ordinal << 20) ^ static_cast<uint64_t>(idx);
+}
+
+std::optional<std::chrono::steady_clock::time_point> WallDeadline(
+    const JobOptions& options) {
+  if (options.wall_timeout_seconds <= 0.0) return std::nullopt;
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(options.wall_timeout_seconds));
+}
+
+/// One query's retry loop: transient errors sleep the policy's backoff in
+/// wall-clock time and try again; the sleep returns kCancelled/kTimeout
+/// promptly when the token fires or the wall budget expires mid-backoff.
+/// The caller opens the FaultScope spanning all attempts.
+Result<QueryResult> ExecuteWithRetry(
+    Session* session, const std::string& sql, const JobOptions& options,
+    const std::optional<std::chrono::steady_clock::time_point>& wall_deadline,
+    uint64_t* retries) {
+  for (int attempt = 1;; ++attempt) {
+    auto res = session->Execute(sql, options.deadline_seconds, options.cancel);
+    DropStaleLatchedFault();
+    if (res.ok()) return res;
+    if (!options.retry.ShouldRetry(res.status(), attempt)) return res;
+    Status slept = SleepWithCancellation(options.retry.BackoffSeconds(attempt),
+                                         options.cancel, wall_deadline);
+    if (!slept.ok()) return slept;
+    ++*retries;
+  }
+}
+
+/// The cost a censored (failed) query is charged: the paper's timeout,
+/// tightened by whichever simulated-seconds deadline governed the query.
+double CensoredSeconds(const Database* db, const Session* session,
+                       double deadline_override) {
+  double t = db->options().cost.timeout_seconds;
+  double deadline = deadline_override > 0.0
+                        ? deadline_override
+                        : session->options().deadline_seconds;
+  if (deadline > 0.0) t = std::min(t, deadline);
+  return t;
 }
 
 }  // namespace
@@ -83,12 +142,15 @@ void WorkloadService::DrainSession(SessionId id) {
   }
 }
 
-void WorkloadService::FinishJob(bool was_cancelled, size_t timeouts) {
+void WorkloadService::FinishJob(bool was_cancelled, size_t timeouts,
+                                uint64_t retries, uint64_t failures) {
   MutexLock lock(&mu_);
   --in_flight_;
   ++stats_.completed;
   if (was_cancelled) ++stats_.cancelled;
   stats_.query_timeouts += timeouts;
+  stats_.retries += retries;
+  stats_.failures += failures;
 }
 
 std::future<Result<QueryResult>> WorkloadService::SubmitQuery(
@@ -106,20 +168,26 @@ std::future<Result<QueryResult>> WorkloadService::SubmitQuery(
     strand_session = &it->second->session;
   }
 
-  auto job = [this, sql = std::move(sql), options, strand_session, prom] {
+  const uint64_t ordinal = job_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  auto job = [this, sql = std::move(sql), options, strand_session, prom,
+              ordinal] {
+    uint64_t retries = 0;
     Result<QueryResult> r = [&]() -> Result<QueryResult> {
       if (options.cancel.cancelled()) {
         return Status::Cancelled("cancelled before execution");
       }
+      auto wall_deadline = WallDeadline(options);
+      FaultScope scope(JobScopeSeed(ordinal, 0));
       if (strand_session != nullptr) {
-        return strand_session->Execute(sql, options.deadline_seconds,
-                                       options.cancel);
+        return ExecuteWithRetry(strand_session, sql, options, wall_deadline,
+                                &retries);
       }
       Session ephemeral(db_, options_.session);
-      return ephemeral.Execute(sql, options.deadline_seconds, options.cancel);
+      return ExecuteWithRetry(&ephemeral, sql, options, wall_deadline,
+                              &retries);
     }();
     FinishJob(!r.ok() && r.status().IsCancelled(),
-              r.ok() && r->timed_out ? 1 : 0);
+              r.ok() && r->timed_out ? 1 : 0, retries, 0);
     prom->set_value(std::move(r));
   };
 
@@ -145,28 +213,52 @@ std::future<Result<std::vector<QueryResult>>> WorkloadService::SubmitWorkload(
     strand_session = &it->second->session;
   }
 
-  auto job = [this, sql = std::move(sql), options, strand_session, prom] {
+  const uint64_t ordinal = job_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  auto job = [this, sql = std::move(sql), options, strand_session, prom,
+              ordinal] {
     size_t timeouts = 0;
+    uint64_t retries = 0;
+    uint64_t failures = 0;
     Result<std::vector<QueryResult>> r =
         [&]() -> Result<std::vector<QueryResult>> {
       Session ephemeral(db_, options_.session);
       Session* session =
           strand_session != nullptr ? strand_session : &ephemeral;
+      auto wall_deadline = WallDeadline(options);
       std::vector<QueryResult> out;
       out.reserve(sql.size());
-      for (const auto& q : sql) {
+      for (size_t i = 0; i < sql.size(); ++i) {
         if (options.cancel.cancelled()) {
           return Status::Cancelled("workload cancelled");
         }
-        auto qr = session->Execute(q, options.deadline_seconds,
-                                   options.cancel);
-        if (!qr.ok()) return qr.status();
+        // One scope per query spanning all its attempts, so fire-on-Nth
+        // schedules converge across retries instead of re-firing.
+        FaultScope scope(JobScopeSeed(ordinal, i));
+        auto qr = ExecuteWithRetry(session, sql[i], options, wall_deadline,
+                                   &retries);
+        if (!qr.ok()) {
+          Status st = qr.status();
+          // Cancellation and the wall budget abort the job; everything
+          // else is isolated as a censored placeholder — the workload
+          // always completes, like the runner's failure isolation.
+          if (st.IsCancelled() || st.IsTimeout()) return st;
+          QueryResult censored;
+          censored.timed_out = true;
+          censored.failed = true;
+          censored.sim_seconds =
+              CensoredSeconds(db_, session, options.deadline_seconds);
+          ++timeouts;
+          ++failures;
+          out.push_back(std::move(censored));
+          continue;
+        }
         if (qr->timed_out) ++timeouts;
         out.push_back(qr.TakeValue());
       }
       return out;
     }();
-    FinishJob(!r.ok() && r.status().IsCancelled(), timeouts);
+    FinishJob(!r.ok() && r.status().IsCancelled(), timeouts, retries,
+              failures);
     prom->set_value(std::move(r));
   };
 

@@ -1,6 +1,7 @@
 #ifndef TABBENCH_SERVICE_WORKLOAD_SERVICE_H_
 #define TABBENCH_SERVICE_WORKLOAD_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -15,6 +16,7 @@
 #include "service/thread_pool.h"
 #include "util/cancellation.h"
 #include "util/mutex.h"
+#include "util/retry.h"
 #include "util/thread_annotations.h"
 
 namespace tabbench {
@@ -48,6 +50,16 @@ struct JobOptions {
   /// continuity, with the service serializing that session's jobs in
   /// submission order.
   SessionId session = kNoSession;
+  /// Transient-error retry (Status::IsTransient). Between attempts the
+  /// worker sleeps the policy's backoff in *wall-clock* time via
+  /// SleepWithCancellation, so a cancellation or the wall budget below
+  /// interrupts the sleep promptly. Default: no retry.
+  RetryPolicy retry;
+  /// Wall-clock budget for the whole job, including backoff sleeps; a
+  /// backoff that would outlive it aborts the job with Status::Timeout
+  /// (this is a *real-time* budget, distinct from the simulated-seconds
+  /// deadline above). <= 0 disables.
+  double wall_timeout_seconds = -1.0;
 };
 
 /// Service-level counters (monotone since construction).
@@ -57,6 +69,10 @@ struct ServiceStats {
   uint64_t rejected = 0;   // admission-control rejections
   uint64_t cancelled = 0;  // jobs that finished with Status::Cancelled
   uint64_t query_timeouts = 0;  // executed queries reported timed_out
+  uint64_t retries = 0;    // extra execution attempts after transient errors
+  /// Workload queries whose retries were exhausted and that were isolated
+  /// as censored placeholder results (each also counts a query_timeout).
+  uint64_t failures = 0;
 };
 
 /// The concurrent query-serving front of the engine: a thread-pool-backed
@@ -86,12 +102,18 @@ class WorkloadService {
   /// Submits one query. The returned future holds the QueryResult, or
   /// Unavailable (rejected / shutting down), Cancelled, or a genuine
   /// execution error. Timeouts are successful results with timed_out set.
+  /// With JobOptions::retry, transient errors are retried with backoff and
+  /// the future holds the *final* attempt's error if they never clear.
   std::future<Result<QueryResult>> SubmitQuery(std::string sql,
                                                JobOptions options = {});
 
   /// Submits a whole workload as one job: the queries run back-to-back on
   /// one session (warm cache across queries, like the sequential runner),
-  /// producing per-query results in workload order.
+  /// producing per-query results in workload order. A query whose retries
+  /// are exhausted does not abort the workload: it is isolated as a
+  /// censored placeholder result (timed_out + failed, priced at the
+  /// effective timeout — the paper's t_out convention) and the remaining
+  /// queries still run. Only cancellation and the wall budget abort.
   std::future<Result<std::vector<QueryResult>>> SubmitWorkload(
       std::vector<std::string> sql, JobOptions options = {});
 
@@ -132,11 +154,16 @@ class WorkloadService {
   Status Dispatch(SessionId id, std::function<void()> job) TB_EXCLUDES(mu_);
   /// Runs a session's pending jobs in FIFO order until its queue empties.
   void DrainSession(SessionId id) TB_EXCLUDES(mu_);
-  void FinishJob(bool was_cancelled, size_t timeouts) TB_EXCLUDES(mu_);
+  void FinishJob(bool was_cancelled, size_t timeouts, uint64_t retries,
+                 uint64_t failures) TB_EXCLUDES(mu_);
 
   const Database* db_;
   ServiceOptions options_;
   ThreadPool pool_;
+  /// Per-job ordinal seeding the job's FaultScope, so every job draws a
+  /// distinct deterministic fault schedule regardless of which worker or
+  /// session runs it.
+  std::atomic<uint64_t> job_ordinal_{1};
 
   mutable Mutex mu_;
   bool shutdown_ TB_GUARDED_BY(mu_) = false;

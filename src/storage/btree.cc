@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/fault_injection.h"
+
 namespace tabbench {
 
 int CompareKeys(const IndexKey& a, const IndexKey& b) {
@@ -59,6 +61,8 @@ std::unique_ptr<BTree::Node> BTree::MakeNode(bool leaf) {
 
 BTree::Node* BTree::FindLeaf(const IndexKey& prefix,
                              const PageTouchFn& touch) const {
+  // Once per descent; latched (util/fault_injection.h).
+  TB_FAULT_TRIGGER("storage.btree_descend");
   Node* node = root_.get();
   for (;;) {
     if (touch) touch(node->page_id);

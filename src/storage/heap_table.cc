@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "util/fault_injection.h"
+
 namespace tabbench {
 
 namespace {
@@ -35,6 +37,7 @@ Rid HeapTable::Append(const Tuple& t) {
 }
 
 Result<Tuple> HeapTable::Fetch(const Rid& rid, const PageTouchFn& touch) const {
+  TB_FAULT_POINT("storage.heap_fetch");
   if (rid.page_ordinal >= pages_.size()) {
     return Status::NotFound("rid page out of range in " + name_);
   }
@@ -61,7 +64,12 @@ bool HeapTable::Cursor::Next(Tuple* t, Rid* rid) {
   while (page_ordinal_ < table_->pages_.size()) {
     PageId pid = table_->pages_[page_ordinal_];
     const Page* page = table_->store_->GetPage(pid);
-    if (slot_ == 0 && touch_) touch_(pid);
+    if (slot_ == 0) {
+      // Once per scanned page, like the I/O it models; latched because a
+      // cursor cannot propagate Status.
+      TB_FAULT_TRIGGER("storage.heap_scan");
+      if (touch_) touch_(pid);
+    }
     if (slot_ < page->num_slots) {
       offset_ += 2;  // record length header
       *t = table_->codec_.Decode(page->data, &offset_);

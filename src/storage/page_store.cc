@@ -2,9 +2,14 @@
 
 #include <cassert>
 
+#include "util/fault_injection.h"
+
 namespace tabbench {
 
 PageId PageStore::Allocate() {
+  // Latched: Allocate cannot return Status; a firing fault surfaces at the
+  // executor's next safe point (util/fault_injection.h).
+  TB_FAULT_TRIGGER("storage.page_alloc");
   pages_.push_back(std::make_unique<Page>());
   ++live_pages_;
   return pages_.size() - 1;
@@ -16,6 +21,7 @@ Page* PageStore::GetPage(PageId id) {
 }
 
 const Page* PageStore::GetPage(PageId id) const {
+  TB_FAULT_TRIGGER("storage.page_read");
   assert(id < pages_.size() && pages_[id] != nullptr);
   return pages_[id].get();
 }

@@ -1,0 +1,42 @@
+#include "util/file_util.h"
+
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+
+#include <filesystem>
+
+namespace tabbench {
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  if (path.empty()) {
+    return Status::InvalidArgument("AtomicWriteFile: empty path");
+  }
+  // Temp file in the same directory so the final rename stays within one
+  // filesystem (rename(2) is only atomic there).
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open temp file for write: " + tmp);
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::Internal("short write to temp file: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename " + tmp + " -> " + path +
+                            " failed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace tabbench

@@ -1,0 +1,21 @@
+#ifndef TABBENCH_UTIL_FILE_UTIL_H_
+#define TABBENCH_UTIL_FILE_UTIL_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace tabbench {
+
+/// Writes `contents` to `path` atomically: the data goes to a temporary
+/// file in the same directory (same filesystem, so the rename cannot turn
+/// into a copy), is flushed, and is then renamed over `path`. A crash or
+/// fault at any point leaves either the old file or the new one — never a
+/// truncated hybrid. Benchmark artifacts (workload files, reports) are the
+/// inputs of later analysis runs; a half-written file silently poisons
+/// every downstream comparison.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_UTIL_FILE_UTIL_H_

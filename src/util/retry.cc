@@ -1,0 +1,54 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace tabbench {
+
+double RetryPolicy::BackoffSeconds(int attempt) const {
+  if (attempt <= 0) return 0.0;
+  double delay = initial_backoff_seconds;
+  for (int i = 1; i < attempt; ++i) {
+    delay *= backoff_multiplier;
+    if (delay >= max_backoff_seconds) break;
+  }
+  delay = std::min(delay, max_backoff_seconds);
+  if (jitter_fraction > 0.0) {
+    // One draw per (seed, attempt); the golden-ratio stride decorrelates
+    // consecutive attempts under the same seed.
+    Rng rng(seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(attempt));
+    double factor = 1.0 + jitter_fraction * (2.0 * rng.UniformDouble() - 1.0);
+    delay *= factor;
+  }
+  return std::max(delay, 0.0);
+}
+
+Status SleepWithCancellation(
+    double seconds, const CancellationToken& cancel,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  auto now = std::chrono::steady_clock::now();
+  auto wake = now + std::chrono::duration_cast<std::chrono::steady_clock::
+                                                   duration>(
+                        std::chrono::duration<double>(
+                            std::max(seconds, 0.0)));
+  while (true) {
+    if (cancel.cancelled()) {
+      return Status::Cancelled("cancelled during retry backoff");
+    }
+    now = std::chrono::steady_clock::now();
+    if (deadline.has_value() && now >= *deadline) {
+      return Status::Timeout("deadline expired during retry backoff");
+    }
+    if (now >= wake) return Status::OK();
+    auto next = wake;
+    if (deadline.has_value()) next = std::min(next, *deadline);
+    auto slice = std::min(next - now,
+                          std::chrono::steady_clock::duration(
+                              std::chrono::milliseconds(1)));
+    std::this_thread::sleep_for(slice);
+  }
+}
+
+}  // namespace tabbench

@@ -76,6 +76,16 @@ class [[nodiscard]] Status {
   bool IsUnsupported() const { return code_ == Code::kUnsupported; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
 
+  /// True for errors worth retrying with backoff (see util/retry.h): the
+  /// operation failed for a reason expected to clear on its own —
+  /// kUnavailable (admission control, queue full) and kResourceExhausted
+  /// (transient capacity). kTimeout and kCancelled are cooperative final
+  /// outcomes and kInternal is a bug; retrying those wastes budget or
+  /// hides defects.
+  bool IsTransient() const {
+    return code_ == Code::kUnavailable || code_ == Code::kResourceExhausted;
+  }
+
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 

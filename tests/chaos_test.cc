@@ -1,0 +1,432 @@
+// Chaos suite: deterministic fault injection, retry convergence, failure
+// isolation, and the serial/parallel bit-identity contract under injected
+// faults. Lives in its own binary so `ctest -L chaos` (optionally under
+// TABBENCH_SANITIZE=thread) can target exactly these tests.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "service/thread_pool.h"
+#include "service/workload_service.h"
+#include "test_util.h"
+#include "util/fault_injection.h"
+#include "util/retry.h"
+#include "util/strings.h"
+
+namespace tabbench {
+namespace {
+
+/// Disarms every fault point on scope exit so a failing ASSERT cannot leak
+/// an armed schedule into later tests.
+struct FaultGuard {
+  FaultGuard() { FaultRegistry::Global().DisarmAll(); }
+  ~FaultGuard() { FaultRegistry::Global().DisarmAll(); }
+};
+
+FaultSpec Spec(const std::string& point, Status::Code code,
+               FaultSpec::Trigger trigger, uint64_t nth = 1,
+               double probability = 0.0, uint64_t seed = 0) {
+  FaultSpec s;
+  s.point = point;
+  s.code = code;
+  s.trigger = trigger;
+  s.nth = nth;
+  s.probability = probability;
+  s.seed = seed;
+  return s;
+}
+
+// ------------------------------------------------------------ spec parsing
+
+TEST(FaultSpecTest, ParsesEveryTriggerForm) {
+  auto once = FaultRegistry::ParseSpec("storage.page_read=unavailable@once");
+  ASSERT_TRUE(once.ok()) << once.status().ToString();
+  EXPECT_EQ(once->point, "storage.page_read");
+  EXPECT_EQ(once->code, Status::Code::kUnavailable);
+  EXPECT_EQ(once->trigger, FaultSpec::Trigger::kOnce);
+
+  auto nth = FaultRegistry::ParseSpec("engine.query=internal@nth:7");
+  ASSERT_TRUE(nth.ok()) << nth.status().ToString();
+  EXPECT_EQ(nth->trigger, FaultSpec::Trigger::kNth);
+  EXPECT_EQ(nth->nth, 7u);
+
+  auto prob = FaultRegistry::ParseSpec("a.b=resource_exhausted@prob:0.25");
+  ASSERT_TRUE(prob.ok()) << prob.status().ToString();
+  EXPECT_EQ(prob->trigger, FaultSpec::Trigger::kProbability);
+  EXPECT_DOUBLE_EQ(prob->probability, 0.25);
+  EXPECT_EQ(prob->seed, 0u);
+
+  auto seeded = FaultRegistry::ParseSpec("a.b=timeout@prob:1:99");
+  ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+  EXPECT_DOUBLE_EQ(seeded->probability, 1.0);
+  EXPECT_EQ(seeded->seed, 99u);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultRegistry::ParseSpec("").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpec("no_equals").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpec("=unavailable@once").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpec("p=@once").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpec("p=not_a_code@once").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpec("p=unavailable@sometimes").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpec("p=unavailable@nth:0").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpec("p=unavailable@nth:x").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpec("p=unavailable@prob:1.5").ok());
+  EXPECT_FALSE(FaultRegistry::ParseSpec("p=unavailable@prob:0.5:zz").ok());
+}
+
+TEST(FaultSpecTest, ArmFromStringArmsEveryValidSpec) {
+  FaultGuard guard;
+  TB_ASSERT_OK(FaultRegistry::Global().ArmFromString(
+      "a.x=unavailable@once; b.y=internal@nth:3"));
+  auto points = FaultRegistry::Global().armed_points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0], "a.x");
+  EXPECT_EQ(points[1], "b.y");
+
+  // A bad chunk reports an error but the good chunks still arm — the
+  // TABBENCH_FAULTS path warns instead of silently dropping the schedule.
+  FaultRegistry::Global().DisarmAll();
+  Status st = FaultRegistry::Global().ArmFromString(
+      "a.x=unavailable@once; broken; b.y=internal@once");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(FaultRegistry::Global().armed_points().size(), 2u);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(FaultRegistryTest, ArmedGateTracksRegistryContents) {
+  FaultGuard guard;
+  EXPECT_FALSE(FaultInjectionArmed());
+  TB_ASSERT_OK(FaultRegistry::Global().Arm(
+      Spec("gate.p", Status::Code::kUnavailable, FaultSpec::Trigger::kOnce)));
+  EXPECT_TRUE(FaultInjectionArmed());
+  FaultRegistry::Global().Disarm("gate.p");
+  EXPECT_FALSE(FaultInjectionArmed());
+}
+
+TEST(FaultRegistryTest, OnceFiresOnFirstHitPerScope) {
+  FaultGuard guard;
+  TB_ASSERT_OK(FaultRegistry::Global().Arm(
+      Spec("once.p", Status::Code::kUnavailable, FaultSpec::Trigger::kOnce)));
+  {
+    FaultScope scope(1);
+    EXPECT_TRUE(FaultRegistry::Global().Check("once.p").IsUnavailable());
+    EXPECT_TRUE(FaultRegistry::Global().Check("once.p").ok());
+  }
+  {
+    FaultScope scope(2);  // a fresh scope restarts the hit count
+    EXPECT_TRUE(FaultRegistry::Global().Check("once.p").IsUnavailable());
+  }
+  auto stats = FaultRegistry::Global().stats("once.p");
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.fires, 2u);
+}
+
+TEST(FaultRegistryTest, ProbabilityDecisionsAreAScopePureFunction) {
+  FaultGuard guard;
+  TB_ASSERT_OK(FaultRegistry::Global().Arm(
+      Spec("prob.p", Status::Code::kUnavailable,
+           FaultSpec::Trigger::kProbability, 1, 0.5, /*seed=*/11)));
+  auto pattern = [](uint64_t scope_seed) {
+    FaultScope scope(scope_seed);
+    std::string bits;
+    for (int i = 0; i < 64; ++i) {
+      bits += FaultRegistry::Global().Check("prob.p").ok() ? '0' : '1';
+    }
+    return bits;
+  };
+  std::string a = pattern(7);
+  std::string b = pattern(7);
+  std::string c = pattern(8);
+  EXPECT_EQ(a, b) << "same scope seed must reproduce the same schedule";
+  EXPECT_NE(a, c) << "distinct scopes must draw distinct schedules";
+  EXPECT_NE(a.find('1'), std::string::npos);  // p=0.5 over 64 draws
+  EXPECT_NE(a.find('0'), std::string::npos);
+}
+
+TEST(FaultRegistryTest, TriggerLatchesIntoScopeUntilTaken) {
+  FaultGuard guard;
+  TB_ASSERT_OK(FaultRegistry::Global().Arm(
+      Spec("latch.p", Status::Code::kInternal, FaultSpec::Trigger::kOnce)));
+  {
+    FaultScope scope(1);
+    FaultRegistry::Global().Trigger("latch.p");
+    Status st = FaultRegistry::TakePending();
+    EXPECT_TRUE(st.code() == Status::Code::kInternal) << st.ToString();
+    EXPECT_TRUE(FaultRegistry::TakePending().ok());  // consumed
+  }
+  // Without a scope there is nowhere to latch: the fire is counted as
+  // dropped instead of crashing or leaking across threads.
+  FaultRegistry::Global().DisarmAll();
+  TB_ASSERT_OK(FaultRegistry::Global().Arm(
+      Spec("latch.p", Status::Code::kInternal, FaultSpec::Trigger::kOnce)));
+  FaultRegistry::Global().Trigger("latch.p");
+  EXPECT_EQ(FaultRegistry::Global().dropped_fires(), 1u);
+}
+
+TEST(FaultRegistryTest, SuppressedScopeNeitherCountsNorFires) {
+  FaultGuard guard;
+  TB_ASSERT_OK(FaultRegistry::Global().Arm(
+      Spec("supp.p", Status::Code::kUnavailable, FaultSpec::Trigger::kOnce)));
+  FaultScope scope(1);
+  scope.set_suppressed(true);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(FaultRegistry::Global().Check("supp.p").ok());
+  }
+  EXPECT_EQ(FaultRegistry::Global().stats("supp.p").hits, 0u);
+  scope.set_suppressed(false);
+  // The scope's hit count did not advance while suppressed: the next real
+  // hit is still hit #1 and fires.
+  EXPECT_TRUE(FaultRegistry::Global().Check("supp.p").IsUnavailable());
+}
+
+// ------------------------------------------------------------ runner chaos
+
+class ChaosRunnerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tiny_ = std::make_unique<testing::TinyDb>(testing::TinyDb::Make(3000, 20));
+    for (int d = 0; d < 12; ++d) {
+      sql_.push_back(StrFormat(
+          "SELECT p.city, COUNT(*) FROM people p WHERE p.dept = %d "
+          "GROUP BY p.city",
+          d));
+      sql_.push_back("SELECT p.dept, COUNT(*) FROM people p GROUP BY p.dept");
+    }
+  }
+  static void TearDownTestSuite() {
+    tiny_.reset();
+    sql_.clear();
+  }
+  static Database* db() { return tiny_->db.get(); }
+
+  static void ExpectIdentical(const WorkloadResult& a,
+                              const WorkloadResult& b) {
+    ASSERT_EQ(a.timings.size(), b.timings.size());
+    for (size_t i = 0; i < a.timings.size(); ++i) {
+      EXPECT_EQ(a.timings[i].timed_out, b.timings[i].timed_out) << i;
+      EXPECT_EQ(a.timings[i].failed, b.timings[i].failed) << i;
+      // Exact ==, not approximate: the replay applies the same FP ops in
+      // the same order, backoff charges included.
+      EXPECT_EQ(a.timings[i].seconds, b.timings[i].seconds) << i;
+    }
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.total_clamped_seconds, b.total_clamped_seconds);
+    ASSERT_EQ(a.failure_details.size(), b.failure_details.size());
+    for (size_t i = 0; i < a.failure_details.size(); ++i) {
+      EXPECT_EQ(a.failure_details[i].query_index,
+                b.failure_details[i].query_index)
+          << i;
+      EXPECT_EQ(a.failure_details[i].attempts, b.failure_details[i].attempts)
+          << i;
+      EXPECT_EQ(a.failure_details[i].status.ToString(),
+                b.failure_details[i].status.ToString())
+          << i;
+    }
+  }
+
+  static std::unique_ptr<testing::TinyDb> tiny_;
+  static std::vector<std::string> sql_;
+};
+
+std::unique_ptr<testing::TinyDb> ChaosRunnerTest::tiny_;
+std::vector<std::string> ChaosRunnerTest::sql_;
+
+TEST_F(ChaosRunnerTest, RetryConvergesOnTransientFault) {
+  FaultGuard guard;
+  // Every query's first attempt fails with a transient error; the second
+  // succeeds. With retry enabled the workload reports no failures, one
+  // retry per query, and each query pays its backoff in simulated time.
+  TB_ASSERT_OK(FaultRegistry::Global().Arm(
+      Spec("engine.query", Status::Code::kUnavailable,
+           FaultSpec::Trigger::kOnce)));
+
+  auto baseline_opts = RunOptions{};
+  FaultRegistry::Global().DisarmAll();
+  auto baseline = RunWorkload(db(), sql_, baseline_opts);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  TB_ASSERT_OK(FaultRegistry::Global().Arm(
+      Spec("engine.query", Status::Code::kUnavailable,
+           FaultSpec::Trigger::kOnce)));
+  RunOptions opts;
+  opts.retry = RetryPolicy::WithAttempts(3);
+  auto r = RunWorkload(db(), sql_, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->failures, 0u);
+  EXPECT_EQ(r->retries, sql_.size());
+  EXPECT_EQ(r->timeouts, 0u);
+  for (size_t i = 0; i < sql_.size(); ++i) {
+    // The retried query converged but is charged the backoff delay on top
+    // of its ordinary cost.
+    EXPECT_GT(r->timings[i].seconds, baseline->timings[i].seconds) << i;
+    EXPECT_FALSE(r->timings[i].failed) << i;
+  }
+}
+
+TEST_F(ChaosRunnerTest, UnrecoverableFaultsAreIsolatedAndCensored) {
+  FaultGuard guard;
+  // kInternal is not transient: no retry helps, every query fails. The run
+  // must still complete, with each query censored at the timeout cost —
+  // the paper's treatment of an advisor that fails outright.
+  TB_ASSERT_OK(FaultRegistry::Global().Arm(
+      Spec("engine.query", Status::Code::kInternal,
+           FaultSpec::Trigger::kOnce)));
+  RunOptions opts;
+  opts.retry = RetryPolicy::WithAttempts(3);
+  auto r = RunWorkload(db(), sql_, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const double t_out = db()->options().cost.timeout_seconds;
+  EXPECT_EQ(r->failures, sql_.size());
+  EXPECT_EQ(r->retries, 0u);  // non-retryable: one attempt each
+  EXPECT_EQ(r->timeouts, sql_.size());
+  ASSERT_EQ(r->failure_details.size(), sql_.size());
+  for (size_t i = 0; i < sql_.size(); ++i) {
+    EXPECT_TRUE(r->timings[i].failed) << i;
+    EXPECT_TRUE(r->timings[i].timed_out) << i;
+    EXPECT_DOUBLE_EQ(r->timings[i].seconds, t_out) << i;
+    EXPECT_EQ(r->failure_details[i].query_index, i);
+    EXPECT_EQ(r->failure_details[i].attempts, 1);
+    EXPECT_TRUE(r->failure_details[i].status.code() ==
+                Status::Code::kInternal)
+        << i;
+  }
+  EXPECT_DOUBLE_EQ(r->total_clamped_seconds,
+                   t_out * static_cast<double>(sql_.size()));
+}
+
+TEST_F(ChaosRunnerTest, SerialAndParallelBitIdenticalUnderFaultSchedule) {
+  FaultGuard guard;
+  // A mixed schedule: a mid-scan transient fault that retries sometimes
+  // clear, plus a sparse unrecoverable fault — so the workload exercises
+  // success, retry-then-success, and censored failure in one run.
+  TB_ASSERT_OK(FaultRegistry::Global().ArmFromString(
+      "storage.heap_scan=unavailable@prob:0.02:21; "
+      "engine.query=internal@prob:0.08:5"));
+  RunOptions opts;
+  opts.retry = RetryPolicy::WithAttempts(3);
+  opts.retry.seed = 3;
+
+  auto serial = RunWorkload(db(), sql_, opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto serial_pool = db()->buffer_stats();
+
+  ThreadPool pool(4);
+  ParallelOptions par;
+  par.pool = &pool;
+  par.window = 5;  // odd window: exercise batch boundaries
+  auto parallel = RunWorkloadParallel(db(), sql_, par, opts);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  auto par_pool = db()->buffer_stats();
+
+  // The schedule must actually perturb the run for this test to mean
+  // anything; both outcomes are deterministic, so these are stable.
+  EXPECT_GT(serial->retries, 0u);
+  EXPECT_GT(serial->failures, 0u);
+  EXPECT_LT(serial->failures, sql_.size());
+
+  ExpectIdentical(*serial, *parallel);
+  EXPECT_EQ(par_pool.hits, serial_pool.hits);
+  EXPECT_EQ(par_pool.misses, serial_pool.misses);
+  EXPECT_EQ(par_pool.resident, serial_pool.resident);
+}
+
+TEST_F(ChaosRunnerTest, RepetitionsStayIdenticalUnderFaults) {
+  FaultGuard guard;
+  TB_ASSERT_OK(FaultRegistry::Global().ArmFromString(
+      "storage.heap_scan=unavailable@prob:0.3:13"));
+  RunOptions opts;
+  opts.retry = RetryPolicy::WithAttempts(2);
+  opts.repetitions = 3;  // warm repetitions run fault-suppressed
+
+  auto serial = RunWorkload(db(), sql_, opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  ThreadPool pool(3);
+  ParallelOptions par;
+  par.pool = &pool;
+  auto parallel = RunWorkloadParallel(db(), sql_, par, opts);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ExpectIdentical(*serial, *parallel);
+}
+
+TEST_F(ChaosRunnerTest, FaultFreeRunsUnchangedAfterDisarm) {
+  FaultGuard guard;
+  auto before = RunWorkload(db(), sql_, RunOptions{});
+  ASSERT_TRUE(before.ok());
+
+  TB_ASSERT_OK(FaultRegistry::Global().ArmFromString(
+      "storage.heap_scan=unavailable@prob:0.5:2"));
+  RunOptions opts;
+  opts.retry = RetryPolicy::WithAttempts(2);
+  auto chaotic = RunWorkload(db(), sql_, opts);
+  ASSERT_TRUE(chaotic.ok());
+
+  FaultRegistry::Global().DisarmAll();
+  auto after = RunWorkload(db(), sql_, RunOptions{});
+  ASSERT_TRUE(after.ok());
+  ExpectIdentical(*before, *after);
+  EXPECT_EQ(after->failures, 0u);
+  EXPECT_EQ(after->retries, 0u);
+}
+
+TEST_F(ChaosRunnerTest, CancellationStillAbortsUnderFaults) {
+  FaultGuard guard;
+  TB_ASSERT_OK(FaultRegistry::Global().ArmFromString(
+      "storage.heap_scan=unavailable@prob:0.3:4"));
+  ThreadPool pool(2);
+  ParallelOptions par;
+  par.pool = &pool;
+  par.cancel.RequestCancel();
+  RunOptions opts;
+  opts.retry = RetryPolicy::WithAttempts(2);
+  auto r = RunWorkloadParallel(db(), sql_, par, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
+}
+
+// ----------------------------------------------------------- service chaos
+
+TEST_F(ChaosRunnerTest, ServiceFloodUnderFaultsAllFuturesResolve) {
+  FaultGuard guard;
+  // TSan workhorse for the chaos label: concurrent jobs with mid-query
+  // latched faults and retrying transient errors. Every future must
+  // resolve — no hangs, no leaks, no unfulfilled promises.
+  TB_ASSERT_OK(FaultRegistry::Global().ArmFromString(
+      "storage.heap_scan=unavailable@prob:0.25:17; "
+      "service.session_execute=unavailable@prob:0.15:31"));
+  WorkloadService service(db(), ServiceOptions{4, 0, {}});
+  JobOptions jo;
+  jo.retry = RetryPolicy::WithAttempts(2);
+  jo.retry.initial_backoff_seconds = 1e-4;
+
+  std::vector<std::future<Result<QueryResult>>> futs;
+  for (int i = 0; i < 48; ++i) {
+    futs.push_back(service.SubmitQuery(sql_[static_cast<size_t>(i) %
+                                            sql_.size()],
+                                       jo));
+  }
+  size_t ok = 0, failed = 0;
+  for (auto& f : futs) {
+    auto r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+      ++failed;
+    }
+  }
+  EXPECT_EQ(ok + failed, futs.size());
+  auto stats = service.stats();
+  EXPECT_EQ(stats.completed, futs.size());
+}
+
+}  // namespace
+}  // namespace tabbench

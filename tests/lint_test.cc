@@ -81,6 +81,32 @@ TEST(LintNakedNew, IdentifiersContainingNewAreFine) {
   EXPECT_EQ(CountRule(findings, "tabbench-naked-new"), 0u);
 }
 
+// -------------------------------------------------------------- raw-sleep
+
+TEST(LintRawSleep, FiresOnThisThreadSleepsInSrc) {
+  auto findings = RunLint({{"src/service/thread_pool.cc",
+                        "std::this_thread::sleep_for(10ms);\n"
+                        "std::this_thread::sleep_until(deadline);\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-raw-sleep"), 2u);
+}
+
+TEST(LintRawSleep, RetryHelperAndTestsAreExempt) {
+  // src/util/retry.cc is the one sanctioned raw-sleep site (the poll-slice
+  // loop inside SleepWithCancellation); tests may sleep deliberately.
+  auto findings = RunLint({{"src/util/retry.cc",
+                        "std::this_thread::sleep_for(slice);\n"},
+                       {"tests/service_test.cc",
+                        "std::this_thread::sleep_for(50ms);\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-raw-sleep"), 0u);
+}
+
+TEST(LintRawSleep, NolintEscapeHatch) {
+  auto findings = RunLint({{"src/service/session.cc",
+                        "std::this_thread::sleep_for(10ms);"
+                        "  // NOLINT(tabbench-raw-sleep)\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-raw-sleep"), 0u);
+}
+
 // ------------------------------------------------------------ float-equal
 
 TEST(LintFloatEqual, FiresInCostCode) {

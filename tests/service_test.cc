@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <string>
@@ -19,6 +20,8 @@
 #include "storage/btree.h"
 #include "storage/page_store.h"
 #include "test_util.h"
+#include "util/fault_injection.h"
+#include "util/retry.h"
 
 namespace tabbench {
 namespace {
@@ -332,6 +335,108 @@ TEST_F(ServiceDbTest, ServiceDeadlineAndCancellation) {
   auto cancelled = service.SubmitQuery(kScan, doomed).get();
   EXPECT_TRUE(cancelled.status().IsCancelled());
   EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+// ------------------------------------------------- Service retry/backoff
+
+/// Disarms every fault point on scope exit so a failing ASSERT cannot leak
+/// an armed schedule into later tests.
+struct FaultGuard {
+  FaultGuard() { FaultRegistry::Global().DisarmAll(); }
+  ~FaultGuard() { FaultRegistry::Global().DisarmAll(); }
+};
+
+/// Arms `point` to fail every attempt with kUnavailable (probability 1).
+void ArmAlwaysUnavailable(const char* point) {
+  FaultSpec spec;
+  spec.point = point;
+  spec.code = Status::Code::kUnavailable;
+  spec.trigger = FaultSpec::Trigger::kProbability;
+  spec.probability = 1.0;
+  TB_ASSERT_OK(FaultRegistry::Global().Arm(std::move(spec)));
+}
+
+TEST_F(ServiceDbTest, ServiceRetriesTransientFaultAndRecovers) {
+  FaultGuard guard;
+  FaultSpec spec;
+  spec.point = "service.session_execute";
+  spec.code = Status::Code::kUnavailable;
+  spec.trigger = FaultSpec::Trigger::kOnce;  // each job's first attempt
+  TB_ASSERT_OK(FaultRegistry::Global().Arm(std::move(spec)));
+
+  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  JobOptions jo;
+  jo.retry = RetryPolicy::WithAttempts(3);
+  jo.retry.initial_backoff_seconds = 1e-4;
+  auto r = service.SubmitQuery(kGrouped, jo).get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->timed_out);
+  EXPECT_EQ(service.stats().retries, 1u);
+  EXPECT_EQ(service.stats().failures, 0u);
+}
+
+TEST_F(ServiceDbTest, ServiceWorkloadIsolatesExhaustedRetriesAsCensored) {
+  FaultGuard guard;
+  ArmAlwaysUnavailable("service.session_execute");
+
+  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  JobOptions jo;  // default policy: no retry, so every query fails at once
+  auto r = service.SubmitWorkload({kGrouped, kScan, kGrouped}, jo).get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();  // the workload completes
+  ASSERT_EQ(r->size(), 3u);
+  const double t_out = db()->options().cost.timeout_seconds;
+  for (const auto& qr : *r) {
+    EXPECT_TRUE(qr.timed_out);
+    EXPECT_TRUE(qr.failed);
+    EXPECT_DOUBLE_EQ(qr.sim_seconds, t_out);  // censored at the timeout
+  }
+  EXPECT_EQ(service.stats().failures, 3u);
+  EXPECT_EQ(service.stats().query_timeouts, 3u);
+}
+
+TEST_F(ServiceDbTest, ServiceBackoffSleepIsCancelAware) {
+  FaultGuard guard;
+  ArmAlwaysUnavailable("service.session_execute");
+
+  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  JobOptions jo;
+  jo.retry = RetryPolicy::WithAttempts(3);
+  jo.retry.initial_backoff_seconds = 60.0;  // would hang if not interrupted
+  jo.retry.jitter_fraction = 0.0;
+  auto start = std::chrono::steady_clock::now();
+  auto fut = service.SubmitQuery(kGrouped, jo);
+  std::thread canceller([&jo] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    jo.cancel.RequestCancel();
+  });
+  auto r = fut.get();
+  canceller.join();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
+  EXPECT_LT(elapsed, 10.0) << "cancellation must interrupt the backoff";
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+TEST_F(ServiceDbTest, ServiceWallBudgetExpiresDuringBackoff) {
+  FaultGuard guard;
+  ArmAlwaysUnavailable("service.session_execute");
+
+  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  JobOptions jo;
+  jo.retry = RetryPolicy::WithAttempts(5);
+  jo.retry.initial_backoff_seconds = 60.0;
+  jo.wall_timeout_seconds = 0.05;  // expires inside the first backoff
+  auto start = std::chrono::steady_clock::now();
+  auto r = service.SubmitQuery(kGrouped, jo).get();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTimeout()) << r.status().ToString();
+  EXPECT_LT(elapsed, 10.0) << "the wall budget must interrupt the backoff";
 }
 
 TEST_F(ServiceDbTest, AdmissionControlRejectsWhenSaturated) {

@@ -28,6 +28,24 @@ fi
 step "ctest"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
+# ----------------------------------------------------------------- chaos
+# The chaos suite already ran above as part of the full ctest pass; run it
+# again with an env-armed fault schedule so the TABBENCH_FAULTS parsing
+# path is exercised end to end (the suite disarms programmatically, so the
+# env schedule only needs to load cleanly and not break anything).
+step "ctest -L chaos (TABBENCH_FAULTS armed)"
+TABBENCH_FAULTS="storage.heap_scan=unavailable@prob:0.01:7" \
+  ctest --test-dir "${BUILD_DIR}" -L chaos --output-on-failure -j "${JOBS}"
+
+# Chaos under TSan: the fault registry, retry sleeps, and failure
+# isolation all run on worker threads; prove them race-free. Works under
+# both GCC and Clang (-fsanitize=thread).
+step "ctest -L chaos under TABBENCH_SANITIZE=thread"
+TSAN_DIR="${ROOT}/build-tsan-chaos"
+cmake -B "${TSAN_DIR}" -S "${ROOT}" -DTABBENCH_SANITIZE=thread
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target tabbench_chaos_tests
+ctest --test-dir "${TSAN_DIR}" -L chaos --output-on-failure -j "${JOBS}"
+
 # ----------------------------------------------------------------- lint
 # ctest already ran lint_repo, but run the binary directly too so the
 # human-readable findings (if any) land at the end of the log.

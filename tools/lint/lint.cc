@@ -290,6 +290,35 @@ void CheckNakedNew(const FileState& fs, std::vector<Finding>* findings) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: tabbench-raw-sleep
+//
+// Waiting in product code must stay cancellation- and deadline-aware: a raw
+// std::this_thread sleep cannot be interrupted, so a cancelled job (or an
+// expired wall budget) would hang for the whole delay. All blocking delays
+// go through util/retry.h's SleepWithCancellation; its implementation in
+// src/util/retry.cc is the one sanctioned raw-sleep site (it sleeps in
+// ~1ms poll slices between cancellation checks).
+// ---------------------------------------------------------------------------
+
+void CheckRawSleep(const FileState& fs, std::vector<Finding>* findings) {
+  std::string p = fs.file->path;
+  if (StartsWith(p, "./")) p = p.substr(2);
+  if (!StartsWith(p, "src/")) return;  // tests/bench may sleep deliberately
+  if (p == "src/util/retry.cc") return;  // the sanctioned poll-slice sleep
+  static const std::regex kSleep(
+      R"(\bthis_thread\s*::\s*sleep_(for|until)\s*\()");
+  for (size_t ln = 0; ln < fs.code_lines.size(); ++ln) {
+    if (std::regex_search(fs.code_lines[ln], kSleep)) {
+      Report(fs, ln + 1, "tabbench-raw-sleep",
+             "raw this_thread sleep cannot be cancelled; use "
+             "SleepWithCancellation from util/retry.h so delays stay "
+             "cancellation- and deadline-aware",
+             false, findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: tabbench-float-equal
 //
 // Cost and CFC arithmetic is floating point end to end; == against a float
@@ -573,6 +602,10 @@ const std::vector<RuleInfo>& Rules() {
        false},
       {"tabbench-naked-new",
        "no naked new/delete; ownership via make_unique/unique_ptr", false},
+      {"tabbench-raw-sleep",
+       "no raw this_thread sleeps in src/ (uninterruptible); delays go "
+       "through util/retry.h SleepWithCancellation",
+       false},
       {"tabbench-float-equal",
        "no float-literal ==/!= comparisons in cost/CFC code", false},
       {"tabbench-unchecked-status",
@@ -626,6 +659,7 @@ std::vector<Finding> Lint(std::vector<SourceFile>& files,
   for (auto& fs : states) {
     CheckDeterminism(fs, &findings);
     CheckNakedNew(fs, &findings);
+    CheckRawSleep(fs, &findings);
     CheckFloatEqual(fs, &findings);
     CheckUncheckedStatus(fs, status_fns, &findings);
     CheckUnorderedIter(fs, &findings);
