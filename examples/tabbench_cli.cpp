@@ -18,8 +18,21 @@
 //                \goal                           Example-2 goal check of the
 //                                                last \advise workload
 //                \help, \quit
+//
+// Batch modes (argv instead of the shell):
+//
+//   $ tabbench bench <nref|skth|unth> <family> <journal> [scale] [p|1c]
+//   $ tabbench resume <journal>
+//
+// `bench` runs a workload with a durable run journal (util/run_journal.h):
+// every completed query is fsync'd before the next starts. If the process
+// dies — crash, OOM kill, power loss — `resume` rebuilds the database from
+// the journal's own metadata, replays the completed prefix bit for bit, and
+// finishes the remaining queries, producing the same result an
+// uninterrupted run would have.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -29,13 +42,45 @@
 #include "core/nref_families.h"
 #include "core/tpch_families.h"
 #include "datagen/nref_gen.h"
+#include "core/runner.h"
 #include "core/workload_io.h"
 #include "datagen/tpch_gen.h"
+#include "util/run_journal.h"
 #include "util/strings.h"
 
 using namespace tabbench;
 
 namespace {
+
+/// Builds one of the three paper databases at 1/`scale`.
+Result<std::unique_ptr<Database>> BuildDatabase(const std::string& kind,
+                                                double scale) {
+  if (kind == "nref") {
+    NrefScaleOptions opts;
+    opts.scale_inverse = scale;
+    return GenerateNref(opts);
+  }
+  if (kind == "skth" || kind == "unth") {
+    TpchScaleOptions opts;
+    opts.scale_inverse = scale;
+    opts.zipf_theta = (kind == "skth") ? 1.0 : 0.0;
+    return GenerateTpch(opts);
+  }
+  return Status::InvalidArgument("unknown database '" + kind +
+                                 "' (nref | skth | unth)");
+}
+
+QueryFamily FamilyByName(Database* db, const std::string& db_kind,
+                         const std::string& name) {
+  if (name == "nref2j") return GenerateNref2J(db->catalog(), db->stats());
+  if (name == "nref3j") return GenerateNref3J(db->catalog(), db->stats());
+  if (name == "3js") return GenerateTpch3Js(db->catalog(), db->stats());
+  if (name == "3j") {
+    return GenerateTpch3J(db->catalog(), db->stats(),
+                          db_kind == "unth" ? "UnTH3J" : "SkTH3J");
+  }
+  return QueryFamily{};
+}
 
 struct Shell {
   std::unique_ptr<Database> db;
@@ -50,30 +95,12 @@ struct Shell {
   }
 
   void Generate(const std::string& kind, double scale) {
-    if (kind == "nref") {
-      NrefScaleOptions opts;
-      opts.scale_inverse = scale;
-      auto r = GenerateNref(opts);
-      if (!r.ok()) {
-        std::printf("error: %s\n", r.status().ToString().c_str());
-        return;
-      }
-      db = r.TakeValue();
-    } else if (kind == "skth" || kind == "unth") {
-      TpchScaleOptions opts;
-      opts.scale_inverse = scale;
-      opts.zipf_theta = (kind == "skth") ? 1.0 : 0.0;
-      auto r = GenerateTpch(opts);
-      if (!r.ok()) {
-        std::printf("error: %s\n", r.status().ToString().c_str());
-        return;
-      }
-      db = r.TakeValue();
-    } else {
-      std::printf("unknown database '%s' (nref | skth | unth)\n",
-                  kind.c_str());
+    auto r = BuildDatabase(kind, scale);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
       return;
     }
+    db = r.TakeValue();
     db_kind = kind;
     std::printf("loaded %s at 1/%.0f scale (config P):\n", kind.c_str(),
                 scale);
@@ -115,20 +142,9 @@ struct Shell {
     std::printf("unknown configuration '%s' (p | 1c)\n", which.c_str());
   }
 
-  QueryFamily FamilyByName(const std::string& name) {
-    if (name == "nref2j") return GenerateNref2J(db->catalog(), db->stats());
-    if (name == "nref3j") return GenerateNref3J(db->catalog(), db->stats());
-    if (name == "3js") return GenerateTpch3Js(db->catalog(), db->stats());
-    if (name == "3j") {
-      return GenerateTpch3J(db->catalog(), db->stats(),
-                            db_kind == "unth" ? "UnTH3J" : "SkTH3J");
-    }
-    return QueryFamily{};
-  }
-
   void Advise(const std::string& system, const std::string& family_name) {
     if (!Ready()) return;
-    QueryFamily family = FamilyByName(family_name);
+    QueryFamily family = FamilyByName(db.get(), db_kind, family_name);
     if (family.queries.empty()) {
       std::printf("unknown/empty family '%s' "
                   "(nref2j | nref3j | 3j | 3js)\n",
@@ -169,7 +185,7 @@ struct Shell {
   void SaveWorkload(const std::string& family_name,
                     const std::string& path) {
     if (!Ready()) return;
-    QueryFamily family = FamilyByName(family_name);
+    QueryFamily family = FamilyByName(db.get(), db_kind, family_name);
     if (family.queries.empty()) {
       std::printf("unknown/empty family '%s'\n", family_name.c_str());
       return;
@@ -247,9 +263,142 @@ struct Shell {
   }
 };
 
+/// Shared tail of bench/resume: run (or continue) the journaled workload
+/// and print the outcome.
+int RunJournaled(Database* db, const std::vector<std::string>& sql,
+                 const RunOptions& opts) {
+  auto res = RunWorkload(db, sql, opts);
+  if (!res.ok()) {
+    std::fprintf(stderr, "error: %s\n", res.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("done: %zu queries, %s simulated total, %zu timeouts, "
+              "%zu failures, %zu retries\n",
+              res->timings.size(),
+              HumanSeconds(res->total_clamped_seconds).c_str(),
+              res->timeouts, res->failures, res->retries);
+  std::printf("journal: %s (resume with: tabbench resume %s)\n",
+              opts.journal_path.c_str(), opts.journal_path.c_str());
+  return 0;
+}
+
+/// `tabbench bench <nref|skth|unth> <family> <journal> [scale] [p|1c]`:
+/// a crash-safe workload run. The journal's metadata records everything
+/// `resume` needs to rebuild the database, so the journal file alone is the
+/// checkpoint.
+int RunBench(const std::string& kind, const std::string& family_name,
+             const std::string& journal, double scale,
+             const std::string& config) {
+  auto built = BuildDatabase(kind, scale);
+  if (!built.ok()) {
+    std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Database> db = built.TakeValue();
+  if (config == "1c") {
+    auto rep = db->ApplyConfiguration(Make1CConfig(db->catalog()));
+    if (!rep.ok()) {
+      std::fprintf(stderr, "error: %s\n", rep.status().ToString().c_str());
+      return 1;
+    }
+  } else if (config != "p") {
+    std::fprintf(stderr, "unknown configuration '%s' (p | 1c)\n",
+                 config.c_str());
+    return 1;
+  }
+  QueryFamily family = FamilyByName(db.get(), kind, family_name);
+  if (family.queries.empty()) {
+    std::fprintf(stderr, "unknown/empty family '%s' "
+                 "(nref2j | nref3j | 3j | 3js)\n", family_name.c_str());
+    return 1;
+  }
+  RunOptions opts = ResumeFrom(journal);  // picks up a prior partial run
+  opts.journal_metadata["db"] = kind;
+  opts.journal_metadata["scale"] = StrFormat("%.0f", scale);
+  opts.journal_metadata["config"] = config;
+  opts.journal_metadata["family"] = family_name;
+  std::printf("running %s (%zu queries) on %s 1/%.0f config %s, journal %s\n",
+              family.name.c_str(), family.queries.size(), kind.c_str(),
+              scale, config.c_str(), journal.c_str());
+  return RunJournaled(db.get(), family.Sql(), opts);
+}
+
+/// `tabbench resume <journal>`: finish an interrupted `bench` run from
+/// nothing but the journal file. The header's metadata rebuilds the
+/// database and configuration; the completed prefix is replayed bit for
+/// bit; the remaining queries run live.
+int RunResume(const std::string& journal) {
+  auto loaded = LoadRunJournal(journal);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const JournalHeader& h = loaded->header;
+  auto meta = [&](const char* key) -> std::string {
+    auto it = h.metadata.find(key);
+    return it == h.metadata.end() ? std::string() : it->second;
+  };
+  const std::string kind = meta("db");
+  const std::string config = meta("config").empty() ? "p" : meta("config");
+  if (kind.empty()) {
+    std::fprintf(stderr,
+                 "journal %s carries no 'db' metadata — it was not written "
+                 "by `tabbench bench`, so the database cannot be rebuilt "
+                 "from it. Re-run the original producer with resume "
+                 "enabled instead.\n",
+                 journal.c_str());
+    return 1;
+  }
+  double scale = meta("scale").empty() ? 800.0 : std::atof(meta("scale").c_str());
+  std::printf("resuming %s: %zu of %u queries already journaled "
+              "(db=%s scale=1/%.0f config=%s)\n",
+              journal.c_str(), loaded->records.size(), h.query_count,
+              kind.c_str(), scale, config.c_str());
+  auto built = BuildDatabase(kind, scale);
+  if (!built.ok()) {
+    std::fprintf(stderr, "error: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Database> db = built.TakeValue();
+  if (config == "1c") {
+    auto rep = db->ApplyConfiguration(Make1CConfig(db->catalog()));
+    if (!rep.ok()) {
+      std::fprintf(stderr, "error: %s\n", rep.status().ToString().c_str());
+      return 1;
+    }
+  }
+  // Mirror the recorded run options exactly — the journal refuses to
+  // resume under different ones.
+  RunOptions opts = ResumeFrom(journal);
+  opts.repetitions = h.repetitions;
+  opts.collect_estimates = h.collect_estimates;
+  opts.cold_start = h.cold_start;
+  opts.fault_scope_salt = h.fault_scope_salt;
+  opts.retry = h.retry;
+  return RunJournaled(db.get(), h.sql, opts);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string mode = argv[1];
+    if (mode == "resume" && argc == 3) return RunResume(argv[2]);
+    if (mode == "bench" && (argc == 5 || argc == 6 || argc == 7)) {
+      double scale = argc >= 6 ? std::atof(argv[5]) : 800.0;
+      if (scale < 50) scale = 800.0;
+      return RunBench(argv[2], argv[3], argv[4], scale,
+                      argc >= 7 ? argv[6] : "p");
+    }
+    std::fprintf(stderr,
+                 "usage: %s                                   "
+                 "interactive shell\n"
+                 "       %s bench <nref|skth|unth> <family> <journal> "
+                 "[scale] [p|1c]\n"
+                 "       %s resume <journal>\n",
+                 argv[0], argv[0], argv[0]);
+    return 2;
+  }
   Shell shell;
   std::printf("tabbench shell — \\help for commands\n");
   std::string line;

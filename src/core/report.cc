@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "util/file_util.h"
 #include "util/strings.h"
@@ -128,7 +130,15 @@ std::string RenderResilience(const WorkloadResult& result,
 }
 
 Status SaveReport(const std::string& text, const std::string& path) {
-  return AtomicWriteFile(path, text);
+  return AtomicWriteFile(path, WithCrc32cTrailer(text));
+}
+
+Result<std::string> LoadReport(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::NotFound("cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return VerifyCrc32cTrailer(buf.str(), path);
 }
 
 }  // namespace tabbench

@@ -48,8 +48,14 @@ std::string RenderResilience(const WorkloadResult& result,
                              const std::string& title);
 
 /// Writes a rendered report to `path` atomically (temp file + rename), so
-/// a crash mid-write can't leave a truncated report behind.
+/// a crash mid-write can't leave a truncated report behind, with a crc32c
+/// trailer line so later bit rot is detectable.
 Status SaveReport(const std::string& text, const std::string& path);
+
+/// Reads a report back, verifying and stripping the crc32c trailer.
+/// Corruption is kDataLoss with the offending offset; a report saved
+/// before checksumming (no trailer) loads as-is.
+Result<std::string> LoadReport(const std::string& path);
 
 }  // namespace tabbench
 

@@ -1,7 +1,9 @@
 #ifndef TABBENCH_CORE_RUNNER_H_
 #define TABBENCH_CORE_RUNNER_H_
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cfc.h"
@@ -30,7 +32,34 @@ struct RunOptions {
   /// Added to each query's index to form its FaultScope seed, so distinct
   /// workload runs can draw distinct (but reproducible) fault schedules.
   uint64_t fault_scope_salt = 0;
+  /// Durable crash recovery (util/run_journal.h): when non-empty, every
+  /// completed query's outcome — and the per-attempt charge traces that
+  /// make it replayable — is appended and fsync'd to this file before the
+  /// next query starts, so a process death loses at most the query in
+  /// flight. Empty (the default) journals nothing and records no traces.
+  std::string journal_path;
+  /// With journal_path set: if the file already holds a journal written
+  /// under these same options for this same workload, its completed prefix
+  /// is *replayed* (restoring the simulated clock and buffer-pool state bit
+  /// for bit via the trace-replay machinery, no query re-execution) and the
+  /// run continues from the first unjournaled query, appending to the same
+  /// file. A missing file starts a fresh journal; an incompatible one is
+  /// refused with kInvalidArgument. Bit-identity of a resumed run requires
+  /// cold_start (the interrupted process's warm pool died with it).
+  bool resume = false;
+  /// Free-form provenance stamped into a fresh journal's header (database
+  /// kind, scale, configuration label, …) so `tabbench resume <journal>`
+  /// can rebuild the run with no other inputs.
+  std::map<std::string, std::string> journal_metadata;
 };
+
+/// The ResumeFrom(journal) option: journal to `path` and pick up any
+/// completed prefix already recorded there.
+inline RunOptions ResumeFrom(std::string path, RunOptions base = {}) {
+  base.journal_path = std::move(path);
+  base.resume = true;
+  return base;
+}
 
 /// Final error of one isolated (censored) query.
 struct QueryFailure {

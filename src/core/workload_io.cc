@@ -59,8 +59,10 @@ Result<QueryFamily> FamilyFromString(const std::string& text) {
 
 Status SaveFamily(const QueryFamily& family, const std::string& path) {
   // Atomic (temp + rename): a crash mid-save can't truncate a workload
-  // file that later runs would silently load short.
-  return AtomicWriteFile(path, FamilyToString(family));
+  // file that later runs would silently load short. The crc32c trailer
+  // catches what atomicity can't — bit rot between this save and a load
+  // months later.
+  return AtomicWriteFile(path, WithCrc32cTrailer(FamilyToString(family)));
 }
 
 Result<QueryFamily> LoadFamily(const std::string& path) {
@@ -68,7 +70,9 @@ Result<QueryFamily> LoadFamily(const std::string& path) {
   if (!in.good()) return Status::NotFound("cannot open " + path);
   std::stringstream buf;
   buf << in.rdbuf();
-  return FamilyFromString(buf.str());
+  TB_ASSIGN_OR_RETURN(std::string body,
+                      VerifyCrc32cTrailer(buf.str(), path));
+  return FamilyFromString(body);
 }
 
 }  // namespace tabbench

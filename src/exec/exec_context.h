@@ -9,6 +9,7 @@
 #include "util/cancellation.h"
 #include "util/fault_injection.h"
 #include "util/status.h"
+#include "util/trace_event.h"
 
 namespace tabbench {
 
@@ -44,36 +45,9 @@ struct CostParams {
   double timeout_seconds = 1800.0;
 };
 
-/// One recorded cost-model charge of a query execution. A query's sequence
-/// of charges is a pure function of the plan and the data — the buffer-pool
-/// state only decides which *touches* are hits vs. misses, never which
-/// pages are touched or in what order. That invariant is what lets the
-/// parallel workload runner execute queries concurrently against private
-/// session pools and later *replay* the recorded traces through the shared
-/// pool, reproducing the sequential timings bit for bit (src/core/runner.h,
-/// RunWorkloadParallel).
-struct TraceEvent {
-  enum class Kind : uint8_t {
-    kTouchSeq,      // TouchPage(arg)
-    kTouchRandom,   // TouchPageRandom(arg)
-    kIoPages,       // ChargeIoPages(arg)
-    kTuples,        // ChargeTuples(arg)
-    kHashOps,       // ChargeHashOps(arg)
-    kTimeoutCheck,  // CheckTimeout() — a potential abort point
-    /// arg repetitions of {ChargeTuples(1); CheckTimeout()} — the executor's
-    /// per-tuple inner loop, coalesced so traces stay ~2 events per *page*
-    /// instead of ~2 per tuple. Replay applies the identical per-repetition
-    /// FP add and compare, so coalescing changes neither timings nor the
-    /// abort tuple.
-    kUnitTuplesChecked,
-    /// arg repetitions of {ChargeHashOps(1); CheckTimeout()}.
-    kUnitHashChecked,
-  };
-  Kind kind;
-  uint64_t arg = 0;  // PageId for touches, count for charges, 0 for checks
-};
-
-using AccessTrace = std::vector<TraceEvent>;
+/// TraceEvent / AccessTrace live in util/trace_event.h (the run journal
+/// serializes them from below this layer); ExecContext records them and
+/// ReplayTrace consumes them here.
 
 /// Replays a recorded trace against `pool`, applying the same charges in
 /// the same order (and the same floating-point operation shapes) the live

@@ -1,0 +1,101 @@
+#include "service/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace tabbench {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {}
+
+bool CircuitBreaker::Allow(uint64_t domain) {
+  if (!enabled()) return true;
+  MutexLock lock(&mu_);
+  Domain& d = domains_[domain];
+  switch (d.state) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      auto cooldown = std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(options_.open_seconds, 0.0)));
+      if (std::chrono::steady_clock::now() - d.opened_at < cooldown) {
+        return false;
+      }
+      d.state = State::kHalfOpen;
+      d.probe_successes = 0;
+      d.probes_in_flight = 1;  // this admission is the first probe
+      return true;
+    }
+    case State::kHalfOpen:
+      if (d.probe_successes + d.probes_in_flight >=
+          options_.half_open_probes) {
+        return false;  // probe quota already committed
+      }
+      ++d.probes_in_flight;
+      return true;
+  }
+  return true;  // unreachable; switch above is exhaustive
+}
+
+void CircuitBreaker::Abandon(uint64_t domain) {
+  if (!enabled()) return;
+  MutexLock lock(&mu_);
+  Domain& d = domains_[domain];
+  if (d.state == State::kHalfOpen && d.probes_in_flight > 0) {
+    --d.probes_in_flight;
+  }
+}
+
+bool CircuitBreaker::RecordFailure(uint64_t domain) {
+  if (!enabled()) return false;
+  MutexLock lock(&mu_);
+  Domain& d = domains_[domain];
+  switch (d.state) {
+    case State::kClosed:
+      if (++d.consecutive_failures >= options_.failure_threshold) {
+        d.state = State::kOpen;
+        d.opened_at = std::chrono::steady_clock::now();
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      // A failed probe re-opens immediately; the cooldown restarts.
+      d.state = State::kOpen;
+      d.opened_at = std::chrono::steady_clock::now();
+      d.consecutive_failures = options_.failure_threshold;
+      d.probes_in_flight = 0;
+      d.probe_successes = 0;
+      return true;
+    case State::kOpen:
+      // A straggler admitted before the trip; the domain is already open.
+      return false;
+  }
+  return false;  // unreachable
+}
+
+void CircuitBreaker::RecordSuccess(uint64_t domain) {
+  if (!enabled()) return;
+  MutexLock lock(&mu_);
+  Domain& d = domains_[domain];
+  switch (d.state) {
+    case State::kClosed:
+      d.consecutive_failures = 0;
+      return;
+    case State::kHalfOpen:
+      if (d.probes_in_flight > 0) --d.probes_in_flight;
+      if (++d.probe_successes >= options_.half_open_probes) {
+        d = Domain{};  // back to a pristine closed domain
+      }
+      return;
+    case State::kOpen:
+      return;  // straggler; ignore
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(uint64_t domain) const {
+  MutexLock lock(&mu_);
+  auto it = domains_.find(domain);
+  return it == domains_.end() ? State::kClosed : it->second.state;
+}
+
+}  // namespace tabbench

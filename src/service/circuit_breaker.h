@@ -1,0 +1,86 @@
+#ifndef TABBENCH_SERVICE_CIRCUIT_BREAKER_H_
+#define TABBENCH_SERVICE_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace tabbench {
+
+struct CircuitBreakerOptions {
+  /// Consecutive job failures that trip a domain's breaker open. 0 disables
+  /// the breaker entirely (every Allow passes) — the default, so services
+  /// that never opted in keep their exact admission behavior.
+  int failure_threshold = 0;
+  /// Cooldown an open domain serves before probing: Allow rejects until
+  /// this much wall time has passed since the trip, then the domain turns
+  /// half-open.
+  double open_seconds = 1.0;
+  /// Consecutive probe successes a half-open domain needs to close. Also
+  /// caps how many probes may be in flight at once, so a recovering
+  /// dependency is not stampeded.
+  int half_open_probes = 1;
+};
+
+/// Admission circuit breaker, one independent state machine per fault
+/// domain (the service keys domains by session id; sessionless jobs share
+/// domain 0).
+///
+///   closed ──N consecutive failures──▶ open
+///   open ──cooldown elapsed, next Allow──▶ half-open
+///   half-open ──M probe successes──▶ closed
+///   half-open ──any probe failure──▶ open (cooldown restarts)
+///
+/// The point is failure *containment* under the fault-injection harness: a
+/// session whose queries keep exhausting their retries stops consuming
+/// worker time and retry backoff on arrival — its submissions bounce
+/// immediately with Unavailable — while healthy sessions' domains stay
+/// closed and unaffected. Internally synchronized; safe from any thread.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// Admission check. False means reject now (domain open, or half-open
+  /// with its probe quota in flight). May transition open -> half-open once
+  /// the cooldown has elapsed; a true from a half-open domain claims a
+  /// probe slot that RecordSuccess/RecordFailure/Abandon releases.
+  bool Allow(uint64_t domain) TB_EXCLUDES(mu_);
+
+  /// Releases an Allow that never became a job outcome (the job was turned
+  /// away later on the admission path, or finished as user-cancelled —
+  /// cancellation says nothing about the domain's health).
+  void Abandon(uint64_t domain) TB_EXCLUDES(mu_);
+
+  /// Records a job failure. Returns true iff this call tripped the domain
+  /// open (from closed or half-open) — the caller's cue to count an "open"
+  /// event.
+  bool RecordFailure(uint64_t domain) TB_EXCLUDES(mu_);
+
+  void RecordSuccess(uint64_t domain) TB_EXCLUDES(mu_);
+
+  State state(uint64_t domain) const TB_EXCLUDES(mu_);
+
+  bool enabled() const { return options_.failure_threshold > 0; }
+
+ private:
+  struct Domain {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    int probe_successes = 0;
+    int probes_in_flight = 0;
+    std::chrono::steady_clock::time_point opened_at;
+  };
+
+  const CircuitBreakerOptions options_;
+  mutable Mutex mu_;
+  std::map<uint64_t, Domain> domains_ TB_GUARDED_BY(mu_);
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_SERVICE_CIRCUIT_BREAKER_H_

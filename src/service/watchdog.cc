@@ -1,0 +1,90 @@
+#include "service/watchdog.h"
+
+#include "util/retry.h"
+
+namespace tabbench {
+
+Watchdog::Watchdog(WatchdogOptions options) : options_(options) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+uint64_t Watchdog::Watch(
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    CancellationToken victim, std::optional<CancellationToken> upstream) {
+  MutexLock lock(&mu_);
+  uint64_t id = next_id_++;
+  Entry e;
+  e.deadline = deadline;
+  e.victim = std::move(victim);
+  e.upstream = std::move(upstream);
+  watches_.emplace(id, std::move(e));
+  wake_.RequestCancel();  // the new deadline may be nearer than the sleep
+  cv_.NotifyAll();
+  return id;
+}
+
+bool Watchdog::Release(uint64_t id) {
+  MutexLock lock(&mu_);
+  auto it = watches_.find(id);
+  if (it == watches_.end()) return false;
+  bool fired = it->second.fired;
+  watches_.erase(it);
+  return fired;
+}
+
+uint64_t Watchdog::fires() const {
+  MutexLock lock(&mu_);
+  return fires_;
+}
+
+void Watchdog::Stop() {
+  {
+    MutexLock lock(&mu_);
+    stop_ = true;
+    wake_.RequestCancel();
+    cv_.NotifyAll();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::Loop() {
+  for (;;) {
+    CancellationToken wake;
+    std::optional<std::chrono::steady_clock::time_point> earliest;
+    {
+      MutexLock lock(&mu_);
+      while (!stop_ && watches_.empty()) cv_.Wait(mu_);
+      if (stop_) return;
+      wake_ = wake;
+      for (const auto& [id, w] : watches_) {
+        if (w.fired || !w.deadline.has_value()) continue;
+        if (!earliest.has_value() || *w.deadline < *earliest) {
+          earliest = w.deadline;
+        }
+      }
+    }
+    // One tick: the sanctioned sleeper (tabbench-raw-sleep allows no other)
+    // bounded by the nearest deadline and interruptible by Watch/Stop.
+    (void)SleepWithCancellation(options_.poll_interval_seconds, wake,
+                                earliest);
+    {
+      MutexLock lock(&mu_);
+      if (stop_) return;
+      auto now = std::chrono::steady_clock::now();
+      for (auto& [id, w] : watches_) {
+        if (w.upstream.has_value() && w.upstream->cancelled()) {
+          w.victim.RequestCancel();  // forwarded user cancel; not a fire
+        }
+        if (!w.fired && w.deadline.has_value() && now >= *w.deadline) {
+          w.fired = true;
+          w.victim.RequestCancel();
+          ++fires_;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tabbench

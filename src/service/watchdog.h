@@ -1,0 +1,97 @@
+#ifndef TABBENCH_SERVICE_WATCHDOG_H_
+#define TABBENCH_SERVICE_WATCHDOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <thread>
+
+#include "util/cancellation.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace tabbench {
+
+struct WatchdogOptions {
+  /// Tick granularity while any watch is registered: the upper bound on how
+  /// stale a deadline trip or a forwarded cancellation can be. With no
+  /// watches the thread blocks on a condition variable and costs nothing.
+  double poll_interval_seconds = 0.002;
+  /// The service fires a job's watch at wall_timeout_seconds multiplied by
+  /// this factor, giving the cooperative checks (between attempts, inside
+  /// backoff sleeps) first claim on the budget; the watchdog is the backstop
+  /// for attempts that overrun it from the inside.
+  double grace_factor = 1.0;
+};
+
+/// The force-cancellation backstop behind the service's wall-clock budgets.
+///
+/// Cooperative cancellation (util/cancellation.h) only helps if somebody
+/// flips the flag: a job whose single attempt overruns its whole wall budget
+/// never reaches the between-attempts budget check, so before the watchdog
+/// the budget was only enforced at retry boundaries. The watchdog is one
+/// background thread that watches (deadline, token) pairs and requests
+/// cancellation on any token whose deadline has passed — the executor's
+/// per-row safe points then unwind the attempt with Status::Cancelled, which
+/// the service remaps to Status::Timeout (the budget's contract).
+///
+/// A watch may also carry an *upstream* token (the submitter's): because the
+/// watched victim token is private to the job, user cancellation is
+/// forwarded onto it each tick, so one token reaches the executor but both
+/// signals get through.
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options = {});
+  ~Watchdog();  // Stop()s
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers a watch: once `deadline` passes, `victim.RequestCancel()` is
+  /// called (at most one fire per watch). While registered, a cancelled
+  /// `upstream` is forwarded to `victim` every tick. Either signal may be
+  /// absent (std::nullopt). Returns the id for Release.
+  uint64_t Watch(std::optional<std::chrono::steady_clock::time_point> deadline,
+                 CancellationToken victim,
+                 std::optional<CancellationToken> upstream) TB_EXCLUDES(mu_);
+
+  /// Unregisters; returns true iff the watchdog force-cancelled the victim
+  /// because its deadline passed (the caller's cue to remap kCancelled to
+  /// kTimeout and count the event).
+  bool Release(uint64_t id) TB_EXCLUDES(mu_);
+
+  /// Total deadline fires since construction.
+  uint64_t fires() const TB_EXCLUDES(mu_);
+
+  /// Stops the thread. Not safe to call concurrently with itself; the
+  /// service calls it once from Shutdown (and the destructor repeats it
+  /// harmlessly).
+  void Stop() TB_EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    CancellationToken victim;
+    std::optional<CancellationToken> upstream;
+    bool fired = false;
+  };
+
+  void Loop() TB_EXCLUDES(mu_);
+
+  const WatchdogOptions options_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool stop_ TB_GUARDED_BY(mu_) = false;
+  uint64_t next_id_ TB_GUARDED_BY(mu_) = 1;
+  uint64_t fires_ TB_GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, Entry> watches_ TB_GUARDED_BY(mu_);
+  /// Interrupts the loop's current inter-tick sleep (a fresh token each
+  /// tick) so a newly registered near deadline or Stop() acts promptly.
+  CancellationToken wake_ TB_GUARDED_BY(mu_);
+  std::thread thread_;  // last: joins after every guarded member is live
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_SERVICE_WATCHDOG_H_

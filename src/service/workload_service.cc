@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "storage/buffer_pool.h"
 #include "util/fault_injection.h"
 
 namespace tabbench {
@@ -39,6 +40,18 @@ std::optional<std::chrono::steady_clock::time_point> WallDeadline(
   return std::chrono::steady_clock::now() +
          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
              std::chrono::duration<double>(options.wall_timeout_seconds));
+}
+
+/// The later point at which the watchdog force-cancels the job: the wall
+/// budget scaled by the grace factor, leaving the cooperative checks first
+/// claim on the budget itself.
+std::optional<std::chrono::steady_clock::time_point> GraceDeadline(
+    const JobOptions& options, const WatchdogOptions& wd) {
+  if (options.wall_timeout_seconds <= 0.0) return std::nullopt;
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(options.wall_timeout_seconds *
+                                           std::max(wd.grace_factor, 0.0)));
 }
 
 /// One query's retry loop: transient errors sleep the policy's backoff in
@@ -78,10 +91,24 @@ double CensoredSeconds(const Database* db, const Session* session,
 WorkloadService::WorkloadService(const Database* db, ServiceOptions options)
     : db_(db),
       options_(options),
+      breaker_(options.breaker),
+      watchdog_(options.watchdog),
       // Admission control lives at the service level (max_in_flight), so
       // the pool queue itself is unbounded: every admitted job is owed a
       // fulfilled future and must reach a worker.
-      pool_(ThreadPool::Options{options.workers, 0}) {}
+      pool_(ThreadPool::Options{options.workers, 0}) {
+  if (!options_.journal_path.empty()) {
+    JournalHeader header;
+    header.metadata["writer"] = "workload-service";
+    auto writer = RunJournalWriter::Create(options_.journal_path, header);
+    if (writer.ok()) {
+      journal_ = writer.TakeValue();
+    } else {
+      MutexLock lock(&mu_);
+      journal_status_ = writer.status();
+    }
+  }
+}
 
 WorkloadService::~WorkloadService() { Shutdown(); }
 
@@ -100,9 +127,22 @@ bool WorkloadService::AdmitLocked() {
 }
 
 Status WorkloadService::Dispatch(SessionId id, std::function<void()> job) {
+  // The breaker guards the admission path ahead of capacity accounting: an
+  // open domain's submissions bounce without consuming in-flight budget or
+  // worker time. (Lock order is always mu_ -> breaker's internal mutex,
+  // never the reverse — the breaker calls nothing back.)
+  if (!breaker_.Allow(id)) {
+    MutexLock lock(&mu_);
+    ++stats_.rejected;
+    ++stats_.breaker_rejections;
+    return Status::Unavailable("circuit breaker open for this fault domain");
+  }
   MutexLock lock(&mu_);
   if (id == kNoSession) {
-    if (!AdmitLocked()) return Status::Unavailable("service at capacity");
+    if (!AdmitLocked()) {
+      breaker_.Abandon(id);
+      return Status::Unavailable("service at capacity");
+    }
     // Holding mu_ across Submit is what makes the shutdown_ check
     // authoritative: Shutdown() flips the flag under mu_ before shutting
     // the pool, so an admitted job always reaches a live pool.
@@ -110,9 +150,13 @@ Status WorkloadService::Dispatch(SessionId id, std::function<void()> job) {
   }
   auto it = sessions_.find(id);
   if (it == sessions_.end() || it->second->closing) {
+    breaker_.Abandon(id);
     return Status::NotFound("no such session");
   }
-  if (!AdmitLocked()) return Status::Unavailable("service at capacity");
+  if (!AdmitLocked()) {
+    breaker_.Abandon(id);
+    return Status::Unavailable("service at capacity");
+  }
   SessionState* st = it->second.get();
   st->jobs.push_back(std::move(job));
   if (!st->running) {
@@ -142,15 +186,52 @@ void WorkloadService::DrainSession(SessionId id) {
   }
 }
 
-void WorkloadService::FinishJob(bool was_cancelled, size_t timeouts,
-                                uint64_t retries, uint64_t failures) {
+void WorkloadService::FinishJob(SessionId domain, const Status& status,
+                                size_t timeouts, uint64_t retries,
+                                uint64_t failures, bool watchdog_fired) {
+  const bool user_cancelled = !status.ok() && status.IsCancelled();
+  bool opened = false;
+  if (status.ok()) {
+    breaker_.RecordSuccess(domain);
+  } else if (user_cancelled) {
+    // Cancellation is a user action, not a health signal: release any
+    // half-open probe slot this job held, with no verdict either way.
+    breaker_.Abandon(domain);
+  } else {
+    // Everything else — hard errors, exhausted retries, watchdog/wall
+    // timeouts — is the breaker's food: a domain that keeps producing
+    // these should stop being admitted.
+    opened = breaker_.RecordFailure(domain);
+  }
   MutexLock lock(&mu_);
   --in_flight_;
   ++stats_.completed;
-  if (was_cancelled) ++stats_.cancelled;
+  if (user_cancelled) ++stats_.cancelled;
   stats_.query_timeouts += timeouts;
   stats_.retries += retries;
   stats_.failures += failures;
+  if (watchdog_fired) ++stats_.watchdog_cancels;
+  if (opened) ++stats_.breaker_opens;
+}
+
+void WorkloadService::JournalOutcome(double seconds, bool timed_out,
+                                     bool failed, uint32_t attempts,
+                                     const BufferPoolStats& before,
+                                     const BufferPoolStats& after) {
+  if (journal_ == nullptr) return;
+  JournalQueryRecord rec;
+  rec.query_index = journal_index_.fetch_add(1, std::memory_order_relaxed);
+  rec.seconds = seconds;
+  rec.timed_out = timed_out;
+  rec.failed = failed;
+  rec.attempts = attempts;
+  rec.pool_hit_delta = after.hits - before.hits;
+  rec.pool_miss_delta = after.misses - before.misses;
+  Status appended = journal_->Append(rec);
+  if (!appended.ok()) {
+    MutexLock lock(&mu_);
+    if (journal_status_.ok()) journal_status_ = appended;
+  }
 }
 
 std::future<Result<QueryResult>> WorkloadService::SubmitQuery(
@@ -172,22 +253,54 @@ std::future<Result<QueryResult>> WorkloadService::SubmitQuery(
   auto job = [this, sql = std::move(sql), options, strand_session, prom,
               ordinal] {
     uint64_t retries = 0;
+    bool watchdog_fired = false;
     Result<QueryResult> r = [&]() -> Result<QueryResult> {
       if (options.cancel.cancelled()) {
         return Status::Cancelled("cancelled before execution");
       }
       auto wall_deadline = WallDeadline(options);
-      FaultScope scope(JobScopeSeed(ordinal, 0));
-      if (strand_session != nullptr) {
-        return ExecuteWithRetry(strand_session, sql, options, wall_deadline,
-                                &retries);
+      JobOptions eff = options;
+      std::optional<uint64_t> watch;
+      if (wall_deadline.has_value()) {
+        // The watchdog owns a private exec token: a deadline fire stays
+        // distinguishable from the submitter's cancel, which the watchdog
+        // forwards onto the same token every tick.
+        eff.cancel = CancellationToken();
+        watch = watchdog_.Watch(GraceDeadline(options, options_.watchdog),
+                                eff.cancel, options.cancel);
       }
+      FaultScope scope(JobScopeSeed(ordinal, 0));
+      auto run = [&](Session* session) -> Result<QueryResult> {
+        BufferPoolStats before = session->pool()->stats();
+        auto res =
+            ExecuteWithRetry(session, sql, eff, wall_deadline, &retries);
+        if (watch.has_value()) {
+          watchdog_fired = watchdog_.Release(*watch);
+          if (!res.ok() && res.status().IsCancelled() && watchdog_fired &&
+              !options.cancel.cancelled()) {
+            // The watchdog fired for the wall budget, not for the user:
+            // the budget's contract is Timeout.
+            res = Status::Timeout(
+                "wall-clock budget exhausted mid-attempt (watchdog)");
+          }
+        }
+        if (res.ok()) {
+          JournalOutcome(res->sim_seconds, res->timed_out, res->failed,
+                         static_cast<uint32_t>(retries) + 1, before,
+                         session->pool()->stats());
+        } else if (!res.status().IsCancelled() && !res.status().IsTimeout()) {
+          JournalOutcome(0.0, false, true,
+                         static_cast<uint32_t>(retries) + 1, before,
+                         session->pool()->stats());
+        }
+        return res;
+      };
+      if (strand_session != nullptr) return run(strand_session);
       Session ephemeral(db_, options_.session);
-      return ExecuteWithRetry(&ephemeral, sql, options, wall_deadline,
-                              &retries);
+      return run(&ephemeral);
     }();
-    FinishJob(!r.ok() && r.status().IsCancelled(),
-              r.ok() && r->timed_out ? 1 : 0, retries, 0);
+    FinishJob(options.session, r.status(), r.ok() && r->timed_out ? 1 : 0,
+              retries, 0, watchdog_fired);
     prom->set_value(std::move(r));
   };
 
@@ -219,29 +332,49 @@ std::future<Result<std::vector<QueryResult>>> WorkloadService::SubmitWorkload(
     size_t timeouts = 0;
     uint64_t retries = 0;
     uint64_t failures = 0;
+    bool watchdog_fired = false;
     Result<std::vector<QueryResult>> r =
         [&]() -> Result<std::vector<QueryResult>> {
       Session ephemeral(db_, options_.session);
       Session* session =
           strand_session != nullptr ? strand_session : &ephemeral;
       auto wall_deadline = WallDeadline(options);
+      JobOptions eff = options;
+      std::optional<uint64_t> watch;
+      if (wall_deadline.has_value()) {
+        // One watch spans the whole job — the wall budget is per job, and
+        // the watchdog forwards the submitter's cancel onto the private
+        // exec token every tick.
+        eff.cancel = CancellationToken();
+        watch = watchdog_.Watch(GraceDeadline(options, options_.watchdog),
+                                eff.cancel, options.cancel);
+      }
+      Status aborted = Status::OK();
       std::vector<QueryResult> out;
       out.reserve(sql.size());
       for (size_t i = 0; i < sql.size(); ++i) {
-        if (options.cancel.cancelled()) {
-          return Status::Cancelled("workload cancelled");
+        if (options.cancel.cancelled() || eff.cancel.cancelled()) {
+          aborted = Status::Cancelled("workload cancelled");
+          break;
         }
         // One scope per query spanning all its attempts, so fire-on-Nth
         // schedules converge across retries instead of re-firing.
         FaultScope scope(JobScopeSeed(ordinal, i));
-        auto qr = ExecuteWithRetry(session, sql[i], options, wall_deadline,
-                                   &retries);
+        const uint64_t retries_before = retries;
+        BufferPoolStats before = session->pool()->stats();
+        auto qr =
+            ExecuteWithRetry(session, sql[i], eff, wall_deadline, &retries);
+        const uint32_t attempts =
+            static_cast<uint32_t>(retries - retries_before) + 1;
         if (!qr.ok()) {
           Status st = qr.status();
           // Cancellation and the wall budget abort the job; everything
           // else is isolated as a censored placeholder — the workload
           // always completes, like the runner's failure isolation.
-          if (st.IsCancelled() || st.IsTimeout()) return st;
+          if (st.IsCancelled() || st.IsTimeout()) {
+            aborted = st;
+            break;
+          }
           QueryResult censored;
           censored.timed_out = true;
           censored.failed = true;
@@ -249,16 +382,29 @@ std::future<Result<std::vector<QueryResult>>> WorkloadService::SubmitWorkload(
               CensoredSeconds(db_, session, options.deadline_seconds);
           ++timeouts;
           ++failures;
+          JournalOutcome(censored.sim_seconds, true, true, attempts, before,
+                         session->pool()->stats());
           out.push_back(std::move(censored));
           continue;
         }
         if (qr->timed_out) ++timeouts;
+        JournalOutcome(qr->sim_seconds, qr->timed_out, qr->failed, attempts,
+                       before, session->pool()->stats());
         out.push_back(qr.TakeValue());
       }
+      if (watch.has_value()) {
+        watchdog_fired = watchdog_.Release(*watch);
+        if (!aborted.ok() && aborted.IsCancelled() && watchdog_fired &&
+            !options.cancel.cancelled()) {
+          aborted = Status::Timeout(
+              "wall-clock budget exhausted mid-attempt (watchdog)");
+        }
+      }
+      if (!aborted.ok()) return aborted;
       return out;
     }();
-    FinishJob(!r.ok() && r.status().IsCancelled(), timeouts, retries,
-              failures);
+    FinishJob(options.session, r.status(), timeouts, retries, failures,
+              watchdog_fired);
     prom->set_value(std::move(r));
   };
 
@@ -302,12 +448,18 @@ ServiceStats WorkloadService::stats() const {
   return stats_;
 }
 
+Status WorkloadService::journal_status() const {
+  MutexLock lock(&mu_);
+  return journal_status_;
+}
+
 void WorkloadService::Shutdown() {
   {
     MutexLock lock(&mu_);
     shutdown_ = true;
   }
   pool_.Shutdown();  // drains every accepted job; their futures resolve
+  watchdog_.Stop();  // after the drain: jobs release their watches first
 }
 
 }  // namespace tabbench

@@ -12,11 +12,15 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "service/circuit_breaker.h"
 #include "service/session.h"
 #include "service/thread_pool.h"
+#include "service/watchdog.h"
+#include "storage/buffer_pool.h"
 #include "util/cancellation.h"
 #include "util/mutex.h"
 #include "util/retry.h"
+#include "util/run_journal.h"
 #include "util/thread_annotations.h"
 
 namespace tabbench {
@@ -34,6 +38,23 @@ struct ServiceOptions {
   /// Defaults for sessions the service creates (both OpenSession and the
   /// ephemeral cold session a sessionless job runs on).
   SessionOptions session;
+  /// Watchdog (service/watchdog.h) enforcing per-job wall-clock budgets
+  /// *mid-attempt*: a job whose wall_timeout_seconds elapses — scaled by
+  /// watchdog.grace_factor — is force-cancelled through a private exec
+  /// token even inside an attempt, and its future holds Status::Timeout.
+  /// Without it the budget was only checked between retry attempts, so one
+  /// long attempt could overrun it unboundedly.
+  WatchdogOptions watchdog;
+  /// Admission circuit breaker (service/circuit_breaker.h), one state
+  /// machine per fault domain — the job's session id; sessionless jobs
+  /// share domain 0. Disabled by default (failure_threshold = 0).
+  CircuitBreakerOptions breaker;
+  /// When non-empty, every executed query's outcome (timing, flags,
+  /// attempts, pool deltas) is appended + fsync'd to a run journal
+  /// (util/run_journal.h) at this path: a durable audit trail of what the
+  /// service actually served. Service journals carry no charge traces, so
+  /// they are not resumable — checkpoint/resume is the runners' journal.
+  std::string journal_path;
 };
 
 /// Per-job execution knobs.
@@ -73,6 +94,14 @@ struct ServiceStats {
   /// Workload queries whose retries were exhausted and that were isolated
   /// as censored placeholder results (each also counts a query_timeout).
   uint64_t failures = 0;
+  /// Submissions bounced because their fault domain's breaker was open
+  /// (each also counts in `rejected`).
+  uint64_t breaker_rejections = 0;
+  /// closed/half-open -> open breaker transitions.
+  uint64_t breaker_opens = 0;
+  /// Jobs the watchdog force-cancelled for overrunning their wall budget
+  /// mid-attempt.
+  uint64_t watchdog_cancels = 0;
 };
 
 /// The concurrent query-serving front of the engine: a thread-pool-backed
@@ -131,6 +160,12 @@ class WorkloadService {
   ServiceStats stats() const TB_EXCLUDES(mu_);
   size_t num_workers() const { return pool_.num_workers(); }
 
+  /// OK while the outcome journal (ServiceOptions::journal_path) is healthy
+  /// or disabled; otherwise the first error that hit it (creation failure,
+  /// failed append). Journal errors never fail queries — the service keeps
+  /// serving and surfaces the problem here.
+  Status journal_status() const TB_EXCLUDES(mu_);
+
   /// Stops accepting work, drains accepted jobs, joins workers. Idempotent;
   /// also run by the destructor.
   void Shutdown() TB_EXCLUDES(mu_);
@@ -154,11 +189,27 @@ class WorkloadService {
   Status Dispatch(SessionId id, std::function<void()> job) TB_EXCLUDES(mu_);
   /// Runs a session's pending jobs in FIFO order until its queue empties.
   void DrainSession(SessionId id) TB_EXCLUDES(mu_);
-  void FinishJob(bool was_cancelled, size_t timeouts, uint64_t retries,
-                 uint64_t failures) TB_EXCLUDES(mu_);
+  /// Job epilogue: feeds the breaker (success / failure / abandoned for
+  /// user cancels), then updates counters. `status` is the job's final
+  /// status *after* any watchdog Cancelled->Timeout remap.
+  void FinishJob(SessionId domain, const Status& status, size_t timeouts,
+                 uint64_t retries, uint64_t failures, bool watchdog_fired)
+      TB_EXCLUDES(mu_);
+  /// Appends one executed query's outcome to the service journal (no-op
+  /// when journaling is off; append errors land in journal_status()).
+  void JournalOutcome(double seconds, bool timed_out, bool failed,
+                      uint32_t attempts, const BufferPoolStats& before,
+                      const BufferPoolStats& after) TB_EXCLUDES(mu_);
 
   const Database* db_;
   ServiceOptions options_;
+  CircuitBreaker breaker_;
+  Watchdog watchdog_;
+  /// Created once in the constructor, then only read (the writer itself is
+  /// internally synchronized); null when journaling is off or creation
+  /// failed.
+  std::unique_ptr<RunJournalWriter> journal_;
+  std::atomic<uint32_t> journal_index_{0};
   ThreadPool pool_;
   /// Per-job ordinal seeding the job's FaultScope, so every job draws a
   /// distinct deterministic fault schedule regardless of which worker or
@@ -175,6 +226,7 @@ class WorkloadService {
   std::map<SessionId, std::unique_ptr<SessionState>> sessions_
       TB_GUARDED_BY(mu_);
   ServiceStats stats_ TB_GUARDED_BY(mu_);
+  Status journal_status_ TB_GUARDED_BY(mu_);
 };
 
 }  // namespace tabbench

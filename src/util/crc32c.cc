@@ -1,0 +1,41 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace tabbench {
+namespace {
+
+// Table generated at first use from the reflected Castagnoli polynomial.
+// constinit-style static init keeps this thread-safe under C++11 magic
+// statics; the table is ~1 KiB.
+std::array<uint32_t, 256> MakeTable() {
+  constexpr uint32_t kPoly = 0x82f63b78u;  // 0x1EDC6F41 reflected.
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto& table = Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace tabbench

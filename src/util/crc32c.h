@@ -1,0 +1,43 @@
+#ifndef TABBENCH_UTIL_CRC32C_H_
+#define TABBENCH_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tabbench {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41). The same checksum RocksDB
+/// and LevelDB frame their WAL records with; chosen here for the run
+/// journal and saved benchmark artifacts because its error-detection
+/// properties on short records are well studied. Software table
+/// implementation — journal records are small and written once per query,
+/// so hardware acceleration would be noise.
+
+/// Extends `crc` with `data[0, n)`. Start a fresh checksum with crc = 0.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// Checksum of a whole buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+inline uint32_t Crc32c(const std::string& s) {
+  return Crc32cExtend(0, s.data(), s.size());
+}
+
+/// CRC of `crc` masked the way RocksDB masks WAL checksums: a journal
+/// record's payload may itself embed CRCs (e.g. a saved report with its own
+/// trailer), and checksumming a string that contains its own checksum is a
+/// classic way to weaken error detection. Masking makes the stored value
+/// distinct from any raw CRC of the payload bytes.
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc32c(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_UTIL_CRC32C_H_

@@ -60,6 +60,8 @@ Status MakeInjected(Status::Code code, const std::string& point) {
       return Status::Cancelled(std::move(msg));
     case Status::Code::kUnavailable:
       return Status::Unavailable(std::move(msg));
+    case Status::Code::kDataLoss:
+      return Status::DataLoss(std::move(msg));
   }
   return Status::Internal("unknown fault code at " + point);
 }

@@ -1,12 +1,20 @@
 #include "util/file_util.h"
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <system_error>
 
 #include <filesystem>
 
+#include "util/crc32c.h"
+
 namespace tabbench {
+
+namespace {
+constexpr char kCrcPrefix[] = "# crc32c: ";
+constexpr size_t kCrcPrefixLen = sizeof(kCrcPrefix) - 1;
+}  // namespace
 
 Status AtomicWriteFile(const std::string& path, const std::string& contents) {
   if (path.empty()) {
@@ -37,6 +45,60 @@ Status AtomicWriteFile(const std::string& path, const std::string& contents) {
                             " failed: " + ec.message());
   }
   return Status::OK();
+}
+
+std::string WithCrc32cTrailer(std::string body) {
+  if (!body.empty() && body.back() != '\n') body += '\n';
+  char hex[16];
+  std::snprintf(hex, sizeof(hex), "%08x", Crc32c(body));
+  body += kCrcPrefix;
+  body += hex;
+  body += '\n';
+  return body;
+}
+
+Result<std::string> VerifyCrc32cTrailer(const std::string& contents,
+                                        const std::string& path) {
+  size_t pos = contents.rfind(kCrcPrefix);
+  // Only a trailer that is the *final line* counts; a mid-file match is
+  // ordinary content (or a truncated file, which the checksum of a real
+  // trailer would catch anyway).
+  if (pos == std::string::npos || (pos != 0 && contents[pos - 1] != '\n')) {
+    return contents;  // legacy artifact, no trailer
+  }
+  size_t eol = contents.find('\n', pos);
+  if (eol == std::string::npos || eol + 1 != contents.size()) {
+    return contents;
+  }
+  std::string hex = contents.substr(pos + kCrcPrefixLen,
+                                    eol - pos - kCrcPrefixLen);
+  uint32_t stored = 0;
+  bool valid = hex.size() == 8;
+  for (char c : hex) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) {
+      valid = false;
+      break;
+    }
+    stored = stored * 16 +
+             static_cast<uint32_t>(std::isdigit(static_cast<unsigned char>(c))
+                                       ? c - '0'
+                                       : std::tolower(c) - 'a' + 10);
+  }
+  if (!valid) {
+    return Status::DataLoss("malformed crc32c trailer at offset " +
+                            std::to_string(pos) + ": " + path);
+  }
+  std::string body = contents.substr(0, pos);
+  uint32_t actual = Crc32c(body);
+  if (actual != stored) {
+    char want[16], got[16];
+    std::snprintf(want, sizeof(want), "%08x", stored);
+    std::snprintf(got, sizeof(got), "%08x", actual);
+    return Status::DataLoss("crc32c mismatch in " + path + ": trailer at "
+                            "offset " + std::to_string(pos) + " says " +
+                            want + ", contents hash to " + got);
+  }
+  return body;
 }
 
 }  // namespace tabbench

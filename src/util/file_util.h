@@ -16,6 +16,22 @@ namespace tabbench {
 /// every downstream comparison.
 Status AtomicWriteFile(const std::string& path, const std::string& contents);
 
+/// Appends a `# crc32c: xxxxxxxx` trailer line protecting every byte of
+/// `body` (a trailing newline is added first if missing, and is covered).
+/// Text artifacts (saved workloads, reports) carry this so bit rot between
+/// a save and a much later load is detected instead of silently skewing
+/// downstream comparisons. The `#` prefix keeps the trailer a comment in
+/// every line-oriented tabbench format.
+std::string WithCrc32cTrailer(std::string body);
+
+/// Verifies and strips the trailer of `contents` (as read from `path`,
+/// named only for the error message). Returns the protected body on
+/// success; kDataLoss with the offending byte offset on a checksum or
+/// malformed-trailer mismatch. Contents without any trailer pass through
+/// unchanged — artifacts written before checksumming stay loadable.
+Result<std::string> VerifyCrc32cTrailer(const std::string& contents,
+                                        const std::string& path);
+
 }  // namespace tabbench
 
 #endif  // TABBENCH_UTIL_FILE_UTIL_H_

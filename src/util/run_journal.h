@@ -1,0 +1,148 @@
+#ifndef TABBENCH_UTIL_RUN_JOURNAL_H_
+#define TABBENCH_UTIL_RUN_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/retry.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/trace_event.h"
+
+namespace tabbench {
+
+/// Durable run journal: the crash-recovery substrate for multi-hour
+/// benchmark campaigns. The runners (core/runner) and the WorkloadService
+/// append one record per *completed* query — outcome, attempt log, and the
+/// per-attempt charge traces — and fsync before moving on, so a process
+/// death at any point loses at most the query in flight. Resume replays the
+/// journaled traces through the buffer pool (the same trace-replay
+/// machinery RunWorkloadParallel is built on), restoring the simulated
+/// clock and pool state bit for bit, then continues live from the first
+/// unjournaled query.
+///
+/// On-disk format: a sequence of length-prefixed frames,
+///
+///   [u32 payload_len][u32 masked_crc32c(payload)][payload bytes]
+///
+/// little-endian, CRC masked (util/crc32c.h) so payloads that embed their
+/// own checksums stay fully protected. Frame 0 is the header (workload SQL,
+/// run options fingerprint, free-form metadata); every later frame is one
+/// query record. A torn tail — a frame cut short by a crash, or a final
+/// frame whose checksum fails — is silently dropped on load and truncated
+/// on append-open, exactly like a WAL recovery. A checksum mismatch
+/// *before* the final frame is real corruption and surfaces as kDataLoss
+/// with the offending byte offset.
+
+/// One execution attempt of one query: its final status and the full charge
+/// trace up to the point execution stopped (completion, timeout trip, or
+/// injected fault). The trace is what makes resume exact — replaying it
+/// applies the same pool touches and the same FP charge sequence the live
+/// attempt did.
+struct JournalAttempt {
+  Status::Code code = Status::Code::kOk;
+  std::string message;
+  bool timed_out = false;  // QueryResult::timed_out when code is kOk
+  AccessTrace trace;
+};
+
+/// One completed query. The outcome fields double as a cross-check: resume
+/// recomputes them from the replayed traces and refuses the journal
+/// (kDataLoss) if they disagree — a CRC protects against bit rot, this
+/// protects against replaying into the wrong database or configuration.
+struct JournalQueryRecord {
+  uint32_t query_index = 0;
+  double seconds = 0.0;  // final censored timing, paper's A(q_k, C)
+  bool timed_out = false;
+  bool failed = false;
+  uint32_t attempts = 1;  // executions performed, including the first
+  bool has_estimate = false;
+  double estimate = 0.0;
+  /// Shared-pool counter movement while this query ran (hits/misses after
+  /// minus before): the buffer-pool delta the resume replay must reproduce.
+  uint64_t pool_hit_delta = 0;
+  uint64_t pool_miss_delta = 0;
+  std::vector<JournalAttempt> attempt_log;
+};
+
+/// Everything needed to (a) refuse resuming under different run options and
+/// (b) reconstruct the run from nothing but the journal file (`tabbench
+/// resume <journal>`): the full workload SQL, the RunOptions fingerprint,
+/// and free-form metadata (database kind, scale, configuration) stamped by
+/// the caller.
+struct JournalHeader {
+  uint32_t query_count = 0;
+  int repetitions = 1;
+  bool collect_estimates = false;
+  bool cold_start = true;
+  uint64_t fault_scope_salt = 0;
+  double timeout_seconds = 0.0;
+  RetryPolicy retry;
+  std::vector<std::string> sql;
+  std::map<std::string, std::string> metadata;
+};
+
+struct RunJournal {
+  JournalHeader header;
+  std::vector<JournalQueryRecord> records;
+  /// Bytes of valid frames from the start of the file; a torn tail begins
+  /// here. OpenAppend truncates to this offset before continuing.
+  uint64_t valid_bytes = 0;
+};
+
+/// Parses `path`. A torn tail is tolerated (records simply end earlier);
+/// an unreadable or headerless file is kInvalidArgument; a checksum
+/// mismatch anywhere before the final frame is kDataLoss with the offset.
+Result<RunJournal> LoadRunJournal(const std::string& path);
+
+/// Append-side handle. Internally synchronized: the service's workers share
+/// one writer, and per-record framing means concurrent appends interleave
+/// whole records, never bytes.
+class RunJournalWriter {
+ public:
+  /// Starts a fresh journal at `path` (truncating any existing file),
+  /// writes the header frame, and fsyncs it.
+  static Result<std::unique_ptr<RunJournalWriter>> Create(
+      const std::string& path, const JournalHeader& header);
+
+  /// Reopens an existing journal to continue it, truncating the torn tail
+  /// (`journal.valid_bytes`, from LoadRunJournal) first.
+  static Result<std::unique_ptr<RunJournalWriter>> OpenAppend(
+      const std::string& path, const RunJournal& journal);
+
+  /// Use Create/OpenAppend; public only so the factories can make_unique.
+  RunJournalWriter(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~RunJournalWriter();
+  RunJournalWriter(const RunJournalWriter&) = delete;
+  RunJournalWriter& operator=(const RunJournalWriter&) = delete;
+
+  /// Serializes, frames, writes, and fsyncs one record — the durability
+  /// point: once Append returns OK the record survives any crash.
+  Status Append(const JournalQueryRecord& rec);
+
+  /// Test hook for the kill-resume chaos suite: after the n-th successful
+  /// Append (1-based) the process SIGKILLs itself — *after* the fsync, so
+  /// the journal holds exactly n durable records. Negative disables. Also
+  /// armed by the TABBENCH_JOURNAL_CRASH_AFTER environment variable (read
+  /// at Create/OpenAppend), mirroring TABBENCH_FAULTS, so child benchmark
+  /// processes can be crashed without API plumbing.
+  void set_crash_after_appends(int n) { crash_after_appends_ = n; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  Mutex mu_;
+  int fd_ TB_GUARDED_BY(mu_) = -1;
+  int appends_ TB_GUARDED_BY(mu_) = 0;
+  int crash_after_appends_ = -1;
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_UTIL_RUN_JOURNAL_H_

@@ -25,6 +25,8 @@ const char* CodeName(Status::Code code) {
       return "Cancelled";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

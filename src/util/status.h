@@ -35,6 +35,11 @@ class [[nodiscard]] Status {
     /// The service cannot accept the request right now (admission control:
     /// the job queue is full or the service is shutting down). Retryable.
     kUnavailable,
+    /// Durable data failed an integrity check: a checksum mismatch in a
+    /// saved workload, report, or run journal. Unlike kInternal this points
+    /// at bytes on disk, not a bug in this process; the message carries the
+    /// offending file offset so the operator can inspect the corruption.
+    kDataLoss,
   };
 
   Status() : code_(Code::kOk) {}
@@ -67,6 +72,20 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
+  }
+  /// Rebuilds a Status from its serialized parts (run-journal records store
+  /// a per-attempt code + message). An out-of-range code — possible only
+  /// with a corrupt journal that still passed its CRC — maps to kInternal
+  /// rather than trusting the cast.
+  static Status FromCode(Code code, std::string msg) {
+    if (code == Code::kOk) return OK();
+    if (code < Code::kInvalidArgument || code > Code::kDataLoss) {
+      return Internal("invalid serialized status code");
+    }
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsTimeout() const { return code_ == Code::kTimeout; }
@@ -75,6 +94,7 @@ class [[nodiscard]] Status {
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsUnsupported() const { return code_ == Code::kUnsupported; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
 
   /// True for errors worth retrying with backoff (see util/retry.h): the
   /// operation failed for a reason expected to clear on its own —

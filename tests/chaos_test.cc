@@ -5,11 +5,21 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/runner.h"
+#include "util/rng.h"
+#include "util/run_journal.h"
 #include "service/thread_pool.h"
 #include "service/workload_service.h"
 #include "test_util.h"
@@ -402,7 +412,10 @@ TEST_F(ChaosRunnerTest, ServiceFloodUnderFaultsAllFuturesResolve) {
   TB_ASSERT_OK(FaultRegistry::Global().ArmFromString(
       "storage.heap_scan=unavailable@prob:0.25:17; "
       "service.session_execute=unavailable@prob:0.15:31"));
-  WorkloadService service(db(), ServiceOptions{4, 0, {}});
+  ServiceOptions so;
+  so.workers = 4;
+  so.max_in_flight = 0;
+  WorkloadService service(db(), so);
   JobOptions jo;
   jo.retry = RetryPolicy::WithAttempts(2);
   jo.retry.initial_backoff_seconds = 1e-4;
@@ -426,6 +439,147 @@ TEST_F(ChaosRunnerTest, ServiceFloodUnderFaultsAllFuturesResolve) {
   EXPECT_EQ(ok + failed, futs.size());
   auto stats = service.stats();
   EXPECT_EQ(stats.completed, futs.size());
+}
+
+// -------------------------------------------------------------- kill-resume
+//
+// The crash-safety contract end to end: a benchmark process is SIGKILLed
+// mid-run (no destructors, no flush — the journal's fsync-per-record is all
+// that survives), and the resumed run must produce the bit-identical final
+// report. The child is a real fork so the kill exercises the same code path
+// an OOM-kill or power cut would.
+
+class KillResumeChaosTest : public ChaosRunnerTest {
+ protected:
+  static std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  /// Forks a child that runs the journaled workload and is SIGKILLed by the
+  /// TABBENCH_JOURNAL_CRASH_AFTER hook right after its `crash_after`-th
+  /// record hits disk. Asserts the child actually died by SIGKILL and the
+  /// journal holds exactly `crash_after` durable records.
+  static void RunChildUntilKilled(const std::string& journal_path,
+                                  const RunOptions& opts, size_t crash_after) {
+    std::remove(journal_path.c_str());
+    ASSERT_EQ(setenv("TABBENCH_JOURNAL_CRASH_AFTER",
+                     std::to_string(crash_after).c_str(), 1),
+              0);
+    pid_t pid = fork();
+    ASSERT_NE(pid, -1) << "fork failed";
+    if (pid == 0) {
+      // Child. The journal writer raises SIGKILL after the n-th fsync'd
+      // append; reaching _exit means the hook never fired — make that loud.
+      RunOptions child_opts = opts;
+      child_opts.journal_path = journal_path;
+      auto r = RunWorkload(db(), sql_, child_opts);
+      (void)r;
+      _exit(42);
+    }
+    unsetenv("TABBENCH_JOURNAL_CRASH_AFTER");
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child survived to exit code "
+        << (WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+    auto loaded = LoadRunJournal(journal_path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->records.size(), crash_after);
+  }
+};
+
+TEST_F(KillResumeChaosTest, SigkilledRunResumesBitIdentical) {
+  FaultGuard guard;
+  auto baseline = RunWorkload(db(), sql_);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const BufferPoolStats base_pool = db()->buffer_stats();
+
+  // The uninterrupted journal, for the byte-level comparison at the end.
+  std::string clean_path = TempPath("killresume_clean.tbj");
+  RunOptions clean_opts;
+  clean_opts.journal_path = clean_path;
+  ASSERT_TRUE(RunWorkload(db(), sql_, clean_opts).ok());
+
+  // Crash points drawn from a fixed seed: reproducible, but not hand-picked
+  // round numbers.
+  Rng rng(20260805);
+  for (int round = 0; round < 3; ++round) {
+    size_t crash_after =
+        1 + static_cast<size_t>(rng.Uniform(sql_.size() - 1));
+    std::string path = TempPath("killresume_" + std::to_string(round) +
+                                ".tbj");
+    SCOPED_TRACE("crash_after=" + std::to_string(crash_after));
+    RunChildUntilKilled(path, RunOptions{}, crash_after);
+
+    auto resumed = RunWorkload(db(), sql_, ResumeFrom(path));
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    ExpectIdentical(*baseline, *resumed);
+    const BufferPoolStats pool = db()->buffer_stats();
+    EXPECT_EQ(pool.hits, base_pool.hits);
+    EXPECT_EQ(pool.misses, base_pool.misses);
+
+    // The healed journal is byte-identical to one never interrupted.
+    EXPECT_EQ(Slurp(path), Slurp(clean_path));
+    std::remove(path.c_str());
+  }
+  std::remove(clean_path.c_str());
+}
+
+TEST_F(KillResumeChaosTest, SigkilledRunResumesUnderTheParallelRunner) {
+  FaultGuard guard;
+  auto baseline = RunWorkload(db(), sql_);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  std::string path = TempPath("killresume_parallel.tbj");
+  RunChildUntilKilled(path, RunOptions{}, 9);
+
+  ThreadPool pool(4);
+  ParallelOptions par;
+  par.pool = &pool;
+  auto resumed = RunWorkloadParallel(db(), sql_, par, ResumeFrom(path));
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectIdentical(*baseline, *resumed);
+  auto reloaded = LoadRunJournal(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->records.size(), sql_.size());
+  std::remove(path.c_str());
+}
+
+TEST_F(KillResumeChaosTest, SigkilledRunUnderFaultsAndRetriesResumesExact) {
+  // The full gauntlet: injected faults, retry/backoff charges, and a
+  // SIGKILL — the resumed run must still land on the same bits, fault
+  // schedule included (the schedule is a pure function of query index and
+  // salt, so the live tail re-draws exactly what the dead process would
+  // have).
+  FaultGuard guard;
+  TB_ASSERT_OK(FaultRegistry::Global().ArmFromString(
+      "storage.heap_scan=unavailable@prob:0.02:21; "
+      "engine.query=internal@prob:0.08:5"));
+  RunOptions opts;
+  opts.retry = RetryPolicy::WithAttempts(3);
+  opts.retry.seed = 3;
+  opts.retry.initial_backoff_seconds = 0.01;
+  opts.fault_scope_salt = 11;
+
+  auto baseline = RunWorkload(db(), sql_, opts);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  std::string path = TempPath("killresume_faulted.tbj");
+  RunChildUntilKilled(path, opts, 14);
+
+  auto resumed = RunWorkload(db(), sql_, ResumeFrom(path, opts));
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectIdentical(*baseline, *resumed);
+  std::remove(path.c_str());
 }
 
 }  // namespace

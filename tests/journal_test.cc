@@ -1,0 +1,545 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/runner.h"
+#include "service/thread_pool.h"
+#include "test_util.h"
+#include "util/crc32c.h"
+#include "util/file_util.h"
+#include "util/run_journal.h"
+#include "util/strings.h"
+
+namespace tabbench {
+namespace {
+
+// ----------------------------------------------------------------- crc32c
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // The CRC-32C check value: crc of the ASCII digits "123456789".
+  EXPECT_EQ(Crc32c(std::string("123456789")), 0xe3069283u);
+  EXPECT_EQ(Crc32c(std::string("")), 0u);
+  // Incremental == one-shot.
+  uint32_t inc = Crc32cExtend(0, "1234", 4);
+  inc = Crc32cExtend(inc, "56789", 5);
+  EXPECT_EQ(inc, 0xe3069283u);
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffersFromRaw) {
+  for (uint32_t crc : {0u, 1u, 0xe3069283u, 0xffffffffu, 0xdeadbeefu}) {
+    EXPECT_EQ(UnmaskCrc32c(MaskCrc32c(crc)), crc);
+    EXPECT_NE(MaskCrc32c(crc), crc);
+  }
+}
+
+// ------------------------------------------------------------ crc trailer
+
+TEST(CrcTrailerTest, RoundTrip) {
+  std::string body = "line one\nline two\n";
+  std::string with = WithCrc32cTrailer(body);
+  EXPECT_NE(with, body);
+  auto back = VerifyCrc32cTrailer(with, "mem");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, body);
+}
+
+TEST(CrcTrailerTest, AppendsNewlineBeforeTrailerWhenMissing) {
+  auto back = VerifyCrc32cTrailer(WithCrc32cTrailer("no newline"), "mem");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, "no newline\n");
+}
+
+TEST(CrcTrailerTest, LegacyFileWithoutTrailerPassesThrough) {
+  std::string legacy = "# tabbench workload v1\nSELECT 1;\n";
+  auto back = VerifyCrc32cTrailer(legacy, "mem");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, legacy);
+}
+
+TEST(CrcTrailerTest, TamperedBodyIsDataLossWithOffset) {
+  std::string with = WithCrc32cTrailer("important numbers: 1 2 3\n");
+  with[4] = 'X';
+  auto back = VerifyCrc32cTrailer(with, "tampered.txt");
+  ASSERT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().IsDataLoss()) << back.status().ToString();
+  EXPECT_NE(back.status().ToString().find("offset"), std::string::npos);
+  EXPECT_NE(back.status().ToString().find("tampered.txt"), std::string::npos);
+}
+
+TEST(CrcTrailerTest, MalformedTrailerHexIsDataLoss) {
+  std::string bad = "body\n# crc32c: zzzzzzzz\n";
+  auto back = VerifyCrc32cTrailer(bad, "mem");
+  ASSERT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().IsDataLoss()) << back.status().ToString();
+}
+
+TEST(CrcTrailerTest, TrailerLineInTheMiddleIsNotATrailer) {
+  // Only a *final* "# crc32c:" line is a trailer; one mid-file is content.
+  std::string mid = "# crc32c: 00000000\nmore content\n";
+  auto back = VerifyCrc32cTrailer(mid, "mem");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, mid);
+}
+
+// --------------------------------------------------------- saved reports
+
+TEST(ReportIoTest, SaveLoadRoundTripAndTamperDetection) {
+  std::string path = ::testing::TempDir() + "/tabbench_report_crc.txt";
+  std::string text = "== resilience ==\nqueries: 10\ntimeouts: 2\n";
+  ASSERT_TRUE(SaveReport(text, path).ok());
+  auto back = LoadReport(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, text);
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  bytes[bytes.find("10")] = '9';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto damaged = LoadReport(path);
+  ASSERT_FALSE(damaged.ok());
+  EXPECT_TRUE(damaged.status().IsDataLoss()) << damaged.status().ToString();
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------- journal framing
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+JournalHeader SampleHeader() {
+  JournalHeader h;
+  h.query_count = 2;
+  h.repetitions = 3;
+  h.collect_estimates = true;
+  h.cold_start = false;
+  h.fault_scope_salt = 77;
+  h.timeout_seconds = 1800.0;
+  h.retry = RetryPolicy::WithAttempts(4);
+  h.retry.seed = 99;
+  h.sql = {"SELECT 1", "SELECT 2"};
+  h.metadata = {{"db", "nref"}, {"config", "p"}};
+  return h;
+}
+
+JournalQueryRecord SampleRecord(uint32_t index) {
+  JournalQueryRecord rec;
+  rec.query_index = index;
+  rec.seconds = 12.5 + index;
+  rec.timed_out = (index % 2) == 1;
+  rec.failed = false;
+  rec.attempts = 2;
+  rec.has_estimate = true;
+  rec.estimate = 3.25;
+  rec.pool_hit_delta = 10 + index;
+  rec.pool_miss_delta = 4;
+  JournalAttempt first;
+  first.code = Status::Code::kUnavailable;
+  first.message = "injected fault: storage.heap_scan";
+  first.trace = {{TraceEvent::Kind::kTouchSeq, 17},
+                 {TraceEvent::Kind::kTuples, 120},
+                 {TraceEvent::Kind::kTimeoutCheck, 0}};
+  JournalAttempt second;
+  second.code = Status::Code::kOk;
+  second.timed_out = rec.timed_out;
+  second.trace = {{TraceEvent::Kind::kTouchRandom, 5},
+                  {TraceEvent::Kind::kUnitTuplesChecked, 64}};
+  rec.attempt_log = {first, second};
+  return rec;
+}
+
+TEST(RunJournalTest, HeaderAndRecordsRoundTrip) {
+  std::string path = TempPath("journal_roundtrip.tbj");
+  JournalHeader h = SampleHeader();
+  auto writer = RunJournalWriter::Create(path, h);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  TB_ASSERT_OK((*writer)->Append(SampleRecord(0)));
+  TB_ASSERT_OK((*writer)->Append(SampleRecord(1)));
+  writer->reset();
+
+  auto loaded = LoadRunJournal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const JournalHeader& back = loaded->header;
+  EXPECT_EQ(back.query_count, h.query_count);
+  EXPECT_EQ(back.repetitions, h.repetitions);
+  EXPECT_EQ(back.collect_estimates, h.collect_estimates);
+  EXPECT_EQ(back.cold_start, h.cold_start);
+  EXPECT_EQ(back.fault_scope_salt, h.fault_scope_salt);
+  EXPECT_EQ(back.timeout_seconds, h.timeout_seconds);
+  EXPECT_EQ(back.retry.max_attempts, 4);
+  EXPECT_EQ(back.retry.seed, 99u);
+  EXPECT_EQ(back.sql, h.sql);
+  EXPECT_EQ(back.metadata, h.metadata);
+
+  ASSERT_EQ(loaded->records.size(), 2u);
+  for (uint32_t i = 0; i < 2; ++i) {
+    const JournalQueryRecord want = SampleRecord(i);
+    const JournalQueryRecord& got = loaded->records[i];
+    EXPECT_EQ(got.query_index, want.query_index);
+    EXPECT_EQ(got.seconds, want.seconds);
+    EXPECT_EQ(got.timed_out, want.timed_out);
+    EXPECT_EQ(got.failed, want.failed);
+    EXPECT_EQ(got.attempts, want.attempts);
+    EXPECT_EQ(got.has_estimate, want.has_estimate);
+    EXPECT_EQ(got.estimate, want.estimate);
+    EXPECT_EQ(got.pool_hit_delta, want.pool_hit_delta);
+    EXPECT_EQ(got.pool_miss_delta, want.pool_miss_delta);
+    ASSERT_EQ(got.attempt_log.size(), want.attempt_log.size());
+    for (size_t a = 0; a < want.attempt_log.size(); ++a) {
+      EXPECT_EQ(got.attempt_log[a].code, want.attempt_log[a].code);
+      EXPECT_EQ(got.attempt_log[a].message, want.attempt_log[a].message);
+      EXPECT_EQ(got.attempt_log[a].timed_out, want.attempt_log[a].timed_out);
+      ASSERT_EQ(got.attempt_log[a].trace.size(),
+                want.attempt_log[a].trace.size());
+      for (size_t e = 0; e < want.attempt_log[a].trace.size(); ++e) {
+        EXPECT_EQ(got.attempt_log[a].trace[e].kind,
+                  want.attempt_log[a].trace[e].kind);
+        EXPECT_EQ(got.attempt_log[a].trace[e].arg,
+                  want.attempt_log[a].trace[e].arg);
+      }
+    }
+  }
+  EXPECT_EQ(loaded->valid_bytes, Slurp(path).size());
+  std::remove(path.c_str());
+}
+
+TEST(RunJournalTest, TornTailIsDroppedAndTruncatedOnAppend) {
+  std::string path = TempPath("journal_torn.tbj");
+  auto writer = RunJournalWriter::Create(path, SampleHeader());
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  TB_ASSERT_OK((*writer)->Append(SampleRecord(0)));
+  writer->reset();
+  const uint64_t clean_size = Slurp(path).size();
+
+  // Simulate a crash mid-write: a frame whose length prefix promises more
+  // bytes than the file holds.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const uint32_t len = 1000;
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write("torn", 4);
+  }
+  ASSERT_GT(Slurp(path).size(), clean_size);
+
+  auto loaded = LoadRunJournal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->records.size(), 1u);
+  EXPECT_EQ(loaded->valid_bytes, clean_size);
+
+  // OpenAppend truncates the torn tail before continuing.
+  auto reopened = RunJournalWriter::OpenAppend(path, *loaded);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  TB_ASSERT_OK((*reopened)->Append(SampleRecord(1)));
+  reopened->reset();
+  auto reloaded = LoadRunJournal(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->records.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(RunJournalTest, GarbageFinalFrameIsATornTailToo) {
+  // A complete-looking final frame whose checksum fails is treated as torn
+  // (the crash may have happened mid-frame after the length was written).
+  std::string path = TempPath("journal_badtail.tbj");
+  auto writer = RunJournalWriter::Create(path, SampleHeader());
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  TB_ASSERT_OK((*writer)->Append(SampleRecord(0)));
+  writer->reset();
+  const uint64_t clean_size = Slurp(path).size();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const uint32_t len = 4;
+    const uint32_t bogus_crc = 0x12345678;
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write(reinterpret_cast<const char*>(&bogus_crc), sizeof(bogus_crc));
+    out.write("junk", 4);
+  }
+  auto loaded = LoadRunJournal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->records.size(), 1u);
+  EXPECT_EQ(loaded->valid_bytes, clean_size);
+  std::remove(path.c_str());
+}
+
+TEST(RunJournalTest, MidFileCorruptionIsDataLossWithOffset) {
+  std::string path = TempPath("journal_corrupt.tbj");
+  auto writer = RunJournalWriter::Create(path, SampleHeader());
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  TB_ASSERT_OK((*writer)->Append(SampleRecord(0)));
+  TB_ASSERT_OK((*writer)->Append(SampleRecord(1)));
+  writer->reset();
+
+  // Flip one payload byte of the header frame — far from the tail, so this
+  // is corruption, not a torn tail.
+  std::string bytes = Slurp(path);
+  ASSERT_GT(bytes.size(), 32u);
+  bytes[16] ^= 0x40;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = LoadRunJournal(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsDataLoss()) << loaded.status().ToString();
+  EXPECT_NE(loaded.status().ToString().find("offset"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RunJournalTest, HeaderlessOrMissingFileIsRejected) {
+  EXPECT_FALSE(LoadRunJournal("/nonexistent/nowhere.tbj").ok());
+  std::string path = TempPath("journal_empty.tbj");
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  auto loaded = LoadRunJournal(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument())
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------- checkpoint/resume
+
+class JournalResumeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tiny_ = std::make_unique<tabbench::testing::TinyDb>(
+        tabbench::testing::TinyDb::Make(3000, 20));
+    for (int d = 0; d < 6; ++d) {
+      sql_.push_back(StrFormat(
+          "SELECT p.city, COUNT(*) FROM people p WHERE p.dept = %d "
+          "GROUP BY p.city", d));
+    }
+    for (int i = 0; i < 4; ++i) {
+      sql_.push_back("SELECT p.dept, COUNT(*) FROM people p GROUP BY p.dept");
+    }
+  }
+  static void TearDownTestSuite() {
+    tiny_.reset();
+    sql_.clear();
+  }
+
+  Database* db() { return tiny_->db.get(); }
+
+  static void ExpectIdentical(const WorkloadResult& a,
+                              const WorkloadResult& b) {
+    ASSERT_EQ(a.timings.size(), b.timings.size());
+    for (size_t i = 0; i < a.timings.size(); ++i) {
+      EXPECT_EQ(a.timings[i].seconds, b.timings[i].seconds) << "query " << i;
+      EXPECT_EQ(a.timings[i].timed_out, b.timings[i].timed_out);
+      EXPECT_EQ(a.timings[i].failed, b.timings[i].failed);
+    }
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.total_clamped_seconds, b.total_clamped_seconds);
+  }
+
+  /// Rewrites `src`'s first `keep` records into a fresh journal at `dst` —
+  /// the on-disk state an interrupted run would have left behind.
+  static void WritePrefixJournal(const std::string& src,
+                                 const std::string& dst, size_t keep) {
+    auto full = LoadRunJournal(src);
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    ASSERT_GE(full->records.size(), keep);
+    auto writer = RunJournalWriter::Create(dst, full->header);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (size_t i = 0; i < keep; ++i) {
+      TB_ASSERT_OK((*writer)->Append(full->records[i]));
+    }
+  }
+
+  static std::unique_ptr<tabbench::testing::TinyDb> tiny_;
+  static std::vector<std::string> sql_;
+};
+
+std::unique_ptr<tabbench::testing::TinyDb> JournalResumeTest::tiny_;
+std::vector<std::string> JournalResumeTest::sql_;
+
+TEST_F(JournalResumeTest, JournaledRunMatchesPlainRunAndRecordsEverything) {
+  auto baseline = RunWorkload(db(), sql_);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  std::string path = TempPath("resume_full.tbj");
+  RunOptions jopts;
+  jopts.journal_path = path;
+  jopts.journal_metadata = {{"db", "tiny"}};
+  auto journaled = RunWorkload(db(), sql_, jopts);
+  ASSERT_TRUE(journaled.ok()) << journaled.status().ToString();
+  ExpectIdentical(*baseline, *journaled);
+
+  auto loaded = LoadRunJournal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->records.size(), sql_.size());
+  EXPECT_EQ(loaded->header.sql, sql_);
+  EXPECT_EQ(loaded->header.metadata.at("db"), "tiny");
+  for (size_t i = 0; i < loaded->records.size(); ++i) {
+    EXPECT_EQ(loaded->records[i].query_index, i);
+    EXPECT_EQ(loaded->records[i].seconds, baseline->timings[i].seconds);
+    ASSERT_FALSE(loaded->records[i].attempt_log.empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(JournalResumeTest, SerialResumeIsBitIdenticalAndRefillsTheJournal) {
+  std::string full_path = TempPath("resume_base.tbj");
+  RunOptions jopts;
+  jopts.journal_path = full_path;
+  auto baseline = RunWorkload(db(), sql_, jopts);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const BufferPoolStats base_pool = db()->buffer_stats();
+
+  // Resume from every interruption point, including "crashed before any
+  // record" (keep == 0) and "crashed after the last query" (keep == size).
+  for (size_t keep : {size_t{0}, size_t{1}, sql_.size() / 2,
+                      sql_.size() - 1, sql_.size()}) {
+    std::string path = TempPath("resume_k" + std::to_string(keep) + ".tbj");
+    WritePrefixJournal(full_path, path, keep);
+    auto resumed = RunWorkload(db(), sql_, ResumeFrom(path));
+    ASSERT_TRUE(resumed.ok())
+        << "keep=" << keep << ": " << resumed.status().ToString();
+    ExpectIdentical(*baseline, *resumed);
+    const BufferPoolStats pool = db()->buffer_stats();
+    EXPECT_EQ(pool.hits, base_pool.hits) << "keep=" << keep;
+    EXPECT_EQ(pool.misses, base_pool.misses) << "keep=" << keep;
+
+    // After the resumed run the journal is complete again — and since the
+    // header and every record serialize deterministically, byte-identical
+    // to the uninterrupted journal.
+    EXPECT_EQ(Slurp(path), Slurp(full_path)) << "keep=" << keep;
+    std::remove(path.c_str());
+  }
+  std::remove(full_path.c_str());
+}
+
+TEST_F(JournalResumeTest, ParallelResumeMatchesSerialBaseline) {
+  std::string full_path = TempPath("resume_par_base.tbj");
+  RunOptions jopts;
+  jopts.journal_path = full_path;
+  auto baseline = RunWorkload(db(), sql_, jopts);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  std::string path = TempPath("resume_par.tbj");
+  WritePrefixJournal(full_path, path, 3);
+
+  ThreadPool pool(4);
+  ParallelOptions par;
+  par.pool = &pool;
+  auto resumed = RunWorkloadParallel(db(), sql_, par, ResumeFrom(path));
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ExpectIdentical(*baseline, *resumed);
+  auto reloaded = LoadRunJournal(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->records.size(), sql_.size());
+  std::remove(path.c_str());
+  std::remove(full_path.c_str());
+
+  // A serial journal resumes under the parallel runner and vice versa: the
+  // journal speaks traces, not runner internals. (The parallel-resumed file
+  // was already checked above; now the reverse direction.)
+  std::string par_path = TempPath("resume_par_written.tbj");
+  RunOptions par_jopts;
+  par_jopts.journal_path = par_path;
+  auto par_run = RunWorkloadParallel(db(), sql_, par, par_jopts);
+  ASSERT_TRUE(par_run.ok()) << par_run.status().ToString();
+  std::string ser_path = TempPath("resume_ser_from_par.tbj");
+  WritePrefixJournal(par_path, ser_path, 5);
+  auto ser_resumed = RunWorkload(db(), sql_, ResumeFrom(ser_path));
+  ASSERT_TRUE(ser_resumed.ok()) << ser_resumed.status().ToString();
+  ExpectIdentical(*baseline, *ser_resumed);
+  std::remove(par_path.c_str());
+  std::remove(ser_path.c_str());
+}
+
+TEST_F(JournalResumeTest, ResumeUnderDifferentOptionsIsRefused) {
+  std::string path = TempPath("resume_incompat.tbj");
+  RunOptions jopts;
+  jopts.journal_path = path;
+  ASSERT_TRUE(RunWorkload(db(), sql_, jopts).ok());
+
+  RunOptions other = ResumeFrom(path);
+  other.repetitions = 2;
+  auto r = RunWorkload(db(), sql_, other);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+
+  RunOptions salted = ResumeFrom(path);
+  salted.fault_scope_salt = 123;
+  EXPECT_FALSE(RunWorkload(db(), sql_, salted).ok());
+
+  RunOptions retried = ResumeFrom(path);
+  retried.retry = RetryPolicy::WithAttempts(3);
+  EXPECT_FALSE(RunWorkload(db(), sql_, retried).ok());
+
+  std::vector<std::string> other_sql = sql_;
+  other_sql.pop_back();
+  EXPECT_FALSE(RunWorkload(db(), other_sql, ResumeFrom(path)).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(JournalResumeTest, TamperedOutcomeFailsTheReplayCrossCheck) {
+  std::string path = TempPath("resume_tampered_src.tbj");
+  RunOptions jopts;
+  jopts.journal_path = path;
+  ASSERT_TRUE(RunWorkload(db(), sql_, jopts).ok());
+
+  // Rewrite the journal with one record's outcome falsified. Every frame
+  // still checksums cleanly — only the replay cross-check can catch this.
+  auto full = LoadRunJournal(path);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  std::string lied = TempPath("resume_tampered.tbj");
+  auto writer = RunJournalWriter::Create(lied, full->header);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (size_t i = 0; i < 4; ++i) {
+    JournalQueryRecord rec = full->records[i];
+    if (i == 2) rec.seconds += 1.0;
+    TB_ASSERT_OK((*writer)->Append(rec));
+  }
+  writer->reset();
+
+  auto resumed = RunWorkload(db(), sql_, ResumeFrom(lied));
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_TRUE(resumed.status().IsDataLoss()) << resumed.status().ToString();
+  std::remove(path.c_str());
+  std::remove(lied.c_str());
+}
+
+TEST_F(JournalResumeTest, CrashAfterAppendsHookCountsFsyncedRecords) {
+  // The in-process side of the kill-resume chaos test: negative disables,
+  // and the env-var spelling is parsed at Create time. (The actual SIGKILL
+  // is exercised by the fork-based chaos test.)
+  std::string path = TempPath("resume_hook.tbj");
+  auto writer = RunJournalWriter::Create(path, SampleHeader());
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  (*writer)->set_crash_after_appends(-1);
+  TB_ASSERT_OK((*writer)->Append(SampleRecord(0)));
+  TB_ASSERT_OK((*writer)->Append(SampleRecord(1)));
+  writer->reset();
+  auto loaded = LoadRunJournal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->records.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tabbench

@@ -107,6 +107,41 @@ TEST(LintRawSleep, NolintEscapeHatch) {
   EXPECT_EQ(CountRule(findings, "tabbench-raw-sleep"), 0u);
 }
 
+// --------------------------------------------------------- unsynced-write
+
+TEST(LintUnsyncedWrite, FiresOnDirectWritesInCoreAndService) {
+  auto findings = RunLint(
+      {{"src/core/report.cc",
+        "std::ofstream out(path);\n"
+        "std::fstream rw(path, std::ios::out);\n"},
+       {"src/service/workload_service.cc",
+        "FILE* f = fopen(path.c_str(), \"wb\");\n"
+        "FILE* g = fopen(path.c_str(), \"a\");\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-unsynced-write"), 4u);
+}
+
+TEST(LintUnsyncedWrite, ReadsAndOtherLayersAreExempt) {
+  // ifstream and read-mode fopen are not durability hazards, and the rule
+  // is scoped to the layers that produce benchmark artifacts: util (the
+  // sanctioned implementation site), tools, and tests stay free to write
+  // however they like.
+  auto findings = RunLint(
+      {{"src/core/workload_io.cc",
+        "std::ifstream in(path, std::ios::binary);\n"
+        "FILE* f = fopen(path.c_str(), \"rb\");\n"},
+       {"src/util/file_util.cc", "std::ofstream out(tmp);\n"},
+       {"tools/lint/lint.cc", "std::ofstream out(path);\n"},
+       {"tests/journal_test.cc", "std::ofstream out(path);\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-unsynced-write"), 0u);
+}
+
+TEST(LintUnsyncedWrite, NolintEscapeHatch) {
+  auto findings = RunLint(
+      {{"src/core/report.cc",
+        "std::ofstream out(path);  // NOLINT(tabbench-unsynced-write)\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-unsynced-write"), 0u);
+}
+
 // ------------------------------------------------------------ float-equal
 
 TEST(LintFloatEqual, FiresInCostCode) {

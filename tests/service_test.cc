@@ -14,17 +14,28 @@
 #include "core/nref_families.h"
 #include "core/runner.h"
 #include "core/sampling.h"
+#include "service/circuit_breaker.h"
 #include "service/session.h"
 #include "service/thread_pool.h"
+#include "service/watchdog.h"
 #include "service/workload_service.h"
 #include "storage/btree.h"
 #include "storage/page_store.h"
 #include "test_util.h"
 #include "util/fault_injection.h"
 #include "util/retry.h"
+#include "util/run_journal.h"
 
 namespace tabbench {
 namespace {
+
+/// ServiceOptions with `workers` threads and no in-flight cap.
+ServiceOptions WorkerOpts(size_t workers) {
+  ServiceOptions opts;
+  opts.workers = workers;
+  opts.max_in_flight = 0;
+  return opts;
+}
 
 // ---------------------------------------------------------------- ThreadPool
 
@@ -257,7 +268,7 @@ TEST_F(ServiceDbTest, ServiceRunsQueriesAndMatchesColdRun) {
   auto expect = db()->Run(kGrouped);
   ASSERT_TRUE(expect.ok());
 
-  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  WorkloadService service(db(), WorkerOpts(2));
   auto fut = service.SubmitQuery(kGrouped);
   auto r = fut.get();
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -276,7 +287,7 @@ TEST_F(ServiceDbTest, ServiceSessionStrandKeepsWarmOrder) {
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(second.ok());
 
-  WorkloadService service(db(), ServiceOptions{4, 0, {}});
+  WorkloadService service(db(), WorkerOpts(4));
   SessionId id = service.OpenSession();
   ASSERT_NE(id, kNoSession);
   JobOptions on_session;
@@ -307,7 +318,7 @@ TEST_F(ServiceDbTest, ServiceSubmitWorkloadMatchesSequentialSession) {
     expect.push_back(r->sim_seconds);
   }
 
-  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  WorkloadService service(db(), WorkerOpts(2));
   auto fut = service.SubmitWorkload(sql);
   auto r = fut.get();
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -318,7 +329,7 @@ TEST_F(ServiceDbTest, ServiceSubmitWorkloadMatchesSequentialSession) {
 }
 
 TEST_F(ServiceDbTest, ServiceDeadlineAndCancellation) {
-  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  WorkloadService service(db(), WorkerOpts(2));
 
   Session probe(db());
   auto full = probe.Execute(kScan);
@@ -364,7 +375,7 @@ TEST_F(ServiceDbTest, ServiceRetriesTransientFaultAndRecovers) {
   spec.trigger = FaultSpec::Trigger::kOnce;  // each job's first attempt
   TB_ASSERT_OK(FaultRegistry::Global().Arm(std::move(spec)));
 
-  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  WorkloadService service(db(), WorkerOpts(2));
   JobOptions jo;
   jo.retry = RetryPolicy::WithAttempts(3);
   jo.retry.initial_backoff_seconds = 1e-4;
@@ -379,7 +390,7 @@ TEST_F(ServiceDbTest, ServiceWorkloadIsolatesExhaustedRetriesAsCensored) {
   FaultGuard guard;
   ArmAlwaysUnavailable("service.session_execute");
 
-  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  WorkloadService service(db(), WorkerOpts(2));
   JobOptions jo;  // default policy: no retry, so every query fails at once
   auto r = service.SubmitWorkload({kGrouped, kScan, kGrouped}, jo).get();
   ASSERT_TRUE(r.ok()) << r.status().ToString();  // the workload completes
@@ -398,7 +409,7 @@ TEST_F(ServiceDbTest, ServiceBackoffSleepIsCancelAware) {
   FaultGuard guard;
   ArmAlwaysUnavailable("service.session_execute");
 
-  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  WorkloadService service(db(), WorkerOpts(2));
   JobOptions jo;
   jo.retry = RetryPolicy::WithAttempts(3);
   jo.retry.initial_backoff_seconds = 60.0;  // would hang if not interrupted
@@ -424,7 +435,7 @@ TEST_F(ServiceDbTest, ServiceWallBudgetExpiresDuringBackoff) {
   FaultGuard guard;
   ArmAlwaysUnavailable("service.session_execute");
 
-  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  WorkloadService service(db(), WorkerOpts(2));
   JobOptions jo;
   jo.retry = RetryPolicy::WithAttempts(5);
   jo.retry.initial_backoff_seconds = 60.0;
@@ -459,7 +470,7 @@ TEST_F(ServiceDbTest, AdmissionControlRejectsWhenSaturated) {
 }
 
 TEST_F(ServiceDbTest, ShutdownRejectsNewWorkAndResolvesFutures) {
-  WorkloadService service(db(), ServiceOptions{2, 0, {}});
+  WorkloadService service(db(), WorkerOpts(2));
   std::vector<std::future<Result<QueryResult>>> futs;
   for (int i = 0; i < 8; ++i) futs.push_back(service.SubmitQuery(kGrouped));
   service.Shutdown();
@@ -474,7 +485,7 @@ TEST_F(ServiceDbTest, ShutdownRejectsNewWorkAndResolvesFutures) {
 TEST_F(ServiceDbTest, ConcurrentFloodAllFuturesResolve) {
   // TSan workhorse: many sessions, sessionless jobs, stats reads, and a
   // monitor thread all at once.
-  WorkloadService service(db(), ServiceOptions{4, 0, {}});
+  WorkloadService service(db(), WorkerOpts(4));
   std::vector<SessionId> ids;
   for (int s = 0; s < 4; ++s) ids.push_back(service.OpenSession());
 
@@ -785,6 +796,299 @@ TEST_F(ParallelRunnerTest, AdvisorParallelEvaluationMatchesSequential) {
   EXPECT_DOUBLE_EQ(par->est_cost_before, seq->est_cost_before);
   EXPECT_DOUBLE_EQ(par->est_cost_after, seq->est_cost_after);
   EXPECT_DOUBLE_EQ(par->est_pages, seq->est_pages);
+}
+
+// ------------------------------------------------------------------ Watchdog
+
+/// Spins until `cond()` holds or `seconds` of wall time pass.
+template <typename Cond>
+bool WaitFor(Cond cond, double seconds = 5.0) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return cond();
+}
+
+TEST(WatchdogTest, FiresDeadlineAndCancelsVictim) {
+  WatchdogOptions o;
+  o.poll_interval_seconds = 0.001;
+  Watchdog wd(o);
+  CancellationToken victim;
+  uint64_t id = wd.Watch(std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(10),
+                         victim, std::nullopt);
+  EXPECT_TRUE(WaitFor([&] { return victim.cancelled(); }));
+  EXPECT_TRUE(wd.Release(id)) << "Release must report the fired deadline";
+  EXPECT_GE(wd.fires(), 1u);
+}
+
+TEST(WatchdogTest, ReleaseBeforeDeadlineMeansNoFire) {
+  Watchdog wd;
+  CancellationToken victim;
+  uint64_t id = wd.Watch(std::chrono::steady_clock::now() +
+                             std::chrono::hours(1),
+                         victim, std::nullopt);
+  EXPECT_FALSE(wd.Release(id));
+  EXPECT_FALSE(victim.cancelled());
+  EXPECT_EQ(wd.fires(), 0u);
+}
+
+TEST(WatchdogTest, ForwardsUpstreamCancelToVictim) {
+  WatchdogOptions o;
+  o.poll_interval_seconds = 0.001;
+  Watchdog wd(o);
+  CancellationToken victim;
+  CancellationToken upstream;
+  uint64_t id = wd.Watch(std::nullopt, victim, upstream);
+  EXPECT_FALSE(victim.cancelled());
+  upstream.RequestCancel();
+  EXPECT_TRUE(WaitFor([&] { return victim.cancelled(); }));
+  // Forwarded cancellation is not a deadline fire.
+  EXPECT_FALSE(wd.Release(id));
+  EXPECT_EQ(wd.fires(), 0u);
+}
+
+TEST(WatchdogTest, IndependentWatchesFireIndependently) {
+  WatchdogOptions o;
+  o.poll_interval_seconds = 0.001;
+  Watchdog wd(o);
+  CancellationToken soon;
+  CancellationToken later;
+  uint64_t a = wd.Watch(std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(10),
+                        soon, std::nullopt);
+  uint64_t b = wd.Watch(std::chrono::steady_clock::now() +
+                            std::chrono::hours(1),
+                        later, std::nullopt);
+  EXPECT_TRUE(WaitFor([&] { return soon.cancelled(); }));
+  EXPECT_FALSE(later.cancelled());
+  EXPECT_TRUE(wd.Release(a));
+  EXPECT_FALSE(wd.Release(b));
+}
+
+// ------------------------------------------------------------ CircuitBreaker
+
+TEST(CircuitBreakerTest, DisabledByDefaultAdmitsEverything) {
+  CircuitBreaker cb;
+  EXPECT_FALSE(cb.enabled());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(cb.Allow(1));
+    EXPECT_FALSE(cb.RecordFailure(1));
+  }
+  EXPECT_EQ(cb.state(1), CircuitBreaker::State::kClosed);
+}
+
+CircuitBreakerOptions BreakerOpts(int threshold, double open_seconds,
+                                  int probes = 1) {
+  CircuitBreakerOptions o;
+  o.failure_threshold = threshold;
+  o.open_seconds = open_seconds;
+  o.half_open_probes = probes;
+  return o;
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresPerDomain) {
+  CircuitBreaker cb(BreakerOpts(3, 3600.0));
+  EXPECT_FALSE(cb.RecordFailure(7));
+  EXPECT_FALSE(cb.RecordFailure(7));
+  // A success in between resets the streak.
+  cb.RecordSuccess(7);
+  EXPECT_FALSE(cb.RecordFailure(7));
+  EXPECT_FALSE(cb.RecordFailure(7));
+  EXPECT_TRUE(cb.RecordFailure(7)) << "third consecutive failure trips";
+  EXPECT_EQ(cb.state(7), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.Allow(7));
+  // Another domain is a separate state machine.
+  EXPECT_TRUE(cb.Allow(8));
+  EXPECT_EQ(cb.state(8), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeClosesOnSuccessReopensOnFailure) {
+  CircuitBreaker cb(BreakerOpts(1, 0.02));
+  ASSERT_TRUE(cb.RecordFailure(1));
+  EXPECT_FALSE(cb.Allow(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+
+  // Cooldown elapsed: the next Allow claims the half-open probe slot, and
+  // the quota (one probe) bounces the second caller.
+  EXPECT_TRUE(cb.Allow(1));
+  EXPECT_EQ(cb.state(1), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(cb.Allow(1));
+  cb.RecordSuccess(1);
+  EXPECT_EQ(cb.state(1), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.Allow(1));
+
+  // Trip again; this time the probe fails and the cooldown restarts.
+  ASSERT_TRUE(cb.RecordFailure(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(cb.Allow(1));
+  EXPECT_TRUE(cb.RecordFailure(1)) << "probe failure re-trips the domain";
+  EXPECT_EQ(cb.state(1), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.Allow(1));
+}
+
+TEST(CircuitBreakerTest, AbandonReleasesTheProbeSlot) {
+  CircuitBreaker cb(BreakerOpts(1, 0.02));
+  ASSERT_TRUE(cb.RecordFailure(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  ASSERT_TRUE(cb.Allow(1));
+  EXPECT_FALSE(cb.Allow(1));
+  // The probe job was turned away elsewhere on the admission path; its slot
+  // must free up for the next candidate rather than wedging the domain.
+  cb.Abandon(1);
+  EXPECT_TRUE(cb.Allow(1));
+}
+
+// --------------------------------------- service watchdog/breaker/journal
+
+TEST_F(ServiceDbTest, WatchdogEnforcesWallBudgetMidJob) {
+  // Regression: the wall-clock budget used to be checked only between retry
+  // attempts, so a long workload job with no retries could overrun it
+  // arbitrarily. The watchdog cancels the job's private token mid-flight
+  // and the service reports Timeout, not Cancelled.
+  WorkloadService service(db(), WorkerOpts(2));
+  std::vector<std::string> wl(4000, std::string(kScan));
+  JobOptions jo;
+  jo.wall_timeout_seconds = 0.05;
+  auto start = std::chrono::steady_clock::now();
+  auto r = service.SubmitWorkload(wl, jo).get();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTimeout()) << r.status().ToString();
+  EXPECT_NE(r.status().ToString().find("watchdog"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_LT(elapsed, 10.0) << "watchdog must stop the job long before the "
+                              "workload would finish on its own";
+  auto stats = service.stats();
+  EXPECT_GE(stats.watchdog_cancels, 1u);
+  EXPECT_EQ(stats.cancelled, 0u)
+      << "a watchdog stop is a timeout, not a user cancel";
+}
+
+TEST_F(ServiceDbTest, UserCancelIsNotRemappedByTheWatchdog) {
+  WorkloadService service(db(), WorkerOpts(2));
+  std::vector<std::string> wl(4000, std::string(kScan));
+  JobOptions jo;
+  jo.wall_timeout_seconds = 30.0;  // watchdog armed but far away
+  auto fut = service.SubmitWorkload(wl, jo);
+  jo.cancel.RequestCancel();
+  auto r = fut.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
+  EXPECT_EQ(service.stats().watchdog_cancels, 0u);
+}
+
+TEST_F(ServiceDbTest, ServiceBreakerIsolatesTheFailingDomain) {
+  FaultGuard guard;
+  ArmAlwaysUnavailable("service.session_execute");
+  ServiceOptions so = WorkerOpts(2);
+  so.breaker.failure_threshold = 2;
+  so.breaker.open_seconds = 3600.0;  // stays open for the whole test
+  WorkloadService service(db(), so);
+  SessionId bad = service.OpenSession();
+  SessionId good = service.OpenSession();
+
+  JobOptions on_bad;
+  on_bad.session = bad;
+  for (int i = 0; i < 2; ++i) {
+    auto r = service.SubmitQuery(kGrouped, on_bad).get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+    EXPECT_EQ(r.status().ToString().find("circuit breaker"),
+              std::string::npos)
+        << "these are real executions failing, not breaker bounces";
+  }
+  EXPECT_EQ(service.stats().breaker_opens, 1u);
+
+  auto bounced = service.SubmitQuery(kGrouped, on_bad).get();
+  ASSERT_FALSE(bounced.ok());
+  EXPECT_TRUE(bounced.status().IsUnavailable());
+  EXPECT_NE(bounced.status().ToString().find("circuit breaker"),
+            std::string::npos)
+      << bounced.status().ToString();
+  auto mid = service.stats();
+  EXPECT_EQ(mid.breaker_rejections, 1u);
+  EXPECT_GE(mid.rejected, 1u);
+
+  // The healthy domain never noticed: disarm the fault and it executes.
+  FaultRegistry::Global().DisarmAll();
+  JobOptions on_good;
+  on_good.session = good;
+  auto ok = service.SubmitQuery(kGrouped, on_good).get();
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+  // The bad domain is still open even though the fault is gone.
+  EXPECT_FALSE(service.SubmitQuery(kGrouped, on_bad).get().ok());
+}
+
+TEST_F(ServiceDbTest, ServiceBreakerHalfOpenProbeRecoversTheDomain) {
+  FaultGuard guard;
+  ArmAlwaysUnavailable("service.session_execute");
+  ServiceOptions so = WorkerOpts(2);
+  so.breaker.failure_threshold = 1;
+  so.breaker.open_seconds = 0.05;
+  WorkloadService service(db(), so);
+  SessionId id = service.OpenSession();
+  JobOptions jo;
+  jo.session = id;
+
+  ASSERT_FALSE(service.SubmitQuery(kGrouped, jo).get().ok());
+  EXPECT_EQ(service.stats().breaker_opens, 1u);
+  auto bounced = service.SubmitQuery(kGrouped, jo).get();
+  ASSERT_FALSE(bounced.ok());
+  EXPECT_NE(bounced.status().ToString().find("circuit breaker"),
+            std::string::npos);
+
+  // Dependency recovers; after the cooldown one probe goes through, its
+  // success closes the domain, and traffic flows again.
+  FaultRegistry::Global().DisarmAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  auto probe = service.SubmitQuery(kGrouped, jo).get();
+  EXPECT_TRUE(probe.ok()) << probe.status().ToString();
+  auto after = service.SubmitQuery(kGrouped, jo).get();
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.breaker_rejections, 1u);
+  EXPECT_EQ(stats.breaker_opens, 1u);
+}
+
+TEST_F(ServiceDbTest, ServiceOutcomeJournalRecordsExecutedQueries) {
+  std::string path = ::testing::TempDir() + "/tabbench_service_journal.tbj";
+  std::remove(path.c_str());
+  {
+    ServiceOptions so = WorkerOpts(2);
+    so.journal_path = path;
+    WorkloadService service(db(), so);
+    TB_EXPECT_OK(service.journal_status());
+    auto wl = service.SubmitWorkload({kScan, kGrouped}, {}).get();
+    ASSERT_TRUE(wl.ok()) << wl.status().ToString();
+    auto q = service.SubmitQuery(kGrouped, {}).get();
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    TB_EXPECT_OK(service.journal_status());
+    service.Shutdown();
+  }
+  auto loaded = LoadRunJournal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->header.metadata.at("writer"), "workload-service");
+  EXPECT_EQ(loaded->header.query_count, 0u);
+  ASSERT_EQ(loaded->records.size(), 3u);
+  for (const auto& rec : loaded->records) {
+    EXPECT_GE(rec.attempts, 1u);
+    EXPECT_GT(rec.seconds, 0.0);
+    EXPECT_FALSE(rec.failed);
+  }
+
+  // A service outcome journal is an audit log, not a checkpoint: the
+  // workload runners must refuse to resume from it.
+  auto resumed = RunWorkload(db(), {kScan, kGrouped}, ResumeFrom(path));
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_TRUE(resumed.status().IsInvalidArgument())
+      << resumed.status().ToString();
+  std::remove(path.c_str());
 }
 
 }  // namespace

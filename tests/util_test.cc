@@ -46,7 +46,26 @@ TEST(StatusTest, AllCodesRenderDistinctNames) {
   names.insert(Status::Timeout("").ToString());
   names.insert(Status::ResourceExhausted("").ToString());
   names.insert(Status::Internal("").ToString());
-  EXPECT_EQ(names.size(), 7u);
+  names.insert(Status::DataLoss("").ToString());
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(StatusTest, DataLossIsDistinguishedAndPermanent) {
+  Status st = Status::DataLoss("checksum mismatch at offset 12");
+  EXPECT_TRUE(st.IsDataLoss());
+  EXPECT_FALSE(st.IsTransient());  // corruption never clears on retry
+  EXPECT_EQ(st.ToString(), "DataLoss: checksum mismatch at offset 12");
+}
+
+TEST(StatusTest, FromCodeRoundTripsAndRejectsGarbage) {
+  Status dl = Status::DataLoss("x");
+  Status rt = Status::FromCode(dl.code(), "x");
+  EXPECT_TRUE(rt.IsDataLoss());
+  EXPECT_TRUE(Status::FromCode(Status::Code::kOk, "").ok());
+  // An out-of-range code (e.g. from a corrupt serialized record) must not
+  // alias a real one.
+  EXPECT_EQ(Status::FromCode(static_cast<Status::Code>(250), "x").code(),
+            Status::Code::kInternal);
 }
 
 TEST(StatusTest, TransientCoversExactlyTheRetryableCodes) {
@@ -64,6 +83,7 @@ TEST(StatusTest, TransientCoversExactlyTheRetryableCodes) {
   EXPECT_FALSE(Status::Internal("x").IsTransient());
   EXPECT_FALSE(Status::Cancelled("x").IsTransient());
   EXPECT_TRUE(Status::Unavailable("x").IsTransient());
+  EXPECT_FALSE(Status::DataLoss("x").IsTransient());
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -341,6 +361,27 @@ TEST(RetryTest, SleepWithCancellationHonorsExpiredDeadline) {
   auto past = std::chrono::steady_clock::now() - std::chrono::seconds(1);
   Status st = SleepWithCancellation(60.0, cancel, past);
   EXPECT_TRUE(st.IsTimeout());
+}
+
+TEST(RetryTest, SleepWithCancellationSubMillisecondStillChecksCancel) {
+  // Regression test: the old implementation rounded the duration down to
+  // whole milliseconds, so a sub-ms sleep (tiny test backoffs) skipped its
+  // cancellation check entirely. Every duration — even zero — must observe
+  // an already-cancelled token.
+  CancellationToken cancel;
+  cancel.RequestCancel();
+  EXPECT_TRUE(SleepWithCancellation(0.0001, cancel).IsCancelled());
+  EXPECT_TRUE(SleepWithCancellation(0.0, cancel).IsCancelled());
+}
+
+TEST(RetryTest, SleepWithCancellationSubMillisecondChargesFullDuration) {
+  // And the flip side of the same bug: a 0.9ms sleep used to truncate to a
+  // zero-length wait, returning immediately. The full duration must elapse.
+  CancellationToken cancel;
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(SleepWithCancellation(0.0009, cancel).ok());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::microseconds(900));
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "core/nref_families.h"
 #include "core/workload_io.h"
@@ -52,6 +55,51 @@ TEST(WorkloadIoTest, SaveAndLoadFile) {
 
 TEST(WorkloadIoTest, LoadMissingFileIsNotFound) {
   EXPECT_TRUE(LoadFamily("/nonexistent/nowhere.sql").status().IsNotFound());
+}
+
+TEST(WorkloadIoTest, SavedFileCarriesCrcTrailerAndTamperIsDataLoss) {
+  QueryFamily f = SampleFamilyFixture();
+  std::string path = ::testing::TempDir() + "/tabbench_workload_crc.sql";
+  TB_ASSERT_OK(SaveFamily(f, path));
+
+  // The saved artifact ends with its checksum trailer.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  EXPECT_NE(bytes.find("# crc32c: "), std::string::npos);
+
+  // Flip one byte of a query: the parser would happily accept the damaged
+  // SQL, so only the checksum stands between bit rot and a silent result.
+  size_t at = bytes.find("SELECT");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at] = 'Z';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto back = LoadFamily(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().IsDataLoss()) << back.status().ToString();
+  EXPECT_NE(back.status().ToString().find("offset"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, LegacyFileWithoutTrailerStillLoads) {
+  // Files saved before checksumming carry no trailer; they load unchanged.
+  QueryFamily f = SampleFamilyFixture();
+  std::string path = ::testing::TempDir() + "/tabbench_workload_legacy.sql";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << FamilyToString(f);
+  }
+  auto back = LoadFamily(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->queries.size(), f.queries.size());
+  std::remove(path.c_str());
 }
 
 TEST(WorkloadIoTest, GeneratedFamilySurvivesRoundTripAndRebinds) {

@@ -46,6 +46,29 @@ cmake -B "${TSAN_DIR}" -S "${ROOT}" -DTABBENCH_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target tabbench_chaos_tests
 ctest --test-dir "${TSAN_DIR}" -L chaos --output-on-failure -j "${JOBS}"
 
+# ------------------------------------------------------------ kill-resume
+# Crash-safety proof at the process level, via the CLI rather than gtest:
+# a benchmark child is SIGKILLed mid-run by the TABBENCH_JOURNAL_CRASH_AFTER
+# hook, resumed from its journal, and the healed journal must be
+# byte-identical to one from an uninterrupted run.
+step "kill-resume (SIGKILL mid-run, resume, byte-compare journals)"
+KR_DIR="$(mktemp -d)"
+trap 'rm -rf "${KR_DIR}"' EXIT
+CLI="${BUILD_DIR}/examples/tabbench_cli"
+set +e
+TABBENCH_JOURNAL_CRASH_AFTER=5 \
+  "${CLI}" bench nref nref2j "${KR_DIR}/killed.tbj" 800 p
+KILL_STATUS=$?
+set -e
+if [[ ${KILL_STATUS} -ne 137 ]]; then
+  echo "expected the child to die by SIGKILL (exit 137), got ${KILL_STATUS}"
+  exit 1
+fi
+"${CLI}" resume "${KR_DIR}/killed.tbj"
+"${CLI}" bench nref nref2j "${KR_DIR}/clean.tbj" 800 p
+cmp "${KR_DIR}/killed.tbj" "${KR_DIR}/clean.tbj"
+echo "resumed journal is byte-identical to the uninterrupted run"
+
 # ----------------------------------------------------------------- lint
 # ctest already ran lint_repo, but run the binary directly too so the
 # human-readable findings (if any) land at the end of the log.

@@ -345,6 +345,51 @@ void CheckFloatEqual(const FileState& fs, std::vector<Finding>* findings) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: tabbench-unsynced-write
+//
+// Benchmark artifacts must survive a crash: src/core and src/service write
+// results through util/file_util.h (AtomicWriteFile: temp file + rename,
+// crc32c trailer) or the fsync'd run journal (util/run_journal.h). A direct
+// std::ofstream — or C stdio opened for writing — bypasses both: a SIGKILL
+// mid-write leaves a torn, checksum-less file that the resume machinery
+// cannot trust. Reads (ifstream) are fine.
+// ---------------------------------------------------------------------------
+
+void CheckUnsyncedWrite(const FileState& fs,
+                        std::vector<Finding>* findings) {
+  std::string p = fs.file->path;
+  if (StartsWith(p, "./")) p = p.substr(2);
+  if (!StartsWith(p, "src/core/") && !StartsWith(p, "src/service/")) return;
+  static const std::regex kOfstream(
+      R"(\b(?:std\s*::\s*)?(?:ofstream|fstream)\b)");
+  static const std::regex kPreprocessor(R"(^\s*#)");
+  for (size_t ln = 0; ln < fs.code_lines.size(); ++ln) {
+    // `#include <fstream>` names the header, not a write.
+    if (std::regex_search(fs.code_lines[ln], kPreprocessor)) continue;
+    if (std::regex_search(fs.code_lines[ln], kOfstream)) {
+      Report(fs, ln + 1, "tabbench-unsynced-write",
+             "direct ofstream/fstream in src/core|src/service bypasses the "
+             "durable write paths; save artifacts via AtomicWriteFile "
+             "(util/file_util.h, crc32c trailer) or append to the fsync'd "
+             "run journal (util/run_journal.h)",
+             false, findings);
+    }
+  }
+  // fopen with a write/append mode string ("w", "a", "r+", "wb", ...). The
+  // mode is a string literal, which the stripper blanks, so scan raw lines.
+  static const std::regex kFopenWrite(
+      R"(\bfopen\s*\([^;]*,\s*"[^"]*[wa+][^"]*")");
+  for (size_t ln = 0; ln < fs.raw_lines.size(); ++ln) {
+    if (std::regex_search(fs.raw_lines[ln], kFopenWrite)) {
+      Report(fs, ln + 1, "tabbench-unsynced-write",
+             "fopen for writing in src/core|src/service bypasses the "
+             "durable write paths; use AtomicWriteFile or the run journal",
+             false, findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: tabbench-unchecked-status
 //
 // Regex-level twin of [[nodiscard]] on Status/Result: a whole-statement
@@ -608,6 +653,10 @@ const std::vector<RuleInfo>& Rules() {
        false},
       {"tabbench-float-equal",
        "no float-literal ==/!= comparisons in cost/CFC code", false},
+      {"tabbench-unsynced-write",
+       "no direct ofstream/fopen writes in src/core|src/service; durable "
+       "artifacts go through AtomicWriteFile or the run journal",
+       false},
       {"tabbench-unchecked-status",
        "every discarded call to a Status/Result-returning function is an "
        "error (compile-time twin: [[nodiscard]] in util/status.h)",
@@ -661,6 +710,7 @@ std::vector<Finding> Lint(std::vector<SourceFile>& files,
     CheckNakedNew(fs, &findings);
     CheckRawSleep(fs, &findings);
     CheckFloatEqual(fs, &findings);
+    CheckUnsyncedWrite(fs, &findings);
     CheckUncheckedStatus(fs, status_fns, &findings);
     CheckUnorderedIter(fs, &findings);
     CheckIncludeGuard(&fs, opts, &findings);
