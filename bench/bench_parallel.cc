@@ -15,7 +15,7 @@
 #include "bench_support.h"
 #include "core/runner.h"
 #include "core/sampling.h"
-#include "service/thread_pool.h"
+#include "util/thread_pool.h"
 
 int main() {
   using namespace tabbench;

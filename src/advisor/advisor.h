@@ -7,7 +7,7 @@
 #include "advisor/candidates.h"
 #include "optimizer/config_view.h"
 #include "optimizer/whatif.h"
-#include "service/thread_pool.h"
+#include "util/thread_pool.h"
 #include "util/rng.h"
 #include "util/status.h"
 

@@ -8,7 +8,7 @@
 
 #include "core/cfc.h"
 #include "engine/database.h"
-#include "service/thread_pool.h"
+#include "util/thread_pool.h"
 #include "util/cancellation.h"
 #include "util/retry.h"
 

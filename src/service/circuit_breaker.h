@@ -77,7 +77,9 @@ class CircuitBreaker {
   };
 
   const CircuitBreakerOptions options_;
-  mutable Mutex mu_;
+  /// Leaf lock: the breaker calls nothing that takes another mutex, so it
+  /// is always acquired after the service's mu_ (see workload_service.h).
+  mutable Mutex mu_ TB_ACQUIRED_AFTER("WorkloadService::mu_");
   std::map<uint64_t, Domain> domains_ TB_GUARDED_BY(mu_);
 };
 

@@ -80,7 +80,10 @@ class Watchdog {
   void Loop() TB_EXCLUDES(mu_);
 
   const WatchdogOptions options_;
-  mutable Mutex mu_;
+  /// Leaf lock: the watchdog's callbacks go through CancellationToken
+  /// (lock-free), so mu_ never wraps another mutex and always orders after
+  /// the service's mu_ (see workload_service.h).
+  mutable Mutex mu_ TB_ACQUIRED_AFTER("WorkloadService::mu_");
   CondVar cv_;
   bool stop_ TB_GUARDED_BY(mu_) = false;
   uint64_t next_id_ TB_GUARDED_BY(mu_) = 1;

@@ -14,7 +14,7 @@
 #include "engine/database.h"
 #include "service/circuit_breaker.h"
 #include "service/session.h"
-#include "service/thread_pool.h"
+#include "util/thread_pool.h"
 #include "service/watchdog.h"
 #include "storage/buffer_pool.h"
 #include "util/cancellation.h"
@@ -216,7 +216,14 @@ class WorkloadService {
   /// session runs it.
   std::atomic<uint64_t> job_ordinal_{1};
 
-  mutable Mutex mu_;
+  /// Outermost lock of the service: Dispatch calls into the breaker and
+  /// the pool while holding it, never the reverse. The declared order is
+  /// checked two ways: Clang's -Wthread-safety build, and tools/analyze's
+  /// lock-order pass, which unions these edges with the acquisition edges
+  /// it observes and fails CI on any cycle.
+  mutable Mutex mu_
+      TB_ACQUIRED_BEFORE("CircuitBreaker::mu_", "ThreadPool::mu_",
+                         "Watchdog::mu_");
   bool shutdown_ TB_GUARDED_BY(mu_) = false;
   uint64_t in_flight_ TB_GUARDED_BY(mu_) = 0;
   SessionId next_session_ TB_GUARDED_BY(mu_) = 1;

@@ -59,6 +59,19 @@
 #define TB_ASSERT_CAPABILITY(x) \
   TB_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
 
+/// Declares the global acquisition order between this mutex and others:
+/// this mutex is always taken before (`BEFORE`) or after (`AFTER`) the
+/// named ones. Arguments are string literals naming the other mutex as
+/// "Class::member" (a cross-class member expression would not compile
+/// under Clang's access checking). Clang's analysis accepts and ignores
+/// string arguments; tools/analyze's lock-order pass parses them and
+/// unions the declared edges with the acquisition edges it observes, so an
+/// annotation that contradicts the code is reported as a cycle.
+#define TB_ACQUIRED_BEFORE(...) \
+  TB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define TB_ACQUIRED_AFTER(...) \
+  TB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
 /// The function returns a reference to the named capability.
 #define TB_RETURN_CAPABILITY(x) TB_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
 

@@ -1,4 +1,4 @@
-#include "service/thread_pool.h"
+#include "util/thread_pool.h"
 
 #include <algorithm>
 #include <utility>

@@ -1,5 +1,5 @@
-#ifndef TABBENCH_SERVICE_THREAD_POOL_H_
-#define TABBENCH_SERVICE_THREAD_POOL_H_
+#ifndef TABBENCH_UTIL_THREAD_POOL_H_
+#define TABBENCH_UTIL_THREAD_POOL_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -140,4 +140,4 @@ void ParallelFor(ThreadPool* pool, size_t n, Fn&& fn, Reject&& on_reject) {
 
 }  // namespace tabbench
 
-#endif  // TABBENCH_SERVICE_THREAD_POOL_H_
+#endif  // TABBENCH_UTIL_THREAD_POOL_H_

@@ -1,0 +1,652 @@
+// Unit tests for tools/analyze — the cross-TU analyzer. Every pass runs on
+// fixture programs handed in as in-memory SourceFiles, the same entry point
+// the CLI uses, so the tests pin down rule ids, file:line anchors, related
+// sites, and the SARIF/baseline plumbing without reading the real tree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace {
+
+using tabbench_analyze::Analyze;
+using tabbench_analyze::BaselineEntry;
+using tabbench_analyze::DiffBaseline;
+using tabbench_analyze::Finding;
+using tabbench_analyze::LayerSpec;
+using tabbench_analyze::Options;
+using tabbench_analyze::ParseBaselineJson;
+using tabbench_analyze::ParseLayerSpec;
+using tabbench_analyze::SourceFile;
+using tabbench_analyze::ToBaselineJson;
+using tabbench_analyze::ToSarif;
+using tabbench_analyze::ToText;
+
+std::vector<Finding> RunAnalyze(const std::vector<SourceFile>& files,
+                         const Options& opts = {}) {
+  return Analyze(files, opts);
+}
+
+size_t CountRule(const std::vector<Finding>& findings,
+                 const std::string& rule) {
+  return static_cast<size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+const Finding* FindRule(const std::vector<Finding>& findings,
+                        const std::string& rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+// A four-layer spec mirroring the real layers.txt shape, small enough for
+// fixtures: util < core < engine < service, and core must never reach
+// service even if someone reorders the list.
+Options LayeredOpts() {
+  Options opts;
+  std::string err;
+  const bool ok = ParseLayerSpec(
+      "# fixture layers\n"
+      "layer util: src/util\n"
+      "layer core: src/core\n"
+      "layer engine: src/engine\n"
+      "layer service: src/service\n"
+      "forbid core -> service\n",
+      &opts.layers, &err);
+  EXPECT_TRUE(ok) << err;
+  return opts;
+}
+
+// ------------------------------------------------------------- layering
+
+TEST(AnalyzeLayering, DownwardDagIsQuiet) {
+  auto findings = RunAnalyze(
+      {{"src/util/rng.h", "int Rng();\n"},
+       {"src/engine/db.h", "#include \"util/rng.h\"\nint Db();\n"},
+       {"src/service/svc.h", "#include \"engine/db.h\"\nint Svc();\n"}},
+      LayeredOpts());
+  EXPECT_TRUE(findings.empty()) << ToText(findings);
+}
+
+TEST(AnalyzeLayering, UpwardIncludeFiresAtTheIncludeLine) {
+  auto findings = RunAnalyze({{"src/service/svc.h", "int Svc();\n"},
+                       {"src/util/rng.h",
+                        "// helper\n"
+                        "#include \"service/svc.h\"\n"
+                        "int Rng();\n"}},
+                      LayeredOpts());
+  ASSERT_EQ(CountRule(findings, "tabbench-layering"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-layering");
+  EXPECT_EQ(f->file, "src/util/rng.h");
+  EXPECT_EQ(f->line, 2u);
+  EXPECT_NE(f->message.find("dependencies must point downward"),
+            std::string::npos)
+      << f->message;
+}
+
+TEST(AnalyzeLayering, ForbiddenEdgeFiresEvenThoughUpwardAnyway) {
+  auto findings = RunAnalyze({{"src/service/api.h", "int Api();\n"},
+                       {"src/core/bad.h",
+                        "#include \"service/api.h\"\n"
+                        "int Bad();\n"}},
+                      LayeredOpts());
+  ASSERT_EQ(CountRule(findings, "tabbench-layering"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-layering");
+  EXPECT_EQ(f->file, "src/core/bad.h");
+  EXPECT_EQ(f->line, 1u);
+  EXPECT_NE(f->message.find("must never include"), std::string::npos)
+      << f->message;
+  ASSERT_EQ(f->related.size(), 1u);
+  EXPECT_EQ(f->related[0].file, "src/service/api.h");
+}
+
+TEST(AnalyzeLayering, FilesOutsideEveryLayerAreExempt) {
+  auto findings = RunAnalyze({{"src/service/svc.h", "int Svc();\n"},
+                       {"tests/x_test.cc",
+                        "#include \"service/svc.h\"\nint T();\n"}},
+                      LayeredOpts());
+  EXPECT_TRUE(findings.empty()) << ToText(findings);
+}
+
+TEST(AnalyzeLayering, IncludeCycleIsOneFindingNamingEveryMember) {
+  auto findings = RunAnalyze({{"src/core/a.h", "#include \"core/b.h\"\n"},
+                       {"src/core/b.h", "#include \"core/a.h\"\n"}},
+                      LayeredOpts());
+  ASSERT_EQ(CountRule(findings, "tabbench-include-cycle"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-include-cycle");
+  EXPECT_NE(f->message.find("src/core/a.h"), std::string::npos);
+  EXPECT_NE(f->message.find("src/core/b.h"), std::string::npos);
+  EXPECT_GE(f->related.size(), 2u);  // one site per edge in the cycle
+}
+
+// ------------------------------------------------------------ lock-order
+
+TEST(AnalyzeLockOrder, ConsistentNestingIsQuiet) {
+  auto findings = RunAnalyze({{"src/service/pair.h",
+                        "namespace tabbench {\n"
+                        "class Pair {\n"
+                        " public:\n"
+                        "  void First() {\n"
+                        "    MutexLock la(&a_);\n"
+                        "    MutexLock lb(&b_);\n"
+                        "  }\n"
+                        "  void Second() {\n"
+                        "    MutexLock la(&a_);\n"
+                        "    MutexLock lb(&b_);\n"
+                        "  }\n"
+                        " private:\n"
+                        "  Mutex a_;\n"
+                        "  Mutex b_;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-lock-order"), 0u)
+      << ToText(findings);
+}
+
+TEST(AnalyzeLockOrder, InversionIsOneFindingWithAllFourSites) {
+  auto findings = RunAnalyze({{"src/service/pair.h",
+                        "namespace tabbench {\n"
+                        "class Pair {\n"
+                        " public:\n"
+                        "  void First() {\n"
+                        "    MutexLock la(&a_);\n"
+                        "    MutexLock lb(&b_);\n"
+                        "  }\n"
+                        "  void Second() {\n"
+                        "    MutexLock lb(&b_);\n"
+                        "    MutexLock la(&a_);\n"
+                        "  }\n"
+                        " private:\n"
+                        "  Mutex a_;\n"
+                        "  Mutex b_;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-lock-order"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-lock-order");
+  EXPECT_NE(f->message.find("Pair::a_"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("Pair::b_"), std::string::npos) << f->message;
+  // Both acquisitions of both edges are attached: lines 5, 6, 9, 10.
+  std::vector<size_t> lines;
+  for (const auto& s : f->related) lines.push_back(s.line);
+  std::sort(lines.begin(), lines.end());
+  EXPECT_EQ(lines, (std::vector<size_t>{5, 6, 9, 10})) << ToText(findings);
+}
+
+TEST(AnalyzeLockOrder, CallUnderLockResolvedThroughMemberType) {
+  // Outer::Run holds a_ and calls helper_.Touch() which takes b_;
+  // Outer::Reverse nests them the other way round directly.
+  auto findings = RunAnalyze({{"src/service/nest.h",
+                        "namespace tabbench {\n"
+                        "class Helper {\n"
+                        " public:\n"
+                        "  void Touch() { MutexLock l(&b_); }\n"
+                        "  Mutex b_;\n"
+                        "};\n"
+                        "class Outer {\n"
+                        " public:\n"
+                        "  void Run() {\n"
+                        "    MutexLock l(&a_);\n"
+                        "    helper_.Touch();\n"
+                        "  }\n"
+                        "  void Reverse() {\n"
+                        "    MutexLock lb(&helper_.b_);\n"
+                        "    MutexLock la(&a_);\n"
+                        "  }\n"
+                        " private:\n"
+                        "  Helper helper_;\n"
+                        "  Mutex a_;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-lock-order"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-lock-order");
+  EXPECT_NE(f->message.find("Helper::b_"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("Outer::a_"), std::string::npos) << f->message;
+}
+
+TEST(AnalyzeLockOrder, DeclaredEdgeContradictsObservedOrder) {
+  // The code only ever takes Svc::mu_ before Pool::mu_, but the annotation
+  // declares the opposite; the declared edge joins the graph and closes a
+  // cycle, and the finding carries a "declared:" site pointing at it.
+  auto findings = RunAnalyze({{"src/service/declared.h",
+                        "namespace tabbench {\n"
+                        "class Pool {\n"
+                        " public:\n"
+                        "  void Submit() { MutexLock l(&mu_); }\n"
+                        "  Mutex mu_ TB_ACQUIRED_BEFORE(\"Svc::mu_\");\n"
+                        "};\n"
+                        "class Svc {\n"
+                        " public:\n"
+                        "  void Go() {\n"
+                        "    MutexLock l(&mu_);\n"
+                        "    pool_.Submit();\n"
+                        "  }\n"
+                        " private:\n"
+                        "  Pool pool_;\n"
+                        "  Mutex mu_;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-lock-order"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-lock-order");
+  bool has_declared_site = false;
+  for (const auto& s : f->related) {
+    if (s.note.find("declared") != std::string::npos) {
+      has_declared_site = true;
+    }
+  }
+  EXPECT_TRUE(has_declared_site) << ToText(findings);
+}
+
+TEST(AnalyzeLockOrder, RecursiveAcquisitionIsASelfLoopFinding) {
+  auto findings = RunAnalyze({{"src/service/rec.h",
+                        "namespace tabbench {\n"
+                        "class Rec {\n"
+                        " public:\n"
+                        "  void Twice() {\n"
+                        "    MutexLock a(&mu_);\n"
+                        "    { MutexLock b(&mu_); }\n"
+                        "  }\n"
+                        " private:\n"
+                        "  Mutex mu_;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-lock-order"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-lock-order");
+  EXPECT_NE(f->message.find("recursive acquisition"), std::string::npos)
+      << f->message;
+}
+
+TEST(AnalyzeLockOrder, LambdaBodiesDoNotAcquireAtTheSubmitSite) {
+  // The thread-pool idiom: enqueue a job under mu_ whose body will take
+  // mu_ later, on a worker. Deferred execution is not a nested
+  // acquisition; flagging it would condemn every Submit call site.
+  auto findings = RunAnalyze({{"src/service/defer.h",
+                        "namespace tabbench {\n"
+                        "class Defer {\n"
+                        " public:\n"
+                        "  void Go() {\n"
+                        "    MutexLock l(&mu_);\n"
+                        "    Enqueue([this] { MutexLock l2(&mu_); });\n"
+                        "  }\n"
+                        " private:\n"
+                        "  Mutex mu_;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-lock-order"), 0u)
+      << ToText(findings);
+}
+
+// ----------------------------------------------------------- status-flow
+
+TEST(AnalyzeStatusFlow, DiscardedStatusLocalFires) {
+  auto findings = RunAnalyze({{"src/core/run.cc",
+                        "namespace tabbench {\n"
+                        "class Runner {\n"
+                        " public:\n"
+                        "  void Discard() {\n"
+                        "    Status s = Step();\n"
+                        "    Other();\n"
+                        "  }\n"
+                        "  int Consulted() {\n"
+                        "    Status s = Step();\n"
+                        "    if (!s.ok()) return 1;\n"
+                        "    return 0;\n"
+                        "  }\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-status-local"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-status-local");
+  EXPECT_EQ(f->file, "src/core/run.cc");
+  EXPECT_EQ(f->line, 5u);
+  EXPECT_NE(f->message.find("Runner::Discard"), std::string::npos)
+      << f->message;
+}
+
+TEST(AnalyzeStatusFlow, ResultDereferencedOnErrorPathFires) {
+  auto findings = RunAnalyze({{"src/core/use.cc",
+                        "namespace tabbench {\n"
+                        "class User {\n"
+                        " public:\n"
+                        "  int Use() {\n"
+                        "    auto r = Make();\n"
+                        "    if (!r.ok()) {\n"
+                        "      return *r;\n"
+                        "    }\n"
+                        "    return 0;\n"
+                        "  }\n"
+                        "  int Fine() {\n"
+                        "    auto r = Make();\n"
+                        "    if (!r.ok()) return -1;\n"
+                        "    return *r;\n"
+                        "  }\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-result-on-error"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-result-on-error");
+  EXPECT_EQ(f->line, 7u);
+  ASSERT_EQ(f->related.size(), 1u);
+  EXPECT_EQ(f->related[0].line, 6u);  // the !ok() branch it sits inside
+}
+
+TEST(AnalyzeStatusFlow, UseAfterMoveFiresWithTheMoveSite) {
+  auto findings = RunAnalyze({{"src/core/mv.cc",
+                        "namespace tabbench {\n"
+                        "class Mover {\n"
+                        " public:\n"
+                        "  void Leak() {\n"
+                        "    std::string s = Name();\n"
+                        "    Consume(std::move(s));\n"
+                        "    Log(s);\n"
+                        "  }\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-use-after-move"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-use-after-move");
+  EXPECT_EQ(f->line, 7u);
+  ASSERT_EQ(f->related.size(), 1u);
+  EXPECT_EQ(f->related[0].line, 6u);
+}
+
+TEST(AnalyzeStatusFlow, ReinitializingAMovedFromObjectIsQuiet) {
+  auto findings = RunAnalyze({{"src/core/mv2.cc",
+                        "namespace tabbench {\n"
+                        "class Mover {\n"
+                        " public:\n"
+                        "  void Recycle() {\n"
+                        "    std::string s = Name();\n"
+                        "    Consume(std::move(s));\n"
+                        "    s.clear();\n"
+                        "    Log(s);\n"
+                        "  }\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-use-after-move"), 0u)
+      << ToText(findings);
+}
+
+// -------------------------------------------------------- nondeterminism
+
+TEST(AnalyzeTaint, WallClockInEngineFires) {
+  auto findings = RunAnalyze(
+      {{"src/engine/timer.cc",
+        "namespace tabbench {\n"
+        "class Timer {\n"
+        " public:\n"
+        "  long Now() {\n"
+        "    return std::chrono::system_clock::now()"
+        ".time_since_epoch().count();\n"
+        "  }\n"
+        "};\n"
+        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-nondeterminism"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-nondeterminism");
+  EXPECT_EQ(f->line, 4u);  // anchored at the function, not the call
+  EXPECT_NE(f->message.find("Timer::Now"), std::string::npos) << f->message;
+}
+
+TEST(AnalyzeTaint, PropagatesThroughTheCallGraphWithUltimateSource) {
+  auto findings = RunAnalyze({{"src/engine/seed.cc",
+                        "namespace tabbench {\n"
+                        "class Seeded {\n"
+                        " public:\n"
+                        "  int Helper() { return rand(); }\n"
+                        "  int Draw() { return Helper(); }\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-nondeterminism"), 2u)
+      << ToText(findings);
+  bool draw_has_chain = false;
+  for (const Finding& f : findings) {
+    if (f.message.find("Seeded::Draw") == std::string::npos) continue;
+    for (const auto& s : f.related) {
+      if (s.note.find("ultimate source") != std::string::npos) {
+        draw_has_chain = true;
+      }
+    }
+  }
+  EXPECT_TRUE(draw_has_chain) << ToText(findings);
+}
+
+TEST(AnalyzeTaint, SteadyClockAndNonResultLayersAreQuiet) {
+  // steady_clock is monotonic scaffolding, not wall-clock nondeterminism,
+  // and the pass only guards the simulation's result layers.
+  auto findings = RunAnalyze(
+      {{"src/engine/ok.cc",
+        "namespace tabbench {\n"
+        "class Ticker {\n"
+        " public:\n"
+        "  long Tick() {\n"
+        "    return std::chrono::steady_clock::now()"
+        ".time_since_epoch().count();\n"
+        "  }\n"
+        "};\n"
+        "}  // namespace tabbench\n"},
+       {"src/util/wall.cc",
+        "namespace tabbench {\n"
+        "class Wall {\n"
+        " public:\n"
+        "  int Roll() { return rand(); }\n"
+        "};\n"
+        "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-nondeterminism"), 0u)
+      << ToText(findings);
+}
+
+// ---------------------------------------------------------- suppressions
+
+TEST(AnalyzeSuppressions, NolintOnTheAnchorLineSilencesTheRule) {
+  auto findings = RunAnalyze(
+      {{"src/core/sup.cc",
+        "namespace tabbench {\n"
+        "class Sup {\n"
+        " public:\n"
+        "  void Discard() {\n"
+        "    Status s = Step();  // NOLINT(tabbench-status-local) fire+forget\n"
+        "    Other();\n"
+        "  }\n"
+        "};\n"
+        "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-status-local"), 0u)
+      << ToText(findings);
+}
+
+// --------------------------------------------------------------- output
+
+TEST(AnalyzeOutput, TextCarriesFileLineRuleAndRelatedSites) {
+  auto findings = RunAnalyze({{"src/core/a.h", "#include \"core/b.h\"\n"},
+                       {"src/core/b.h", "#include \"core/a.h\"\n"}},
+                      LayeredOpts());
+  const std::string text = ToText(findings);
+  EXPECT_NE(text.find("src/core/a.h:1: [tabbench-include-cycle]"),
+            std::string::npos)
+      << text;
+}
+
+TEST(AnalyzeOutput, SarifIsStructurallySound) {
+  auto findings = RunAnalyze({{"src/service/pair.h",
+                        "namespace tabbench {\n"
+                        "class Pair {\n"
+                        " public:\n"
+                        "  void First() {\n"
+                        "    MutexLock la(&a_);\n"
+                        "    MutexLock lb(&b_);\n"
+                        "  }\n"
+                        "  void Second() {\n"
+                        "    MutexLock lb(&b_);\n"
+                        "    MutexLock la(&a_);\n"
+                        "  }\n"
+                        " private:\n"
+                        "  Mutex a_;\n"
+                        "  Mutex b_;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(findings.size(), 1u) << ToText(findings);
+  const std::string sarif = ToSarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"tabbench_analyze\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"tabbench-lock-order\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"physicalLocation\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"relatedLocations\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 5"), std::string::npos);
+  // Every rule is present in the rules array even when only one fired.
+  for (const auto& rule : tabbench_analyze::Rules()) {
+    EXPECT_NE(sarif.find(std::string("\"id\": \"") + rule.name + "\""),
+              std::string::npos)
+        << rule.name;
+  }
+  // Balanced braces/brackets: a cheap structural-JSON sanity check that
+  // catches unterminated strings and missing separators.
+  long depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < sarif.size(); ++i) {
+    const char c = sarif[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(AnalyzeOutput, RuleTableIsUniqueAndPrefixed) {
+  const auto& rules = tabbench_analyze::Rules();
+  ASSERT_EQ(rules.size(), 7u);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(std::string(rules[i].name).rfind("tabbench-", 0), 0u);
+    for (size_t j = i + 1; j < rules.size(); ++j) {
+      EXPECT_STRNE(rules[i].name, rules[j].name);
+    }
+  }
+}
+
+// -------------------------------------------------------------- baseline
+
+TEST(AnalyzeBaseline, JsonRoundTripAbsorbsEveryFinding) {
+  auto findings = RunAnalyze({{"src/core/run.cc",
+                        "namespace tabbench {\n"
+                        "class Runner {\n"
+                        " public:\n"
+                        "  void Discard() {\n"
+                        "    Status s = Step();\n"
+                        "    Other();\n"
+                        "  }\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(findings.size(), 1u) << ToText(findings);
+  std::vector<BaselineEntry> entries;
+  std::string err;
+  ASSERT_TRUE(ParseBaselineJson(ToBaselineJson(findings), &entries, &err))
+      << err;
+  ASSERT_EQ(entries.size(), 1u);
+  auto diff = DiffBaseline(findings, entries);
+  EXPECT_TRUE(diff.fresh.empty());
+  EXPECT_TRUE(diff.stale.empty());
+  EXPECT_EQ(diff.matched, 1u);
+}
+
+TEST(AnalyzeBaseline, RatchetFreshAndStaleBothSurface) {
+  Finding f;
+  f.rule = "tabbench-status-local";
+  f.file = "src/core/run.cc";
+  f.message = "Status local 's' in Runner::Discard is never consulted";
+  // Empty baseline: the finding is fresh (would fail CI).
+  auto grow = DiffBaseline({f}, {});
+  EXPECT_EQ(grow.fresh.size(), 1u);
+  // A baseline entry that no longer fires is stale (strict mode fails,
+  // the ratchet's only-shrink direction).
+  BaselineEntry gone{"tabbench-lock-order", "src/service/x.h",
+                     "lock-order inversion (potential deadlock) among: ..."};
+  auto shrink = DiffBaseline({}, {gone});
+  EXPECT_TRUE(shrink.fresh.empty());
+  ASSERT_EQ(shrink.stale.size(), 1u);
+  EXPECT_EQ(shrink.stale[0].rule, "tabbench-lock-order");
+}
+
+TEST(AnalyzeBaseline, LineMovesDoNotChurnTheBaselineKey) {
+  // The baseline keys (rule, file, message) with no line number: shifting
+  // a finding down a line must still be absorbed.
+  const char* body =
+      "namespace tabbench {\n"
+      "class Runner {\n"
+      " public:\n"
+      "  void Discard() {\n"
+      "    Status s = Step();\n"
+      "    Other();\n"
+      "  }\n"
+      "};\n"
+      "}  // namespace tabbench\n";
+  auto before = RunAnalyze({{"src/core/run.cc", body}});
+  ASSERT_EQ(before.size(), 1u);
+  std::vector<BaselineEntry> entries;
+  std::string err;
+  ASSERT_TRUE(ParseBaselineJson(ToBaselineJson(before), &entries, &err));
+  auto after =
+      RunAnalyze({{"src/core/run.cc", std::string("// new header comment\n") + body}});
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].line, before[0].line + 1);
+  auto diff = DiffBaseline(after, entries);
+  EXPECT_TRUE(diff.fresh.empty());
+  EXPECT_TRUE(diff.stale.empty());
+}
+
+// ------------------------------------------------------------ layer spec
+
+TEST(AnalyzeLayerSpec, ParsesLayersAndForbidEdges) {
+  LayerSpec spec;
+  std::string err;
+  ASSERT_TRUE(ParseLayerSpec("layer util: src/util\n"
+                             "layer tuning: src/core src/advisor\n"
+                             "forbid tuning -> util\n",
+                             &spec, &err))
+      << err;
+  ASSERT_EQ(spec.layers.size(), 2u);
+  EXPECT_EQ(spec.layers[1].name, "tuning");
+  ASSERT_EQ(spec.layers[1].dirs.size(), 2u);
+  ASSERT_EQ(spec.forbid.size(), 1u);
+  EXPECT_EQ(spec.forbid[0].first, "tuning");
+}
+
+TEST(AnalyzeLayerSpec, RejectsMalformedInput) {
+  LayerSpec spec;
+  std::string err;
+  EXPECT_FALSE(ParseLayerSpec("bogus directive\n", &spec, &err));
+  EXPECT_NE(err.find("unknown directive"), std::string::npos) << err;
+  spec = {};
+  EXPECT_FALSE(ParseLayerSpec("layer a: src/a\nlayer a: src/b\n",
+                              &spec, &err));
+  EXPECT_NE(err.find("duplicate layer"), std::string::npos) << err;
+  spec = {};
+  EXPECT_FALSE(ParseLayerSpec("layer a: src/a\nforbid a -> ghost\n",
+                              &spec, &err));
+  EXPECT_NE(err.find("undeclared layer"), std::string::npos) << err;
+}
+
+}  // namespace

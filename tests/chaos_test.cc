@@ -20,7 +20,7 @@
 #include "core/runner.h"
 #include "util/rng.h"
 #include "util/run_journal.h"
-#include "service/thread_pool.h"
+#include "util/thread_pool.h"
 #include "service/workload_service.h"
 #include "test_util.h"
 #include "util/fault_injection.h"

@@ -10,7 +10,7 @@
 
 #include "core/report.h"
 #include "core/runner.h"
-#include "service/thread_pool.h"
+#include "util/thread_pool.h"
 #include "test_util.h"
 #include "util/crc32c.h"
 #include "util/file_util.h"

@@ -84,7 +84,7 @@ TEST(LintNakedNew, IdentifiersContainingNewAreFine) {
 // -------------------------------------------------------------- raw-sleep
 
 TEST(LintRawSleep, FiresOnThisThreadSleepsInSrc) {
-  auto findings = RunLint({{"src/service/thread_pool.cc",
+  auto findings = RunLint({{"src/util/thread_pool.cc",
                         "std::this_thread::sleep_for(10ms);\n"
                         "std::this_thread::sleep_until(deadline);\n"}});
   EXPECT_EQ(CountRule(findings, "tabbench-raw-sleep"), 2u);
@@ -335,6 +335,16 @@ TEST(LintSuppressions, NolintFileCoversTheWholeFile) {
                         "auto* a = new Foo();\n"
                         "auto* b = new Bar();\n"}});
   EXPECT_EQ(CountRule(findings, "tabbench-naked-new"), 0u);
+}
+
+TEST(LintSuppressions, NolintInsideAStringLiteralDoesNotSuppress) {
+  // Only comment markers count: a NOLINT spelled inside a string literal
+  // (e.g. a linter's own test fixture or log text) must not silence the
+  // line it sits on.
+  auto findings = RunLint(
+      {{"src/engine/x.cc",
+        "auto* p = new Foo(\"// NOLINT(tabbench-naked-new)\");\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-naked-new"), 1u);
 }
 
 TEST(LintSuppressions, WrongRuleNameDoesNotSuppress) {

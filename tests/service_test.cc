@@ -16,7 +16,7 @@
 #include "core/sampling.h"
 #include "service/circuit_breaker.h"
 #include "service/session.h"
-#include "service/thread_pool.h"
+#include "util/thread_pool.h"
 #include "service/watchdog.h"
 #include "service/workload_service.h"
 #include "storage/btree.h"

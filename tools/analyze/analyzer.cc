@@ -1,0 +1,356 @@
+#include "analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "model.h"
+
+namespace tabbench_analyze {
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"tabbench-layering",
+       "A file includes a higher layer, or crosses a `forbid` edge, per "
+       "tools/analyze/layers.txt. Dependencies must point downward."},
+      {"tabbench-include-cycle",
+       "A cycle in the quoted-include graph. Cyclic headers cannot be "
+       "understood, tested, or rebuilt independently."},
+      {"tabbench-lock-order",
+       "The global mutex-acquisition graph (nested MutexLock scopes, "
+       "calls made under a lock, TB_ACQUIRED_BEFORE/AFTER declarations) "
+       "contains a cycle: two threads taking the locks in opposite order "
+       "deadlock."},
+      {"tabbench-status-local",
+       "A Status stored in a local that is never consulted afterwards; "
+       "the error is silently dropped."},
+      {"tabbench-result-on-error",
+       "A Result<T> is dereferenced (.value(), *, ->) on its !ok() path, "
+       "where there is no value to read."},
+      {"tabbench-use-after-move",
+       "A variable is read after std::move handed its contents away in "
+       "the same scope."},
+      {"tabbench-nondeterminism",
+       "A function in src/core or src/engine can transitively reach a "
+       "wall-clock or system-RNG call; simulation results must be "
+       "reproducible from the seed alone."},
+  };
+  return kRules;
+}
+
+// ---------------------------------------------------------------------------
+// layers.txt
+// ---------------------------------------------------------------------------
+
+bool ParseLayerSpec(const std::string& text, LayerSpec* spec,
+                    std::string* error) {
+  *spec = LayerSpec();
+  std::istringstream in(text);
+  std::string line;
+  size_t ln = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "layers.txt:" + std::to_string(ln) + ": " + why;
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++ln;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word)) continue;
+    if (word == "layer") {
+      std::string name;
+      if (!(words >> name) || name.back() != ':') {
+        return fail("expected `layer <name>: <dir>...`");
+      }
+      name.pop_back();
+      for (const LayerSpec::Layer& l : spec->layers) {
+        if (l.name == name) return fail("duplicate layer '" + name + "'");
+      }
+      LayerSpec::Layer layer;
+      layer.name = name;
+      std::string dir;
+      while (words >> dir) {
+        while (!dir.empty() && dir.back() == '/') dir.pop_back();
+        layer.dirs.push_back(dir);
+      }
+      if (layer.dirs.empty()) {
+        return fail("layer '" + name + "' lists no directories");
+      }
+      spec->layers.push_back(std::move(layer));
+    } else if (word == "forbid") {
+      std::string from, arrow, to;
+      if (!(words >> from >> arrow >> to) || arrow != "->") {
+        return fail("expected `forbid <layer> -> <layer>`");
+      }
+      for (const std::string& name : {from, to}) {
+        bool known = false;
+        for (const LayerSpec::Layer& l : spec->layers) {
+          known = known || l.name == name;
+        }
+        if (!known) {
+          return fail("forbid names undeclared layer '" + name + "'");
+        }
+      }
+      spec->forbid.emplace_back(from, to);
+    } else {
+      return fail("unknown directive '" + word + "'");
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Analyze
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> Analyze(const std::vector<SourceFile>& files,
+                             const Options& opts) {
+  const Model model = BuildModel(files);
+  std::vector<Finding> findings;
+  RunLayeringPass(model, opts.layers, &findings);
+  RunLockOrderPass(model, &findings);
+  RunStatusFlowPass(model, &findings);
+  RunTaintPass(model, &findings);
+
+  std::map<std::string, const ParsedFile*> by_path;
+  for (const ParsedFile& pf : model.files) by_path[pf.src->path] = &pf;
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    auto it = by_path.find(f.file);
+    if (it != by_path.end() && it->second->sup.Suppressed(f.line, f.rule)) {
+      continue;
+    }
+    kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return kept;
+}
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+std::string ToText(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+    for (const RelatedSite& s : f.related) {
+      out << "    " << s.file << ":" << s.line << ": " << s.note << "\n";
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendLocation(std::ostringstream& out, const std::string& file,
+                    size_t line, const std::string& message) {
+  out << "{";
+  if (!message.empty()) {
+    out << "\"message\": {\"text\": \"" << JsonEscape(message) << "\"}, ";
+  }
+  out << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+      << JsonEscape(file) << "\"}, \"region\": {\"startLine\": "
+      << (line == 0 ? 1 : line) << "}}}";
+}
+
+}  // namespace
+
+std::string ToSarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\","
+         "\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"tabbench_analyze\",\n"
+      << "      \"informationUri\": "
+         "\"https://example.invalid/tabbench/tools/analyze\",\n"
+      << "      \"rules\": [";
+  const auto& rules = Rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{\"id\": \"" << rules[i].name
+        << "\", \"shortDescription\": {\"text\": \""
+        << JsonEscape(rules[i].summary) << "\"}}";
+  }
+  out << "]\n    }},\n    \"results\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out << ", ";
+    out << "\n      {\"ruleId\": \"" << f.rule
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << JsonEscape(f.message) << "\"}, \"locations\": [";
+    AppendLocation(out, f.file, f.line, "");
+    out << "]";
+    if (!f.related.empty()) {
+      out << ", \"relatedLocations\": [";
+      for (size_t j = 0; j < f.related.size(); ++j) {
+        if (j > 0) out << ", ";
+        AppendLocation(out, f.related[j].file, f.related[j].line,
+                       f.related[j].note);
+      }
+      out << "]";
+    }
+    out << "}";
+  }
+  out << "\n    ]\n  }]\n}\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+std::string ToBaselineJson(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n  \"tool\": \"tabbench_analyze\",\n  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n    {\"rule\": \"" << JsonEscape(findings[i].rule)
+        << "\", \"file\": \"" << JsonEscape(findings[i].file)
+        << "\", \"message\": \"" << JsonEscape(findings[i].message)
+        << "\"}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+namespace {
+
+/// Minimal JSON string scanner for the baseline format: finds the value of
+/// `"key": "..."` starting at `from`, unescaping. Returns npos when absent.
+size_t FindStringValue(const std::string& text, const std::string& key,
+                       size_t from, size_t until, std::string* value) {
+  const std::string needle = "\"" + key + "\"";
+  size_t k = text.find(needle, from);
+  if (k == std::string::npos || k >= until) return std::string::npos;
+  size_t colon = text.find(':', k + needle.size());
+  if (colon == std::string::npos) return std::string::npos;
+  size_t q = text.find('"', colon);
+  if (q == std::string::npos) return std::string::npos;
+  std::string out;
+  for (size_t i = q + 1; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      const char c = text[i + 1];
+      out += c == 'n' ? '\n' : c == 't' ? '\t' : c;
+      ++i;
+    } else if (text[i] == '"') {
+      *value = out;
+      return i;
+    } else {
+      out += text[i];
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+bool ParseBaselineJson(const std::string& text,
+                       std::vector<BaselineEntry>* out,
+                       std::string* error) {
+  out->clear();
+  const size_t arr = text.find("\"findings\"");
+  if (arr == std::string::npos) {
+    if (error != nullptr) *error = "baseline: no \"findings\" array";
+    return false;
+  }
+  size_t pos = text.find('[', arr);
+  if (pos == std::string::npos) {
+    if (error != nullptr) *error = "baseline: malformed findings array";
+    return false;
+  }
+  while (true) {
+    const size_t open = text.find('{', pos);
+    if (open == std::string::npos) break;
+    const size_t close = text.find('}', open);
+    if (close == std::string::npos) {
+      if (error != nullptr) *error = "baseline: unterminated entry";
+      return false;
+    }
+    BaselineEntry e;
+    if (FindStringValue(text, "rule", open, close, &e.rule) ==
+            std::string::npos ||
+        FindStringValue(text, "file", open, close, &e.file) ==
+            std::string::npos ||
+        FindStringValue(text, "message", open, close, &e.message) ==
+            std::string::npos) {
+      if (error != nullptr) {
+        *error = "baseline: entry missing rule/file/message";
+      }
+      return false;
+    }
+    out->push_back(std::move(e));
+    pos = close + 1;
+  }
+  return true;
+}
+
+BaselineDiff DiffBaseline(const std::vector<Finding>& findings,
+                          const std::vector<BaselineEntry>& baseline) {
+  // Multiset semantics: two identical findings need two baseline entries.
+  std::map<std::tuple<std::string, std::string, std::string>, int> budget;
+  for (const BaselineEntry& e : baseline) {
+    ++budget[{e.rule, e.file, e.message}];
+  }
+  BaselineDiff diff;
+  for (const Finding& f : findings) {
+    auto it = budget.find({f.rule, f.file, f.message});
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      ++diff.matched;
+    } else {
+      diff.fresh.push_back(f);
+    }
+  }
+  for (const auto& [key, count] : budget) {
+    for (int i = 0; i < count; ++i) {
+      diff.stale.push_back(
+          {std::get<0>(key), std::get<1>(key), std::get<2>(key)});
+    }
+  }
+  return diff;
+}
+
+}  // namespace tabbench_analyze

@@ -1,0 +1,152 @@
+#ifndef TABBENCH_TOOLS_ANALYZE_ANALYZER_H_
+#define TABBENCH_TOOLS_ANALYZE_ANALYZER_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// tabbench_analyze — the project's cross-translation-unit static analyzer.
+///
+/// Where tabbench_lint (tools/lint) applies per-file regex rules, this tool
+/// parses the whole tree once (tools/common/cpptok tokens) into a project
+/// model — includes, classes and their members, function bodies, call
+/// sites, mutex acquisitions — and runs four whole-program passes over it:
+///
+///   1. layering          — the architecture DAG declared in layers.txt:
+///                          a file may include only its own or lower
+///                          layers; `forbid` edges are refused outright;
+///                          include cycles are reported separately.
+///   2. lock-order        — a global mutex-acquisition graph built from
+///                          nested MutexLock scopes, calls made while a
+///                          lock is held (resolved cross-file through
+///                          member types), and TB_ACQUIRED_BEFORE/AFTER
+///                          annotations; any cycle is a potential deadlock
+///                          and is reported with every acquisition site.
+///   3. status-flow       — intraprocedural dataflow the [[nodiscard]] +
+///                          regex approach misses: Status locals that are
+///                          never consumed, Result values used on the
+///                          error path, and std::move-then-use.
+///   4. nondeterminism    — "touches wall clock / system RNG" propagated
+///                          transitively through the call graph; any
+///                          tainted function defined in src/core or
+///                          src/engine (the simulation's result paths) is
+///                          flagged with its taint chain.
+///
+/// Findings are emitted as text or SARIF 2.1.0, and diffed against a
+/// checked-in baseline (tools/analyze/baseline.json) under a ratchet
+/// policy: CI fails on any finding not in the baseline, and — in strict
+/// mode — on baseline entries that no longer fire, so the baseline can
+/// only shrink.
+///
+/// Like the linter, the library is dependency-free and analyzes in-memory
+/// SourceFiles, so tests/analyze_tool_test.cc drives every pass on fixture
+/// snippets without touching the real tree.
+namespace tabbench_analyze {
+
+/// One file to analyze. `path` is repo-relative with forward slashes; pass
+/// the whole program in one call — the passes are only as cross-TU as the
+/// file set they see.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// A secondary location attached to a finding (the other acquisition site
+/// of a lock-order edge, the members of an include cycle, the taint
+/// source).
+struct RelatedSite {
+  std::string file;
+  size_t line = 0;
+  std::string note;
+};
+
+struct Finding {
+  std::string file;
+  size_t line = 0;  // 1-based anchor
+  std::string rule;  // "tabbench-<rule>"
+  std::string message;  // deliberately line-free: it is the baseline key
+  std::vector<RelatedSite> related;
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// The rule table (for --list-rules and the SARIF rules array).
+const std::vector<RuleInfo>& Rules();
+
+/// Architecture layers, lowest first. A file belongs to the layer with the
+/// longest matching directory prefix; files outside every layer (tests,
+/// tools, bench, examples) are exempt from the layering pass.
+struct LayerSpec {
+  struct Layer {
+    std::string name;
+    std::vector<std::string> dirs;  // e.g. {"src/core", "src/advisor"}
+  };
+  std::vector<Layer> layers;
+  /// Extra forbidden edges by layer name (checked on top of the order, so
+  /// the architectural intent survives even a layer reordering).
+  std::vector<std::pair<std::string, std::string>> forbid;
+};
+
+/// Parses the layers.txt format:
+///
+///   # comment
+///   layer util: src/util
+///   layer tuning: src/core src/advisor
+///   forbid tuning -> service
+///
+/// Returns false and sets *error on malformed input (unknown directive,
+/// forbid naming an undeclared layer, duplicate layer name).
+bool ParseLayerSpec(const std::string& text, LayerSpec* spec,
+                    std::string* error);
+
+struct Options {
+  LayerSpec layers;
+};
+
+/// Runs all four passes over `files`. Findings are sorted by (file, line,
+/// rule). NOLINT(rule) comment markers on the anchor line and
+/// NOLINTFILE(rule) markers suppress findings, same syntax as the linter.
+std::vector<Finding> Analyze(const std::vector<SourceFile>& files,
+                             const Options& opts);
+
+// ---------------------------------------------------------------- output
+
+std::string ToText(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0: one run, driver "tabbench_analyze", every rule in the
+/// rules array, one result per finding with physical + related locations.
+std::string ToSarif(const std::vector<Finding>& findings);
+
+// -------------------------------------------------------------- baseline
+
+/// Baseline entries key findings by (rule, file, message) — no line
+/// number, so unrelated edits above a baselined finding do not churn the
+/// file. Duplicate keys are multiset-counted.
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string message;
+};
+
+std::string ToBaselineJson(const std::vector<Finding>& findings);
+
+/// Parses what ToBaselineJson writes (and hand-trimmed versions of it).
+bool ParseBaselineJson(const std::string& text,
+                       std::vector<BaselineEntry>* out, std::string* error);
+
+struct BaselineDiff {
+  std::vector<Finding> fresh;        // findings not covered by the baseline
+  std::vector<BaselineEntry> stale;  // baseline entries that no longer fire
+  size_t matched = 0;                // findings absorbed by the baseline
+};
+
+BaselineDiff DiffBaseline(const std::vector<Finding>& findings,
+                          const std::vector<BaselineEntry>& baseline);
+
+}  // namespace tabbench_analyze
+
+#endif  // TABBENCH_TOOLS_ANALYZE_ANALYZER_H_

@@ -1,0 +1,114 @@
+#ifndef TABBENCH_TOOLS_ANALYZE_MODEL_H_
+#define TABBENCH_TOOLS_ANALYZE_MODEL_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+#include "cpptok.h"
+
+/// Internal project model shared by the four passes. Built once per
+/// Analyze() call by BuildModel(); not part of the public API.
+namespace tabbench_analyze {
+
+using tabbench_tok::Token;
+
+struct IncludeEdge {
+  std::string raw;       // the quoted path as written
+  std::string resolved;  // path of the included SourceFile; "" if external
+  size_t line = 0;
+};
+
+/// A function definition (something with a body) found by the scope
+/// scanner. Token indices are into ParsedFile::toks and cover the body
+/// between, and excluding, the braces.
+struct FunctionInfo {
+  std::string name;       // unqualified ("Submit")
+  std::string cls;        // enclosing/qualifying class ("" for free)
+  std::string qualified;  // "ThreadPool::Submit" or "Submit"
+  size_t file_index = 0;  // into Model::files
+  size_t line = 0;        // definition line
+  size_t body_begin = 0;  // first token inside the body
+  size_t body_end = 0;    // one past the last body token
+};
+
+struct MemberInfo {
+  std::string type;  // first type identifier ("Mutex", "CircuitBreaker",
+                     // "std" for std:: anything, "" when unparsed)
+  size_t line = 0;
+  /// Mutex this member is guarded by (TB_GUARDED_BY/GUARDED_BY arg), "".
+  std::string guarded_by;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::map<std::string, MemberInfo> members;
+  /// Mutex-typed member names (type Mutex, or named by a GUARDED_BY).
+  std::set<std::string> mutexes;
+  /// Declared lock-order edges from TB_ACQUIRED_BEFORE/AFTER annotations:
+  /// (qualified-this-mutex -> qualified-other-mutex, line). BEFORE(x) on
+  /// member m yields Class::m -> x; AFTER(x) yields x -> Class::m.
+  struct DeclaredEdge {
+    std::string from;
+    std::string to;
+    size_t line = 0;
+  };
+  std::vector<DeclaredEdge> declared_edges;
+};
+
+/// Line-keyed NOLINT suppressions (parsed from comment text only).
+struct Suppressions {
+  std::map<size_t, std::set<std::string>> by_line;  // "*" = all rules
+  std::set<std::string> whole_file;
+
+  bool Suppressed(size_t line, const std::string& rule) const;
+};
+
+struct ParsedFile {
+  const SourceFile* src = nullptr;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;  // comments/strings blanked
+  std::vector<Token> toks;
+  std::vector<IncludeEdge> includes;
+  std::vector<FunctionInfo> functions;
+  Suppressions sup;
+};
+
+struct Model {
+  std::vector<ParsedFile> files;
+  /// Class name -> merged info (headers declare members, .cc files add
+  /// method bodies; both may contribute).
+  std::map<std::string, ClassInfo> classes;
+  /// Unqualified function name -> indices of every definition, as
+  /// (file_index, function index) pairs flattened into Model::functions.
+  std::vector<FunctionInfo> functions;  // all, in file order
+  std::map<std::string, std::vector<size_t>> by_name;       // unqualified
+  std::map<std::string, std::vector<size_t>> by_qualified;  // "C::m"
+};
+
+Model BuildModel(const std::vector<SourceFile>& files);
+
+/// Best-effort callee resolution used by the lock-order and taint passes.
+/// `receiver_type` is the class of the object expression ("" for a bare
+/// call, in which case `caller_cls` methods win, then a unique global
+/// name). Returns indices into model.functions; empty when unresolved or
+/// ambiguous (ambiguity is skipped, not guessed).
+std::vector<size_t> ResolveCall(const Model& model,
+                                const std::string& receiver_type,
+                                const std::string& caller_cls,
+                                const std::string& name);
+
+// The passes (each appends to *findings; suppression is applied by the
+// caller in Analyze()).
+void RunLayeringPass(const Model& model, const LayerSpec& layers,
+                     std::vector<Finding>* findings);
+void RunLockOrderPass(const Model& model, std::vector<Finding>* findings);
+void RunStatusFlowPass(const Model& model, std::vector<Finding>* findings);
+void RunTaintPass(const Model& model, std::vector<Finding>* findings);
+
+}  // namespace tabbench_analyze
+
+#endif  // TABBENCH_TOOLS_ANALYZE_MODEL_H_

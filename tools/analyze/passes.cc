@@ -1,0 +1,879 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "model.h"
+
+/// The four whole-program passes. Everything here consumes the Model built
+/// by model.cc and appends Findings; suppression and sorting happen in
+/// Analyze() (analyzer.cc).
+namespace tabbench_analyze {
+
+namespace {
+
+using tabbench_tok::TokKind;
+
+bool IsIdent(const Token& t) { return t.kind == TokKind::kIdent; }
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+// ---------------------------------------------------------------------------
+// Layering pass
+// ---------------------------------------------------------------------------
+
+/// Index of the layer owning `path` (longest matching dir prefix wins), or
+/// -1 when the file is outside every declared layer (exempt).
+int LayerOf(const LayerSpec& spec, const std::string& path) {
+  int best = -1;
+  size_t best_len = 0;
+  for (size_t li = 0; li < spec.layers.size(); ++li) {
+    for (const std::string& dir : spec.layers[li].dirs) {
+      const std::string prefix = dir + "/";
+      if (path.rfind(prefix, 0) == 0 && prefix.size() > best_len) {
+        best = static_cast<int>(li);
+        best_len = prefix.size();
+      }
+    }
+  }
+  return best;
+}
+
+/// Tarjan SCC over an adjacency map keyed by string node ids. Returns the
+/// components (each sorted) that contain a cycle: size > 1, or a self-edge.
+std::vector<std::vector<std::string>> CyclicComponents(
+    const std::map<std::string, std::set<std::string>>& adj) {
+  std::vector<std::string> nodes;
+  for (const auto& [n, outs] : adj) {
+    nodes.push_back(n);
+    for (const std::string& m : outs) nodes.push_back(m);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  std::map<std::string, size_t> index, low;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  size_t counter = 0;
+  std::vector<std::vector<std::string>> cyclic;
+
+  // Iterative Tarjan (explicit frame stack keeps deep include chains from
+  // overflowing the call stack).
+  struct Frame {
+    std::string node;
+    std::vector<std::string> outs;
+    size_t next = 0;
+  };
+  for (const std::string& root : nodes) {
+    if (index.count(root) != 0) continue;
+    std::vector<Frame> frames;
+    auto push_node = [&](const std::string& n) {
+      index[n] = low[n] = counter++;
+      stack.push_back(n);
+      on_stack.insert(n);
+      Frame fr;
+      fr.node = n;
+      auto it = adj.find(n);
+      if (it != adj.end()) {
+        fr.outs.assign(it->second.begin(), it->second.end());
+      }
+      frames.push_back(std::move(fr));
+    };
+    push_node(root);
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      if (fr.next < fr.outs.size()) {
+        const std::string& m = fr.outs[fr.next++];
+        if (index.count(m) == 0) {
+          push_node(m);
+        } else if (on_stack.count(m) != 0) {
+          low[fr.node] = std::min(low[fr.node], index[m]);
+        }
+      } else {
+        if (low[fr.node] == index[fr.node]) {
+          std::vector<std::string> comp;
+          while (true) {
+            const std::string n = stack.back();
+            stack.pop_back();
+            on_stack.erase(n);
+            comp.push_back(n);
+            if (n == fr.node) break;
+          }
+          bool self_loop = false;
+          auto it = adj.find(fr.node);
+          if (comp.size() == 1 && it != adj.end() &&
+              it->second.count(fr.node) != 0) {
+            self_loop = true;
+          }
+          if (comp.size() > 1 || self_loop) {
+            std::sort(comp.begin(), comp.end());
+            cyclic.push_back(std::move(comp));
+          }
+        }
+        const std::string done = fr.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] =
+              std::min(low[frames.back().node], low[done]);
+        }
+      }
+    }
+  }
+  std::sort(cyclic.begin(), cyclic.end());
+  return cyclic;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += names[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+void RunLayeringPass(const Model& model, const LayerSpec& spec,
+                     std::vector<Finding>* findings) {
+  std::set<std::pair<std::string, std::string>> forbidden(
+      spec.forbid.begin(), spec.forbid.end());
+
+  // Edge checks: order violations and forbid pairs.
+  for (const ParsedFile& pf : model.files) {
+    const int src_layer = LayerOf(spec, pf.src->path);
+    if (src_layer < 0) continue;
+    for (const IncludeEdge& inc : pf.includes) {
+      if (inc.resolved.empty()) continue;
+      const int dst_layer = LayerOf(spec, inc.resolved);
+      if (dst_layer < 0) continue;
+      const std::string& src_name = spec.layers[src_layer].name;
+      const std::string& dst_name = spec.layers[dst_layer].name;
+      Finding f;
+      f.file = pf.src->path;
+      f.line = inc.line;
+      f.rule = "tabbench-layering";
+      if (forbidden.count({src_name, dst_name}) != 0) {
+        f.message = "layer '" + src_name + "' must never include layer '" +
+                    dst_name + "' (forbidden edge), but includes \"" +
+                    inc.raw + "\"";
+      } else if (dst_layer > src_layer) {
+        f.message = "layer '" + src_name + "' includes \"" + inc.raw +
+                    "\" from higher layer '" + dst_name +
+                    "'; dependencies must point downward";
+      } else {
+        continue;
+      }
+      f.related.push_back({inc.resolved, 1, "included file (layer '" +
+                                                dst_name + "')"});
+      findings->push_back(std::move(f));
+    }
+  }
+
+  // Include cycles (checked across the whole file set, layered or not —
+  // a cycle is broken architecture regardless of layer assignment).
+  std::map<std::string, std::set<std::string>> graph;
+  std::map<std::pair<std::string, std::string>, size_t> edge_line;
+  for (const ParsedFile& pf : model.files) {
+    for (const IncludeEdge& inc : pf.includes) {
+      if (inc.resolved.empty() || inc.resolved == pf.src->path) continue;
+      graph[pf.src->path].insert(inc.resolved);
+      edge_line.emplace(std::make_pair(pf.src->path, inc.resolved),
+                        inc.line);
+    }
+  }
+  for (const std::vector<std::string>& comp : CyclicComponents(graph)) {
+    Finding f;
+    f.rule = "tabbench-include-cycle";
+    f.message = "include cycle among: " + JoinNames(comp);
+    const std::set<std::string> in_comp(comp.begin(), comp.end());
+    for (const std::string& a : comp) {
+      auto it = graph.find(a);
+      if (it == graph.end()) continue;
+      for (const std::string& b : it->second) {
+        if (in_comp.count(b) == 0) continue;
+        const size_t line = edge_line[{a, b}];
+        if (f.file.empty()) {
+          f.file = a;
+          f.line = line;
+        }
+        f.related.push_back({a, line, "includes " + b});
+      }
+    }
+    findings->push_back(std::move(f));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared body facts (lock-order + taint)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct BodyFacts {
+  struct Acquire {
+    std::string mutex;  // qualified ("ThreadPool::mu_") or bare local name
+    size_t line = 0;
+    bool in_lambda = false;
+  };
+  struct Call {
+    std::string receiver_type;  // "" for a bare call
+    std::string name;
+    size_t line = 0;
+    bool in_lambda = false;
+    std::vector<Acquire> held;  // locks held at the call site
+  };
+  std::vector<Acquire> acquires;
+  std::vector<Call> calls;
+  struct Source {
+    std::string what;
+    size_t line = 0;
+  };
+  std::vector<Source> taint_sources;
+  /// Nested-acquisition edges observed directly in this body:
+  /// (held lock, newly acquired lock).
+  std::vector<std::pair<Acquire, Acquire>> nested;
+};
+
+const std::set<std::string>& CallKeywords() {
+  static const std::set<std::string> kKw = {
+      "if",          "for",     "while",       "switch",  "return",
+      "sizeof",      "catch",   "new",         "delete",  "throw",
+      "static_cast", "assert",  "const_cast",  "alignof", "decltype",
+      "noexcept",    "typeid",  "co_return",   "case",    "else",
+      "do",          "default", "co_await",    "defined"};
+  return kKw;
+}
+
+/// Resolves the expression tokens of `MutexLock lock(&<expr>)` to a
+/// qualified mutex id; "" when the receiver's type is unknown.
+std::string ResolveMutexExpr(const Model& model, const FunctionInfo& fn,
+                             const std::vector<Token>& toks, size_t b,
+                             size_t e) {
+  std::vector<const Token*> parts;
+  for (size_t i = b; i < e; ++i) parts.push_back(&toks[i]);
+  if (parts.empty()) return "";
+  if (parts.size() == 1 && IsIdent(*parts[0])) {
+    const std::string& name = parts[0]->text;
+    if (!fn.cls.empty()) return fn.cls + "::" + name;
+    return name;  // local or global mutex in a free function
+  }
+  // this->mu_ / obj.mu_ / obj->mu_ / Class::mu
+  if (parts.size() == 3 && IsIdent(*parts[0]) && IsIdent(*parts[2])) {
+    const std::string& recv = parts[0]->text;
+    const std::string& name = parts[2]->text;
+    if (IsPunct(*parts[1], "::")) return recv + "::" + name;
+    if (IsPunct(*parts[1], "->") || IsPunct(*parts[1], ".")) {
+      if (recv == "this" && !fn.cls.empty()) return fn.cls + "::" + name;
+      if (!fn.cls.empty()) {
+        auto cit = model.classes.find(fn.cls);
+        if (cit != model.classes.end()) {
+          auto mit = cit->second.members.find(recv);
+          if (mit != cit->second.members.end() &&
+              !mit->second.type.empty() && mit->second.type != "std") {
+            return mit->second.type + "::" + name;
+          }
+        }
+      }
+    }
+  }
+  return "";
+}
+
+/// Matching close for the bracket at `open` (toks[open] is "(" / "[" /
+/// "{"); returns body_end when unbalanced.
+size_t MatchBracket(const std::vector<Token>& toks, size_t open,
+                    size_t body_end, const char* open_text,
+                    const char* close_text) {
+  int depth = 0;
+  for (size_t i = open; i < body_end; ++i) {
+    if (IsPunct(toks[i], open_text)) ++depth;
+    if (IsPunct(toks[i], close_text) && --depth == 0) return i;
+  }
+  return body_end;
+}
+
+/// Token indices of braces that open lambda bodies within
+/// [body_begin, body_end): `[caps] (params)? specifiers* {`.
+std::set<size_t> LambdaBraces(const std::vector<Token>& toks,
+                              size_t body_begin, size_t body_end) {
+  std::set<size_t> braces;
+  for (size_t i = body_begin; i < body_end; ++i) {
+    if (!IsPunct(toks[i], "[")) continue;
+    size_t close = MatchBracket(toks, i, body_end, "[", "]");
+    if (close >= body_end) continue;
+    size_t j = close + 1;
+    if (j < body_end && IsPunct(toks[j], "(")) {
+      j = MatchBracket(toks, j, body_end, "(", ")") + 1;
+    }
+    // Trailing specifiers / return type before the body.
+    while (j < body_end &&
+           (IsPunct(toks[j], "->") ||
+            (IsIdent(toks[j]) &&
+             (toks[j].text == "mutable" || toks[j].text == "noexcept" ||
+              toks[j].text == "const")) ||
+            IsPunct(toks[j], "::") || IsPunct(toks[j], "<") ||
+            IsPunct(toks[j], ">") ||
+            (IsIdent(toks[j]) && j + 1 < body_end &&
+             (IsPunct(toks[j + 1], "{") || IsPunct(toks[j + 1], "::") ||
+              IsPunct(toks[j + 1], "<"))))) {
+      ++j;
+    }
+    if (j < body_end && IsPunct(toks[j], "{")) braces.insert(j);
+  }
+  return braces;
+}
+
+BodyFacts ExtractBodyFacts(const Model& model, const FunctionInfo& fn) {
+  const ParsedFile& pf = model.files[fn.file_index];
+  const std::vector<Token>& toks = pf.toks;
+  BodyFacts facts;
+
+  const std::set<size_t> lambda_braces =
+      LambdaBraces(toks, fn.body_begin, fn.body_end);
+
+  struct Held {
+    BodyFacts::Acquire acq;
+    int depth;
+  };
+  std::vector<Held> held;
+  std::vector<bool> brace_is_lambda;  // stack mirroring brace depth
+  int lambda_depth = 0;
+
+  for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    const Token& t = toks[i];
+    if (IsPunct(t, "{")) {
+      const bool is_lambda = lambda_braces.count(i) != 0;
+      brace_is_lambda.push_back(is_lambda);
+      if (is_lambda) ++lambda_depth;
+      continue;
+    }
+    if (IsPunct(t, "}")) {
+      if (!brace_is_lambda.empty()) {
+        if (brace_is_lambda.back()) --lambda_depth;
+        brace_is_lambda.pop_back();
+      }
+      const int depth = static_cast<int>(brace_is_lambda.size());
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+      continue;
+    }
+    if (!IsIdent(t)) continue;
+    const bool in_lambda = lambda_depth > 0;
+
+    // MutexLock <name> ( & <expr> )
+    if (t.text == "MutexLock" && i + 2 < fn.body_end &&
+        IsIdent(toks[i + 1]) && IsPunct(toks[i + 2], "(")) {
+      const size_t close = MatchBracket(toks, i + 2, fn.body_end, "(", ")");
+      size_t eb = i + 3;
+      if (eb < close && IsPunct(toks[eb], "&")) ++eb;
+      const std::string mutex = ResolveMutexExpr(model, fn, toks, eb, close);
+      if (!mutex.empty()) {
+        BodyFacts::Acquire acq{mutex, t.line, in_lambda};
+        facts.acquires.push_back(acq);
+        if (!in_lambda) {
+          for (const Held& h : held) facts.nested.emplace_back(h.acq, acq);
+          held.push_back({acq, static_cast<int>(brace_is_lambda.size())});
+        }
+      }
+      i = close;
+      continue;
+    }
+
+    // Taint sources.
+    if (t.text == "system_clock" && i + 2 < fn.body_end &&
+        IsPunct(toks[i + 1], "::") && IsIdent(toks[i + 2]) &&
+        toks[i + 2].text == "now") {
+      facts.taint_sources.push_back({"system_clock::now()", t.line});
+      i += 2;
+      continue;
+    }
+    if (t.text == "random_device") {
+      facts.taint_sources.push_back({"std::random_device", t.line});
+      continue;
+    }
+    const bool prev_is_member_access =
+        i > fn.body_begin &&
+        (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+    if ((t.text == "rand" || t.text == "srand") && !prev_is_member_access &&
+        i + 1 < fn.body_end && IsPunct(toks[i + 1], "(")) {
+      facts.taint_sources.push_back({t.text + "()", t.line});
+    }
+    if (t.text == "time" && !prev_is_member_access && i + 2 < fn.body_end &&
+        IsPunct(toks[i + 1], "(") && IsIdent(toks[i + 2]) &&
+        (toks[i + 2].text == "nullptr" || toks[i + 2].text == "NULL")) {
+      facts.taint_sources.push_back({"time(nullptr)", t.line});
+    }
+
+    // Call sites: ident followed by "(", excluding keywords and
+    // declarations (`Type name(...)` — ident preceded by another ident).
+    if (i + 1 < fn.body_end && IsPunct(toks[i + 1], "(") &&
+        CallKeywords().count(t.text) == 0) {
+      if (i > fn.body_begin && IsIdent(toks[i - 1]) &&
+          CallKeywords().count(toks[i - 1].text) == 0) {
+        continue;  // declaration, not a call
+      }
+      BodyFacts::Call call;
+      call.name = t.text;
+      call.line = t.line;
+      call.in_lambda = in_lambda;
+      if (i >= fn.body_begin + 2 && IsIdent(toks[i - 2])) {
+        const std::string& recv = toks[i - 2].text;
+        if (IsPunct(toks[i - 1], "::")) {
+          call.receiver_type = recv;
+        } else if (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->")) {
+          if (recv == "this") {
+            call.receiver_type = fn.cls;
+          } else {
+            auto cit = model.classes.find(fn.cls);
+            if (cit == model.classes.end()) continue;  // unknown class
+            auto mit = cit->second.members.find(recv);
+            if (mit == cit->second.members.end() ||
+                mit->second.type.empty() || mit->second.type == "std") {
+              continue;  // local or std receiver: unresolvable, skipped
+            }
+            call.receiver_type = mit->second.type;
+          }
+        }
+      } else if (i > fn.body_begin && (IsPunct(toks[i - 1], ".") ||
+                                       IsPunct(toks[i - 1], "->"))) {
+        continue;  // complex receiver expression: unresolvable
+      }
+      if (!in_lambda) {
+        for (const Held& h : held) call.held.push_back(h.acq);
+      }
+      facts.calls.push_back(std::move(call));
+    }
+  }
+  return facts;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lock-order pass
+// ---------------------------------------------------------------------------
+
+void RunLockOrderPass(const Model& model, std::vector<Finding>* findings) {
+  const size_t n = model.functions.size();
+  std::vector<BodyFacts> facts(n);
+  for (size_t i = 0; i < n; ++i) {
+    facts[i] = ExtractBodyFacts(model, model.functions[i]);
+  }
+
+  // Representative acquisition site per mutex (for related locations).
+  std::map<std::string, RelatedSite> acq_site;
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& file =
+        model.files[model.functions[i].file_index].src->path;
+    for (const BodyFacts::Acquire& a : facts[i].acquires) {
+      acq_site.emplace(a.mutex,
+                       RelatedSite{file, a.line,
+                                   "acquired in " +
+                                       model.functions[i].qualified});
+    }
+  }
+
+  // may_acquire: mutexes a function can take, directly or via callees
+  // (lambda bodies excluded — they run outside the caller's lock scope).
+  std::vector<std::set<std::string>> may_acquire(n);
+  std::vector<std::vector<size_t>> callees(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const BodyFacts::Acquire& a : facts[i].acquires) {
+      if (!a.in_lambda) may_acquire[i].insert(a.mutex);
+    }
+    std::set<size_t> seen;
+    for (const BodyFacts::Call& c : facts[i].calls) {
+      if (c.in_lambda) continue;
+      for (size_t callee : ResolveCall(model, c.receiver_type,
+                                       model.functions[i].cls, c.name)) {
+        if (callee != i && seen.insert(callee).second) {
+          callees[i].push_back(callee);
+        }
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c : callees[i]) {
+        for (const std::string& m : may_acquire[c]) {
+          if (may_acquire[i].insert(m).second) changed = true;
+        }
+      }
+    }
+  }
+
+  // The acquisition-order graph: direct nesting, calls under a held lock,
+  // and declared TB_ACQUIRED_BEFORE/AFTER edges.
+  struct EdgeInfo {
+    std::string file;
+    size_t line = 0;
+    std::vector<RelatedSite> related;
+  };
+  std::map<std::pair<std::string, std::string>, EdgeInfo> edges;
+  auto add_edge = [&edges](const std::string& from, const std::string& to,
+                           EdgeInfo info) {
+    edges.emplace(std::make_pair(from, to), std::move(info));
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const FunctionInfo& fn = model.functions[i];
+    const std::string& file = model.files[fn.file_index].src->path;
+    for (const auto& [from, to] : facts[i].nested) {
+      EdgeInfo info;
+      info.file = file;
+      info.line = to.line;
+      info.related.push_back(
+          {file, from.line, from.mutex + " acquired here, still held"});
+      info.related.push_back(
+          {file, to.line, to.mutex + " acquired while holding " +
+                              from.mutex + " (in " + fn.qualified + ")"});
+      add_edge(from.mutex, to.mutex, std::move(info));
+    }
+    for (const BodyFacts::Call& c : facts[i].calls) {
+      if (c.in_lambda || c.held.empty()) continue;
+      for (size_t callee : ResolveCall(model, c.receiver_type, fn.cls,
+                                       c.name)) {
+        for (const std::string& m : may_acquire[callee]) {
+          for (const BodyFacts::Acquire& h : c.held) {
+            EdgeInfo info;
+            info.file = file;
+            info.line = c.line;
+            info.related.push_back(
+                {file, h.line, h.mutex + " acquired here, still held"});
+            info.related.push_back(
+                {file, c.line,
+                 "call to " + model.functions[callee].qualified +
+                     " which may acquire " + m + " (in " + fn.qualified +
+                     ")"});
+            auto site = acq_site.find(m);
+            if (site != acq_site.end()) info.related.push_back(site->second);
+            add_edge(h.mutex, m, std::move(info));
+          }
+        }
+      }
+    }
+  }
+  for (const auto& [cls_name, cls] : model.classes) {
+    (void)cls_name;
+    for (const ClassInfo::DeclaredEdge& de : cls.declared_edges) {
+      // Find the file that declares the edge for the site.
+      for (const ParsedFile& pf : model.files) {
+        if (de.line == 0 || de.line > pf.raw_lines.size()) continue;
+        if (pf.raw_lines[de.line - 1].find("TB_ACQUIRED_") ==
+            std::string::npos) {
+          continue;
+        }
+        EdgeInfo info;
+        info.file = pf.src->path;
+        info.line = de.line;
+        info.related.push_back({pf.src->path, de.line,
+                                "declared: " + de.from +
+                                    " acquired before " + de.to});
+        add_edge(de.from, de.to, std::move(info));
+        break;
+      }
+    }
+  }
+
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [edge, info] : edges) {
+    (void)info;
+    adj[edge.first].insert(edge.second);
+  }
+  for (const std::vector<std::string>& comp : CyclicComponents(adj)) {
+    const std::set<std::string> in_comp(comp.begin(), comp.end());
+    Finding f;
+    f.rule = "tabbench-lock-order";
+    if (comp.size() == 1) {
+      f.message = "recursive acquisition of " + comp[0] +
+                  ": already held when acquired again (self-deadlock)";
+    } else {
+      f.message =
+          "lock-order inversion (potential deadlock) among: " +
+          JoinNames(comp);
+    }
+    for (const std::string& a : comp) {
+      for (const std::string& b : comp) {
+        auto it = edges.find({a, b});
+        if (it == edges.end()) continue;
+        if (f.file.empty()) {
+          f.file = it->second.file;
+          f.line = it->second.line;
+        }
+        for (const RelatedSite& s : it->second.related) {
+          f.related.push_back(s);
+        }
+      }
+    }
+    findings->push_back(std::move(f));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Status-flow pass
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// True when toks[i] starts a statement (previous token is ; { } or the
+/// body beginning).
+bool AtStatementStart(const std::vector<Token>& toks, size_t i,
+                      size_t body_begin) {
+  if (i == body_begin) return true;
+  const Token& p = toks[i - 1];
+  return IsPunct(p, ";") || IsPunct(p, "{") || IsPunct(p, "}");
+}
+
+void CheckStatusLocals(const FunctionInfo& fn, const ParsedFile& pf,
+                       std::vector<Finding>* findings) {
+  const std::vector<Token>& toks = pf.toks;
+  for (size_t i = fn.body_begin; i + 2 < fn.body_end; ++i) {
+    // `Status <name> =` / `Status <name> (` at statement start.
+    if (!IsIdent(toks[i]) || toks[i].text != "Status") continue;
+    if (!AtStatementStart(toks, i, fn.body_begin)) continue;
+    if (!IsIdent(toks[i + 1])) continue;
+    if (!IsPunct(toks[i + 2], "=") && !IsPunct(toks[i + 2], "(")) continue;
+    const std::string& name = toks[i + 1].text;
+    const size_t decl_line = toks[i + 1].line;
+
+    bool used = false;
+    for (size_t j = i + 3; j < fn.body_end && !used; ++j) {
+      if (!IsIdent(toks[j]) || toks[j].text != name) continue;
+      const bool overwrite = AtStatementStart(toks, j, fn.body_begin) &&
+                             j + 1 < fn.body_end &&
+                             IsPunct(toks[j + 1], "=");
+      if (!overwrite) used = true;
+    }
+    if (!used) {
+      Finding f;
+      f.file = pf.src->path;
+      f.line = decl_line;
+      f.rule = "tabbench-status-local";
+      f.message = "Status local '" + name + "' in " + fn.qualified +
+                  " is never consulted (check .ok() or return it)";
+      findings->push_back(std::move(f));
+    }
+  }
+}
+
+void CheckResultOnError(const FunctionInfo& fn, const ParsedFile& pf,
+                        std::vector<Finding>* findings) {
+  const std::vector<Token>& toks = pf.toks;
+  for (size_t i = fn.body_begin; i + 7 < fn.body_end; ++i) {
+    // `if ( ! <name> . ok ( ) )` — then look for <name>.value() or
+    // *<name> inside the guarded statement/block.
+    if (!IsIdent(toks[i]) || toks[i].text != "if") continue;
+    if (!IsPunct(toks[i + 1], "(") || !IsPunct(toks[i + 2], "!")) continue;
+    if (!IsIdent(toks[i + 3])) continue;
+    if (!IsPunct(toks[i + 4], ".") || !IsIdent(toks[i + 5]) ||
+        toks[i + 5].text != "ok") {
+      continue;
+    }
+    if (!IsPunct(toks[i + 6], "(") || !IsPunct(toks[i + 7], ")")) continue;
+    const size_t cond_close =
+        MatchBracket(toks, i + 1, fn.body_end, "(", ")");
+    if (cond_close >= fn.body_end || cond_close != i + 8) continue;
+    const std::string& name = toks[i + 3].text;
+
+    // Extent of the error path: a braced block, or one statement.
+    size_t b = cond_close + 1, e;
+    if (b < fn.body_end && IsPunct(toks[b], "{")) {
+      e = MatchBracket(toks, b, fn.body_end, "{", "}");
+    } else {
+      e = b;
+      while (e < fn.body_end && !IsPunct(toks[e], ";")) ++e;
+    }
+    for (size_t j = b; j < e; ++j) {
+      if (!IsIdent(toks[j]) || toks[j].text != name) continue;
+      const bool value_call = j + 2 < e && IsPunct(toks[j + 1], ".") &&
+                              IsIdent(toks[j + 2]) &&
+                              (toks[j + 2].text == "value");
+      // *r is a deref unless the `*` follows a type name (a `Foo* r`
+      // declaration); keywords like `return *r` are still derefs.
+      const bool deref =
+          j > b && IsPunct(toks[j - 1], "*") &&
+          (j < 2 || !IsIdent(toks[j - 2]) ||
+           CallKeywords().count(toks[j - 2].text) != 0);
+      const bool arrow = j + 1 < e && IsPunct(toks[j + 1], "->");
+      if (value_call || deref || arrow) {
+        Finding f;
+        f.file = pf.src->path;
+        f.line = toks[j].line;
+        f.rule = "tabbench-result-on-error";
+        f.message = "'" + name + "' is accessed on its !ok() path in " +
+                    fn.qualified +
+                    " (use .status(), the value is not there)";
+        f.related.push_back(
+            {pf.src->path, toks[i].line, "error path begins here"});
+        findings->push_back(std::move(f));
+        break;
+      }
+    }
+  }
+}
+
+void CheckUseAfterMove(const FunctionInfo& fn, const ParsedFile& pf,
+                       std::vector<Finding>* findings) {
+  const std::vector<Token>& toks = pf.toks;
+  struct Moved {
+    size_t line;
+    int depth;
+  };
+  std::map<std::string, Moved> moved;
+  int depth = 0;
+  for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    const Token& t = toks[i];
+    if (IsPunct(t, "{")) {
+      ++depth;
+      continue;
+    }
+    if (IsPunct(t, "}")) {
+      --depth;
+      // Leaving a scope may loop back (for/while): forget moves made
+      // inside it rather than flag the next iteration's reuse.
+      for (auto it = moved.begin(); it != moved.end();) {
+        if (it->second.depth > depth) {
+          it = moved.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      continue;
+    }
+    // std :: move ( <name> )
+    if (IsIdent(t) && t.text == "std" && i + 5 < fn.body_end &&
+        IsPunct(toks[i + 1], "::") && IsIdent(toks[i + 2]) &&
+        toks[i + 2].text == "move" && IsPunct(toks[i + 3], "(") &&
+        IsIdent(toks[i + 4]) && IsPunct(toks[i + 5], ")")) {
+      // `x = std::move(x)` rebinds the name (lambda init-capture); later
+      // occurrences are the new binding, not the moved-from original.
+      const bool rebind = i >= fn.body_begin + 2 &&
+                          IsPunct(toks[i - 1], "=") &&
+                          IsIdent(toks[i - 2]) &&
+                          toks[i - 2].text == toks[i + 4].text;
+      if (!rebind) {
+        moved.emplace(toks[i + 4].text, Moved{toks[i + 4].line, depth});
+      }
+      i += 5;
+      continue;
+    }
+    if (!IsIdent(t)) continue;
+    auto it = moved.find(t.text);
+    if (it == moved.end()) continue;
+    const bool overwrite = AtStatementStart(toks, i, fn.body_begin) &&
+                           i + 1 < fn.body_end && IsPunct(toks[i + 1], "=");
+    // Reinitializing a moved-from object is legal, not a read.
+    const bool reinit =
+        i + 2 < fn.body_end && IsPunct(toks[i + 1], ".") &&
+        IsIdent(toks[i + 2]) &&
+        (toks[i + 2].text == "clear" || toks[i + 2].text == "reset" ||
+         toks[i + 2].text == "assign");
+    if (overwrite || reinit) {
+      moved.erase(it);
+      continue;
+    }
+    Finding f;
+    f.file = pf.src->path;
+    f.line = t.line;
+    f.rule = "tabbench-use-after-move";
+    f.message = "'" + t.text + "' in " + fn.qualified +
+                " is used after std::move; the value is gone";
+    f.related.push_back({pf.src->path, it->second.line, "moved-from here"});
+    findings->push_back(std::move(f));
+    moved.erase(it);  // one finding per move
+  }
+}
+
+}  // namespace
+
+void RunStatusFlowPass(const Model& model, std::vector<Finding>* findings) {
+  for (const FunctionInfo& fn : model.functions) {
+    const ParsedFile& pf = model.files[fn.file_index];
+    CheckStatusLocals(fn, pf, findings);
+    CheckResultOnError(fn, pf, findings);
+    CheckUseAfterMove(fn, pf, findings);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Nondeterminism taint pass
+// ---------------------------------------------------------------------------
+
+void RunTaintPass(const Model& model, std::vector<Finding>* findings) {
+  const size_t n = model.functions.size();
+  struct Taint {
+    bool tainted = false;
+    std::string why;          // "calls X" or the direct source
+    size_t via_line = 0;      // call or source line
+    size_t source_fn = 0;     // ultimate source function
+  };
+  std::vector<Taint> taint(n);
+
+  // Direct sources (lambda bodies included: deferred nondeterminism is
+  // still nondeterminism).
+  std::vector<BodyFacts> facts(n);
+  for (size_t i = 0; i < n; ++i) {
+    facts[i] = ExtractBodyFacts(model, model.functions[i]);
+    if (!facts[i].taint_sources.empty()) {
+      taint[i].tainted = true;
+      taint[i].why = facts[i].taint_sources[0].what;
+      taint[i].via_line = facts[i].taint_sources[0].line;
+      taint[i].source_fn = i;
+    }
+  }
+
+  // Propagate caller-ward to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (taint[i].tainted) continue;
+      for (const BodyFacts::Call& c : facts[i].calls) {
+        for (size_t callee : ResolveCall(model, c.receiver_type,
+                                         model.functions[i].cls, c.name)) {
+          if (callee == i || !taint[callee].tainted) continue;
+          taint[i].tainted = true;
+          taint[i].why = "calls " + model.functions[callee].qualified;
+          taint[i].via_line = c.line;
+          taint[i].source_fn = taint[callee].source_fn;
+          changed = true;
+          break;
+        }
+        if (taint[i].tainted) break;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!taint[i].tainted) continue;
+    const FunctionInfo& fn = model.functions[i];
+    const std::string& path = model.files[fn.file_index].src->path;
+    if (path.rfind("src/core/", 0) != 0 &&
+        path.rfind("src/engine/", 0) != 0) {
+      continue;
+    }
+    Finding f;
+    f.file = path;
+    f.line = fn.line;
+    f.rule = "tabbench-nondeterminism";
+    f.message = "'" + fn.qualified +
+                "' can reach wall-clock/system-RNG nondeterminism (" +
+                taint[i].why +
+                "); core/ and engine/ results must be reproducible";
+    f.related.push_back({path, taint[i].via_line, taint[i].why});
+    const size_t src = taint[i].source_fn;
+    if (src != i) {
+      const FunctionInfo& sfn = model.functions[src];
+      f.related.push_back({model.files[sfn.file_index].src->path,
+                           taint[src].via_line,
+                           "ultimate source: " + taint[src].why + " in " +
+                               sfn.qualified});
+    }
+    findings->push_back(std::move(f));
+  }
+}
+
+}  // namespace tabbench_analyze

@@ -1,0 +1,266 @@
+// tabbench_analyze — cross-translation-unit static-analysis CLI.
+//
+// Usage:
+//   tabbench_analyze [--root DIR] [--layers FILE] [--baseline FILE]
+//                    [--write-baseline] [--strict-baseline] [--sarif FILE]
+//                    [--list-rules] [paths...]
+//
+// Walks the given paths (default: src bench tests tools examples) under
+// --root (default: cwd), builds one project model from every .h/.cc/.cpp
+// file, and runs the four passes (see analyzer.h). Findings are diffed
+// against the baseline (default: ROOT/tools/analyze/baseline.json when it
+// exists): baselined findings are reported but do not fail the run.
+//
+// Exit status: 0 clean (or fully baselined), 1 when fresh findings exist —
+// or, under --strict-baseline, when baseline entries no longer fire (the
+// ratchet: the baseline may shrink, never grow) — 2 on usage/I-O errors.
+//
+// --write-baseline rewrites the baseline file from the current findings
+// (for adopting the tool on a tree with known debt); --sarif additionally
+// writes a SARIF 2.1.0 report for code-scanning UIs.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+#include "model.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+bool IsExcludedDir(const std::string& name) {
+  return name == ".git" || name.rfind("build", 0) == 0;
+}
+
+void CollectFiles(const fs::path& root, const fs::path& rel,
+                  std::vector<std::string>* out) {
+  fs::path abs = root / rel;
+  std::error_code ec;
+  if (fs::is_regular_file(abs, ec)) {
+    if (HasSourceExtension(abs)) out->push_back(rel.generic_string());
+    return;
+  }
+  if (!fs::is_directory(abs, ec)) return;
+  for (fs::recursive_directory_iterator it(abs, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_directory(ec)) {
+      if (IsExcludedDir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (it->is_regular_file(ec) && HasSourceExtension(it->path())) {
+      out->push_back(fs::relative(it->path(), root, ec).generic_string());
+    }
+  }
+}
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string layers_file;    // default: ROOT/tools/analyze/layers.txt
+  std::string baseline_file;  // default: ROOT/tools/analyze/baseline.json
+  std::string sarif_file;
+  bool write_baseline = false;
+  bool strict_baseline = false;
+  bool dump_model = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto flag_value = [&](const char* flag, std::string* out) {
+      if (++i >= argc) {
+        std::cerr << flag << " needs an argument\n";
+        return false;
+      }
+      *out = argv[i];
+      return true;
+    };
+    if (arg == "--root") {
+      if (!flag_value("--root", &root)) return 2;
+    } else if (arg == "--layers") {
+      if (!flag_value("--layers", &layers_file)) return 2;
+    } else if (arg == "--baseline") {
+      if (!flag_value("--baseline", &baseline_file)) return 2;
+    } else if (arg == "--sarif") {
+      if (!flag_value("--sarif", &sarif_file)) return 2;
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--strict-baseline") {
+      strict_baseline = true;
+    } else if (arg == "--dump-model") {
+      dump_model = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : tabbench_analyze::Rules()) {
+        std::cout << rule.name << "\n    " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: tabbench_analyze [--root DIR] [--layers FILE] "
+                   "[--baseline FILE] [--write-baseline] "
+                   "[--strict-baseline] [--sarif FILE] [--list-rules] "
+                   "[paths...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "bench", "tests", "tools", "examples"};
+  }
+  if (layers_file.empty()) {
+    const fs::path def = fs::path(root) / "tools/analyze/layers.txt";
+    std::error_code ec;
+    if (fs::is_regular_file(def, ec)) layers_file = def.string();
+  }
+  if (baseline_file.empty()) {
+    const fs::path def = fs::path(root) / "tools/analyze/baseline.json";
+    std::error_code ec;
+    if (fs::is_regular_file(def, ec)) baseline_file = def.string();
+  }
+
+  tabbench_analyze::Options options;
+  if (!layers_file.empty()) {
+    std::string text, error;
+    if (!ReadFile(layers_file, &text)) {
+      std::cerr << "tabbench_analyze: cannot read " << layers_file << "\n";
+      return 2;
+    }
+    if (!tabbench_analyze::ParseLayerSpec(text, &options.layers, &error)) {
+      std::cerr << "tabbench_analyze: " << error << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::string> rel_files;
+  for (const auto& p : paths) CollectFiles(root, p, &rel_files);
+  if (rel_files.empty()) {
+    std::cerr << "tabbench_analyze: no source files under " << root << "\n";
+    return 2;
+  }
+  std::sort(rel_files.begin(), rel_files.end());
+  rel_files.erase(std::unique(rel_files.begin(), rel_files.end()),
+                  rel_files.end());
+
+  std::vector<tabbench_analyze::SourceFile> files;
+  files.reserve(rel_files.size());
+  for (const auto& rel : rel_files) {
+    std::string content;
+    if (!ReadFile(fs::path(root) / rel, &content)) {
+      std::cerr << "tabbench_analyze: cannot read " << rel << "\n";
+      return 2;
+    }
+    files.push_back({rel, std::move(content)});
+  }
+
+  if (dump_model) {
+    // Debug view of what the scope scanner extracted (not a stable format).
+    const tabbench_analyze::Model model = tabbench_analyze::BuildModel(files);
+    for (const auto& fn : model.functions) {
+      std::cout << "fn " << fn.qualified << " @ "
+                << model.files[fn.file_index].src->path << ":" << fn.line
+                << "\n";
+    }
+    for (const auto& [name, cls] : model.classes) {
+      std::cout << "class " << name << " mutexes={";
+      for (const auto& m : cls.mutexes) std::cout << m << " ";
+      std::cout << "} members={";
+      for (const auto& [mn, mi] : cls.members) {
+        std::cout << mn << ":" << mi.type << " ";
+      }
+      std::cout << "}\n";
+    }
+    return 0;
+  }
+
+  const std::vector<tabbench_analyze::Finding> findings =
+      tabbench_analyze::Analyze(files, options);
+
+  if (!sarif_file.empty()) {
+    std::ofstream out(sarif_file, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "tabbench_analyze: cannot write " << sarif_file << "\n";
+      return 2;
+    }
+    out << tabbench_analyze::ToSarif(findings);
+  }
+
+  if (write_baseline) {
+    const std::string target =
+        baseline_file.empty()
+            ? (fs::path(root) / "tools/analyze/baseline.json").string()
+            : baseline_file;
+    std::ofstream out(target, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "tabbench_analyze: cannot write " << target << "\n";
+      return 2;
+    }
+    out << tabbench_analyze::ToBaselineJson(findings);
+    std::cout << "tabbench_analyze: wrote " << findings.size()
+              << " baseline entries to " << target << "\n";
+    return 0;
+  }
+
+  std::vector<tabbench_analyze::BaselineEntry> baseline;
+  if (!baseline_file.empty()) {
+    std::string text, error;
+    if (!ReadFile(baseline_file, &text)) {
+      std::cerr << "tabbench_analyze: cannot read " << baseline_file
+                << "\n";
+      return 2;
+    }
+    if (!tabbench_analyze::ParseBaselineJson(text, &baseline, &error)) {
+      std::cerr << "tabbench_analyze: " << error << "\n";
+      return 2;
+    }
+  }
+
+  const tabbench_analyze::BaselineDiff diff =
+      tabbench_analyze::DiffBaseline(findings, baseline);
+
+  std::cout << tabbench_analyze::ToText(diff.fresh);
+  if (diff.matched > 0) {
+    std::cout << "tabbench_analyze: " << diff.matched
+              << " known finding(s) absorbed by baseline\n";
+  }
+  bool fail = !diff.fresh.empty();
+  if (!diff.stale.empty()) {
+    for (const auto& e : diff.stale) {
+      std::cout << (strict_baseline ? "stale baseline entry (ratchet: "
+                                      "remove it): "
+                                    : "note: stale baseline entry: ")
+                << "[" << e.rule << "] " << e.file << ": " << e.message
+                << "\n";
+    }
+    if (strict_baseline) fail = true;
+  }
+  if (!fail) {
+    std::cout << "tabbench_analyze: " << files.size() << " files, "
+              << findings.size() << " finding(s), clean vs baseline\n";
+  }
+  return fail ? 1 : 0;
+}

@@ -75,6 +75,29 @@ echo "resumed journal is byte-identical to the uninterrupted run"
 step "tabbench_lint"
 "${BUILD_DIR}/tools/lint/tabbench_lint" --root "${ROOT}"
 
+# --------------------------------------------------------------- analyze
+# The cross-TU analyzer (layering, lock-order, Status-flow, nondeterminism
+# taint) under the ratchet: any finding not in tools/analyze/baseline.json
+# fails, and --strict-baseline also fails on stale entries, so the baseline
+# can only shrink. The SARIF artifact is what a code-scanning UI ingests.
+step "tabbench_analyze (ratchet vs tools/analyze/baseline.json)"
+"${BUILD_DIR}/tools/analyze/tabbench_analyze" --root "${ROOT}" \
+  --strict-baseline --sarif "${BUILD_DIR}/analyze.sarif"
+echo "SARIF artifact: ${BUILD_DIR}/analyze.sarif"
+
+# ----------------------------------------------------------------- ubsan
+# The util/journal layer does the repo's pointer-and-bit arithmetic (CRC32C
+# tables, varint packing, Zipf sampling, journal framing); run those suites
+# with every UB report turned into an abort (-fno-sanitize-recover=all).
+step "util/journal suites under TABBENCH_SANITIZE=undefined"
+UBSAN_DIR="${ROOT}/build-ubsan"
+cmake -B "${UBSAN_DIR}" -S "${ROOT}" -DTABBENCH_SANITIZE=undefined
+cmake --build "${UBSAN_DIR}" -j "${JOBS}" --target tabbench_tests
+"${UBSAN_DIR}/tests/tabbench_tests" --gtest_brief=1 --gtest_filter=\
+'Crc32cTest.*:CrcTrailerTest.*:JournalResumeTest.*:ReportIoTest.*'\
+':ResultTest.*:RetryTest.*:RngTest.*:RunJournalTest.*:StatusTest.*'\
+':StringsTest.*:ZipfTest.*'
+
 # -------------------------------------------------- thread-safety proof
 # The TB_GUARDED_BY/TB_REQUIRES annotations only carry weight under
 # Clang's -Wthread-safety analysis; GCC compiles them away. Gate this

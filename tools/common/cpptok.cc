@@ -1,0 +1,226 @@
+#include "cpptok.h"
+
+#include <cctype>
+
+namespace tabbench_tok {
+
+namespace {
+
+/// One state machine serves both stripping directions: `keep_comments`
+/// selects whether comment interiors or code survive. Line structure is
+/// preserved either way.
+std::string StripImpl(const std::string& src, bool keep_comments) {
+  std::string out = src;
+  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;  // for kRaw: the )delim" terminator
+  size_t i = 0;
+  const size_t n = src.size();
+  auto blank = [&](size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  // In keep_comments mode every non-comment byte is blanked; in the
+  // default mode only comment/string/char interiors are.
+  auto code = [&](size_t pos) {
+    if (keep_comments) blank(pos);
+  };
+  auto comment = [&](size_t pos) {
+    if (!keep_comments) blank(pos);
+  };
+  while (i < n) {
+    char c = src[i];
+    char next = i + 1 < n ? src[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          // The marker itself is neither code nor comment text: blank it in
+          // both modes so stripped output never tokenizes stray '/' or '"'.
+          st = St::kLine;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          size_t p = i + 2;
+          std::string delim;
+          while (p < n && src[p] != '(') delim += src[p++];
+          raw_delim = ")" + delim + "\"";
+          st = St::kRaw;
+          for (size_t b = i; b < p + 1 && b < n; ++b) blank(b);
+          i = p + 1;
+        } else if (c == '"') {
+          st = St::kStr;
+          blank(i);
+          ++i;
+        } else if (c == '\'') {
+          st = St::kChar;
+          blank(i);
+          ++i;
+        } else {
+          code(i);
+          ++i;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          comment(i);
+        }
+        ++i;
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else {
+          comment(i);
+          ++i;
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          blank(i);
+          if (i + 1 < n) blank(i + 1);
+          i += 2;
+        } else if (c == '"') {
+          st = St::kCode;
+          blank(i);
+          ++i;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          blank(i);
+          if (i + 1 < n) blank(i + 1);
+          i += 2;
+        } else if (c == '\'') {
+          st = St::kCode;
+          blank(i);
+          ++i;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case St::kRaw:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t b = i; b < i + raw_delim.size(); ++b) blank(b);
+          i += raw_delim.size();
+          st = St::kCode;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& src) {
+  return StripImpl(src, /*keep_comments=*/false);
+}
+
+std::string KeepCommentsOnly(const std::string& src) {
+  return StripImpl(src, /*keep_comments=*/true);
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+std::vector<Token> Tokenize(const std::string& stripped_src) {
+  static const char* kTwoCharPunct[] = {"::", "->", "<<", ">>", "==", "!=",
+                                        "<=", ">=", "&&", "||", "+=", "-="};
+  std::vector<Token> toks;
+  size_t line = 1;
+  const size_t n = stripped_src.size();
+  size_t i = 0;
+  while (i < n) {
+    const char c = stripped_src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(
+                           stripped_src[i])) ||
+                       stripped_src[i] == '_')) {
+        ++i;
+      }
+      toks.push_back(
+          {TokKind::kIdent, stripped_src.substr(start, i - start), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // pp-number approximation: digits, letters, dots, and exponent signs.
+      size_t start = i;
+      while (i < n) {
+        const char d = stripped_src[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+            d == '_') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (stripped_src[i - 1] == 'e' ||
+                    stripped_src[i - 1] == 'E')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      toks.push_back(
+          {TokKind::kNumber, stripped_src.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation: prefer the two-char operators the scanners care about.
+    if (i + 1 < n) {
+      const std::string two = stripped_src.substr(i, 2);
+      for (const char* op : kTwoCharPunct) {
+        if (two == op) {
+          toks.push_back({TokKind::kPunct, two, line});
+          i += 2;
+          goto next;
+        }
+      }
+    }
+    toks.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  next:;
+  }
+  return toks;
+}
+
+}  // namespace tabbench_tok

@@ -8,135 +8,18 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cpptok.h"
+
 namespace tabbench_lint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Source preprocessing
-// ---------------------------------------------------------------------------
-
-/// Replaces the *contents* of comments, string literals, and char literals
-/// with spaces while preserving length and line structure, so the regex
-/// rules below never fire on prose or quoted text. Handles //, /* */,
-/// "..." (with escapes), '...', and raw strings R"delim(...)delim".
-std::string StripCommentsAndStrings(const std::string& src) {
-  std::string out = src;
-  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
-  St st = St::kCode;
-  std::string raw_delim;  // for kRaw: the )delim" terminator
-  size_t i = 0;
-  const size_t n = src.size();
-  auto blank = [&](size_t pos) {
-    if (out[pos] != '\n') out[pos] = ' ';
-  };
-  while (i < n) {
-    char c = src[i];
-    char next = i + 1 < n ? src[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') {
-          st = St::kLine;
-          blank(i);
-          blank(i + 1);
-          i += 2;
-        } else if (c == '/' && next == '*') {
-          st = St::kBlock;
-          blank(i);
-          blank(i + 1);
-          i += 2;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   src[i - 1])) &&
-                               src[i - 1] != '_'))) {
-          // Raw string literal: R"delim( ... )delim"
-          size_t p = i + 2;
-          std::string delim;
-          while (p < n && src[p] != '(') delim += src[p++];
-          raw_delim = ")" + delim + "\"";
-          st = St::kRaw;
-          i = p + 1;  // keep the R"delim( prefix visible? no: keep quotes
-        } else if (c == '"') {
-          st = St::kStr;
-          ++i;
-        } else if (c == '\'') {
-          st = St::kChar;
-          ++i;
-        } else {
-          ++i;
-        }
-        break;
-      case St::kLine:
-        if (c == '\n') {
-          st = St::kCode;
-        } else {
-          blank(i);
-        }
-        ++i;
-        break;
-      case St::kBlock:
-        if (c == '*' && next == '/') {
-          st = St::kCode;
-          i += 2;
-        } else {
-          blank(i);
-          ++i;
-        }
-        break;
-      case St::kStr:
-        if (c == '\\') {
-          blank(i);
-          if (i + 1 < n) blank(i + 1);
-          i += 2;
-        } else if (c == '"') {
-          st = St::kCode;
-          ++i;
-        } else {
-          blank(i);
-          ++i;
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          blank(i);
-          if (i + 1 < n) blank(i + 1);
-          i += 2;
-        } else if (c == '\'') {
-          st = St::kCode;
-          ++i;
-        } else {
-          blank(i);
-          ++i;
-        }
-        break;
-      case St::kRaw:
-        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          i += raw_delim.size();
-          st = St::kCode;
-        } else {
-          blank(i);
-          ++i;
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> SplitLines(const std::string& s) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : s) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  lines.push_back(cur);
-  return lines;
-}
+// Source preprocessing lives in tools/common/cpptok (shared with
+// tools/analyze): comment/string stripping for the code the rules scan,
+// comment-only text for the suppression markers.
+using tabbench_tok::KeepCommentsOnly;
+using tabbench_tok::SplitLines;
+using tabbench_tok::StripCommentsAndStrings;
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() &&
@@ -150,6 +33,11 @@ bool IsHeader(const std::string& path) {
 // ---------------------------------------------------------------------------
 // Suppressions: NOLINT(rule) / NOLINT on the offending line,
 // NOLINTNEXTLINE(rule) on the preceding line, NOLINTFILE(rule) anywhere.
+//
+// Markers are parsed from comment text only (KeepCommentsOnly), so a marker
+// quoted inside a string literal — e.g. a fixture snippet embedded in
+// tests/lint_test.cc — cannot silently suppress rules across the file that
+// quotes it.
 // ---------------------------------------------------------------------------
 
 struct Suppressions {
@@ -182,13 +70,14 @@ void AddRuleList(const std::string& args,
   }
 }
 
-Suppressions ParseSuppressions(const std::vector<std::string>& raw_lines) {
+Suppressions ParseSuppressions(
+    const std::vector<std::string>& comment_lines) {
   static const std::regex kMarker(
       R"(NOLINT(NEXTLINE|FILE)?\s*(?:\(([^)]*)\))?)");
   Suppressions sup;
-  for (size_t ln = 0; ln < raw_lines.size(); ++ln) {
-    auto begin = std::sregex_iterator(raw_lines[ln].begin(),
-                                      raw_lines[ln].end(), kMarker);
+  for (size_t ln = 0; ln < comment_lines.size(); ++ln) {
+    auto begin = std::sregex_iterator(comment_lines[ln].begin(),
+                                      comment_lines[ln].end(), kMarker);
     for (auto it = begin; it != std::sregex_iterator(); ++it) {
       const std::string kind = (*it)[1].str();
       const std::string args = (*it)[2].str();
@@ -697,7 +586,7 @@ std::vector<Finding> Lint(std::vector<SourceFile>& files,
     fs.file = &f;
     fs.raw_lines = SplitLines(f.content);
     fs.code_lines = SplitLines(StripCommentsAndStrings(f.content));
-    fs.sup = ParseSuppressions(fs.raw_lines);
+    fs.sup = ParseSuppressions(SplitLines(KeepCommentsOnly(f.content)));
     states.push_back(std::move(fs));
   }
 
