@@ -1,0 +1,26 @@
+// Schema gate for BENCH_*.json perf-trajectory artifacts: validates each
+// path given on the command line against the BenchJsonReport shape
+// (bench_support.h) and exits non-zero on the first violation. CI runs
+// this right after the bench smoke so a malformed artifact fails the
+// `vectorized` stage instead of silently poisoning later trajectory diffs.
+
+#include <cstdio>
+
+#include "bench_support.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <bench.json>...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    tabbench::Status st = tabbench::bench::ValidateBenchJsonFile(argv[i]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: SCHEMA FAIL: %s\n", argv[i],
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: ok\n", argv[i]);
+  }
+  return 0;
+}

@@ -1,11 +1,16 @@
-// Wall-clock ablation for the concurrent execution layer (src/service/):
-// runs the same NREF2J workload through the sequential runner and through
-// RunWorkloadParallel at increasing worker counts, reporting speedup and
-// verifying the parallel results are bit-identical to the sequential ones
-// (the trace-record/replay determinism contract, src/core/runner.h).
+// Wall-clock ablation for the concurrent execution layers: runs the same
+// NREF2J workload (a) through the sequential runner, (b) through
+// RunWorkloadParallel at increasing worker counts (inter-query parallelism,
+// src/service/), and (c) query-at-a-time on the morsel-driven vectorized
+// engine at increasing helper budgets (intra-query parallelism,
+// src/exec/vec/). Every mode's simulated results must be bit-identical to
+// the sequential run (the trace-record/replay determinism contract,
+// src/core/runner.h) — only wall-clock may differ.
 //
 // Knobs: TABBENCH_SCALE, TABBENCH_WORKLOAD (bench_support.h), and
 // TABBENCH_WORKERS (max worker count to sweep to, default 8).
+// `--bench-json <path>` additionally writes the intra-query sweep's best
+// point as a BENCH_*.json perf-trajectory record (bench_support.h).
 
 #include <chrono>
 #include <cstdio>
@@ -17,10 +22,12 @@
 #include "core/sampling.h"
 #include "util/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tabbench;
   using namespace tabbench::bench;
   using Clock = std::chrono::steady_clock;
+
+  const std::string bench_json = TakeBenchJsonArg(&argc, argv);
 
   std::printf("=== Parallel workload execution: wall-time vs workers ===\n");
 
@@ -94,6 +101,69 @@ int main() {
                 workers, workers == 1 ? "" : "s", par_ms, seq_ms / par_ms,
                 identical ? "bit-identical" : "DIVERGED (bug!)");
     if (!identical) return 1;
+  }
+
+  // Intra-query parallelism: the same workload, one query at a time, on
+  // the vectorized engine with growing helper budgets. This is the
+  // single-query speedup knob (a session's queries finish faster), where
+  // the sweep above only improves whole-workload throughput.
+  std::printf("\n=== Intra-query parallelism: vectorized engine ===\n");
+  double best_ms = 0.0;
+  size_t best_threads = 1;
+  for (size_t workers = 1; workers <= max_workers; workers *= 2) {
+    ThreadPool pool(workers);
+    RunOptions vopts = opts;
+    vopts.executor = QueryExecutor::kVectorized;
+    vopts.intra_query_pool = &pool;
+    vopts.intra_query_parallelism = workers;
+    auto v0 = Clock::now();
+    auto vec = RunWorkload(db.get(), sql, vopts);
+    auto v1 = Clock::now();
+    if (!vec.ok()) {
+      std::printf("vectorized run failed: %s\n",
+                  vec.status().ToString().c_str());
+      return 1;
+    }
+    const double vec_ms =
+        std::chrono::duration<double, std::milli>(v1 - v0).count();
+
+    bool identical = vec->timings.size() == seq->timings.size() &&
+                     vec->timeouts == seq->timeouts &&
+                     vec->total_clamped_seconds == seq->total_clamped_seconds;
+    for (size_t i = 0; identical && i < seq->timings.size(); ++i) {
+      identical = vec->timings[i].seconds == seq->timings[i].seconds &&
+                  vec->timings[i].timed_out == seq->timings[i].timed_out;
+    }
+    for (size_t i = 0; identical && i < seq->estimates.size(); ++i) {
+      identical = vec->estimates[i] == seq->estimates[i];
+    }
+    std::printf("%zu thread%-5s %10.1f ms   speedup %4.2fx   results %s\n",
+                workers, workers == 1 ? "" : "s", vec_ms, seq_ms / vec_ms,
+                identical ? "bit-identical" : "DIVERGED (bug!)");
+    if (!identical) return 1;
+    if (best_ms == 0.0 || vec_ms < best_ms) {
+      best_ms = vec_ms;
+      best_threads = workers;
+    }
+  }
+
+  if (!bench_json.empty()) {
+    BenchJsonReport report;
+    report.name = "parallel_nref2j_vectorized";
+    report.wall_seconds = best_ms / 1e3;
+    report.queries_per_second =
+        best_ms > 0.0 ? static_cast<double>(sql.size()) / (best_ms / 1e3)
+                      : 0.0;
+    report.speedup_vs_serial = best_ms > 0.0 ? seq_ms / best_ms : 1.0;
+    report.thread_count = best_threads;
+    Status st = WriteBenchJsonReport(bench_json, report);
+    if (!st.ok()) {
+      std::printf("bench-json write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (best: %zu threads, %.2fx vs serial Volcano)\n",
+                bench_json.c_str(), best_threads,
+                best_ms > 0.0 ? seq_ms / best_ms : 1.0);
   }
   return 0;
 }

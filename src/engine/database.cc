@@ -138,6 +138,24 @@ Result<QueryResult> Database::RunWithContext(const std::string& sql,
   return ExecutePlan(plan, *this, ctx);
 }
 
+Result<QueryResult> Database::RunWithContextVectorized(
+    const std::string& sql, ExecContext* ctx,
+    const vec::VecExecOptions& vec) const {
+  TB_FAULT_POINT("engine.query");
+  if (!stats_ready_) {
+    return Status::Internal("statistics not collected; call FinishLoad()");
+  }
+  PhysicalPlan plan;
+  TB_ASSIGN_OR_RETURN(plan, Plan(sql));
+  auto r = vec::ExecutePlanVectorized(plan, *this, ctx, vec);
+  // The vec compiler rejects unsupported shapes before charging anything,
+  // so the Volcano executor can run the query from a clean context.
+  if (!r.ok() && r.status().IsUnsupported()) {
+    return ExecutePlan(plan, *this, ctx);
+  }
+  return r;
+}
+
 Result<Database::AnalyzedRun> Database::RunAnalyze(const std::string& sql) {
   if (!stats_ready_) {
     return Status::Internal("statistics not collected; call FinishLoad()");

@@ -180,6 +180,9 @@ class ExecContext {
   double sim_time() const { return sim_time_; }
   uint64_t pages_read() const { return pages_read_; }
   uint64_t tuples_processed() const { return tuples_; }
+  bool enforce_timeout() const { return enforce_timeout_; }
+  double record_budget() const { return record_budget_; }
+  const CancellationToken& cancellation_token() const { return cancel_; }
   const CostParams& params() const { return params_; }
   PageStore* store() const { return store_; }
   BufferPool* pool() const { return pool_; }

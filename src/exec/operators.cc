@@ -48,6 +48,8 @@ class SpillTracker {
   uint64_t spilled_ = 0;
 };
 
+}  // namespace
+
 Result<std::vector<CompiledPred>> CompilePreds(const PlanNode& node,
                                                const InSets& in_sets) {
   std::vector<CompiledPred> out;
@@ -79,6 +81,8 @@ Result<std::vector<CompiledPred>> CompilePreds(const PlanNode& node,
   }
   return out;
 }
+
+namespace {
 
 bool EvalPreds(const std::vector<CompiledPred>& preds, const Tuple& t) {
   for (const auto& p : preds) {

@@ -57,6 +57,12 @@ struct CompiledPred {
 /// Materialized IN-subquery value sets, one per PhysicalPlan::in_sets entry.
 using InSets = std::vector<std::unordered_set<Value, ValueHash>>;
 
+/// Compiles a node's residual predicates against its output slot layout.
+/// Shared between the Volcano operators and the vectorized pipeline
+/// compiler so both executors evaluate identical predicate programs.
+Result<std::vector<CompiledPred>> CompilePreds(const PlanNode& node,
+                                               const InSets& in_sets);
+
 /// Builds the value set for one InSetSpec by a frequency scan of the
 /// subquery table (index-only when the spec names an index). Charges all
 /// work to `ctx`; respects the timeout.

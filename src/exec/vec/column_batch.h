@@ -1,0 +1,212 @@
+#ifndef TABBENCH_EXEC_VEC_COLUMN_BATCH_H_
+#define TABBENCH_EXEC_VEC_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace tabbench {
+namespace vec {
+
+/// Rows a batch reader decodes per step. One morsel holds several batches;
+/// the value bounds working-set size, not correctness.
+inline constexpr size_t kVecBatchRows = 1024;
+
+/// Row indices that survived a filter kernel, in ascending order.
+using SelectionVector = std::vector<uint32_t>;
+
+/// One column of a batch: type-specialized storage plus a null flag per
+/// row. Ints and doubles live in flat arrays so filter kernels compare
+/// machine words instead of dispatching through Value's variant; strings
+/// keep their std::string slots so capacity is reused across refills.
+struct Column {
+  TypeId type = TypeId::kInt;
+  std::vector<uint8_t> nulls;  // 1 = NULL
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<std::string> strings;
+
+  size_t size() const { return nulls.size(); }
+
+  void Clear() {
+    nulls.clear();
+    ints.clear();
+    doubles.clear();
+    strings.clear();
+  }
+
+  void AppendNull() {
+    nulls.push_back(1);
+    switch (type) {
+      case TypeId::kInt:
+        ints.push_back(0);
+        break;
+      case TypeId::kDouble:
+        doubles.push_back(0.0);
+        break;
+      case TypeId::kString:
+        strings.emplace_back();
+        break;
+    }
+  }
+
+  void AppendInt(int64_t v) {
+    nulls.push_back(0);
+    ints.push_back(v);
+  }
+  void AppendDouble(double v) {
+    nulls.push_back(0);
+    doubles.push_back(v);
+  }
+  void AppendString(const char* data, size_t len) {
+    nulls.push_back(0);
+    strings.emplace_back(data, len);
+  }
+
+  void AppendValue(const Value& v) {
+    if (v.is_null()) {
+      AppendNull();
+      return;
+    }
+    switch (type) {
+      case TypeId::kInt:
+        AppendInt(v.as_int());
+        break;
+      case TypeId::kDouble:
+        AppendDouble(v.as_double());
+        break;
+      case TypeId::kString:
+        AppendString(v.as_string().data(), v.as_string().size());
+        break;
+    }
+  }
+
+  Value GetValue(size_t row) const {
+    if (nulls[row]) return Value();
+    switch (type) {
+      case TypeId::kInt:
+        return Value(ints[row]);
+      case TypeId::kDouble:
+        return Value(doubles[row]);
+      case TypeId::kString:
+        return Value(strings[row]);
+    }
+    return Value();
+  }
+
+  /// Equality with Value's semantics: NULL == NULL, NULL != non-null.
+  bool EqualsValue(size_t row, const Value& v) const {
+    if (nulls[row]) return v.is_null();
+    if (v.is_null()) return false;
+    switch (type) {
+      case TypeId::kInt:
+        return ints[row] == v.as_int();
+      case TypeId::kDouble:
+        return doubles[row] == v.as_double();
+      case TypeId::kString:
+        return strings[row] == v.as_string();
+    }
+    return false;
+  }
+
+  bool EqualsColumn(size_t row, const Column& o, size_t orow) const {
+    if (nulls[row] || o.nulls[orow]) return nulls[row] && o.nulls[orow];
+    switch (type) {
+      case TypeId::kInt:
+        return ints[row] == o.ints[orow];
+      case TypeId::kDouble:
+        return doubles[row] == o.doubles[orow];
+      case TypeId::kString:
+        return strings[row] == o.strings[orow];
+    }
+    return false;
+  }
+
+  /// Value::ByteSize of the row without materializing the Value.
+  size_t ValueByteSize(size_t row) const {
+    if (nulls[row]) return 1;
+    switch (type) {
+      case TypeId::kInt:
+      case TypeId::kDouble:
+        return 8;
+      case TypeId::kString:
+        return 2 + strings[row].size();
+    }
+    return 1;
+  }
+};
+
+/// A batch of rows in columnar layout. Doubles as a growable row store
+/// (morsel outputs, hash-join build payloads): Append* never shrinks
+/// capacity, Clear() keeps it.
+class ColumnBatch {
+ public:
+  ColumnBatch() = default;
+  explicit ColumnBatch(const std::vector<TypeId>& types) { Reset(types); }
+
+  void Reset(const std::vector<TypeId>& types) {
+    cols_.resize(types.size());
+    for (size_t i = 0; i < types.size(); ++i) {
+      cols_[i].type = types[i];
+      cols_[i].Clear();
+    }
+    rows_ = 0;
+  }
+
+  void Clear() {
+    for (auto& c : cols_) c.Clear();
+    rows_ = 0;
+  }
+
+  size_t num_cols() const { return cols_.size(); }
+  size_t num_rows() const { return rows_; }
+  Column& col(size_t i) { return cols_[i]; }
+  const Column& col(size_t i) const { return cols_[i]; }
+
+  /// Callers append one value per column, then seal the row.
+  void FinishRow() { ++rows_; }
+
+  void AppendTupleRow(const Tuple& t) {
+    for (size_t i = 0; i < cols_.size(); ++i) cols_[i].AppendValue(t.at(i));
+    FinishRow();
+  }
+
+  /// Copies row `row` of this batch onto the end of `out` (all columns).
+  void AppendRowTo(size_t row, std::vector<Value>* out) const {
+    for (const auto& c : cols_) out->push_back(c.GetValue(row));
+  }
+
+  Tuple RowAsTuple(size_t row) const {
+    std::vector<Value> vals;
+    vals.reserve(cols_.size());
+    AppendRowTo(row, &vals);
+    return Tuple(std::move(vals));
+  }
+
+  /// Sum of Value::ByteSize over the row — matches Tuple::ByteSize of the
+  /// materialized row, byte for byte (spill accounting needs this).
+  size_t RowByteSize(size_t row) const {
+    size_t n = 0;
+    for (const auto& c : cols_) n += c.ValueByteSize(row);
+    return n;
+  }
+
+  std::vector<TypeId> types() const {
+    std::vector<TypeId> out;
+    out.reserve(cols_.size());
+    for (const auto& c : cols_) out.push_back(c.type);
+    return out;
+  }
+
+ private:
+  std::vector<Column> cols_;
+  size_t rows_ = 0;
+};
+
+}  // namespace vec
+}  // namespace tabbench
+
+#endif  // TABBENCH_EXEC_VEC_COLUMN_BATCH_H_

@@ -1,0 +1,33 @@
+#ifndef TABBENCH_EXEC_VEC_KERNELS_H_
+#define TABBENCH_EXEC_VEC_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/operators.h"
+#include "exec/vec/column_batch.h"
+
+namespace tabbench {
+namespace vec {
+
+/// Evaluates one compiled predicate over a whole batch, ANDing the result
+/// into `pass` (one flag per row). The hot paths — int/double equality
+/// against a literal or another column — run branch-free over the typed
+/// arrays; string and IN-set predicates fall back to per-row compares.
+/// Predicate semantics match CompiledPred::Eval exactly (NULL == NULL is
+/// true, Value::Compare equality).
+void AndPredIntoPass(const ColumnBatch& batch, const CompiledPred& pred,
+                     std::vector<uint8_t>* pass);
+
+/// Evaluates all predicates, producing the pass flags for a batch.
+void FilterBatch(const ColumnBatch& batch,
+                 const std::vector<CompiledPred>& preds,
+                 std::vector<uint8_t>* pass);
+
+/// Compacts pass flags into a selection vector, branch-free.
+void PassToSelection(const std::vector<uint8_t>& pass, SelectionVector* sel);
+
+}  // namespace vec
+}  // namespace tabbench
+
+#endif  // TABBENCH_EXEC_VEC_KERNELS_H_

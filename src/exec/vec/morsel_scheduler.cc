@@ -1,0 +1,99 @@
+#include "exec/vec/morsel_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/mutex.h"
+
+namespace tabbench {
+namespace vec {
+
+namespace {
+
+/// State shared between the calling thread and helper jobs for one Run().
+struct RunState {
+  size_t n = 0;
+  const std::function<Status(size_t, MorselReport*)>* body = nullptr;
+  CancellationToken cancel;
+  double abort_seconds = 0.0;
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> cancelled{false};
+
+  Mutex mu;
+  double charge_sum TB_GUARDED_BY(mu) = 0.0;
+  size_t error_index TB_GUARDED_BY(mu) = 0;
+  Status error TB_GUARDED_BY(mu);
+};
+
+void ClaimLoop(RunState* st) {
+  for (;;) {
+    if (st->stop.load(std::memory_order_acquire)) return;
+    if (st->cancel.cancelled()) {
+      st->cancelled.store(true, std::memory_order_release);
+      st->stop.store(true, std::memory_order_release);
+      return;
+    }
+    size_t i = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= st->n) return;
+    MorselReport report;
+    Status s = (*st->body)(i, &report);
+    MutexLock lock(&st->mu);
+    st->charge_sum += report.charge_seconds_lower_bound;
+    if (!s.ok() && (st->error.ok() || i < st->error_index)) {
+      st->error = std::move(s);
+      st->error_index = i;
+      st->stop.store(true, std::memory_order_release);
+    }
+    if (st->abort_seconds > 0.0 && st->charge_sum > st->abort_seconds) {
+      st->stop.store(true, std::memory_order_release);
+    }
+  }
+}
+
+}  // namespace
+
+size_t MorselScheduler::Run(
+    size_t n, const std::function<Status(size_t, MorselReport*)>& body,
+    const Options& options, Status* error, bool* cancelled) {
+  *error = Status::OK();
+  *cancelled = false;
+  if (n == 0) return 0;
+
+  RunState st;
+  st.n = n;
+  st.body = &body;
+  st.cancel = options.cancel;
+  st.abort_seconds = options.abort_seconds;
+
+  size_t want = 0;
+  if (options.pool != nullptr && n > 1) {
+    want = options.max_helpers > 0 ? options.max_helpers
+                                   : options.pool->num_workers();
+    want = std::min(want, n - 1);
+  }
+  Latch done(want);
+  for (size_t h = 0; h < want; ++h) {
+    // Plain Submit: a full queue or a shut-down pool simply means this
+    // helper never materializes (admission control wins over speed).
+    Status s = options.pool->Submit([&st, &done] {
+      ClaimLoop(&st);
+      done.CountDown();
+    });
+    if (!s.ok()) done.CountDown();
+  }
+
+  ClaimLoop(&st);
+  done.Wait();
+
+  {
+    MutexLock lock(&st.mu);
+    *error = st.error;
+  }
+  *cancelled = st.cancelled.load(std::memory_order_acquire);
+  return std::min(st.next.load(std::memory_order_acquire), n);
+}
+
+}  // namespace vec
+}  // namespace tabbench

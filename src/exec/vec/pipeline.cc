@@ -1,0 +1,256 @@
+#include "exec/vec/pipeline.h"
+
+namespace tabbench {
+namespace vec {
+
+namespace {
+
+/// Key-column types of an index, in key order (what index-only rows carry).
+std::vector<TypeId> IndexKeyTypes(const IndexInfo& idx) {
+  const std::vector<TypeId>& heap_types = idx.heap->codec().types();
+  std::vector<TypeId> out;
+  out.reserve(idx.key_cols.size());
+  for (int c : idx.key_cols) {
+    out.push_back(heap_types[static_cast<size_t>(c)]);
+  }
+  return out;
+}
+
+class Compiler {
+ public:
+  Compiler(const ObjectResolver& resolver, const InSets& in_sets)
+      : resolver_(resolver), in_sets_(in_sets) {}
+
+  Result<VecPlan> Compile(const PhysicalPlan& plan) {
+    const PlanNode& root = *plan.root;
+    if (!root.residual.empty()) {
+      return Status::Unsupported("vec: residuals on root node");
+    }
+    switch (root.kind) {
+      case PlanNode::Kind::kProject: {
+        if (root.children.size() != 1) {
+          return Status::Internal("Project needs 1 child");
+        }
+        Sink sink;
+        sink.kind = Sink::Kind::kCollectProject;
+        for (const auto& s : root.select) {
+          if (s.kind != BoundSelectItem::Kind::kColumn) {
+            return Status::Internal("Project only handles plain columns");
+          }
+          int p = root.children[0]->FindSlot(SlotRef{s.column.rel,
+                                                     s.column.col});
+          if (p < 0) return Status::Internal("project slot not in child");
+          sink.positions.push_back(static_cast<size_t>(p));
+        }
+        TB_RETURN_IF_ERROR(
+            CompileInto(*root.children[0], {}, std::move(sink)));
+        break;
+      }
+      case PlanNode::Kind::kHashAggregate: {
+        if (root.children.size() != 1) {
+          return Status::Internal("HashAggregate needs 1 child");
+        }
+        const PlanNode& c = *root.children[0];
+        Sink sink;
+        sink.kind = Sink::Kind::kAggregate;
+        sink.select = root.select;
+        for (const auto& g : root.group_by) {
+          int p = c.FindSlot(SlotRef{g.rel, g.col});
+          if (p < 0) return Status::Internal("group-by slot not in child");
+          sink.group_pos.push_back(p);
+        }
+        sink.select_group_idx.assign(root.select.size(), -1);
+        for (size_t i = 0; i < root.select.size(); ++i) {
+          const auto& s = root.select[i];
+          if (s.kind == BoundSelectItem::Kind::kColumn) {
+            for (size_t gi = 0; gi < root.group_by.size(); ++gi) {
+              if (root.group_by[gi].SameAs(s.column)) {
+                sink.select_group_idx[i] = static_cast<int>(gi);
+                break;
+              }
+            }
+            if (sink.select_group_idx[i] < 0) {
+              return Status::Internal("select column not in group key");
+            }
+          } else if (s.kind == BoundSelectItem::Kind::kCountDistinct) {
+            int p = c.FindSlot(SlotRef{s.column.rel, s.column.col});
+            if (p < 0) return Status::Internal("distinct slot not in child");
+            sink.select_distinct_pos.push_back(p);
+            ++sink.num_distinct_aggs;
+          }
+        }
+        out_.root_is_aggregate = true;
+        TB_RETURN_IF_ERROR(
+            CompileInto(*root.children[0], {}, std::move(sink)));
+        break;
+      }
+      default:
+        return Status::Unsupported("vec: unhandled root node kind");
+    }
+    return std::move(out_);
+  }
+
+ private:
+  /// Output column types of a pipeline-able subtree node.
+  Result<std::vector<TypeId>> NodeTypes(const PlanNode& node) {
+    switch (node.kind) {
+      case PlanNode::Kind::kSeqScan: {
+        const HeapTable* heap = resolver_.FindHeap(node.object);
+        if (heap == nullptr) return Status::NotFound("table " + node.object);
+        return heap->codec().types();
+      }
+      case PlanNode::Kind::kIndexScan: {
+        const IndexInfo* idx = resolver_.FindIndex(node.index_name);
+        if (idx == nullptr) {
+          return Status::NotFound("index " + node.index_name);
+        }
+        if (node.index_only) return IndexKeyTypes(*idx);
+        return idx->heap->codec().types();
+      }
+      case PlanNode::Kind::kHashJoin: {
+        std::vector<TypeId> l, r;
+        TB_ASSIGN_OR_RETURN(l, NodeTypes(*node.children[0]));
+        TB_ASSIGN_OR_RETURN(r, NodeTypes(*node.children[1]));
+        l.insert(l.end(), r.begin(), r.end());
+        return l;
+      }
+      case PlanNode::Kind::kIndexNLJoin: {
+        std::vector<TypeId> l;
+        TB_ASSIGN_OR_RETURN(l, NodeTypes(*node.children[0]));
+        const IndexInfo* idx = resolver_.FindIndex(node.index_name);
+        if (idx == nullptr) {
+          return Status::NotFound("index " + node.index_name);
+        }
+        std::vector<TypeId> r = node.index_only
+                                    ? IndexKeyTypes(*idx)
+                                    : idx->heap->codec().types();
+        l.insert(l.end(), r.begin(), r.end());
+        return l;
+      }
+      default:
+        return Status::Unsupported("vec: node kind below joins/scans");
+    }
+  }
+
+  /// Emits the pipelines for `node`, whose rows flow through `tail` into
+  /// `sink`. Mirrors Volcano Open() recursion: a hash join first emits its
+  /// build subtree's pipelines (breaker: this join's table), then compiles
+  /// its probe subtree with a probe stage prepended.
+  Status CompileInto(const PlanNode& node, std::vector<ProbeStage> tail,
+                     Sink sink) {
+    switch (node.kind) {
+      case PlanNode::Kind::kSeqScan: {
+        const HeapTable* heap = resolver_.FindHeap(node.object);
+        if (heap == nullptr) return Status::NotFound("table " + node.object);
+        Pipeline p;
+        p.source = Pipeline::SourceKind::kHeapScan;
+        p.heap = heap;
+        p.source_types = heap->codec().types();
+        TB_ASSIGN_OR_RETURN(p.source_preds, CompilePreds(node, in_sets_));
+        p.stages = std::move(tail);
+        p.sink = std::move(sink);
+        out_.pipelines.push_back(std::move(p));
+        return Status::OK();
+      }
+      case PlanNode::Kind::kIndexScan: {
+        const IndexInfo* idx = resolver_.FindIndex(node.index_name);
+        if (idx == nullptr) {
+          return Status::NotFound("index " + node.index_name);
+        }
+        Pipeline p;
+        p.source = Pipeline::SourceKind::kIndexScan;
+        p.index = idx;
+        p.index_only = node.index_only;
+        for (const auto& part : node.seek) {
+          if (part.from_outer) {
+            return Status::Internal("leaf IndexScan cannot reference outer row");
+          }
+          p.prefix.push_back(part.literal);
+        }
+        p.source_types = node.index_only ? IndexKeyTypes(*idx)
+                                         : idx->heap->codec().types();
+        TB_ASSIGN_OR_RETURN(p.source_preds, CompilePreds(node, in_sets_));
+        p.stages = std::move(tail);
+        p.sink = std::move(sink);
+        out_.pipelines.push_back(std::move(p));
+        return Status::OK();
+      }
+      case PlanNode::Kind::kHashJoin: {
+        if (node.children.size() != 2) {
+          return Status::Internal("HashJoin needs 2 children");
+        }
+        int join_id = static_cast<int>(out_.num_joins++);
+        ProbeStage ps;
+        ps.kind = ProbeStage::Kind::kHashProbe;
+        ps.join_id = join_id;
+        Sink build_sink;
+        build_sink.kind = Sink::Kind::kBuild;
+        build_sink.join_id = join_id;
+        for (const auto& [l, r] : node.hash_keys) {
+          int lp = node.children[0]->FindSlot(l);
+          int rp = node.children[1]->FindSlot(r);
+          if (lp < 0 || rp < 0) {
+            return Status::Internal("hash key not found in child output");
+          }
+          build_sink.build_key_pos.push_back(lp);
+          ps.probe_key_pos.push_back(rp);
+        }
+        TB_RETURN_IF_ERROR(
+            CompileInto(*node.children[0], {}, std::move(build_sink)));
+        TB_ASSIGN_OR_RETURN(ps.preds, CompilePreds(node, in_sets_));
+        TB_ASSIGN_OR_RETURN(ps.out_types, NodeTypes(node));
+        tail.insert(tail.begin(), std::move(ps));
+        return CompileInto(*node.children[1], std::move(tail),
+                           std::move(sink));
+      }
+      case PlanNode::Kind::kIndexNLJoin: {
+        if (node.children.size() != 1) {
+          return Status::Internal("IndexNLJoin needs 1 child (outer)");
+        }
+        const IndexInfo* idx = resolver_.FindIndex(node.index_name);
+        if (idx == nullptr) {
+          return Status::NotFound("index " + node.index_name);
+        }
+        ProbeStage ps;
+        ps.kind = ProbeStage::Kind::kIndexNLProbe;
+        ps.index = idx;
+        ps.seek = node.seek;
+        ps.index_only = node.index_only;
+        for (const auto& part : node.seek) {
+          if (!part.from_outer) continue;
+          int p = node.children[0]->FindSlot(part.outer);
+          if (p < 0) {
+            return Status::Internal("seek outer slot not in outer output");
+          }
+          ps.seek_outer_pos.push_back(p);
+        }
+        TB_ASSIGN_OR_RETURN(ps.preds, CompilePreds(node, in_sets_));
+        TB_ASSIGN_OR_RETURN(ps.out_types, NodeTypes(node));
+        tail.insert(tail.begin(), std::move(ps));
+        return CompileInto(*node.children[0], std::move(tail),
+                           std::move(sink));
+      }
+      default:
+        return Status::Unsupported("vec: unhandled node kind in pipeline");
+    }
+  }
+
+  const ObjectResolver& resolver_;
+  const InSets& in_sets_;
+  VecPlan out_;
+};
+
+}  // namespace
+
+Result<VecPlan> CompileVecPlan(const PhysicalPlan& plan,
+                               const ObjectResolver& resolver,
+                               const InSets& in_sets) {
+  if (plan.root == nullptr) {
+    return Status::InvalidArgument("plan has no root");
+  }
+  Compiler c(resolver, in_sets);
+  return c.Compile(plan);
+}
+
+}  // namespace vec
+}  // namespace tabbench

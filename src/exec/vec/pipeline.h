@@ -1,0 +1,107 @@
+#ifndef TABBENCH_EXEC_VEC_PIPELINE_H_
+#define TABBENCH_EXEC_VEC_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+#include "exec/plan.h"
+#include "exec/plan_executor.h"
+#include "types/value.h"
+#include "util/status.h"
+
+namespace tabbench {
+namespace vec {
+
+/// Hash-join partitions for the parallel build/merge step. A fixed count —
+/// independent of thread budget — keeps group emission order identical
+/// between serial and parallel vectorized runs.
+inline constexpr size_t kVecPartitions = 32;
+
+/// A non-breaking stage applied to every row flowing through a pipeline.
+struct ProbeStage {
+  enum class Kind { kHashProbe, kIndexNLProbe };
+  Kind kind = Kind::kHashProbe;
+
+  /// kHashProbe: which compiled hash join's table to probe.
+  int join_id = -1;
+  /// Probe-side key positions within the incoming row (right side of the
+  /// plan's hash_keys).
+  std::vector<int> probe_key_pos;
+
+  /// kIndexNLProbe.
+  const IndexInfo* index = nullptr;
+  std::vector<SeekKeyPart> seek;
+  std::vector<int> seek_outer_pos;
+  bool index_only = false;
+
+  /// Residuals evaluated on the joined row. Layouts match the Volcano
+  /// operators: hash join concatenates build ++ probe (incoming) columns;
+  /// index NL join concatenates outer (incoming) ++ inner columns.
+  std::vector<CompiledPred> preds;
+  /// Column types of the row this stage emits.
+  std::vector<TypeId> out_types;
+};
+
+/// What a pipeline does with rows that reach its end.
+struct Sink {
+  enum class Kind { kCollectProject, kBuild, kAggregate };
+  Kind kind = Kind::kCollectProject;
+
+  /// kCollectProject: output positions (the root Project's select list).
+  std::vector<size_t> positions;
+
+  /// kBuild: hash join fed by this pipeline, plus the build-side key
+  /// positions (left side of hash_keys).
+  int join_id = -1;
+  std::vector<int> build_key_pos;
+
+  /// kAggregate (always the query root).
+  std::vector<int> group_pos;
+  std::vector<int> select_distinct_pos;
+  std::vector<int> select_group_idx;
+  std::vector<BoundSelectItem> select;
+  size_t num_distinct_aggs = 0;
+};
+
+/// A pipeline: one batch source, a chain of probe stages, one sink.
+struct Pipeline {
+  enum class SourceKind { kHeapScan, kIndexScan };
+  SourceKind source = SourceKind::kHeapScan;
+
+  const HeapTable* heap = nullptr;   // kHeapScan
+  const IndexInfo* index = nullptr;  // kIndexScan
+  IndexKey prefix;                   // kIndexScan (empty = full scan)
+  bool index_only = false;           // kIndexScan
+
+  std::vector<CompiledPred> source_preds;
+  std::vector<TypeId> source_types;
+
+  std::vector<ProbeStage> stages;
+  Sink sink;
+};
+
+/// A Plan tree compiled to pipelines in Volcano Open() order: hash-join
+/// build pipelines first (deepest recursion first), then the pipeline that
+/// feeds the root. Executing them in order with each pipeline's breaker
+/// completed before the next starts reproduces the serial executor's charge
+/// sequence.
+struct VecPlan {
+  std::vector<Pipeline> pipelines;
+  size_t num_joins = 0;
+  bool root_is_aggregate = false;
+};
+
+/// Compiles `plan` for the vectorized engine. Plans whose shape the engine
+/// does not cover (aggregates below the root, residuals on root
+/// project/aggregate nodes, unknown node kinds) return Unsupported — the
+/// caller falls back to the Volcano executor, which handles everything.
+/// `in_sets` must outlive the compiled plan (predicates point into it).
+Result<VecPlan> CompileVecPlan(const PhysicalPlan& plan,
+                               const ObjectResolver& resolver,
+                               const InSets& in_sets);
+
+}  // namespace vec
+}  // namespace tabbench
+
+#endif  // TABBENCH_EXEC_VEC_PIPELINE_H_

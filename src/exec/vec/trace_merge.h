@@ -1,0 +1,121 @@
+#ifndef TABBENCH_EXEC_VEC_TRACE_MERGE_H_
+#define TABBENCH_EXEC_VEC_TRACE_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+#include "util/trace_event.h"
+
+namespace tabbench {
+namespace vec {
+
+/// The vectorized executor's determinism contract (DESIGN.md §6e):
+///
+/// Morsel workers execute through private *recording* ExecContexts (scratch
+/// pool, timeout enforcement off), calling the same charge methods in the
+/// same per-row order the Volcano operators would — so each worker's trace
+/// fragment is coalesced by ExecContext::RecordCheck itself. Fragments are
+/// then concatenated in canonical morsel order; AppendRecordedEvent below
+/// re-applies exactly the merges RecordCheck would have performed across
+/// the fragment boundary, so the concatenation equals the trace a single
+/// continuous recording would have produced. Finally ApplyTraceToContext
+/// walks the canonical trace through the caller's real ExecContext,
+/// reproducing the serial executor's floating-point operation shapes, pool
+/// state, counters, and timeout/cancellation semantics bit for bit.
+///
+/// Charges that depend on cross-morsel state (hash spill byte counters,
+/// first-occurrence group inserts) cannot be recorded locally. Workers
+/// leave a sentinel event in the fragment instead — kTuples with arg 0, a
+/// shape no live charge produces — which (a) terminates RecordCheck
+/// coalescing runs at the right spot and (b) is replaced during assembly by
+/// the real charge block, computed sequentially in canonical order.
+inline constexpr TraceEvent kSinkSentinel{TraceEvent::Kind::kTuples, 0};
+
+inline bool IsSinkSentinel(const TraceEvent& ev) {
+  return ev.kind == TraceEvent::Kind::kTuples && ev.arg == 0;
+}
+
+/// Appends one worker-recorded event onto `dst`, merging across the
+/// boundary exactly as ExecContext::RecordCheck would have if recording had
+/// been continuous. Only the first events of a fragment can interact with
+/// `dst`'s tail; every later event was already coalesced by the worker.
+void AppendRecordedEvent(AccessTrace* dst, const TraceEvent& ev);
+
+/// Trace-building primitives for the sequential assembly walk. These mirror
+/// ExecContext's recording (RecordCheck for checks, plain pushes for
+/// charges) without touching a pool or a clock.
+void AppendCheck(AccessTrace* dst);
+inline void AppendCharge(AccessTrace* dst, TraceEvent::Kind kind,
+                         uint64_t arg) {
+  dst->push_back({kind, arg});
+}
+/// `n` repetitions of {ChargeTuples(1); CheckTimeout()} — the aggregate
+/// output loop's shape.
+void AppendCheckedUnitTuples(AccessTrace* dst, uint64_t n);
+
+/// Mirror of the executor's SpillTracker (exec/operators.cc): same byte
+/// counter, same page arithmetic, emitting the same ChargeIoPages events —
+/// but into a trace under assembly instead of a live context.
+class SpillMirror {
+ public:
+  explicit SpillMirror(size_t work_mem_pages)
+      : work_mem_pages_(work_mem_pages) {}
+
+  void Add(size_t bytes, AccessTrace* dst) {
+    bytes_ += bytes;
+    size_t pages = bytes_ / kPageSize;
+    if (pages > work_mem_pages_) {
+      uint64_t over = pages - work_mem_pages_;
+      if (over > spilled_) {
+        AppendCharge(dst, TraceEvent::Kind::kIoPages, 2 * (over - spilled_));
+        spilled_ = over;
+      }
+    }
+  }
+
+  bool spilled() const { return spilled_ > 0; }
+
+ private:
+  size_t work_mem_pages_;
+  size_t bytes_ = 0;
+  uint64_t spilled_ = 0;
+};
+
+/// Incremental ReplayTrace over a scratch cold pool, used to detect doomed
+/// queries between pipelines: once the cold-replay clock passes
+/// `limit + pool_capacity * max_io` the apply step is guaranteed to trip
+/// its timeout within the already-assembled prefix (same argument as
+/// ExecContext::set_record_budget), so later pipelines can be skipped.
+class IncrementalReplay {
+ public:
+  IncrementalReplay(size_t pool_capacity, double start_seconds)
+      : pool_(pool_capacity), time_(start_seconds) {}
+
+  /// Replays trace[pos..) where pos is where the previous call stopped.
+  /// Returns the clock after the new events.
+  double Advance(const AccessTrace& trace, const CostParams& params);
+
+  double time() const { return time_; }
+
+ private:
+  BufferPool pool_;
+  double time_;
+  size_t pos_ = 0;
+};
+
+/// Walks the canonical trace through `ctx`, performing each recorded charge
+/// with the live methods (TouchPage, ChargeTuples, CheckTimeout, ...) so
+/// simulated time, the buffer pool, page/tuple counters, and — when `ctx`
+/// itself records a trace — the re-recorded trace are all exactly what the
+/// Volcano executor would have produced. Stops at the first CheckTimeout
+/// that fails and returns its status (Timeout / Cancelled / injected
+/// fault), leaving `ctx` as a live aborting execution would.
+Status ApplyTraceToContext(const AccessTrace& trace, ExecContext* ctx);
+
+}  // namespace vec
+}  // namespace tabbench
+
+#endif  // TABBENCH_EXEC_VEC_TRACE_MERGE_H_

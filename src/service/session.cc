@@ -27,7 +27,15 @@ Result<QueryResult> Session::Execute(const std::string& sql,
   }
   ExecContext ctx = db_->MakeSessionContext(&pool_, params);
   ctx.set_cancellation_token(std::move(cancel));
-  auto res = db_->RunWithContext(sql, &ctx);
+  Result<QueryResult> res = [&] {
+    if (options_.intra_query_parallelism > 0) {
+      vec::VecExecOptions vopts;
+      vopts.pool = options_.intra_query_pool;
+      vopts.max_parallelism = options_.intra_query_parallelism;
+      return db_->RunWithContextVectorized(sql, &ctx, vopts);
+    }
+    return db_->RunWithContext(sql, &ctx);
+  }();
   if (res.ok()) {
     queries_run_.fetch_add(1, std::memory_order_relaxed);
     clock_seconds_.store(clock_seconds() + res->sim_seconds,

@@ -7,6 +7,7 @@
 
 #include "engine/database.h"
 #include "util/cancellation.h"
+#include "util/thread_pool.h"
 
 namespace tabbench {
 
@@ -17,6 +18,16 @@ struct SessionOptions {
   /// Default per-query deadline in *simulated* seconds, folded into the
   /// paper's 30-minute timeout as min(timeout, deadline); <= 0 disables.
   double deadline_seconds = -1.0;
+  /// Intra-query parallelism budget: > 0 executes this session's queries on
+  /// the morsel-driven vectorized engine with up to this many helper jobs
+  /// per morsel phase, drawn from `intra_query_pool`. Helpers go through
+  /// the pool's admission control (a loaded service degrades the query
+  /// toward serial, never deadlocks), and simulated costs stay bit-identical
+  /// to the Volcano path. 0 (default) keeps the Volcano executor.
+  size_t intra_query_parallelism = 0;
+  /// Pool supplying those helpers; WorkloadService::OpenSession fills in
+  /// its own worker pool when the budget is set and this is null.
+  ThreadPool* intra_query_pool = nullptr;
 };
 
 /// One client's execution state against a shared database: a private

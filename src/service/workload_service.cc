@@ -418,6 +418,13 @@ std::future<Result<std::vector<QueryResult>>> WorkloadService::SubmitWorkload(
 SessionId WorkloadService::OpenSession(SessionOptions options) {
   MutexLock lock(&mu_);
   if (shutdown_) return kNoSession;
+  // Vectorized sessions draw their morsel helpers from the service's own
+  // worker pool unless the caller supplied one: intra-query parallelism
+  // then competes with job scheduling under the same admission control.
+  if (options.intra_query_parallelism > 0 &&
+      options.intra_query_pool == nullptr) {
+    options.intra_query_pool = &pool_;
+  }
   SessionId id = next_session_++;
   sessions_.emplace(id, std::make_unique<SessionState>(db_, options));
   return id;

@@ -36,6 +36,10 @@ namespace tabbench {
 ///   engine.finish_load     Database::FinishLoad (direct)
 ///   engine.apply_config    Database::ApplyConfiguration (direct)
 ///   engine.query           Database::Run / RunWithContext entry (direct)
+///   exec.vec.morsel        VecExecutor morsel body entry (direct; fires
+///                          only on the thread that owns the FaultScope —
+///                          helper threads carry no scope, so schedules
+///                          stay attempt-granular under parallelism)
 ///   service.task_spawn     ThreadPool::Submit (direct)
 ///   service.session_execute Session::Execute entry (direct)
 ///

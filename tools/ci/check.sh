@@ -46,6 +46,30 @@ cmake -B "${TSAN_DIR}" -S "${ROOT}" -DTABBENCH_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target tabbench_chaos_tests
 ctest --test-dir "${TSAN_DIR}" -L chaos --output-on-failure -j "${JOBS}"
 
+# The vectorized golden suite under TSan as well: its morsel workers hammer
+# the scheduler's claim loop, the partitioned join merge, and the shared
+# fragment buffers — the exact surfaces where a data race would corrupt the
+# bit-identity contract without failing any single-threaded test.
+step "ctest -L vectorized under TABBENCH_SANITIZE=thread"
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target tabbench_vec_tests
+ctest --test-dir "${TSAN_DIR}" -L vectorized --output-on-failure -j "${JOBS}"
+
+# ------------------------------------------------------------- vectorized
+# The morsel-driven vectorized engine: the golden suite proves simulated
+# costs bit-identical to the Volcano executor (ctest -L vectorized also ran
+# in the full pass above; -L scopes the re-run), then a small bench smoke
+# produces a BENCH_*.json perf-trajectory artifact and the schema gate
+# validates it — a malformed artifact fails here, not in a later diff.
+step "ctest -L vectorized"
+ctest --test-dir "${BUILD_DIR}" -L vectorized --output-on-failure -j "${JOBS}"
+
+step "bench smoke: BENCH_parallel.json (emit + schema-check)"
+TABBENCH_WORKLOAD=8 TABBENCH_WORKERS=2 \
+  "${BUILD_DIR}/bench/bench_parallel" \
+  --bench-json "${BUILD_DIR}/BENCH_parallel.json"
+"${BUILD_DIR}/bench/bench_json_check" "${BUILD_DIR}/BENCH_parallel.json"
+echo "BENCH artifact: ${BUILD_DIR}/BENCH_parallel.json"
+
 # ------------------------------------------------------------ kill-resume
 # Crash-safety proof at the process level, via the CLI rather than gtest:
 # a benchmark child is SIGKILLed mid-run by the TABBENCH_JOURNAL_CRASH_AFTER
