@@ -9,6 +9,7 @@
 
 #include "core/goal.h"
 #include "util/file_util.h"
+#include "util/status.h"
 #include "util/strings.h"
 
 namespace tabbench {
@@ -331,6 +332,11 @@ Status ParseFlatJson(const std::string& text,
 }  // namespace
 
 Status ValidateBenchJsonFile(const std::string& path) {
+  std::string unused;
+  return ValidateBenchJsonFile(path, &unused);
+}
+
+Status ValidateBenchJsonFile(const std::string& path, std::string* name) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
   std::stringstream buf;
@@ -376,6 +382,22 @@ Status ValidateBenchJsonFile(const std::string& path) {
   want_string("git_rev", &st);
   if (!st.ok()) return st;
   if (obj.size() != 6) return fail("unexpected extra keys");
+  if (name != nullptr) *name = obj["name"].str;
+  return Status::OK();
+}
+
+Status ValidateBenchJsonSet(const std::vector<std::string>& paths) {
+  std::map<std::string, std::string> first_path;  // name -> earliest path
+  for (const std::string& path : paths) {
+    std::string name;
+    TB_RETURN_IF_ERROR(ValidateBenchJsonFile(path, &name));
+    auto ins = first_path.emplace(name, path);
+    if (!ins.second) {
+      return Status::InvalidArgument(
+          path + ": duplicate benchmark name '" + name +
+          "' (already reported by " + ins.first->second + ")");
+    }
+  }
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "advisor/profiles.h"
 #include "core/benchmark_suite.h"
@@ -80,6 +81,17 @@ Status WriteBenchJsonReport(const std::string& path, BenchJsonReport r);
 /// exactly the BenchJsonReport fields with the right types (numbers
 /// finite, thread_count a positive integer, strings non-empty).
 Status ValidateBenchJsonFile(const std::string& path);
+
+/// As above, additionally returning the report's benchmark name on
+/// success — the key the trajectory tooling groups runs by.
+Status ValidateBenchJsonFile(const std::string& path, std::string* name);
+
+/// The bench_json_check gate over a whole artifact set: every file must
+/// pass ValidateBenchJsonFile, and no two files (nor one file listed
+/// twice) may report the same benchmark name — trajectory plots keyed by
+/// name would otherwise silently average two distinct runs. The error
+/// names both offending paths.
+Status ValidateBenchJsonSet(const std::vector<std::string>& paths);
 
 }  // namespace bench
 }  // namespace tabbench

@@ -11,11 +11,21 @@ namespace vec {
 namespace {
 
 /// State shared between the calling thread and helper jobs for one Run().
+/// The configuration quadruple is const — set once before any helper is
+/// spawned, immutable after — so helpers read it with no synchronization.
 struct RunState {
-  size_t n = 0;
-  const std::function<Status(size_t, MorselReport*)>* body = nullptr;
-  CancellationToken cancel;
-  double abort_seconds = 0.0;
+  RunState(size_t n_in,
+           const std::function<Status(size_t, MorselReport*)>* body_in,
+           CancellationToken cancel_in, double abort_seconds_in)
+      : n(n_in),
+        body(body_in),
+        cancel(std::move(cancel_in)),
+        abort_seconds(abort_seconds_in) {}
+
+  const size_t n;
+  const std::function<Status(size_t, MorselReport*)>* const body;
+  const CancellationToken cancel;
+  const double abort_seconds;
 
   std::atomic<size_t> next{0};
   std::atomic<bool> stop{false};
@@ -61,11 +71,7 @@ size_t MorselScheduler::Run(
   *cancelled = false;
   if (n == 0) return 0;
 
-  RunState st;
-  st.n = n;
-  st.body = &body;
-  st.cancel = options.cancel;
-  st.abort_seconds = options.abort_seconds;
+  RunState st(n, &body, options.cancel, options.abort_seconds);
 
   size_t want = 0;
   if (options.pool != nullptr && n > 1) {

@@ -202,7 +202,8 @@ class WorkloadService {
                       const BufferPoolStats& after) TB_EXCLUDES(mu_);
 
   const Database* db_;
-  ServiceOptions options_;
+  /// Immutable after construction; read from worker threads bare.
+  const ServiceOptions options_;
   CircuitBreaker breaker_;
   Watchdog watchdog_;
   /// Created once in the constructor, then only read (the writer itself is

@@ -115,6 +115,11 @@ class BTree {
   size_t leaf_capacity_;
   size_t internal_capacity_;
   PageStore* store_;
+  /// Structurally mutated only by the single-threaded build phase
+  /// (Insert/BulkBuild); read-only once concurrent planning starts, so the
+  /// stats-cache mutex never needs to cover it. The under-lock reads in
+  /// FillStatsCache are incidental, not a guard relationship.
+  /// NOLINTNEXTLINE(tabbench-lockset-inconsistent)
   std::unique_ptr<Node> root_;
   uint64_t num_entries_ = 0;
   size_t num_pages_ = 0;

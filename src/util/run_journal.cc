@@ -370,6 +370,10 @@ Status RunJournalWriter::Append(const JournalQueryRecord& rec) {
   std::string frame = Frame(EncodeQueryRecord(rec));
   MutexLock lock(&mu_);
   if (fd_ < 0) return Status::Internal("run journal writer is closed");
+  // The fsync deliberately happens under mu_: Append's contract is a
+  // totally ordered, durable-on-return journal, and serializing the
+  // write+sync pair is what provides it. Waiters queue behind the sync by
+  // design. NOLINTNEXTLINE(tabbench-blocking-under-lock)
   TB_RETURN_IF_ERROR(WriteAndSync(fd_, frame));
   ++appends_;
   if (crash_after_appends_ >= 0 && appends_ >= crash_after_appends_) {

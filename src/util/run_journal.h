@@ -131,7 +131,10 @@ class RunJournalWriter {
   /// armed by the TABBENCH_JOURNAL_CRASH_AFTER environment variable (read
   /// at Create/OpenAppend), mirroring TABBENCH_FAULTS, so child benchmark
   /// processes can be crashed without API plumbing.
-  void set_crash_after_appends(int n) { crash_after_appends_ = n; }
+  void set_crash_after_appends(int n) {
+    MutexLock lock(&mu_);
+    crash_after_appends_ = n;
+  }
 
   const std::string& path() const { return path_; }
 
@@ -140,7 +143,7 @@ class RunJournalWriter {
   Mutex mu_;
   int fd_ TB_GUARDED_BY(mu_) = -1;
   int appends_ TB_GUARDED_BY(mu_) = 0;
-  int crash_after_appends_ = -1;
+  int crash_after_appends_ TB_GUARDED_BY(mu_) = -1;
 };
 
 }  // namespace tabbench

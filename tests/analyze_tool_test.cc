@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -13,7 +15,9 @@
 namespace {
 
 using tabbench_analyze::Analyze;
+using tabbench_analyze::ApplyAnnotationFixes;
 using tabbench_analyze::BaselineEntry;
+using tabbench_analyze::FaultCoverageReport;
 using tabbench_analyze::DiffBaseline;
 using tabbench_analyze::Finding;
 using tabbench_analyze::LayerSpec;
@@ -538,7 +542,7 @@ TEST(AnalyzeOutput, SarifIsStructurallySound) {
 
 TEST(AnalyzeOutput, RuleTableIsUniqueAndPrefixed) {
   const auto& rules = tabbench_analyze::Rules();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 12u);
   for (size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(std::string(rules[i].name).rfind("tabbench-", 0), 0u);
     for (size_t j = i + 1; j < rules.size(); ++j) {
@@ -647,6 +651,472 @@ TEST(AnalyzeLayerSpec, RejectsMalformedInput) {
   EXPECT_FALSE(ParseLayerSpec("layer a: src/a\nforbid a -> ghost\n",
                               &spec, &err));
   EXPECT_NE(err.find("undeclared layer"), std::string::npos) << err;
+}
+
+// ------------------------------------------------------- lockset inference
+
+// One fixture drives both lockset rules: hits_ is only ever touched under
+// mu_ (suggest the annotation), total_ is touched both under mu_ and bare
+// (a race).
+const char* kCacheFixture =
+    "namespace tabbench {\n"
+    "class Cache {\n"
+    " public:\n"
+    "  void Put(int v) {\n"
+    "    MutexLock lock(&mu_);\n"
+    "    hits_ = v;\n"
+    "    total_ = v;\n"
+    "  }\n"
+    "  int Get() {\n"
+    "    MutexLock lock(&mu_);\n"
+    "    return hits_;\n"
+    "  }\n"
+    "  int Peek() { return total_; }\n"
+    " private:\n"
+    "  Mutex mu_;\n"
+    "  int hits_ = 0;\n"
+    "  int total_ = 0;\n"
+    "};\n"
+    "}  // namespace tabbench\n";
+
+TEST(AnalyzeLockset, ConsistentlyGuardedFieldSuggestsAnnotation) {
+  auto findings = RunAnalyze({{"src/service/cache.h", kCacheFixture}});
+  ASSERT_EQ(CountRule(findings, "tabbench-lockset-unannotated"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-lockset-unannotated");
+  EXPECT_EQ(f->line, 16u);  // anchored at the member declaration
+  EXPECT_NE(f->message.find("Cache::hits_"), std::string::npos)
+      << f->message;
+  EXPECT_NE(f->message.find("TB_GUARDED_BY(mu_)"), std::string::npos)
+      << f->message;
+  // Same-class guard: the finding carries a machine-applicable fix.
+  EXPECT_EQ(f->fix.after_word, "hits_");
+  EXPECT_EQ(f->fix.text, " TB_GUARDED_BY(mu_)");
+}
+
+TEST(AnalyzeLockset, MixedLockedAndBareAccessIsInconsistent) {
+  auto findings = RunAnalyze({{"src/service/cache.h", kCacheFixture}});
+  ASSERT_EQ(CountRule(findings, "tabbench-lockset-inconsistent"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-lockset-inconsistent");
+  EXPECT_EQ(f->line, 17u);
+  EXPECT_NE(f->message.find("Cache::total_"), std::string::npos)
+      << f->message;
+  // Related sites cover both kinds of access.
+  bool saw_locked = false, saw_bare = false;
+  for (const auto& s : f->related) {
+    if (s.note.find("under ") != std::string::npos) saw_locked = true;
+    if (s.note.find("no lock held") != std::string::npos) saw_bare = true;
+  }
+  EXPECT_TRUE(saw_locked && saw_bare) << ToText(findings);
+}
+
+TEST(AnalyzeLockset, DeclaredGuardContradictedByBareAccess) {
+  auto findings = RunAnalyze({{"src/service/counter.h",
+                        "namespace tabbench {\n"
+                        "class Counter {\n"
+                        " public:\n"
+                        "  void Inc() {\n"
+                        "    MutexLock lock(&mu_);\n"
+                        "    n_ = n_ + 1;\n"
+                        "  }\n"
+                        "  int Read() { return n_; }\n"
+                        " private:\n"
+                        "  Mutex mu_;\n"
+                        "  int n_ TB_GUARDED_BY(mu_) = 0;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-lockset-contradicted"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-lockset-contradicted");
+  EXPECT_EQ(f->line, 8u);  // the offending access, not the declaration
+  EXPECT_NE(f->message.find("Counter::Read"), std::string::npos)
+      << f->message;
+  ASSERT_EQ(f->related.size(), 1u);
+  EXPECT_EQ(f->related[0].line, 11u);  // "declared TB_GUARDED_BY here"
+}
+
+TEST(AnalyzeLockset, AtomicsConstAndHonoredAnnotationsAreQuiet) {
+  auto findings = RunAnalyze({{"src/service/quiet.h",
+                        "namespace tabbench {\n"
+                        "class Quiet {\n"
+                        " public:\n"
+                        "  void Tick() {\n"
+                        "    MutexLock lock(&mu_);\n"
+                        "    guarded_ = guarded_ + 1;\n"
+                        "  }\n"
+                        "  int Sum() { return hits_.load() + limit_; }\n"
+                        "  void Bump() { hits_.fetch_add(1); }\n"
+                        " private:\n"
+                        "  Mutex mu_;\n"
+                        "  std::atomic<int> hits_{0};\n"
+                        "  const int limit_ = 8;\n"
+                        "  int guarded_ TB_GUARDED_BY(mu_) = 0;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-lockset-inconsistent"), 0u)
+      << ToText(findings);
+  EXPECT_EQ(CountRule(findings, "tabbench-lockset-unannotated"), 0u)
+      << ToText(findings);
+  EXPECT_EQ(CountRule(findings, "tabbench-lockset-contradicted"), 0u)
+      << ToText(findings);
+}
+
+TEST(AnalyzeLockset, RequiresAnnotationCountsAsHeld) {
+  auto findings = RunAnalyze({{"src/service/req.h",
+                        "namespace tabbench {\n"
+                        "class Req {\n"
+                        " public:\n"
+                        "  void Direct() {\n"
+                        "    MutexLock lock(&mu_);\n"
+                        "    v_ = 1;\n"
+                        "  }\n"
+                        "  void Callee() TB_REQUIRES(mu_) { v_ = 2; }\n"
+                        " private:\n"
+                        "  Mutex mu_;\n"
+                        "  int v_ = 0;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  // Both sites hold mu_ (one via the contract), so the field is
+  // *consistent* — a suggestion, never an inconsistency.
+  EXPECT_EQ(CountRule(findings, "tabbench-lockset-inconsistent"), 0u)
+      << ToText(findings);
+  EXPECT_EQ(CountRule(findings, "tabbench-lockset-unannotated"), 1u)
+      << ToText(findings);
+}
+
+// -------------------------------------------------- annotation fix apply
+
+TEST(AnalyzeFixes, ApplyInsertsSuggestedAnnotationAndIsIdempotent) {
+  std::vector<SourceFile> files = {{"src/service/cache.h", kCacheFixture}};
+  auto findings = RunAnalyze(files);
+  ASSERT_NE(FindRule(findings, "tabbench-lockset-unannotated"), nullptr);
+  EXPECT_EQ(ApplyAnnotationFixes(findings, &files), 1u);
+  EXPECT_NE(files[0].content.find("int hits_ TB_GUARDED_BY(mu_) = 0;"),
+            std::string::npos)
+      << files[0].content;
+  // The fixed tree no longer suggests; the declared guard is honored.
+  auto after = RunAnalyze(files);
+  EXPECT_EQ(CountRule(after, "tabbench-lockset-unannotated"), 0u)
+      << ToText(after);
+  EXPECT_EQ(CountRule(after, "tabbench-lockset-contradicted"), 0u)
+      << ToText(after);
+  // Re-applying the same (now stale) fixes inserts nothing.
+  EXPECT_EQ(ApplyAnnotationFixes(findings, &files), 0u);
+}
+
+// ---------------------------------------------------- blocking under lock
+
+TEST(AnalyzeBlocking, FsyncWhileHoldingTheMutexFiresAtTheCall) {
+  auto findings = RunAnalyze({{"src/util/journal.h",
+                        "namespace tabbench {\n"
+                        "class Journal {\n"
+                        " public:\n"
+                        "  void Append() {\n"
+                        "    MutexLock lock(&mu_);\n"
+                        "    fsync(fd_);\n"
+                        "  }\n"
+                        " private:\n"
+                        "  Mutex mu_;\n"
+                        "  int fd_ = -1;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-blocking-under-lock"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-blocking-under-lock");
+  EXPECT_EQ(f->line, 6u);
+  EXPECT_NE(f->message.find("fsync()"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("Journal::mu_"), std::string::npos)
+      << f->message;
+}
+
+TEST(AnalyzeBlocking, ResolvedTransitivelyThroughTheCallGraph) {
+  auto findings = RunAnalyze({{"src/util/disk.h",
+                        "namespace tabbench {\n"
+                        "class Disk {\n"
+                        " public:\n"
+                        "  void Flush() { fsync(fd_); }\n"
+                        "  void Locked() {\n"
+                        "    MutexLock lock(&mu_);\n"
+                        "    Flush();\n"
+                        "  }\n"
+                        " private:\n"
+                        "  Mutex mu_;\n"
+                        "  int fd_ = -1;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-blocking-under-lock"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-blocking-under-lock");
+  EXPECT_EQ(f->line, 7u);  // the call site under the lock
+  EXPECT_NE(f->message.find("Disk::Flush"), std::string::npos)
+      << f->message;
+  bool has_block_site = false;
+  for (const auto& s : f->related) {
+    if (s.note.find("blocks here") != std::string::npos) {
+      has_block_site = true;
+      EXPECT_EQ(s.line, 4u);
+    }
+  }
+  EXPECT_TRUE(has_block_site) << ToText(findings);
+}
+
+TEST(AnalyzeBlocking, CondVarWaitUnderItsMutexIsTheLegitimatePattern) {
+  auto findings = RunAnalyze({{"src/util/cv.h",
+                        "namespace tabbench {\n"
+                        "class Queue {\n"
+                        " public:\n"
+                        "  void WaitNonEmpty() {\n"
+                        "    MutexLock lock(&mu_);\n"
+                        "    while (size_ == 0) cv_.Wait(&mu_);\n"
+                        "  }\n"
+                        " private:\n"
+                        "  Mutex mu_;\n"
+                        "  CondVar cv_;\n"
+                        "  int size_ TB_GUARDED_BY(mu_) = 0;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-blocking-under-lock"), 0u)
+      << ToText(findings);
+}
+
+TEST(AnalyzeBlocking, NonCondVarWaitUnderLockFires) {
+  auto findings = RunAnalyze({{"src/util/latchwait.h",
+                        "namespace tabbench {\n"
+                        "class Latch { public: void Wait(); };\n"
+                        "class Gate {\n"
+                        " public:\n"
+                        "  void Block() {\n"
+                        "    MutexLock lock(&mu_);\n"
+                        "    latch_.Wait();\n"
+                        "  }\n"
+                        " private:\n"
+                        "  Mutex mu_;\n"
+                        "  Latch latch_;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-blocking-under-lock"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-blocking-under-lock");
+  EXPECT_NE(f->message.find("Latch::Wait()"), std::string::npos)
+      << f->message;
+}
+
+// --------------------------------------------------- cancellation polls
+
+TEST(AnalyzeCancellation, UnpolledInfiniteLoopInScopedDirFires) {
+  auto findings = RunAnalyze({{"src/exec/vec/spin.cc",
+                        "namespace tabbench {\n"
+                        "void Spin(int* p) {\n"
+                        "  for (;;) {\n"
+                        "    *p += 1;\n"
+                        "  }\n"
+                        "}\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-cancellation-poll"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-cancellation-poll");
+  EXPECT_EQ(f->line, 3u);
+  EXPECT_NE(f->message.find("Spin"), std::string::npos) << f->message;
+}
+
+TEST(AnalyzeCancellation, PolledLoopAndOutOfScopeFilesAreQuiet) {
+  auto findings = RunAnalyze(
+      {{"src/exec/vec/ok.cc",
+        "namespace tabbench {\n"
+        "void Drive(const CancellationToken& cancel, int* p) {\n"
+        "  for (;;) {\n"
+        "    if (cancel.cancelled()) return;\n"
+        "    *p += 1;\n"
+        "  }\n"
+        "}\n"
+        "}  // namespace tabbench\n"},
+       // Same unpolled loop, but storage is outside the liveness scope
+       // (no long-running cancellable work lives there).
+       {"src/storage/spin.cc",
+        "namespace tabbench {\n"
+        "void Churn(int* p) {\n"
+        "  for (;;) {\n"
+        "    *p += 1;\n"
+        "  }\n"
+        "}\n"
+        "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-cancellation-poll"), 0u)
+      << ToText(findings);
+}
+
+TEST(AnalyzeCancellation, PollInsideACalleeCountsTransitively) {
+  auto findings = RunAnalyze({{"src/service/drive.cc",
+                        "namespace tabbench {\n"
+                        "bool ShouldStop(const CancellationToken& t) {\n"
+                        "  return t.cancelled();\n"
+                        "}\n"
+                        "void Drive(const CancellationToken& t) {\n"
+                        "  for (;;) {\n"
+                        "    if (ShouldStop(t)) return;\n"
+                        "  }\n"
+                        "}\n"
+                        "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-cancellation-poll"), 0u)
+      << ToText(findings);
+}
+
+// ------------------------------------------ lambda bodies in lock order
+
+TEST(AnalyzeLockOrder, LambdaHeldMutexesContributeOrderingEdges) {
+  // The PR-5 gap: a_ -> b_ nested *inside* a worker lambda must still
+  // join the lock-order graph, or inversions hidden in job bodies pass.
+  auto findings = RunAnalyze({{"src/service/lam.h",
+                        "namespace tabbench {\n"
+                        "class Lam {\n"
+                        " public:\n"
+                        "  void Go() {\n"
+                        "    Submit([this] {\n"
+                        "      MutexLock la(&a_);\n"
+                        "      MutexLock lb(&b_);\n"
+                        "    });\n"
+                        "  }\n"
+                        "  void Back() {\n"
+                        "    MutexLock lb(&b_);\n"
+                        "    MutexLock la(&a_);\n"
+                        "  }\n"
+                        " private:\n"
+                        "  Mutex a_;\n"
+                        "  Mutex b_;\n"
+                        "};\n"
+                        "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-lock-order"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-lock-order");
+  EXPECT_NE(f->message.find("Lam::a_"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("Lam::b_"), std::string::npos) << f->message;
+}
+
+// ------------------------------------------------- fault-point coverage
+
+TEST(AnalyzeFaultCoverage, ListsSitesPerLayerAndNamesZeroLayers) {
+  const std::string report = FaultCoverageReport(
+      {{"src/util/file.cc",
+        "namespace tabbench {\n"
+        "int Read() {\n"
+        "  TB_FAULT_POINT(\"io.read\", fd);\n"
+        "  return 0;\n"
+        "}\n"
+        "}  // namespace tabbench\n"},
+       {"src/engine/db.cc", "namespace tabbench {\nint Db();\n}\n"}},
+      LayeredOpts().layers);
+  EXPECT_NE(report.find("util: 1 site"), std::string::npos) << report;
+  EXPECT_NE(report.find("src/util/file.cc:3  io.read"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("layers with zero fault points:"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("engine"), std::string::npos) << report;
+}
+
+// --------------------------------- new rules in SARIF and the baseline
+
+TEST(AnalyzeOutput, SarifCarriesTheConcurrencyRuleIds) {
+  auto findings = RunAnalyze(
+      {{"src/service/cache.h", kCacheFixture},
+       {"src/exec/vec/spin.cc",
+        "namespace tabbench {\n"
+        "void Spin(int* p) {\n"
+        "  for (;;) { *p += 1; }\n"
+        "}\n"
+        "}  // namespace tabbench\n"}});
+  const std::string sarif = ToSarif(findings);
+  EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("tabbench-lockset-inconsistent"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("tabbench-lockset-unannotated"), std::string::npos);
+  EXPECT_NE(sarif.find("tabbench-cancellation-poll"), std::string::npos);
+}
+
+TEST(AnalyzeBaseline, ConcurrencyFindingsRoundTripThroughTheRatchet) {
+  auto findings = RunAnalyze({{"src/service/cache.h", kCacheFixture}});
+  ASSERT_GE(findings.size(), 2u) << ToText(findings);
+  // Fresh against an empty baseline: strict mode would fail.
+  EXPECT_EQ(DiffBaseline(findings, {}).fresh.size(), findings.size());
+  // Absorbed by their own baseline: clean.
+  std::vector<BaselineEntry> entries;
+  std::string err;
+  ASSERT_TRUE(ParseBaselineJson(ToBaselineJson(findings), &entries, &err))
+      << err;
+  auto diff = DiffBaseline(findings, entries);
+  EXPECT_TRUE(diff.fresh.empty());
+  EXPECT_TRUE(diff.stale.empty());
+  EXPECT_EQ(diff.matched, findings.size());
+}
+
+TEST(AnalyzeSuppressions, NolintSilencesTheConcurrencyRules) {
+  auto findings = RunAnalyze({{"src/exec/vec/spin.cc",
+                        "namespace tabbench {\n"
+                        "void Spin(int* p) {\n"
+                        "  // NOLINTNEXTLINE(tabbench-cancellation-poll)\n"
+                        "  for (;;) { *p += 1; }\n"
+                        "}\n"
+                        "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-cancellation-poll"), 0u)
+      << ToText(findings);
+}
+
+// -------------------------------------------- acceptance: the real tree
+//
+// The contract the ISSUE states: the analyzer keeps the *actual* morsel
+// scheduler honest. Unmodified, it is clean; deliberately de-annotating
+// its guarded run state, or removing the claim loop's cancellation poll,
+// must surface as fresh findings a strict baseline run would reject.
+
+std::string ReadRealFile(const std::string& rel) {
+  std::ifstream in(std::string(TABBENCH_SOURCE_DIR) + "/" + rel);
+  EXPECT_TRUE(in.good()) << rel;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string ReplaceAll(std::string text, const std::string& from,
+                       const std::string& to) {
+  size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+TEST(AnalyzeAcceptance, RealMorselSchedulerIsClean) {
+  auto findings = RunAnalyze(
+      {{"src/exec/vec/morsel_scheduler.cc",
+        ReadRealFile("src/exec/vec/morsel_scheduler.cc")}});
+  EXPECT_TRUE(findings.empty()) << ToText(findings);
+}
+
+TEST(AnalyzeAcceptance, DeannotatingTheRunStateSurfacesLocksetFindings) {
+  const std::string stripped =
+      ReplaceAll(ReadRealFile("src/exec/vec/morsel_scheduler.cc"),
+                 " TB_GUARDED_BY(mu)", "");
+  auto findings =
+      RunAnalyze({{"src/exec/vec/morsel_scheduler.cc", stripped}});
+  // charge_sum / error_index / error are all only ever touched under mu:
+  // stripping the annotations must yield re-annotation suggestions.
+  EXPECT_GE(CountRule(findings, "tabbench-lockset-unannotated"), 3u)
+      << ToText(findings);
+  // ... and a strict baseline run (empty baseline) rejects them.
+  EXPECT_FALSE(DiffBaseline(findings, {}).fresh.empty());
+}
+
+TEST(AnalyzeAcceptance, RemovingTheClaimLoopPollSurfacesLiveness) {
+  std::string depolled = ReadRealFile("src/exec/vec/morsel_scheduler.cc");
+  depolled = ReplaceAll(depolled, "st->stop.load(std::memory_order_acquire)",
+                        "false");
+  depolled = ReplaceAll(depolled, "st->cancel.cancelled()", "false");
+  auto findings =
+      RunAnalyze({{"src/exec/vec/morsel_scheduler.cc", depolled}});
+  EXPECT_GE(CountRule(findings, "tabbench-cancellation-poll"), 1u)
+      << ToText(findings);
+  EXPECT_FALSE(DiffBaseline(findings, {}).fresh.empty());
 }
 
 }  // namespace

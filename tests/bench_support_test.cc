@@ -1,0 +1,102 @@
+// Unit tests for the bench-support BENCH_*.json plumbing: the writer /
+// validator round-trip, the schema gate's error cases, and the
+// duplicate-benchmark-name rejection that keeps trajectory plots from
+// silently averaging two runs reported under one name.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_support.h"
+#include "gtest/gtest.h"
+
+namespace tabbench {
+namespace bench {
+namespace {
+
+std::string TempPath(const std::string& leaf) {
+  return ::testing::TempDir() + "/" + leaf;
+}
+
+BenchJsonReport MakeReport(const std::string& name) {
+  BenchJsonReport r;
+  r.name = name;
+  r.queries_per_second = 123.5;
+  r.wall_seconds = 0.81;
+  r.speedup_vs_serial = 3.25;
+  r.thread_count = 4;
+  r.git_rev = "deadbeef";
+  return r;
+}
+
+TEST(BenchJson, WriteThenValidateRoundTripsAndExtractsName) {
+  const std::string path = TempPath("BENCH_roundtrip.json");
+  ASSERT_TRUE(WriteBenchJsonReport(path, MakeReport("vec_parallel")).ok());
+  std::string name;
+  Status st = ValidateBenchJsonFile(path, &name);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(name, "vec_parallel");
+  // The name-less overload is the same check.
+  EXPECT_TRUE(ValidateBenchJsonFile(path).ok());
+}
+
+TEST(BenchJson, MissingFileIsNotFound) {
+  std::string name;
+  Status st = ValidateBenchJsonFile(TempPath("BENCH_absent.json"), &name);
+  EXPECT_EQ(st.code(), Status::Code::kNotFound);
+}
+
+TEST(BenchJson, RepeatedJsonKeyIsRejected) {
+  const std::string path = TempPath("BENCH_dupkey.json");
+  std::ofstream(path) << "{\"name\": \"a\", \"name\": \"b\",\n"
+                         "\"queries_per_second\": 1, \"wall_seconds\": 1,\n"
+                         "\"speedup_vs_serial\": 1, \"thread_count\": 1,\n"
+                         "\"git_rev\": \"x\"}";
+  Status st = ValidateBenchJsonFile(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("duplicate key"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(BenchJsonSet, DistinctNamesPass) {
+  const std::string a = TempPath("BENCH_set_a.json");
+  const std::string b = TempPath("BENCH_set_b.json");
+  ASSERT_TRUE(WriteBenchJsonReport(a, MakeReport("microbench")).ok());
+  ASSERT_TRUE(WriteBenchJsonReport(b, MakeReport("parallel")).ok());
+  Status st = ValidateBenchJsonSet({a, b});
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(BenchJsonSet, DuplicateNameAcrossFilesIsRejected) {
+  const std::string a = TempPath("BENCH_dup_a.json");
+  const std::string b = TempPath("BENCH_dup_b.json");
+  ASSERT_TRUE(WriteBenchJsonReport(a, MakeReport("microbench")).ok());
+  ASSERT_TRUE(WriteBenchJsonReport(b, MakeReport("microbench")).ok());
+  Status st = ValidateBenchJsonSet({a, b});
+  ASSERT_EQ(st.code(), Status::Code::kInvalidArgument);
+  // The error names the colliding benchmark and both artifacts.
+  EXPECT_NE(st.ToString().find("duplicate benchmark name 'microbench'"),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find(a), std::string::npos) << st.ToString();
+  EXPECT_NE(st.ToString().find(b), std::string::npos) << st.ToString();
+}
+
+TEST(BenchJsonSet, SameFileListedTwiceIsRejected) {
+  const std::string a = TempPath("BENCH_twice.json");
+  ASSERT_TRUE(WriteBenchJsonReport(a, MakeReport("totals")).ok());
+  EXPECT_EQ(ValidateBenchJsonSet({a, a}).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(BenchJsonSet, SchemaFailureInAnyMemberFails) {
+  const std::string good = TempPath("BENCH_good.json");
+  const std::string bad = TempPath("BENCH_bad.json");
+  ASSERT_TRUE(WriteBenchJsonReport(good, MakeReport("ok_run")).ok());
+  std::ofstream(bad) << "{\"name\": \"broken\"}";
+  EXPECT_FALSE(ValidateBenchJsonSet({good, bad}).ok());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tabbench

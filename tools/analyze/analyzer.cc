@@ -34,6 +34,25 @@ const std::vector<RuleInfo>& Rules() {
        "A function in src/core or src/engine can transitively reach a "
        "wall-clock or system-RNG call; simulation results must be "
        "reproducible from the seed alone."},
+      {"tabbench-lockset-inconsistent",
+       "A member field is accessed both while holding a mutex and with no "
+       "lock held; the bare sites race with the locked ones (Eraser-style "
+       "lockset inference)."},
+      {"tabbench-lockset-unannotated",
+       "Every access to a member field holds the same mutex, but the "
+       "field carries no TB_GUARDED_BY; the inferred annotation is "
+       "suggested and --fix-annotations inserts it."},
+      {"tabbench-lockset-contradicted",
+       "A field declares TB_GUARDED_BY(m) but some access site does not "
+       "hold m; the annotation is a model the code contradicts."},
+      {"tabbench-blocking-under-lock",
+       "A blocking operation (fsync, sleeps, a Wait on a non-condvar) "
+       "runs — directly or through resolved calls — while a mutex is "
+       "held, stalling every waiter on that mutex."},
+      {"tabbench-cancellation-poll",
+       "An unbounded loop in a worker surface (src/exec/vec, "
+       "src/core/runner.cc, src/service) never reaches a cancellation or "
+       "watchdog poll on any path; it cannot be cancelled once wedged."},
   };
   return kRules;
 }
@@ -115,6 +134,9 @@ std::vector<Finding> Analyze(const std::vector<SourceFile>& files,
   RunLockOrderPass(model, &findings);
   RunStatusFlowPass(model, &findings);
   RunTaintPass(model, &findings);
+  RunLocksetPass(model, &findings);
+  RunBlockingPass(model, &findings);
+  RunCancellationPass(model, &findings);
 
   std::map<std::string, const ParsedFile*> by_path;
   for (const ParsedFile& pf : model.files) by_path[pf.src->path] = &pf;
@@ -132,6 +154,61 @@ std::vector<Finding> Analyze(const std::vector<SourceFile>& files,
                      std::tie(b.file, b.line, b.rule, b.message);
             });
   return kept;
+}
+
+size_t ApplyAnnotationFixes(const std::vector<Finding>& findings,
+                            std::vector<SourceFile>* files) {
+  auto is_word = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+  };
+  size_t applied = 0;
+  for (const Finding& f : findings) {
+    if (f.fix.text.empty() || f.line == 0) continue;
+    for (SourceFile& sf : *files) {
+      if (sf.path != f.file) continue;
+      // Offsets are recomputed from the (possibly already edited) content
+      // for every fix, so multiple fixes to one file compose.
+      size_t begin = 0;
+      bool found = true;
+      for (size_t ln = 1; ln < f.line; ++ln) {
+        const size_t nl = sf.content.find('\n', begin);
+        if (nl == std::string::npos) {
+          found = false;
+          break;
+        }
+        begin = nl + 1;
+      }
+      if (!found) break;
+      size_t end = sf.content.find('\n', begin);
+      if (end == std::string::npos) end = sf.content.size();
+      const std::string line = sf.content.substr(begin, end - begin);
+      // Idempotence: a line that already carries an annotation is done.
+      if (line.find("GUARDED_BY") != std::string::npos) break;
+      size_t pos = std::string::npos;
+      for (size_t p = line.find(f.fix.after_word); p != std::string::npos;
+           p = line.find(f.fix.after_word, p + 1)) {
+        const size_t q = p + f.fix.after_word.size();
+        if ((p == 0 || !is_word(line[p - 1])) &&
+            (q >= line.size() || !is_word(line[q]))) {
+          pos = q;
+          break;
+        }
+      }
+      if (pos == std::string::npos) break;
+      // The annotation goes after the whole declarator, past any array
+      // brackets.
+      while (pos < line.size() && line[pos] == '[') {
+        const size_t close = line.find(']', pos);
+        if (close == std::string::npos) break;
+        pos = close + 1;
+      }
+      sf.content.insert(begin + pos, f.fix.text);
+      ++applied;
+      break;
+    }
+  }
+  return applied;
 }
 
 // ---------------------------------------------------------------------------

@@ -11,7 +11,8 @@
 /// Where tabbench_lint (tools/lint) applies per-file regex rules, this tool
 /// parses the whole tree once (tools/common/cpptok tokens) into a project
 /// model — includes, classes and their members, function bodies, call
-/// sites, mutex acquisitions — and runs four whole-program passes over it:
+/// sites, mutex acquisitions — and runs seven whole-program passes over
+/// it:
 ///
 ///   1. layering          — the architecture DAG declared in layers.txt:
 ///                          a file may include only its own or lower
@@ -32,6 +33,25 @@
 ///                          tainted function defined in src/core or
 ///                          src/engine (the simulation's result paths) is
 ///                          flagged with its taint chain.
+///   5. lockset           — Eraser-style inference: the set of mutexes
+///                          held at every member-field access site
+///                          (MutexLock scopes, TB_REQUIRES contracts, and
+///                          lambda frames tracked separately). Fields
+///                          accessed both under a lock and bare are
+///                          inconsistent; fields with a consistent
+///                          inferred guard but no TB_GUARDED_BY get a
+///                          suggested annotation (insertable via
+///                          --fix-annotations); declared annotations the
+///                          locksets contradict are reported against the
+///                          offending site.
+///   6. blocking-under-lock — fsync/sleeps/non-condvar Waits executed, or
+///                          reachable through resolved calls, while a
+///                          mutex is held.
+///   7. cancellation-poll — unbounded loops (for(;;)/while(true)) in the
+///                          worker-loop surfaces (src/exec/vec/,
+///                          src/core/runner.cc, src/service/) must reach
+///                          a cancellation/stop/watchdog poll, directly
+///                          or through a callee.
 ///
 /// Findings are emitted as text or SARIF 2.1.0, and diffed against a
 /// checked-in baseline (tools/analyze/baseline.json) under a ratchet
@@ -67,6 +87,16 @@ struct Finding {
   std::string rule;  // "tabbench-<rule>"
   std::string message;  // deliberately line-free: it is the baseline key
   std::vector<RelatedSite> related;
+  /// Machine-applicable fix (today: lockset-unannotated suggestions).
+  /// When `text` is non-empty, inserting it immediately after the first
+  /// whole-word occurrence of `after_word` on `line` of `file` (skipping
+  /// any array brackets) resolves the finding. Applied by
+  /// ApplyAnnotationFixes / --fix-annotations.
+  struct FixHint {
+    std::string after_word;
+    std::string text;
+  };
+  FixHint fix;
 };
 
 struct RuleInfo {
@@ -107,11 +137,24 @@ struct Options {
   LayerSpec layers;
 };
 
-/// Runs all four passes over `files`. Findings are sorted by (file, line,
-/// rule). NOLINT(rule) comment markers on the anchor line and
+/// Runs all seven passes over `files`. Findings are sorted by (file,
+/// line, rule). NOLINT(rule) comment markers on the anchor line and
 /// NOLINTFILE(rule) markers suppress findings, same syntax as the linter.
 std::vector<Finding> Analyze(const std::vector<SourceFile>& files,
                              const Options& opts);
+
+/// Applies the FixHints carried by `findings` to the matching in-memory
+/// files, in place. Lines that already carry a GUARDED_BY are left alone,
+/// so re-running over already-fixed sources is a no-op (idempotent).
+/// Returns the number of insertions made.
+size_t ApplyAnnotationFixes(const std::vector<Finding>& findings,
+                            std::vector<SourceFile>* files);
+
+/// Plain-text TB_FAULT_POINT coverage report: sites per declared layer
+/// (file:line and fault-point name) plus the layers with zero sites —
+/// the chaos suite's blind spots (--fault-coverage).
+std::string FaultCoverageReport(const std::vector<SourceFile>& files,
+                                const LayerSpec& layers);
 
 // ---------------------------------------------------------------- output
 

@@ -113,11 +113,31 @@ struct ScanState {
   std::string cls_name;
 };
 
-/// Parses a class-scope declaration segment [b, e): either a data member
-/// (recorded, with annotations) or a method declaration (ignored —
-/// definitions are what the passes need).
+/// Splits annotation-argument tokens [b, e) on top-level commas.
+std::vector<std::string> SplitAnnotationArgs(const std::vector<Token>& toks,
+                                             size_t b, size_t e) {
+  std::vector<std::string> args;
+  std::string cur;
+  int depth = 0;
+  for (size_t i = b; i < e; ++i) {
+    if (IsPunct(toks[i], "(")) ++depth;
+    if (IsPunct(toks[i], ")")) --depth;
+    if (depth == 0 && IsPunct(toks[i], ",")) {
+      if (!cur.empty()) args.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += toks[i].text;
+  }
+  if (!cur.empty()) args.push_back(cur);
+  return args;
+}
+
+/// Parses a class-scope declaration segment [b, e): a data member
+/// (recorded, with annotations) or a method declaration (only its
+/// TB_REQUIRES set is kept — definitions are what the passes walk).
 void ParseMember(ParsedFile* pf, ClassInfo* cls, const std::string& cls_name,
-                 size_t b, size_t e) {
+                 size_t b, size_t e, size_t file_index) {
   const std::vector<Token>& toks = pf->toks;
   // An access label opens the segment of the member that follows it
   // (`private: Mutex mu_;` is one `;`-delimited segment): step past it.
@@ -182,11 +202,50 @@ void ParseMember(ParsedFile* pf, ClassInfo* cls, const std::string& cls_name,
   }
 
   if (decl_end <= b) return;
-  // A declarator ending in ')' is a method declaration — skip.
-  if (IsPunct(toks[decl_end - 1], ")")) return;
+
+  auto qualify = [&cls_name](std::string arg) -> std::string {
+    // Strip whitespace and any quotes left by the raw-line annotation scan.
+    arg.erase(std::remove_if(arg.begin(), arg.end(),
+                             [](char c) { return std::isspace(
+                                   static_cast<unsigned char>(c)) ||
+                                   c == '"'; }),
+              arg.end());
+    if (arg.empty()) return arg;
+    if (arg.find("::") != std::string::npos) return arg;
+    return cls_name + "::" + arg;
+  };
+
+  // A declarator ending in ')' — possibly after const/noexcept/override —
+  // is a method declaration: keep its TB_REQUIRES set (definitions rarely
+  // repeat the annotation) and stop.
+  {
+    size_t d = decl_end;
+    while (d > b && IsIdent(toks[d - 1]) &&
+           (toks[d - 1].text == "const" || toks[d - 1].text == "noexcept" ||
+            toks[d - 1].text == "override" || toks[d - 1].text == "final")) {
+      --d;
+    }
+    if (d > b && IsPunct(toks[d - 1], ")")) {
+      const size_t p = FirstTopLevelParen(toks, b, d);
+      if (p < d && p > b && IsIdent(toks[p - 1])) {
+        for (const Annotation& a : annotations) {
+          if (a.macro != "TB_REQUIRES" && a.macro != "REQUIRES") continue;
+          for (const std::string& arg :
+               SplitAnnotationArgs(toks, a.arg_begin, a.arg_end)) {
+            cls->method_requires[toks[p - 1].text].insert(qualify(arg));
+          }
+        }
+      }
+      return;
+    }
+  }
+
   const Token& name_tok = toks[decl_end - 1];
   if (!IsIdent(name_tok)) return;
   if (TypeQualifiers().count(name_tok.text) != 0) return;
+  // `Mutex& operator=(const Mutex&) = delete;` cuts at the operator's `=`,
+  // leaving "operator" as the declarator tail: a function, not a member.
+  if (name_tok.text == "operator") return;
 
   // Type: first identifier that is not a qualifier keyword.
   std::string type;
@@ -201,19 +260,25 @@ void ParseMember(ParsedFile* pf, ClassInfo* cls, const std::string& cls_name,
   MemberInfo info;
   info.type = type;
   info.line = name_tok.line;
+  info.file_index = file_index;
+  // const/atomic only count at angle-bracket depth 0: a `const` buried in
+  // a template argument does not make the member itself immutable.
+  {
+    int angle = 0;
+    for (size_t i = b; i + 1 < decl_end; ++i) {
+      if (IsPunct(toks[i], "<")) ++angle;
+      if (IsPunct(toks[i], ">") && angle > 0) --angle;
+      if (IsPunct(toks[i], ">>")) angle = angle > 1 ? angle - 2 : 0;
+      if (angle != 0 || !IsIdent(toks[i])) continue;
+      if (toks[i].text == "const" || toks[i].text == "constexpr") {
+        info.is_const = true;
+      }
+      if (toks[i].text == "atomic" || toks[i].text == "atomic_flag") {
+        info.is_atomic = true;
+      }
+    }
+  }
   const std::string qualified_self = cls_name + "::" + name_tok.text;
-
-  auto qualify = [&cls_name](std::string arg) -> std::string {
-    // Strip whitespace and any quotes left by the raw-line annotation scan.
-    arg.erase(std::remove_if(arg.begin(), arg.end(),
-                             [](char c) { return std::isspace(
-                                   static_cast<unsigned char>(c)) ||
-                                   c == '"'; }),
-              arg.end());
-    if (arg.empty()) return arg;
-    if (arg.find("::") != std::string::npos) return arg;
-    return cls_name + "::" + arg;
-  };
 
   for (const Annotation& a : annotations) {
     const std::string arg =
@@ -301,14 +366,23 @@ void ScanFile(ParsedFile* pf, Model* model, size_t file_index) {
       Scope* cls_scope = innermost_class();
       if (cls_scope != nullptr && !inside_function()) {
         ParseMember(pf, &model->classes[cls_scope->name], cls_scope->name,
-                    stmt_start, i);
+                    stmt_start, i, file_index);
       }
       stmt_start = i + 1;
       continue;
     }
 
     if (t.text == "{") {
-      const size_t b = stmt_start, e = i;
+      size_t b = stmt_start;
+      const size_t e = i;
+      // An access label may open the segment (`public: struct Options {`);
+      // step past it so the class/struct detection below still fires.
+      while (b + 1 < e && IsIdent(toks[b]) &&
+             (toks[b].text == "public" || toks[b].text == "private" ||
+              toks[b].text == "protected") &&
+             IsPunct(toks[b + 1], ":")) {
+        b += 2;
+      }
       Scope scope{Scope::kBlock, "", 0};
       if (b < e && IsIdent(toks[b]) && toks[b].text == "namespace") {
         scope.kind = Scope::kNamespace;
@@ -363,6 +437,43 @@ void ScanFile(ParsedFile* pf, Model* model, size_t file_index) {
           fn.line = toks[p - 1].line;
           fn.body_begin = i + 1;
           fn.body_end = i + 1;  // patched when the scope pops
+          // Parameter token range: inside the declarator parens.
+          {
+            int depth = 0;
+            for (size_t j = p; j < e; ++j) {
+              if (IsPunct(toks[j], "(")) ++depth;
+              if (IsPunct(toks[j], ")") && --depth == 0) {
+                fn.params_begin = p + 1;
+                fn.params_end = j;
+                // TB_REQUIRES on the definition sits between the
+                // parameter close and the body brace.
+                for (size_t k = j + 1; k + 1 < e; ++k) {
+                  if (!IsIdent(toks[k]) ||
+                      (toks[k].text != "TB_REQUIRES" &&
+                       toks[k].text != "REQUIRES") ||
+                      !IsPunct(toks[k + 1], "(")) {
+                    continue;
+                  }
+                  int d2 = 1;
+                  size_t m = k + 2;
+                  while (m < e && d2 > 0) {
+                    if (IsPunct(toks[m], "(")) ++d2;
+                    if (IsPunct(toks[m], ")")) --d2;
+                    ++m;
+                  }
+                  for (std::string arg :
+                       SplitAnnotationArgs(toks, k + 2, m - 1)) {
+                    if (arg.find("::") == std::string::npos &&
+                        !cls.empty()) {
+                      arg = cls + "::" + arg;
+                    }
+                    fn.requires_held.insert(arg);
+                  }
+                }
+                break;
+              }
+            }
+          }
           scope.kind = Scope::kFunction;
           scope.function_index = pf->functions.size();
           pf->functions.push_back(fn);
@@ -371,7 +482,7 @@ void ScanFile(ParsedFile* pf, Model* model, size_t file_index) {
           Scope* cls_scope = innermost_class();
           if (cls_scope != nullptr) {
             ParseMember(pf, &model->classes[cls_scope->name],
-                        cls_scope->name, b, e);
+                        cls_scope->name, b, e, file_index);
           }
         }
       }

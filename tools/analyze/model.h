@@ -33,14 +33,25 @@ struct FunctionInfo {
   size_t line = 0;        // definition line
   size_t body_begin = 0;  // first token inside the body
   size_t body_end = 0;    // one past the last body token
+  size_t params_begin = 0;  // first token inside the parameter parens
+  size_t params_end = 0;    // one past the last parameter token
+  /// Mutexes a TB_REQUIRES on the *definition* declares held on entry,
+  /// qualified ("BTree::cache_mu_"). Requires on the in-class declaration
+  /// land in ClassInfo::method_requires instead; passes merge both.
+  std::set<std::string> requires_held;
 };
 
 struct MemberInfo {
   std::string type;  // first type identifier ("Mutex", "CircuitBreaker",
                      // "std" for std:: anything, "" when unparsed)
   size_t line = 0;
+  size_t file_index = 0;  // file holding this declaration
   /// Mutex this member is guarded by (TB_GUARDED_BY/GUARDED_BY arg), "".
   std::string guarded_by;
+  /// `const` / std::atomic at the top level of the declared type: such
+  /// members need no lock, so the lockset pass skips them.
+  bool is_const = false;
+  bool is_atomic = false;
 };
 
 struct ClassInfo {
@@ -48,6 +59,10 @@ struct ClassInfo {
   std::map<std::string, MemberInfo> members;
   /// Mutex-typed member names (type Mutex, or named by a GUARDED_BY).
   std::set<std::string> mutexes;
+  /// TB_REQUIRES sets from in-class *method declarations*, keyed by method
+  /// name, args qualified ("BTree::cache_mu_"). Out-of-line definitions
+  /// rarely repeat the annotation, so the passes consult this map.
+  std::map<std::string, std::set<std::string>> method_requires;
   /// Declared lock-order edges from TB_ACQUIRED_BEFORE/AFTER annotations:
   /// (qualified-this-mutex -> qualified-other-mutex, line). BEFORE(x) on
   /// member m yields Class::m -> x; AFTER(x) yields x -> Class::m.
@@ -108,6 +123,10 @@ void RunLayeringPass(const Model& model, const LayerSpec& layers,
 void RunLockOrderPass(const Model& model, std::vector<Finding>* findings);
 void RunStatusFlowPass(const Model& model, std::vector<Finding>* findings);
 void RunTaintPass(const Model& model, std::vector<Finding>* findings);
+void RunLocksetPass(const Model& model, std::vector<Finding>* findings);
+void RunBlockingPass(const Model& model, std::vector<Finding>* findings);
+void RunCancellationPass(const Model& model,
+                         std::vector<Finding>* findings);
 
 }  // namespace tabbench_analyze
 

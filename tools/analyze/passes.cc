@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <set>
 #include <utility>
@@ -206,7 +207,7 @@ void RunLayeringPass(const Model& model, const LayerSpec& spec,
 }
 
 // ---------------------------------------------------------------------------
-// Shared body facts (lock-order + taint)
+// Shared body facts (lock-order, taint, lockset, blocking, cancellation)
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -221,18 +222,47 @@ struct BodyFacts {
     std::string receiver_type;  // "" for a bare call
     std::string name;
     size_t line = 0;
+    size_t tok = 0;  // token index of the callee name
     bool in_lambda = false;
     std::vector<Acquire> held;  // locks held at the call site
   };
+  /// A read or write of a class member field ("st->charge_sum",
+  /// "queue_", "this->error"), with the lockset held at the site.
+  struct Access {
+    std::string cls;    // owning class of the field
+    std::string field;  // unqualified member name
+    size_t line = 0;
+    std::set<std::string> held;  // qualified mutexes held here
+  };
+  /// A directly blocking operation (fsync, sleeps, a Wait on a non-condvar
+  /// object), with the lockset held at the site.
+  struct Block {
+    std::string what;
+    size_t line = 0;
+    bool in_lambda = false;
+    std::vector<Acquire> held;
+  };
+  /// A loop statement; `unbounded` marks for(;;)/while(true)/while(1).
+  /// The token range covers the loop body (and, for while, the condition).
+  struct Loop {
+    size_t line = 0;
+    size_t range_begin = 0;
+    size_t range_end = 0;
+    bool unbounded = false;
+  };
   std::vector<Acquire> acquires;
   std::vector<Call> calls;
+  std::vector<Access> accesses;
+  std::vector<Block> blocks;
+  std::vector<Loop> loops;
   struct Source {
     std::string what;
     size_t line = 0;
   };
   std::vector<Source> taint_sources;
   /// Nested-acquisition edges observed directly in this body:
-  /// (held lock, newly acquired lock).
+  /// (held lock, newly acquired lock). Lambda bodies contribute their own
+  /// internal edges, but never edges across the lambda boundary.
   std::vector<std::pair<Acquire, Acquire>> nested;
 };
 
@@ -246,9 +276,37 @@ const std::set<std::string>& CallKeywords() {
   return kKw;
 }
 
+/// Resolves the class type of a simple receiver name: `this`, a local or
+/// parameter from `symbols`, then a member of the enclosing class. Returns
+/// "" when unknown.
+std::string ResolveReceiverType(
+    const Model& model, const FunctionInfo& fn,
+    const std::map<std::string, std::string>& symbols,
+    const std::string& recv) {
+  if (recv == "this") return fn.cls;
+  auto sit = symbols.find(recv);
+  if (sit != symbols.end()) {
+    // Only class types the model knows are usable downstream.
+    return model.classes.count(sit->second) != 0 ? sit->second
+                                                 : std::string();
+  }
+  if (!fn.cls.empty()) {
+    auto cit = model.classes.find(fn.cls);
+    if (cit != model.classes.end()) {
+      auto mit = cit->second.members.find(recv);
+      if (mit != cit->second.members.end() && !mit->second.type.empty() &&
+          mit->second.type != "std") {
+        return mit->second.type;
+      }
+    }
+  }
+  return "";
+}
+
 /// Resolves the expression tokens of `MutexLock lock(&<expr>)` to a
 /// qualified mutex id; "" when the receiver's type is unknown.
 std::string ResolveMutexExpr(const Model& model, const FunctionInfo& fn,
+                             const std::map<std::string, std::string>& symbols,
                              const std::vector<Token>& toks, size_t b,
                              size_t e) {
   std::vector<const Token*> parts;
@@ -256,6 +314,7 @@ std::string ResolveMutexExpr(const Model& model, const FunctionInfo& fn,
   if (parts.empty()) return "";
   if (parts.size() == 1 && IsIdent(*parts[0])) {
     const std::string& name = parts[0]->text;
+    if (symbols.count(name) != 0) return name;  // a local/param Mutex
     if (!fn.cls.empty()) return fn.cls + "::" + name;
     return name;  // local or global mutex in a free function
   }
@@ -265,17 +324,9 @@ std::string ResolveMutexExpr(const Model& model, const FunctionInfo& fn,
     const std::string& name = parts[2]->text;
     if (IsPunct(*parts[1], "::")) return recv + "::" + name;
     if (IsPunct(*parts[1], "->") || IsPunct(*parts[1], ".")) {
-      if (recv == "this" && !fn.cls.empty()) return fn.cls + "::" + name;
-      if (!fn.cls.empty()) {
-        auto cit = model.classes.find(fn.cls);
-        if (cit != model.classes.end()) {
-          auto mit = cit->second.members.find(recv);
-          if (mit != cit->second.members.end() &&
-              !mit->second.type.empty() && mit->second.type != "std") {
-            return mit->second.type + "::" + name;
-          }
-        }
-      }
+      const std::string type =
+          ResolveReceiverType(model, fn, symbols, recv);
+      if (!type.empty()) return type + "::" + name;
     }
   }
   return "";
@@ -325,33 +376,160 @@ std::set<size_t> LambdaBraces(const std::vector<Token>& toks,
   return braces;
 }
 
+/// Local symbol table for a function: parameter and local-declaration
+/// names mapped to their type's first identifier ("RunState" for
+/// `RunState* st`). Locals are only recorded when the type names a class
+/// the model knows, so plain assignments never misparse as declarations.
+std::map<std::string, std::string> BuildSymbols(const Model& model,
+                                                const FunctionInfo& fn) {
+  const std::vector<Token>& toks = model.files[fn.file_index].toks;
+  std::map<std::string, std::string> symbols;
+
+  // Parameters: split on top-level commas; the type is the first
+  // non-qualifier identifier of the segment, the name the last identifier.
+  size_t seg = fn.params_begin;
+  int depth = 0;
+  for (size_t i = fn.params_begin; i <= fn.params_end; ++i) {
+    const bool at_end = i == fn.params_end;
+    if (!at_end) {
+      if (IsPunct(toks[i], "(") || IsPunct(toks[i], "<")) ++depth;
+      if (IsPunct(toks[i], ")") || IsPunct(toks[i], ">")) --depth;
+    }
+    if (!at_end && !(depth == 0 && IsPunct(toks[i], ","))) continue;
+    std::string type, name;
+    for (size_t j = seg; j < i; ++j) {
+      if (!IsIdent(toks[j])) {
+        if (IsPunct(toks[j], "=")) break;  // default argument
+        continue;
+      }
+      if (type.empty() && toks[j].text != "const" &&
+          toks[j].text != "struct" && toks[j].text != "class") {
+        type = toks[j].text;
+      }
+      name = toks[j].text;
+    }
+    if (!type.empty() && !name.empty() && name != type) {
+      symbols[name] = type;
+    }
+    seg = i + 1;
+  }
+
+  // Locals: `T name ...` / `T* name` / `T& name` at a statement or
+  // parenthesized-header start, T a known class.
+  for (size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
+    if (!IsIdent(toks[i]) || model.classes.count(toks[i].text) == 0) {
+      continue;
+    }
+    if (i > fn.body_begin) {
+      const Token& p = toks[i - 1];
+      const bool starts = IsPunct(p, ";") || IsPunct(p, "{") ||
+                          IsPunct(p, "}") || IsPunct(p, "(") ||
+                          (IsIdent(p) && p.text == "const");
+      if (!starts) continue;
+    }
+    size_t j = i + 1;
+    while (j < fn.body_end &&
+           (IsPunct(toks[j], "*") || IsPunct(toks[j], "&") ||
+            (IsIdent(toks[j]) && toks[j].text == "const"))) {
+      ++j;
+    }
+    if (j + 1 >= fn.body_end || !IsIdent(toks[j])) continue;
+    const Token& after = toks[j + 1];
+    if (IsPunct(after, ";") || IsPunct(after, "=") ||
+        IsPunct(after, "(") || IsPunct(after, "{") ||
+        IsPunct(after, ":") || IsPunct(after, ",")) {
+      symbols[toks[j].text] = toks[i].text;
+    }
+  }
+  return symbols;
+}
+
+/// The TB_REQUIRES set in force for `fn`: its definition-site set merged
+/// with the in-class declaration's (ClassInfo::method_requires).
+std::set<std::string> RequiresHeld(const Model& model,
+                                   const FunctionInfo& fn) {
+  std::set<std::string> req = fn.requires_held;
+  if (!fn.cls.empty()) {
+    auto cit = model.classes.find(fn.cls);
+    if (cit != model.classes.end()) {
+      auto rit = cit->second.method_requires.find(fn.name);
+      if (rit != cit->second.method_requires.end()) {
+        req.insert(rit->second.begin(), rit->second.end());
+      }
+    }
+  }
+  return req;
+}
+
+/// Calls that block the thread no matter the receiver.
+const std::set<std::string>& BlockingCallNames() {
+  static const std::set<std::string> kNames = {
+      "fsync",     "fdatasync",  "sleep_for", "sleep_until",
+      "usleep",    "nanosleep",  "system",    "popen",
+      "SleepWithCancellation"};
+  return kNames;
+}
+
 BodyFacts ExtractBodyFacts(const Model& model, const FunctionInfo& fn) {
   const ParsedFile& pf = model.files[fn.file_index];
   const std::vector<Token>& toks = pf.toks;
   BodyFacts facts;
 
+  const std::map<std::string, std::string> symbols =
+      BuildSymbols(model, fn);
   const std::set<size_t> lambda_braces =
       LambdaBraces(toks, fn.body_begin, fn.body_end);
+
+  // TB_REQUIRES locks are held throughout the function's own frame (but
+  // not inside lambdas it defines — those run on another thread later).
+  std::vector<BodyFacts::Acquire> requires_acqs;
+  for (const std::string& m : RequiresHeld(model, fn)) {
+    requires_acqs.push_back({m, fn.line, false});
+  }
 
   struct Held {
     BodyFacts::Acquire acq;
     int depth;
+    size_t frame;  // lambda frame the lock was taken in (0 = function)
   };
   std::vector<Held> held;
-  std::vector<bool> brace_is_lambda;  // stack mirroring brace depth
-  int lambda_depth = 0;
+  std::vector<bool> brace_is_lambda;   // stack mirroring brace depth
+  std::vector<size_t> frame_stack;     // open lambda frames
+  size_t next_frame = 1;
+  auto cur_frame = [&frame_stack]() -> size_t {
+    return frame_stack.empty() ? 0 : frame_stack.back();
+  };
+  // Locks visible at the current point: those taken in the innermost
+  // lambda frame (an enclosing function's locks are NOT held when a
+  // deferred lambda body eventually runs), plus TB_REQUIRES in frame 0.
+  auto effective_held = [&]() {
+    std::vector<BodyFacts::Acquire> out;
+    const size_t f = cur_frame();
+    if (f == 0) out = requires_acqs;
+    for (const Held& h : held) {
+      if (h.frame == f) out.push_back(h.acq);
+    }
+    return out;
+  };
+  auto effective_held_names = [&]() {
+    std::set<std::string> out;
+    for (const BodyFacts::Acquire& a : effective_held()) {
+      out.insert(a.mutex);
+    }
+    return out;
+  };
 
   for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
     const Token& t = toks[i];
     if (IsPunct(t, "{")) {
       const bool is_lambda = lambda_braces.count(i) != 0;
       brace_is_lambda.push_back(is_lambda);
-      if (is_lambda) ++lambda_depth;
+      if (is_lambda) frame_stack.push_back(next_frame++);
       continue;
     }
     if (IsPunct(t, "}")) {
       if (!brace_is_lambda.empty()) {
-        if (brace_is_lambda.back()) --lambda_depth;
+        if (brace_is_lambda.back()) frame_stack.pop_back();
         brace_is_lambda.pop_back();
       }
       const int depth = static_cast<int>(brace_is_lambda.size());
@@ -359,7 +537,7 @@ BodyFacts ExtractBodyFacts(const Model& model, const FunctionInfo& fn) {
       continue;
     }
     if (!IsIdent(t)) continue;
-    const bool in_lambda = lambda_depth > 0;
+    const bool in_lambda = cur_frame() != 0;
 
     // MutexLock <name> ( & <expr> )
     if (t.text == "MutexLock" && i + 2 < fn.body_end &&
@@ -367,14 +545,18 @@ BodyFacts ExtractBodyFacts(const Model& model, const FunctionInfo& fn) {
       const size_t close = MatchBracket(toks, i + 2, fn.body_end, "(", ")");
       size_t eb = i + 3;
       if (eb < close && IsPunct(toks[eb], "&")) ++eb;
-      const std::string mutex = ResolveMutexExpr(model, fn, toks, eb, close);
+      const std::string mutex =
+          ResolveMutexExpr(model, fn, symbols, toks, eb, close);
       if (!mutex.empty()) {
         BodyFacts::Acquire acq{mutex, t.line, in_lambda};
         facts.acquires.push_back(acq);
-        if (!in_lambda) {
-          for (const Held& h : held) facts.nested.emplace_back(h.acq, acq);
-          held.push_back({acq, static_cast<int>(brace_is_lambda.size())});
+        // Nesting edges form within the current frame only: a lock held
+        // at the submit site is not held when the lambda later runs.
+        for (const BodyFacts::Acquire& h : effective_held()) {
+          facts.nested.emplace_back(h, acq);
         }
+        held.push_back({acq, static_cast<int>(brace_is_lambda.size()),
+                        cur_frame()});
       }
       i = close;
       continue;
@@ -405,6 +587,114 @@ BodyFacts ExtractBodyFacts(const Model& model, const FunctionInfo& fn) {
       facts.taint_sources.push_back({"time(nullptr)", t.line});
     }
 
+    // Loop statements. The trailing `while` of a do-while is skipped (its
+    // body, already scanned, precedes it).
+    if ((t.text == "for" || t.text == "while") && i + 1 < fn.body_end &&
+        IsPunct(toks[i + 1], "(") &&
+        !(t.text == "while" && i > fn.body_begin &&
+          IsPunct(toks[i - 1], "}"))) {
+      const size_t hclose =
+          MatchBracket(toks, i + 1, fn.body_end, "(", ")");
+      if (hclose < fn.body_end) {
+        BodyFacts::Loop loop;
+        loop.line = t.line;
+        if (t.text == "for") {
+          size_t semis = 0, others = 0;
+          for (size_t j = i + 2; j < hclose; ++j) {
+            if (IsPunct(toks[j], ";")) {
+              ++semis;
+            } else {
+              ++others;
+            }
+          }
+          loop.unbounded = semis == 2 && others == 0;  // for (;;)
+        } else {
+          loop.unbounded = hclose == i + 3 &&
+                           (toks[i + 2].text == "true" ||
+                            toks[i + 2].text == "1");
+        }
+        size_t body_e = hclose + 1;
+        if (body_e < fn.body_end && IsPunct(toks[body_e], "{")) {
+          body_e = MatchBracket(toks, body_e, fn.body_end, "{", "}");
+        } else {
+          while (body_e < fn.body_end && !IsPunct(toks[body_e], ";")) {
+            ++body_e;
+          }
+        }
+        loop.range_begin = i + 2;  // condition + body
+        loop.range_end = body_e;
+        facts.loops.push_back(loop);
+      }
+    }
+
+    // Directly blocking operations, with the lockset held at the site.
+    if (i + 1 < fn.body_end && IsPunct(toks[i + 1], "(") &&
+        BlockingCallNames().count(t.text) != 0) {
+      facts.blocks.push_back(
+          {t.text + "()", t.line, in_lambda, effective_held()});
+    }
+    // A Wait on anything but a CondVar parks the thread (Latch,
+    // ThreadPool, futures). CondVar::Wait releases the mutex it requires,
+    // so it is the one legitimate wait-under-lock.
+    if (t.text == "Wait" && i + 1 < fn.body_end &&
+        IsPunct(toks[i + 1], "(") && i >= fn.body_begin + 2 &&
+        (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->")) &&
+        IsIdent(toks[i - 2]) &&
+        !(i >= fn.body_begin + 3 && (IsPunct(toks[i - 3], ".") ||
+                                     IsPunct(toks[i - 3], "->")))) {
+      const std::string type =
+          ResolveReceiverType(model, fn, symbols, toks[i - 2].text);
+      if (!type.empty() && type != "CondVar") {
+        facts.blocks.push_back(
+            {type + "::Wait()", t.line, in_lambda, effective_held()});
+      }
+    }
+
+    // Member-field accesses (for the lockset pass).
+    do {
+      if (CallKeywords().count(t.text) != 0) break;
+      if (i + 1 < fn.body_end && (IsPunct(toks[i + 1], "(") ||
+                                  IsPunct(toks[i + 1], "::"))) {
+        break;  // a call or a qualifier, not a field read
+      }
+      if (prev_is_member_access) {
+        if (i < fn.body_begin + 2 || !IsIdent(toks[i - 2])) break;
+        if (i >= fn.body_begin + 3 && (IsPunct(toks[i - 3], ".") ||
+                                       IsPunct(toks[i - 3], "->"))) {
+          break;  // chained receiver (a.b.c): unresolvable
+        }
+        const std::string type =
+            ResolveReceiverType(model, fn, symbols, toks[i - 2].text);
+        if (type.empty()) break;
+        auto cit = model.classes.find(type);
+        if (cit == model.classes.end() ||
+            cit->second.members.count(t.text) == 0) {
+          break;
+        }
+        facts.accesses.push_back(
+            {type, t.text, t.line, effective_held_names()});
+      } else {
+        if (fn.cls.empty()) break;
+        if (i > fn.body_begin &&
+            (IsPunct(toks[i - 1], "::") || IsPunct(toks[i - 1], "~"))) {
+          break;
+        }
+        // `Type name` is a declaration of a shadowing local, not a read.
+        if (i > fn.body_begin && IsIdent(toks[i - 1]) &&
+            CallKeywords().count(toks[i - 1].text) == 0) {
+          break;
+        }
+        if (symbols.count(t.text) != 0) break;  // shadowed local/param
+        auto cit = model.classes.find(fn.cls);
+        if (cit == model.classes.end() ||
+            cit->second.members.count(t.text) == 0) {
+          break;
+        }
+        facts.accesses.push_back(
+            {fn.cls, t.text, t.line, effective_held_names()});
+      }
+    } while (false);
+
     // Call sites: ident followed by "(", excluding keywords and
     // declarations (`Type name(...)` — ident preceded by another ident).
     if (i + 1 < fn.body_end && IsPunct(toks[i + 1], "(") &&
@@ -416,32 +706,28 @@ BodyFacts ExtractBodyFacts(const Model& model, const FunctionInfo& fn) {
       BodyFacts::Call call;
       call.name = t.text;
       call.line = t.line;
+      call.tok = i;
       call.in_lambda = in_lambda;
-      if (i >= fn.body_begin + 2 && IsIdent(toks[i - 2])) {
+      if (i >= fn.body_begin + 2 && IsIdent(toks[i - 2]) &&
+          (IsPunct(toks[i - 1], "::") || IsPunct(toks[i - 1], ".") ||
+           IsPunct(toks[i - 1], "->"))) {
         const std::string& recv = toks[i - 2].text;
         if (IsPunct(toks[i - 1], "::")) {
           call.receiver_type = recv;
-        } else if (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->")) {
-          if (recv == "this") {
-            call.receiver_type = fn.cls;
-          } else {
-            auto cit = model.classes.find(fn.cls);
-            if (cit == model.classes.end()) continue;  // unknown class
-            auto mit = cit->second.members.find(recv);
-            if (mit == cit->second.members.end() ||
-                mit->second.type.empty() || mit->second.type == "std") {
-              continue;  // local or std receiver: unresolvable, skipped
-            }
-            call.receiver_type = mit->second.type;
+        } else {
+          if (i >= fn.body_begin + 3 && (IsPunct(toks[i - 3], ".") ||
+                                         IsPunct(toks[i - 3], "->"))) {
+            continue;  // chained receiver expression: unresolvable
           }
+          call.receiver_type =
+              ResolveReceiverType(model, fn, symbols, recv);
+          if (call.receiver_type.empty()) continue;  // unresolvable
         }
       } else if (i > fn.body_begin && (IsPunct(toks[i - 1], ".") ||
                                        IsPunct(toks[i - 1], "->"))) {
         continue;  // complex receiver expression: unresolvable
       }
-      if (!in_lambda) {
-        for (const Held& h : held) call.held.push_back(h.acq);
-      }
+      call.held = effective_held();
       facts.calls.push_back(std::move(call));
     }
   }
@@ -533,7 +819,9 @@ void RunLockOrderPass(const Model& model, std::vector<Finding>* findings) {
       add_edge(from.mutex, to.mutex, std::move(info));
     }
     for (const BodyFacts::Call& c : facts[i].calls) {
-      if (c.in_lambda || c.held.empty()) continue;
+      // c.held is frame-correct: inside a lambda it holds only the
+      // lambda's own locks, so these edges are valid there too.
+      if (c.held.empty()) continue;
       for (size_t callee : ResolveCall(model, c.receiver_type, fn.cls,
                                        c.name)) {
         for (const std::string& m : may_acquire[callee]) {
@@ -874,6 +1162,517 @@ void RunTaintPass(const Model& model, std::vector<Finding>* findings) {
     }
     findings->push_back(std::move(f));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Lockset-inference pass (Eraser-style)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string ClassTail(const std::string& cls) {
+  const size_t p = cls.rfind("::");
+  return p == std::string::npos ? cls : cls.substr(p + 2);
+}
+
+/// Constructors and destructors run before/after any sharing, so their
+/// accesses to their *own* class's fields never join the lockset sample.
+bool IsCtorOrDtor(const FunctionInfo& fn) {
+  if (fn.cls.empty()) return false;
+  const std::string tail = ClassTail(fn.cls);
+  return fn.name == tail || fn.name == "~" + tail;
+}
+
+std::string JoinSet(const std::set<std::string>& s) {
+  std::string out;
+  for (const std::string& m : s) {
+    if (!out.empty()) out += ", ";
+    out += m;
+  }
+  return out;
+}
+
+bool UnderSrc(const std::string& path) {
+  return path.rfind("src/", 0) == 0;
+}
+
+}  // namespace
+
+void RunLocksetPass(const Model& model, std::vector<Finding>* findings) {
+  const size_t n = model.functions.size();
+  std::vector<BodyFacts> facts(n);
+  for (size_t i = 0; i < n; ++i) {
+    facts[i] = ExtractBodyFacts(model, model.functions[i]);
+  }
+
+  // Every access site per (class, field), with its lockset. Tests and
+  // tools are single-threaded scaffolding; only src/ samples count.
+  struct SiteInfo {
+    std::string file;
+    size_t line = 0;
+    std::string fn;  // qualified accessor
+    std::set<std::string> held;
+  };
+  std::map<std::pair<std::string, std::string>, std::vector<SiteInfo>>
+      sites;
+  for (size_t i = 0; i < n; ++i) {
+    const FunctionInfo& fn = model.functions[i];
+    const std::string& file = model.files[fn.file_index].src->path;
+    if (!UnderSrc(file)) continue;
+    for (const BodyFacts::Access& a : facts[i].accesses) {
+      if (a.cls == fn.cls && IsCtorOrDtor(fn)) continue;
+      sites[{a.cls, a.field}].push_back(
+          {file, a.line, fn.qualified, a.held});
+    }
+  }
+
+  for (const auto& [key, vec] : sites) {
+    const std::string& cls = key.first;
+    const std::string& field = key.second;
+    auto cit = model.classes.find(cls);
+    if (cit == model.classes.end()) continue;
+    auto mit = cit->second.members.find(field);
+    if (mit == cit->second.members.end()) continue;
+    const MemberInfo& mem = mit->second;
+    // Fields that need no guard: immutable, atomic, or the locks
+    // themselves (Mutex/CondVar are internally synchronized).
+    if (mem.is_const || mem.is_atomic) continue;
+    if (mem.type == "Mutex" || mem.type == "CondVar") continue;
+    if (cit->second.mutexes.count(field) != 0) continue;
+    // Plain value/option structs own no mutex: their instances are
+    // per-call-site, so class-level lockset aggregation would conflate
+    // unrelated objects. Only classes that own a lock (or fields with a
+    // declared guard) have a protocol to infer.
+    if (cit->second.mutexes.empty() && mem.guarded_by.empty()) continue;
+    // A member whose type is itself a lock-owning class (CircuitBreaker,
+    // ThreadPool) is self-synchronized; calls through it are its own
+    // business.
+    {
+      auto tit = model.classes.find(mem.type);
+      if (tit != model.classes.end() && !tit->second.mutexes.empty()) {
+        continue;
+      }
+    }
+    const std::string decl_file = model.files[mem.file_index].src->path;
+    if (!UnderSrc(decl_file)) continue;
+
+    if (!mem.guarded_by.empty()) {
+      // Declared guard: every site must hold it, or the annotation is a
+      // model the code contradicts.
+      const std::string guard =
+          mem.guarded_by.find("::") != std::string::npos
+              ? mem.guarded_by
+              : cls + "::" + mem.guarded_by;
+      std::set<std::string> reported_fns;
+      for (const SiteInfo& s : vec) {
+        if (s.held.count(guard) != 0) continue;
+        if (!reported_fns.insert(s.fn).second) continue;
+        Finding f;
+        f.file = s.file;
+        f.line = s.line;
+        f.rule = "tabbench-lockset-contradicted";
+        f.message = "field " + cls + "::" + field +
+                    " is declared TB_GUARDED_BY(" + mem.guarded_by +
+                    ") but " + s.fn + " accesses it without holding " +
+                    guard;
+        f.related.push_back(
+            {decl_file, mem.line, "declared TB_GUARDED_BY here"});
+        findings->push_back(std::move(f));
+      }
+      continue;
+    }
+
+    size_t locked = 0, bare = 0;
+    std::set<std::string> union_held;
+    std::set<std::string> common;
+    bool first_locked = true;
+    for (const SiteInfo& s : vec) {
+      if (s.held.empty()) {
+        ++bare;
+        continue;
+      }
+      ++locked;
+      union_held.insert(s.held.begin(), s.held.end());
+      if (first_locked) {
+        common = s.held;
+        first_locked = false;
+      } else {
+        std::set<std::string> inter;
+        std::set_intersection(common.begin(), common.end(),
+                              s.held.begin(), s.held.end(),
+                              std::inserter(inter, inter.begin()));
+        common.swap(inter);
+      }
+    }
+
+    if (locked >= 1 && bare >= 1) {
+      Finding f;
+      f.file = decl_file;
+      f.line = mem.line;
+      f.rule = "tabbench-lockset-inconsistent";
+      f.message = "field " + cls + "::" + field +
+                  " is accessed both under a lock (" +
+                  JoinSet(union_held) +
+                  ") and with no lock held; the bare sites race";
+      size_t shown = 0;
+      for (const SiteInfo& s : vec) {
+        if (shown >= 6) break;
+        f.related.push_back(
+            {s.file, s.line,
+             (s.held.empty() ? "no lock held, in "
+                             : "under " + JoinSet(s.held) + ", in ") +
+                 s.fn});
+        ++shown;
+      }
+      findings->push_back(std::move(f));
+      continue;
+    }
+
+    if (bare == 0 && locked >= 2 && !common.empty()) {
+      // A consistent inferred guard with no declared annotation: suggest
+      // one (same-class guards are mechanically insertable).
+      std::string guard = *common.begin();
+      for (const std::string& g : common) {
+        if (g.rfind(cls + "::", 0) == 0) {
+          guard = g;
+          break;
+        }
+      }
+      const bool same_class = guard.rfind(cls + "::", 0) == 0;
+      const std::string local =
+          same_class ? guard.substr(cls.size() + 2) : guard;
+      Finding f;
+      f.file = decl_file;
+      f.line = mem.line;
+      f.rule = "tabbench-lockset-unannotated";
+      f.message = "field " + cls + "::" + field +
+                  " is consistently accessed holding " + guard +
+                  " but lacks a TB_GUARDED_BY(" + local + ") annotation";
+      size_t shown = 0;
+      for (const SiteInfo& s : vec) {
+        if (shown >= 4) break;
+        f.related.push_back(
+            {s.file, s.line, "under " + JoinSet(s.held) + ", in " + s.fn});
+        ++shown;
+      }
+      if (same_class) {
+        f.fix.after_word = field;
+        f.fix.text = " TB_GUARDED_BY(" + local + ")";
+      }
+      findings->push_back(std::move(f));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking-under-lock pass
+// ---------------------------------------------------------------------------
+
+void RunBlockingPass(const Model& model, std::vector<Finding>* findings) {
+  const size_t n = model.functions.size();
+  std::vector<BodyFacts> facts(n);
+  for (size_t i = 0; i < n; ++i) {
+    facts[i] = ExtractBodyFacts(model, model.functions[i]);
+  }
+
+  // may_block: the function's own frame can park the thread (lambda
+  // bodies excluded — they block whichever thread later runs them).
+  struct BlockSite {
+    bool blocks = false;
+    std::string what;
+    std::string file;
+    size_t line = 0;
+  };
+  std::vector<BlockSite> may_block(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const BodyFacts::Block& b : facts[i].blocks) {
+      if (b.in_lambda) continue;
+      may_block[i] = {true, b.what,
+                      model.files[model.functions[i].file_index].src->path,
+                      b.line};
+      break;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (may_block[i].blocks) continue;
+      for (const BodyFacts::Call& c : facts[i].calls) {
+        if (c.in_lambda) continue;
+        for (size_t callee : ResolveCall(model, c.receiver_type,
+                                         model.functions[i].cls, c.name)) {
+          if (callee == i || !may_block[callee].blocks) continue;
+          may_block[i] = may_block[callee];
+          changed = true;
+          break;
+        }
+        if (may_block[i].blocks) break;
+      }
+    }
+  }
+
+  // Direct blocking operations under a held lock. A lambda body blocking
+  // under its *own* lock still counts: b.held is frame-correct.
+  std::set<std::pair<std::string, size_t>> direct_sites;
+  for (size_t i = 0; i < n; ++i) {
+    const FunctionInfo& fn = model.functions[i];
+    const std::string& file = model.files[fn.file_index].src->path;
+    if (!UnderSrc(file)) continue;
+    for (const BodyFacts::Block& b : facts[i].blocks) {
+      if (b.held.empty()) continue;
+      std::set<std::string> held_names;
+      for (const BodyFacts::Acquire& a : b.held) held_names.insert(a.mutex);
+      Finding f;
+      f.file = file;
+      f.line = b.line;
+      f.rule = "tabbench-blocking-under-lock";
+      f.message = "blocking " + b.what + " while holding " +
+                  JoinSet(held_names) + " in " + fn.qualified +
+                  "; every waiter on the mutex stalls behind it";
+      for (const BodyFacts::Acquire& a : b.held) {
+        f.related.push_back(
+            {file, a.line, a.mutex + " acquired here, still held"});
+      }
+      direct_sites.insert({file, b.line});
+      findings->push_back(std::move(f));
+    }
+  }
+
+  // Calls made under a lock into functions that (transitively) block.
+  for (size_t i = 0; i < n; ++i) {
+    const FunctionInfo& fn = model.functions[i];
+    const std::string& file = model.files[fn.file_index].src->path;
+    if (!UnderSrc(file)) continue;
+    for (const BodyFacts::Call& c : facts[i].calls) {
+      if (c.held.empty()) continue;
+      if (direct_sites.count({file, c.line}) != 0) continue;
+      for (size_t callee : ResolveCall(model, c.receiver_type, fn.cls,
+                                       c.name)) {
+        if (callee == i || !may_block[callee].blocks) continue;
+        std::set<std::string> held_names;
+        for (const BodyFacts::Acquire& a : c.held) {
+          held_names.insert(a.mutex);
+        }
+        Finding f;
+        f.file = file;
+        f.line = c.line;
+        f.rule = "tabbench-blocking-under-lock";
+        f.message = "call to " + model.functions[callee].qualified +
+                    " blocks (" + may_block[callee].what +
+                    ") while holding " + JoinSet(held_names) + " in " +
+                    fn.qualified;
+        for (const BodyFacts::Acquire& a : c.held) {
+          f.related.push_back(
+              {file, a.line, a.mutex + " acquired here, still held"});
+        }
+        f.related.push_back({may_block[callee].file, may_block[callee].line,
+                             "blocks here: " + may_block[callee].what});
+        findings->push_back(std::move(f));
+        break;  // one finding per call site
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation-poll liveness pass
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The worker loops whose liveness the watchdog depends on.
+bool InCancellationScope(const std::string& path) {
+  return path.rfind("src/exec/vec/", 0) == 0 ||
+         path.rfind("src/service/", 0) == 0 ||
+         path == "src/core/runner.cc";
+}
+
+/// True when toks[j] reads cancellation/stop state or calls a watchdog
+/// poll. Writes (`x = ...`, `x.store(...)`) request cancellation rather
+/// than observe it, so they do not count.
+bool IsPollToken(const std::vector<Token>& toks, size_t j) {
+  if (!IsIdent(toks[j])) return false;
+  const std::string& s = toks[j].text;
+  if (j + 1 < toks.size() && IsPunct(toks[j + 1], "=")) return false;
+  if (j + 2 < toks.size() && IsPunct(toks[j + 1], ".") &&
+      IsIdent(toks[j + 2]) && toks[j + 2].text == "store") {
+    return false;
+  }
+  std::string lower;
+  for (char ch : s) {
+    lower += static_cast<char>(
+        ch >= 'A' && ch <= 'Z' ? ch - 'A' + 'a' : ch);
+  }
+  if (lower.find("cancel") != std::string::npos &&
+      lower.find("requestcancel") == std::string::npos) {
+    return true;
+  }
+  static const std::set<std::string> kStopLike = {
+      "stop",      "stop_",  "stopped_", "stopping_",
+      "shutdown_", "quit_",  "stop_requested"};
+  if (kStopLike.count(s) != 0) return true;
+  static const std::set<std::string> kPollCalls = {"CheckTimeout",
+                                                   "ShouldYield", "Poll"};
+  if (kPollCalls.count(s) != 0 && j + 1 < toks.size() &&
+      IsPunct(toks[j + 1], "(")) {
+    return true;
+  }
+  return false;
+}
+
+bool RangeHasPoll(const std::vector<Token>& toks, size_t b, size_t e) {
+  for (size_t j = b; j < e; ++j) {
+    if (IsPollToken(toks, j)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void RunCancellationPass(const Model& model,
+                         std::vector<Finding>* findings) {
+  const size_t n = model.functions.size();
+  std::vector<BodyFacts> facts(n);
+  for (size_t i = 0; i < n; ++i) {
+    facts[i] = ExtractBodyFacts(model, model.functions[i]);
+  }
+
+  // fn_polls: the function's body (or a callee's, transitively) observes
+  // cancellation — calling it from a loop makes the loop live.
+  std::vector<bool> fn_polls(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    const FunctionInfo& fn = model.functions[i];
+    fn_polls[i] = RangeHasPoll(model.files[fn.file_index].toks,
+                               fn.body_begin, fn.body_end);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (fn_polls[i]) continue;
+      for (const BodyFacts::Call& c : facts[i].calls) {
+        for (size_t callee : ResolveCall(model, c.receiver_type,
+                                         model.functions[i].cls, c.name)) {
+          if (callee != i && fn_polls[callee]) {
+            fn_polls[i] = true;
+            changed = true;
+            break;
+          }
+        }
+        if (fn_polls[i]) break;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const FunctionInfo& fn = model.functions[i];
+    const ParsedFile& pf = model.files[fn.file_index];
+    if (!InCancellationScope(pf.src->path)) continue;
+    for (const BodyFacts::Loop& loop : facts[i].loops) {
+      if (!loop.unbounded) continue;
+      bool polls = RangeHasPoll(pf.toks, loop.range_begin, loop.range_end);
+      if (!polls) {
+        for (const BodyFacts::Call& c : facts[i].calls) {
+          if (c.tok < loop.range_begin || c.tok >= loop.range_end) {
+            continue;
+          }
+          for (size_t callee : ResolveCall(model, c.receiver_type, fn.cls,
+                                           c.name)) {
+            if (callee != i && fn_polls[callee]) {
+              polls = true;
+              break;
+            }
+          }
+          if (polls) break;
+        }
+      }
+      if (polls) continue;
+      Finding f;
+      f.file = pf.src->path;
+      f.line = loop.line;
+      f.rule = "tabbench-cancellation-poll";
+      f.message = "unbounded loop in " + fn.qualified +
+                  " never reaches a cancellation or watchdog poll; a "
+                  "wedged iteration can never be cancelled";
+      findings->push_back(std::move(f));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TB_FAULT_POINT coverage report
+// ---------------------------------------------------------------------------
+
+std::string FaultCoverageReport(const std::vector<SourceFile>& files,
+                                const LayerSpec& layers) {
+  const Model model = BuildModel(files);
+  struct Site {
+    std::string file;
+    size_t line = 0;
+    std::string name;
+  };
+  std::map<int, std::vector<Site>> by_layer;
+  for (const ParsedFile& pf : model.files) {
+    for (size_t li = 0; li < pf.code_lines.size(); ++li) {
+      const std::string& code = pf.code_lines[li];
+      const size_t pos = code.find("TB_FAULT_POINT");
+      if (pos == std::string::npos) continue;
+      if (code.find("#define") != std::string::npos) continue;
+      // The argument is a string literal (blanked in code_lines); read it
+      // from the raw line.
+      const std::string& raw = pf.raw_lines[li];
+      std::string name;
+      const size_t open = raw.find('(', raw.find("TB_FAULT_POINT"));
+      if (open != std::string::npos) {
+        size_t end = open + 1;
+        while (end < raw.size() && raw[end] != ',' && raw[end] != ')') {
+          ++end;
+        }
+        name = raw.substr(open + 1, end - open - 1);
+        while (!name.empty() && (name.front() == ' ' ||
+                                 name.front() == '"')) {
+          name.erase(name.begin());
+        }
+        while (!name.empty() &&
+               (name.back() == ' ' || name.back() == '"')) {
+          name.pop_back();
+        }
+      }
+      by_layer[LayerOf(layers, pf.src->path)].push_back(
+          {pf.src->path, li + 1, name});
+    }
+  }
+
+  std::string out = "TB_FAULT_POINT coverage by layer\n";
+  for (size_t li = 0; li < layers.layers.size(); ++li) {
+    const auto it = by_layer.find(static_cast<int>(li));
+    const size_t count = it == by_layer.end() ? 0 : it->second.size();
+    out += "  " + layers.layers[li].name + ": " + std::to_string(count) +
+           (count == 1 ? " site\n" : " sites\n");
+    if (it == by_layer.end()) continue;
+    for (const Site& s : it->second) {
+      out += "    " + s.file + ":" + std::to_string(s.line);
+      if (!s.name.empty()) out += "  " + s.name;
+      out += "\n";
+    }
+  }
+  std::vector<std::string> zero;
+  for (size_t li = 0; li < layers.layers.size(); ++li) {
+    if (by_layer.count(static_cast<int>(li)) == 0) {
+      zero.push_back(layers.layers[li].name);
+    }
+  }
+  if (!zero.empty()) {
+    out += "layers with zero fault points: " + JoinNames(zero) + "\n";
+  }
+  const auto outside = by_layer.find(-1);
+  if (outside != by_layer.end()) {
+    out += "outside declared layers: " +
+           std::to_string(outside->second.size()) +
+           (outside->second.size() == 1 ? " site\n" : " sites\n");
+  }
+  return out;
 }
 
 }  // namespace tabbench_analyze

@@ -3,13 +3,19 @@
 // Usage:
 //   tabbench_analyze [--root DIR] [--layers FILE] [--baseline FILE]
 //                    [--write-baseline] [--strict-baseline] [--sarif FILE]
+//                    [--fix-annotations] [--fault-coverage]
 //                    [--list-rules] [paths...]
 //
 // Walks the given paths (default: src bench tests tools examples) under
 // --root (default: cwd), builds one project model from every .h/.cc/.cpp
-// file, and runs the four passes (see analyzer.h). Findings are diffed
+// file, and runs the seven passes (see analyzer.h). Findings are diffed
 // against the baseline (default: ROOT/tools/analyze/baseline.json when it
 // exists): baselined findings are reported but do not fail the run.
+//
+// --fix-annotations inserts the TB_GUARDED_BY annotations suggested by
+// tabbench-lockset-unannotated findings into the source files on disk
+// (idempotent; re-running changes nothing). --fault-coverage prints the
+// TB_FAULT_POINT coverage report per layer and exits.
 //
 // Exit status: 0 clean (or fully baselined), 1 when fresh findings exist —
 // or, under --strict-baseline, when baseline entries no longer fire (the
@@ -85,6 +91,8 @@ int main(int argc, char** argv) {
   bool write_baseline = false;
   bool strict_baseline = false;
   bool dump_model = false;
+  bool fix_annotations = false;
+  bool fault_coverage = false;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -111,6 +119,10 @@ int main(int argc, char** argv) {
       strict_baseline = true;
     } else if (arg == "--dump-model") {
       dump_model = true;
+    } else if (arg == "--fix-annotations") {
+      fix_annotations = true;
+    } else if (arg == "--fault-coverage") {
+      fault_coverage = true;
     } else if (arg == "--list-rules") {
       for (const auto& rule : tabbench_analyze::Rules()) {
         std::cout << rule.name << "\n    " << rule.summary << "\n";
@@ -119,7 +131,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: tabbench_analyze [--root DIR] [--layers FILE] "
                    "[--baseline FILE] [--write-baseline] "
-                   "[--strict-baseline] [--sarif FILE] [--list-rules] "
+                   "[--strict-baseline] [--sarif FILE] "
+                   "[--fix-annotations] [--fault-coverage] [--list-rules] "
                    "[paths...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -197,8 +210,38 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (fault_coverage) {
+    std::cout << tabbench_analyze::FaultCoverageReport(files,
+                                                       options.layers);
+    return 0;
+  }
+
   const std::vector<tabbench_analyze::Finding> findings =
       tabbench_analyze::Analyze(files, options);
+
+  if (fix_annotations) {
+    std::vector<std::string> before;
+    before.reserve(files.size());
+    for (const auto& f : files) before.push_back(f.content);
+    const size_t applied =
+        tabbench_analyze::ApplyAnnotationFixes(findings, &files);
+    size_t written = 0;
+    for (size_t i = 0; i < files.size(); ++i) {
+      if (files[i].content == before[i]) continue;
+      std::ofstream out(fs::path(root) / files[i].path,
+                        std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::cerr << "tabbench_analyze: cannot write " << files[i].path
+                  << "\n";
+        return 2;
+      }
+      out << files[i].content;
+      ++written;
+    }
+    std::cout << "tabbench_analyze: inserted " << applied
+              << " annotation(s) across " << written << " file(s)\n";
+    return 0;
+  }
 
   if (!sarif_file.empty()) {
     std::ofstream out(sarif_file, std::ios::binary | std::ios::trunc);

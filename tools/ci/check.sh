@@ -68,6 +68,15 @@ TABBENCH_WORKLOAD=8 TABBENCH_WORKERS=2 \
   "${BUILD_DIR}/bench/bench_parallel" \
   --bench-json "${BUILD_DIR}/BENCH_parallel.json"
 "${BUILD_DIR}/bench/bench_json_check" "${BUILD_DIR}/BENCH_parallel.json"
+# The gate must also reject a duplicated benchmark name (the same artifact
+# listed twice is the degenerate case) — otherwise trajectory plots keyed
+# by name would silently average two runs.
+if "${BUILD_DIR}/bench/bench_json_check" \
+    "${BUILD_DIR}/BENCH_parallel.json" \
+    "${BUILD_DIR}/BENCH_parallel.json" >/dev/null 2>&1; then
+  echo "bench_json_check failed to reject a duplicate benchmark name"
+  exit 1
+fi
 echo "BENCH artifact: ${BUILD_DIR}/BENCH_parallel.json"
 
 # ------------------------------------------------------------ kill-resume
@@ -100,14 +109,23 @@ step "tabbench_lint"
 "${BUILD_DIR}/tools/lint/tabbench_lint" --root "${ROOT}"
 
 # --------------------------------------------------------------- analyze
-# The cross-TU analyzer (layering, lock-order, Status-flow, nondeterminism
-# taint) under the ratchet: any finding not in tools/analyze/baseline.json
-# fails, and --strict-baseline also fails on stale entries, so the baseline
-# can only shrink. The SARIF artifact is what a code-scanning UI ingests.
+# The cross-TU analyzer — layering, lock-order, Status-flow, nondeterminism
+# taint, plus the concurrency-soundness passes (lockset inference,
+# blocking-under-lock, cancellation-poll liveness) — under the ratchet: any
+# finding not in tools/analyze/baseline.json fails, and --strict-baseline
+# also fails on stale entries, so the baseline can only shrink. The SARIF
+# artifact is what a code-scanning UI ingests.
 step "tabbench_analyze (ratchet vs tools/analyze/baseline.json)"
 "${BUILD_DIR}/tools/analyze/tabbench_analyze" --root "${ROOT}" \
   --strict-baseline --sarif "${BUILD_DIR}/analyze.sarif"
 echo "SARIF artifact: ${BUILD_DIR}/analyze.sarif"
+
+# Fault-injection coverage: which layers carry TB_FAULT_POINT sites and
+# which carry none. Informational (the report never fails the gate) but in
+# the log so a layer silently losing its fault hooks is visible in review.
+step "tabbench_analyze --fault-coverage"
+"${BUILD_DIR}/tools/analyze/tabbench_analyze" --root "${ROOT}" \
+  --fault-coverage
 
 # ----------------------------------------------------------------- ubsan
 # The util/journal layer does the repo's pointer-and-bit arithmetic (CRC32C
