@@ -77,6 +77,18 @@ class Session {
   const Database* db() const { return db_; }
   const SessionOptions& options() const { return options_; }
 
+  /// Caps the effective intra-query parallelism below the session option
+  /// (degradation-ladder step 1: a pressured shard drops its sessions to
+  /// serial execution without reopening them). 0 removes the cap. An atomic
+  /// so monitors may move the cap while the session's single executing
+  /// thread reads it; takes effect at the next Execute.
+  void set_parallelism_cap(size_t cap) {
+    parallelism_cap_.store(cap, std::memory_order_relaxed);
+  }
+  size_t parallelism_cap() const {
+    return parallelism_cap_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Deliberately no Mutex / TB_GUARDED_BY here: the service's strand
   // invariant means at most one thread executes inside a session at a
@@ -90,6 +102,7 @@ class Session {
   std::atomic<double> clock_seconds_{0.0};
   std::atomic<uint64_t> queries_run_{0};
   std::atomic<uint64_t> timeouts_{0};
+  std::atomic<size_t> parallelism_cap_{0};  // 0 = uncapped
 };
 
 }  // namespace tabbench

@@ -100,6 +100,9 @@ WorkloadService::WorkloadService(const Database* db, ServiceOptions options)
   if (!options_.journal_path.empty()) {
     JournalHeader header;
     header.metadata["writer"] = "workload-service";
+    if (options_.shard_id != 0) {
+      header.metadata["shard"] = std::to_string(options_.shard_id);
+    }
     auto writer = RunJournalWriter::Create(options_.journal_path, header);
     if (writer.ok()) {
       journal_ = writer.TakeValue();
@@ -225,6 +228,7 @@ void WorkloadService::JournalOutcome(double seconds, bool timed_out,
                                      const BufferPoolStats& after) {
   if (journal_ == nullptr) return;
   JournalQueryRecord rec;
+  rec.shard_id = options_.shard_id;
   rec.query_index = journal_index_.fetch_add(1, std::memory_order_relaxed);
   rec.seconds = seconds;
   rec.timed_out = timed_out;
@@ -431,7 +435,11 @@ SessionId WorkloadService::OpenSession(SessionOptions options) {
     options.intra_query_pool = &pool_;
   }
   SessionId id = next_session_++;
-  sessions_.emplace(id, std::make_unique<SessionState>(db_, options));
+  auto st = std::make_unique<SessionState>(db_, options);
+  if (session_parallelism_cap_ > 0) {
+    st->session.set_parallelism_cap(session_parallelism_cap_);
+  }
+  sessions_.emplace(id, std::move(st));
   return id;
 }
 
@@ -458,6 +466,25 @@ Result<double> WorkloadService::SessionClock(SessionId id) const {
 ServiceStats WorkloadService::stats() const {
   MutexLock lock(&mu_);
   return stats_;
+}
+
+uint64_t WorkloadService::in_flight() const {
+  MutexLock lock(&mu_);
+  return in_flight_;
+}
+
+void WorkloadService::CapSessionParallelism(size_t cap) {
+  MutexLock lock(&mu_);
+  session_parallelism_cap_ = cap;
+  // set_parallelism_cap is an atomic store, so touching the Session here
+  // does not violate the strand invariant (mu_ guards the map walk only).
+  for (auto& [id, st] : sessions_) st->session.set_parallelism_cap(cap);
+}
+
+Status WorkloadService::SubmitRaw(std::function<void()> task) {
+  MutexLock lock(&mu_);
+  if (shutdown_) return Status::Unavailable("service is shutting down");
+  return pool_.Submit(std::move(task));
 }
 
 Status WorkloadService::journal_status() const {

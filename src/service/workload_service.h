@@ -55,6 +55,11 @@ struct ServiceOptions {
   /// service actually served. Service journals carry no charge traces, so
   /// they are not resumable — checkpoint/resume is the runners' journal.
   std::string journal_path;
+  /// Identity stamped into every journal record this service writes
+  /// (JournalQueryRecord::shard_id), so a post-hoc audit over a sharded
+  /// deployment's journals can attribute each outcome to the worker shard
+  /// that served it. 0 (default) marks an unsharded service.
+  uint32_t shard_id = 0;
 };
 
 /// Per-job execution knobs.
@@ -160,6 +165,24 @@ class WorkloadService {
   ServiceStats stats() const TB_EXCLUDES(mu_);
   size_t num_workers() const { return pool_.num_workers(); }
 
+  /// Jobs currently accepted but not finished (queued on strands or the
+  /// pool + running) — the queue-depth signal the shard health machine and
+  /// the degradation ladder read.
+  uint64_t in_flight() const TB_EXCLUDES(mu_);
+
+  /// Applies a parallelism cap to every live session (and sessions opened
+  /// later, until the cap is lifted with 0): degradation-ladder step 1.
+  /// Does not touch ephemeral sessionless jobs, which never parallelize
+  /// beyond ServiceOptions::session anyway.
+  void CapSessionParallelism(size_t cap) TB_EXCLUDES(mu_);
+
+  /// Chaos hook: occupies one worker with `task`, bypassing admission
+  /// control, the breaker, and the journal. The overload harness uses it to
+  /// wedge a shard's workers (a "stalled shard") so queued jobs pile up
+  /// behind it; `task` must be cancellation-aware or the service cannot
+  /// drain on Shutdown. Unavailable after Shutdown.
+  Status SubmitRaw(std::function<void()> task) TB_EXCLUDES(mu_);
+
   /// OK while the outcome journal (ServiceOptions::journal_path) is healthy
   /// or disabled; otherwise the first error that hit it (creation failure,
   /// failed append). Journal errors never fail queries — the service keeps
@@ -228,6 +251,9 @@ class WorkloadService {
   bool shutdown_ TB_GUARDED_BY(mu_) = false;
   uint64_t in_flight_ TB_GUARDED_BY(mu_) = 0;
   SessionId next_session_ TB_GUARDED_BY(mu_) = 1;
+  /// Current ladder-step-1 cap (0 = none), re-applied to sessions opened
+  /// while it is in force.
+  size_t session_parallelism_cap_ TB_GUARDED_BY(mu_) = 0;
   /// The map (membership, strand queues, flags) is guarded by mu_. The
   /// Session object *inside* a SessionState is deliberately not: exactly one
   /// drain job touches it at a time (the strand invariant), outside mu_.

@@ -19,6 +19,7 @@ namespace {
 // header with a query record even if a file is truncated and re-appended.
 constexpr uint8_t kHeaderRecord = 0;
 constexpr uint8_t kQueryRecord = 1;
+constexpr uint8_t kEventRecord = 2;  // service routing/health decisions
 constexpr uint32_t kJournalVersion = 1;
 constexpr char kMagic[8] = {'t', 'b', 'j', 'o', 'u', 'r', 'n', 'l'};
 // Frames larger than this are assumed to be garbage length prefixes from a
@@ -96,6 +97,7 @@ class Decoder {
   }
 
   bool ok() const { return ok_ && p_ == end_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
 
  private:
   bool Need(size_t n) {
@@ -191,6 +193,7 @@ std::string EncodeQueryRecord(const JournalQueryRecord& r) {
       PutU64(&out, e.arg);
     }
   }
+  PutU32(&out, r.shard_id);  // optional trailer; absent in old journals
   return out;
 }
 
@@ -224,6 +227,34 @@ bool DecodeQueryRecord(const std::string& payload, JournalQueryRecord* r) {
     }
     r->attempt_log.push_back(std::move(a));
   }
+  // Optional trailer, absent in journals written before shards existed:
+  // those decode to shard 0 (the unsharded writer id) and still pass ok()
+  // because the conditional read consumes exactly the remaining bytes.
+  if (d.remaining() >= 4) r->shard_id = d.U32();
+  return d.ok();
+}
+
+std::string EncodeEvent(const JournalServiceEvent& e) {
+  std::string out;
+  PutU8(&out, kEventRecord);
+  PutU64(&out, e.sequence);
+  PutDouble(&out, e.clock_seconds);
+  PutU32(&out, e.shard_id);
+  PutU64(&out, e.domain);
+  PutString(&out, e.kind);
+  PutString(&out, e.detail);
+  return out;
+}
+
+bool DecodeEvent(const std::string& payload, JournalServiceEvent* e) {
+  Decoder d(payload.data(), payload.size());
+  if (d.U8() != kEventRecord) return false;
+  e->sequence = d.U64();
+  e->clock_seconds = d.Double();
+  e->shard_id = d.U32();
+  e->domain = d.U64();
+  e->kind = d.String();
+  e->detail = d.String();
   return d.ok();
 }
 
@@ -305,6 +336,15 @@ Result<RunJournal> LoadRunJournal(const std::string& path) {
         return Status::InvalidArgument("not a tabbench run journal: " + path);
       }
       have_header = true;
+    } else if (!payload.empty() &&
+               static_cast<uint8_t>(payload[0]) == kEventRecord) {
+      JournalServiceEvent event;
+      if (!DecodeEvent(payload, &event)) {
+        return Status::DataLoss(
+            "run journal event undecodable at offset " + std::to_string(off) +
+            ": " + path);
+      }
+      journal.events.push_back(std::move(event));
     } else {
       JournalQueryRecord rec;
       if (!DecodeQueryRecord(payload, &rec)) {
@@ -364,6 +404,17 @@ RunJournalWriter::~RunJournalWriter() {
   MutexLock lock(&mu_);
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
+}
+
+Status RunJournalWriter::Append(const JournalServiceEvent& event) {
+  std::string frame = Frame(EncodeEvent(event));
+  MutexLock lock(&mu_);
+  if (fd_ < 0) return Status::Internal("run journal writer is closed");
+  // Same total-order-plus-durability contract as query records; event
+  // appends share the mutex so the decision audit trail interleaves with
+  // outcomes in commit order.
+  // NOLINTNEXTLINE(tabbench-blocking-under-lock)
+  return WriteAndSync(fd_, frame);
 }
 
 Status RunJournalWriter::Append(const JournalQueryRecord& rec) {

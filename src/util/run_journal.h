@@ -67,6 +67,25 @@ struct JournalQueryRecord {
   uint64_t pool_hit_delta = 0;
   uint64_t pool_miss_delta = 0;
   std::vector<JournalAttempt> attempt_log;
+  /// Worker shard that served this query (sharded WorkloadService /
+  /// ShardRouter); 0 for unsharded writers. Encoded as an optional trailer
+  /// on the record payload so journals written before the field existed
+  /// still load (they read back as shard 0).
+  uint32_t shard_id = 0;
+};
+
+/// One routing / health decision of the sharded serving layer: quarantines,
+/// re-routes, probe admissions, re-admissions. Journaled alongside query
+/// outcomes so a post-hoc audit can reconstruct *why* a domain's queries
+/// moved between shards, not just where they ran. Old journals simply have
+/// no event frames; old readers never see them (the frame type is new).
+struct JournalServiceEvent {
+  uint64_t sequence = 0;        // writer-wide monotone decision ordinal
+  double clock_seconds = 0.0;   // router clock when the decision was made
+  uint32_t shard_id = 0;        // shard the decision concerns
+  uint64_t domain = 0;          // affected session domain (0 = shard-wide)
+  std::string kind;             // "quarantine", "reroute", "readmit", ...
+  std::string detail;           // free-form human-readable context
 };
 
 /// Everything needed to (a) refuse resuming under different run options and
@@ -89,6 +108,9 @@ struct JournalHeader {
 struct RunJournal {
   JournalHeader header;
   std::vector<JournalQueryRecord> records;
+  /// Service-layer decision events, in append order (sharded serving only;
+  /// empty for runner journals and journals predating the frame type).
+  std::vector<JournalServiceEvent> events;
   /// Bytes of valid frames from the start of the file; a torn tail begins
   /// here. OpenAppend truncates to this offset before continuing.
   uint64_t valid_bytes = 0;
@@ -124,6 +146,11 @@ class RunJournalWriter {
   /// Serializes, frames, writes, and fsyncs one record — the durability
   /// point: once Append returns OK the record survives any crash.
   Status Append(const JournalQueryRecord& rec);
+
+  /// Same durability contract for a service decision event. Events and
+  /// query records share one total append order (the writer's mutex), so
+  /// the audit trail reflects the order decisions actually committed.
+  Status Append(const JournalServiceEvent& event);
 
   /// Test hook for the kill-resume chaos suite: after the n-th successful
   /// Append (1-based) the process SIGKILLs itself — *after* the fsync, so

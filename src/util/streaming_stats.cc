@@ -1,0 +1,177 @@
+#include "util/streaming_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tabbench {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// The t-digest k1 scale function: maps a quantile to "k-space", where every
+/// centroid is allowed to span at most one unit. Its derivative collapses
+/// near q=0 and q=1, which is what forces small centroids — and therefore
+/// fine resolution — at the tails.
+double ScaleK(double q, double delta) {
+  q = std::min(1.0, std::max(0.0, q));
+  return delta / (2.0 * kPi) * std::asin(2.0 * q - 1.0);
+}
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(size_t max_centroids)
+    : max_centroids_(std::max<size_t>(max_centroids, 8)) {
+  buffer_.reserve(max_centroids_);
+}
+
+void QuantileSketch::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  buffer_.push_back(value);
+  if (buffer_.size() >= max_centroids_) Compress();
+}
+
+void QuantileSketch::Clear() {
+  centroids_.clear();
+  buffer_.clear();
+  count_ = 0;
+  min_ = 0.0;
+  max_ = 0.0;
+  sum_ = 0.0;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  // Adopt the other side's centroids wholesale and recompress: O(delta)
+  // work, and MergedView re-sorts, so the sorted invariant is restored by
+  // Compress regardless of interleaving.
+  centroids_.insert(centroids_.end(), other.centroids_.begin(),
+                    other.centroids_.end());
+  buffer_.insert(buffer_.end(), other.buffer_.begin(), other.buffer_.end());
+  Compress();
+}
+
+void QuantileSketch::Compress() {
+  if (buffer_.empty() && centroids_.size() <= max_centroids_) return;
+  std::vector<Centroid> merged = MergedView();
+  buffer_.clear();
+  centroids_.clear();
+  if (merged.empty()) return;
+
+  const double total = static_cast<double>(count_);
+  const double delta = static_cast<double>(max_centroids_);
+  double weight_so_far = 0.0;
+  Centroid cur = merged[0];
+  double k_lo = ScaleK(0.0, delta);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    const Centroid& next = merged[i];
+    const double q_hi =
+        (weight_so_far + static_cast<double>(cur.weight + next.weight)) /
+        total;
+    if (ScaleK(q_hi, delta) - k_lo <= 1.0) {
+      // Fits in one k-unit: fold into the current centroid.
+      const double w = static_cast<double>(cur.weight + next.weight);
+      cur.mean = (cur.mean * static_cast<double>(cur.weight) +
+                  next.mean * static_cast<double>(next.weight)) /
+                 w;
+      cur.weight += next.weight;
+    } else {
+      weight_so_far += static_cast<double>(cur.weight);
+      centroids_.push_back(cur);
+      k_lo = ScaleK(weight_so_far / total, delta);
+      cur = next;
+    }
+  }
+  centroids_.push_back(cur);
+}
+
+std::vector<QuantileSketch::Centroid> QuantileSketch::MergedView() const {
+  std::vector<Centroid> merged = centroids_;
+  merged.reserve(merged.size() + buffer_.size());
+  for (double v : buffer_) merged.push_back(Centroid{v, 1});
+  std::sort(merged.begin(), merged.end(),
+            [](const Centroid& a, const Centroid& b) {
+              return a.mean < b.mean;
+            });
+  return merged;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const std::vector<Centroid> view = MergedView();
+  const double total = static_cast<double>(count_);
+  const double target = q * total;
+
+  // Each centroid's mass is centered on its mean; interpolate between
+  // adjacent centroid midpoints, with virtual anchors (0, min) on the left
+  // and (total, max) on the right so the extreme quantiles stay within the
+  // observed range.
+  double cum = 0.0;
+  double prev_mid = 0.0;
+  double prev_mean = min_;
+  for (const Centroid& c : view) {
+    const double w = static_cast<double>(c.weight);
+    const double mid = cum + w / 2.0;
+    if (target <= mid) {
+      const double span = mid - prev_mid;
+      const double frac =
+          span > 0.0 ? std::min(1.0, std::max(0.0, (target - prev_mid) /
+                                                       span))
+                     : 1.0;
+      return prev_mean + (c.mean - prev_mean) * frac;
+    }
+    prev_mid = mid;
+    prev_mean = c.mean;
+    cum += w;
+  }
+  const double span = total - prev_mid;
+  const double frac =
+      span > 0.0 ? std::min(1.0, (target - prev_mid) / span) : 1.0;
+  return prev_mean + (max_ - prev_mean) * frac;
+}
+
+StreamingStats::StreamingStats(size_t max_centroids)
+    : sketch_(max_centroids) {}
+
+void StreamingStats::Record(double seconds) {
+  MutexLock lock(&mu_);
+  sketch_.Add(seconds);
+}
+
+LatencyDigest StreamingStats::Snapshot() const {
+  MutexLock lock(&mu_);
+  LatencyDigest d;
+  d.count = sketch_.count();
+  d.mean = d.count == 0 ? 0.0
+                        : sketch_.sum() / static_cast<double>(d.count);
+  d.p50 = sketch_.Quantile(0.50);
+  d.p95 = sketch_.Quantile(0.95);
+  d.p99 = sketch_.Quantile(0.99);
+  d.max = sketch_.max();
+  return d;
+}
+
+void StreamingStats::Clear() {
+  MutexLock lock(&mu_);
+  sketch_.Clear();
+}
+
+}  // namespace tabbench

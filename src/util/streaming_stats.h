@@ -1,0 +1,101 @@
+#ifndef TABBENCH_UTIL_STREAMING_STATS_H_
+#define TABBENCH_UTIL_STREAMING_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace tabbench {
+
+/// Streaming quantile sketch in the t-digest family: a bounded set of
+/// weighted centroids over the observed distribution, with the merge budget
+/// concentrated at the tails by the classic k1 scale function, so p95/p99
+/// stay sharp while p50 tolerates coarser centroids. Memory is O(max
+/// centroids) regardless of how many values stream in — the serving layer
+/// feeds one of these per shard for live SLO percentiles without retaining
+/// per-job samples.
+///
+/// Deterministic: the centroid layout is a pure function of the insertion
+/// sequence (no RNG, no wall clock), so a replayed run reproduces the same
+/// quantile estimates bit for bit. Not internally synchronized; wrap in
+/// StreamingStats (below) for concurrent recording.
+class QuantileSketch {
+ public:
+  /// `max_centroids` bounds the compressed size (the t-digest delta);
+  /// 64 gives ~1% tail error on latency-shaped distributions.
+  explicit QuantileSketch(size_t max_centroids = 64);
+
+  void Add(double value);
+
+  /// Estimated value at quantile q in [0, 1] (clamped); 0 when empty.
+  /// Interpolates between centroid means, pinning the extreme quantiles to
+  /// the observed min/max so p100 is never an extrapolation.
+  double Quantile(double q) const;
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  void Clear();
+
+  /// Folds another sketch into this one (centroid-level merge, then
+  /// recompress). Used when aggregating per-shard digests into a
+  /// service-wide view.
+  void Merge(const QuantileSketch& other);
+
+ private:
+  struct Centroid {
+    double mean = 0.0;
+    uint64_t weight = 0;
+  };
+
+  /// Sorts buffered values in with the centroids and greedily re-merges
+  /// under the scale-function weight bound.
+  void Compress();
+  /// Centroids + buffer merged into one sorted centroid list (the view
+  /// Quantile interpolates over). Cheap: both inputs are bounded.
+  std::vector<Centroid> MergedView() const;
+
+  size_t max_centroids_;
+  std::vector<Centroid> centroids_;  // sorted by mean
+  std::vector<double> buffer_;       // raw values awaiting compression
+  uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Point-in-time percentile summary of one latency stream.
+struct LatencyDigest {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Thread-safe latency recorder: many workers Record(), monitors Snapshot().
+/// One lives inside each service shard; the router reads digests when
+/// walking the degradation ladder, so the lock is held only for the O(max
+/// centroids) sketch update — never across any blocking call.
+class StreamingStats {
+ public:
+  explicit StreamingStats(size_t max_centroids = 64);
+
+  void Record(double seconds) TB_EXCLUDES(mu_);
+  LatencyDigest Snapshot() const TB_EXCLUDES(mu_);
+  void Clear() TB_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  QuantileSketch sketch_ TB_GUARDED_BY(mu_);
+};
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_UTIL_STREAMING_STATS_H_

@@ -1014,6 +1014,52 @@ TEST(AnalyzeFaultCoverage, ListsSitesPerLayerAndNamesZeroLayers) {
   EXPECT_NE(report.find("engine"), std::string::npos) << report;
 }
 
+TEST(AnalyzeFaultCoverage, CountsSitesPerLayerStructured) {
+  const auto counts = tabbench_analyze::FaultSitesPerLayer(
+      {{"src/util/file.cc",
+        "namespace tabbench {\n"
+        "int Read() {\n"
+        "  TB_FAULT_POINT(\"io.read\", fd);\n"
+        "  TB_FAULT_POINT(\"io.read_retry\");\n"
+        "  return 0;\n"
+        "}\n"
+        "}  // namespace tabbench\n"},
+       {"src/engine/db.cc", "namespace tabbench {\nint Db();\n}\n"}},
+      LayeredOpts().layers);
+  EXPECT_EQ(counts.at("util"), 2u);
+  EXPECT_EQ(counts.at("engine"), 0u);
+  EXPECT_EQ(counts.at("service"), 0u);
+}
+
+TEST(AnalyzeFaultCoverage, RatchetHoldsAndTripsOnRegression) {
+  const std::vector<tabbench_analyze::SourceFile> files = {
+      {"src/util/file.cc",
+       "namespace tabbench {\n"
+       "int Read() {\n"
+       "  TB_FAULT_POINT(\"io.read\");\n"
+       "  return 0;\n"
+       "}\n"
+       "}  // namespace tabbench\n"}};
+  const LayerSpec layers = LayeredOpts().layers;
+
+  // Floor satisfied (comments and blank lines are tolerated).
+  EXPECT_TRUE(tabbench_analyze::CheckFaultCoverage(
+                  files, layers, "# floor\n\nutil 1\n")
+                  .empty());
+  // A layer whose sites dropped below its floor trips the ratchet ...
+  auto violations = tabbench_analyze::CheckFaultCoverage(
+      files, layers, "util 1\nservice 1\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("'service'"), std::string::npos)
+      << violations[0];
+  // ... and so does a floor entry naming a layer that no longer exists.
+  violations = tabbench_analyze::CheckFaultCoverage(files, layers,
+                                                    "storage 1\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("not declared"), std::string::npos)
+      << violations[0];
+}
+
 // --------------------------------- new rules in SARIF and the baseline
 
 TEST(AnalyzeOutput, SarifCarriesTheConcurrencyRuleIds) {

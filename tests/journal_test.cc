@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -167,6 +168,7 @@ JournalQueryRecord SampleRecord(uint32_t index) {
   second.trace = {{TraceEvent::Kind::kTouchRandom, 5},
                   {TraceEvent::Kind::kUnitTuplesChecked, 64}};
   rec.attempt_log = {first, second};
+  rec.shard_id = 7 + index;
   return rec;
 }
 
@@ -220,8 +222,91 @@ TEST(RunJournalTest, HeaderAndRecordsRoundTrip) {
                   want.attempt_log[a].trace[e].arg);
       }
     }
+    EXPECT_EQ(got.shard_id, want.shard_id);
   }
   EXPECT_EQ(loaded->valid_bytes, Slurp(path).size());
+  std::remove(path.c_str());
+}
+
+TEST(RunJournalTest, PreShardJournalsLoadWithShardZero) {
+  // The shard id rides as a 4-byte trailer on the record payload. Strip the
+  // trailer off a freshly written record — byte-for-byte what a journal
+  // written before the field existed holds — and the record must still load,
+  // reading back as shard 0 (the unsharded marker).
+  std::string path = TempPath("journal_preshard.tbj");
+  {
+    auto writer = RunJournalWriter::Create(path, SampleHeader());
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    TB_ASSERT_OK((*writer)->Append(SampleRecord(0)));
+  }
+  std::string bytes = Slurp(path);
+  uint32_t header_len = 0;
+  std::memcpy(&header_len, bytes.data(), sizeof(header_len));
+  const size_t record_off = 8 + header_len;
+  uint32_t record_len = 0;
+  std::memcpy(&record_len, bytes.data() + record_off, sizeof(record_len));
+  ASSERT_GT(record_len, 4u);
+  std::string payload = bytes.substr(record_off + 8, record_len);
+  payload.resize(payload.size() - 4);  // drop the shard-id trailer
+  const uint32_t new_len = static_cast<uint32_t>(payload.size());
+  const uint32_t new_crc = MaskCrc32c(Crc32c(payload));
+  std::string rebuilt = bytes.substr(0, record_off);
+  rebuilt.append(reinterpret_cast<const char*>(&new_len), 4);
+  rebuilt.append(reinterpret_cast<const char*>(&new_crc), 4);
+  rebuilt.append(payload);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(rebuilt.data(), static_cast<std::streamsize>(rebuilt.size()));
+  }
+
+  auto loaded = LoadRunJournal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->records.size(), 1u);
+  const JournalQueryRecord want = SampleRecord(0);
+  EXPECT_EQ(loaded->records[0].shard_id, 0u);  // trailer absent -> unsharded
+  EXPECT_EQ(loaded->records[0].query_index, want.query_index);
+  EXPECT_EQ(loaded->records[0].seconds, want.seconds);
+  EXPECT_EQ(loaded->records[0].attempts, want.attempts);
+  ASSERT_EQ(loaded->records[0].attempt_log.size(), want.attempt_log.size());
+  std::remove(path.c_str());
+}
+
+TEST(RunJournalTest, ServiceEventsRoundTripAlongsideRecords) {
+  std::string path = TempPath("journal_events.tbj");
+  JournalServiceEvent kill;
+  kill.sequence = 4;
+  kill.clock_seconds = 1.25;
+  kill.shard_id = 2;
+  kill.kind = "kill";
+  kill.detail = "chaos kill";
+  JournalServiceEvent reroute;
+  reroute.sequence = 5;
+  reroute.clock_seconds = 1.5;
+  reroute.shard_id = 1;
+  reroute.domain = 42;
+  reroute.kind = "reroute";
+  reroute.detail = "shard 2 not serving; domain moved";
+  {
+    auto writer = RunJournalWriter::Create(path, SampleHeader());
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    TB_ASSERT_OK((*writer)->Append(kill));
+    TB_ASSERT_OK((*writer)->Append(SampleRecord(0)));
+    TB_ASSERT_OK((*writer)->Append(reroute));
+  }
+  auto loaded = LoadRunJournal(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->records.size(), 1u);
+  ASSERT_EQ(loaded->events.size(), 2u);
+  EXPECT_EQ(loaded->events[0].sequence, kill.sequence);
+  EXPECT_EQ(loaded->events[0].clock_seconds, kill.clock_seconds);
+  EXPECT_EQ(loaded->events[0].shard_id, kill.shard_id);
+  EXPECT_EQ(loaded->events[0].domain, 0u);
+  EXPECT_EQ(loaded->events[0].kind, kill.kind);
+  EXPECT_EQ(loaded->events[0].detail, kill.detail);
+  EXPECT_EQ(loaded->events[1].sequence, reroute.sequence);
+  EXPECT_EQ(loaded->events[1].shard_id, reroute.shard_id);
+  EXPECT_EQ(loaded->events[1].domain, reroute.domain);
+  EXPECT_EQ(loaded->events[1].kind, reroute.kind);
   std::remove(path.c_str());
 }
 

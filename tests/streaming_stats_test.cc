@@ -1,0 +1,178 @@
+#include "util/streaming_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tabbench {
+namespace {
+
+// Exact empirical quantile (nearest-rank on the sorted sample) for
+// comparing the sketch against ground truth.
+double ExactQuantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(q * (v.size() - 1));
+  return v[idx];
+}
+
+TEST(QuantileSketchTest, EmptyAndSingleValue) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.Quantile(0.0), 3.5);
+  EXPECT_EQ(s.Quantile(0.5), 3.5);
+  EXPECT_EQ(s.Quantile(1.0), 3.5);
+}
+
+TEST(QuantileSketchTest, ExtremesPinToObservedMinMax) {
+  QuantileSketch s;
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) s.Add(rng.UniformDouble() * 100.0);
+  EXPECT_EQ(s.Quantile(0.0), s.min());
+  EXPECT_EQ(s.Quantile(1.0), s.max());
+  // Clamped outside [0, 1].
+  EXPECT_EQ(s.Quantile(-0.5), s.min());
+  EXPECT_EQ(s.Quantile(1.5), s.max());
+}
+
+TEST(QuantileSketchTest, UniformStreamQuantilesWithinTolerance) {
+  QuantileSketch s(64);
+  std::vector<double> values;
+  Rng rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.UniformDouble() * 1000.0;
+    values.push_back(v);
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), values.size());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double exact = ExactQuantile(values, q);
+    const double est = s.Quantile(q);
+    // The k1 scale function concentrates accuracy at the tails; 2% of the
+    // value range is loose enough to be robust, tight enough to be useful.
+    EXPECT_NEAR(est, exact, 20.0) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, HeavyTailKeepsSharpHighQuantiles) {
+  // Latency-shaped data: lognormal-ish via exp of a sum of uniforms.
+  QuantileSketch s(64);
+  std::vector<double> values;
+  Rng rng(23);
+  for (int i = 0; i < 30000; ++i) {
+    double g = 0.0;
+    for (int k = 0; k < 6; ++k) g += rng.UniformDouble() - 0.5;
+    const double v = std::exp(2.0 * g);  // right-skewed, tail past 10
+    values.push_back(v);
+    s.Add(v);
+  }
+  for (double q : {0.95, 0.99}) {
+    const double exact = ExactQuantile(values, q);
+    const double est = s.Quantile(q);
+    EXPECT_NEAR(est, exact, std::max(0.35 * exact, 0.05)) << "q=" << q;
+  }
+  // Monotone in q.
+  double prev = s.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = s.Quantile(q);
+    EXPECT_GE(cur, prev - 1e-12) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(QuantileSketchTest, DeterministicAcrossRuns) {
+  // Same insertion sequence -> bit-identical quantiles (no hidden RNG or
+  // clock in the compression path) — the deterministic-replay contract the
+  // shard health machine relies on.
+  auto run = [] {
+    QuantileSketch s(32);
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) s.Add(rng.UniformDouble() * 7.0);
+    return s;
+  };
+  const QuantileSketch a = run();
+  const QuantileSketch b = run();
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    EXPECT_EQ(a.Quantile(q), b.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, MergeMatchesCombinedStream) {
+  QuantileSketch left(64), right(64), combined(64);
+  std::vector<double> values;
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.UniformDouble() * 100.0;
+    values.push_back(v);
+    combined.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), values.size());
+  EXPECT_EQ(left.min(), combined.min());
+  EXPECT_EQ(left.max(), combined.max());
+  for (double q : {0.25, 0.5, 0.75, 0.95, 0.99}) {
+    EXPECT_NEAR(left.Quantile(q), ExactQuantile(values, q), 7.5) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, ClearResetsEverything) {
+  QuantileSketch s;
+  for (int i = 0; i < 100; ++i) s.Add(i);
+  s.Clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.sum(), 0.0);
+  EXPECT_EQ(s.Quantile(0.5), 0.0);
+  s.Add(42.0);
+  EXPECT_EQ(s.Quantile(0.5), 42.0);
+}
+
+TEST(StreamingStatsTest, SnapshotSummarizesStream) {
+  StreamingStats stats;
+  for (int i = 1; i <= 1000; ++i) stats.Record(i / 1000.0);
+  const LatencyDigest d = stats.Snapshot();
+  EXPECT_EQ(d.count, 1000u);
+  EXPECT_NEAR(d.mean, 0.5005, 1e-9);
+  EXPECT_NEAR(d.p50, 0.5, 0.05);
+  EXPECT_NEAR(d.p95, 0.95, 0.05);
+  EXPECT_NEAR(d.p99, 0.99, 0.05);
+  EXPECT_EQ(d.max, 1.0);
+  stats.Clear();
+  EXPECT_EQ(stats.Snapshot().count, 0u);
+}
+
+TEST(StreamingStatsTest, ConcurrentRecordersLoseNothing) {
+  StreamingStats stats;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  ThreadPool pool(kThreads);
+  Latch latch(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(pool.Submit([&stats, &latch, t] {
+                      Rng rng(1000 + t);
+                      for (int i = 0; i < kPerThread; ++i) {
+                        stats.Record(rng.UniformDouble());
+                      }
+                      latch.CountDown();
+                    })
+                    .ok());
+  }
+  latch.Wait();
+  const LatencyDigest d = stats.Snapshot();
+  EXPECT_EQ(d.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(d.p95, d.p50);
+  EXPECT_LE(d.p99, d.max);
+}
+
+}  // namespace
+}  // namespace tabbench

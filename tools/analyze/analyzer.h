@@ -2,6 +2,7 @@
 #define TABBENCH_TOOLS_ANALYZE_ANALYZER_H_
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -155,6 +156,22 @@ size_t ApplyAnnotationFixes(const std::vector<Finding>& findings,
 /// the chaos suite's blind spots (--fault-coverage).
 std::string FaultCoverageReport(const std::vector<SourceFile>& files,
                                 const LayerSpec& layers);
+
+/// TB_FAULT_POINT sites per declared layer name (layers with zero sites
+/// are present with count 0). Files outside every layer are ignored.
+std::map<std::string, size_t> FaultSitesPerLayer(
+    const std::vector<SourceFile>& files, const LayerSpec& layers);
+
+/// The fault-coverage CI ratchet (--check-fault-coverage): `required_text`
+/// lists, one per line, layers that must keep TB_FAULT_POINT coverage —
+/// `<layer> [min_sites]`, '#' comments, default minimum 1. Returns one
+/// message per violated requirement (unknown layer, or site count below
+/// the recorded floor); empty means the ratchet holds. The floor file is
+/// committed, so a layer that once had fault points can never silently
+/// drop back to zero.
+std::vector<std::string> CheckFaultCoverage(
+    const std::vector<SourceFile>& files, const LayerSpec& layers,
+    const std::string& required_text);
 
 // ---------------------------------------------------------------- output
 

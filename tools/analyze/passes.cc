@@ -2,6 +2,7 @@
 #include <iterator>
 #include <map>
 #include <set>
+#include <sstream>
 #include <utility>
 
 #include "model.h"
@@ -1604,15 +1605,20 @@ void RunCancellationPass(const Model& model,
 // TB_FAULT_POINT coverage report
 // ---------------------------------------------------------------------------
 
-std::string FaultCoverageReport(const std::vector<SourceFile>& files,
-                                const LayerSpec& layers) {
+namespace {
+
+struct FaultSite {
+  std::string file;
+  size_t line = 0;
+  std::string name;
+};
+
+/// Scans every parsed file for TB_FAULT_POINT sites (skipping the macro
+/// definition itself), keyed by layer index (-1 = outside every layer).
+std::map<int, std::vector<FaultSite>> CollectFaultSites(
+    const std::vector<SourceFile>& files, const LayerSpec& layers) {
   const Model model = BuildModel(files);
-  struct Site {
-    std::string file;
-    size_t line = 0;
-    std::string name;
-  };
-  std::map<int, std::vector<Site>> by_layer;
+  std::map<int, std::vector<FaultSite>> by_layer;
   for (const ParsedFile& pf : model.files) {
     for (size_t li = 0; li < pf.code_lines.size(); ++li) {
       const std::string& code = pf.code_lines[li];
@@ -1643,6 +1649,15 @@ std::string FaultCoverageReport(const std::vector<SourceFile>& files,
           {pf.src->path, li + 1, name});
     }
   }
+  return by_layer;
+}
+
+}  // namespace
+
+std::string FaultCoverageReport(const std::vector<SourceFile>& files,
+                                const LayerSpec& layers) {
+  const std::map<int, std::vector<FaultSite>> by_layer =
+      CollectFaultSites(files, layers);
 
   std::string out = "TB_FAULT_POINT coverage by layer\n";
   for (size_t li = 0; li < layers.layers.size(); ++li) {
@@ -1651,7 +1666,7 @@ std::string FaultCoverageReport(const std::vector<SourceFile>& files,
     out += "  " + layers.layers[li].name + ": " + std::to_string(count) +
            (count == 1 ? " site\n" : " sites\n");
     if (it == by_layer.end()) continue;
-    for (const Site& s : it->second) {
+    for (const FaultSite& s : it->second) {
       out += "    " + s.file + ":" + std::to_string(s.line);
       if (!s.name.empty()) out += "  " + s.name;
       out += "\n";
@@ -1673,6 +1688,56 @@ std::string FaultCoverageReport(const std::vector<SourceFile>& files,
            (outside->second.size() == 1 ? " site\n" : " sites\n");
   }
   return out;
+}
+
+std::map<std::string, size_t> FaultSitesPerLayer(
+    const std::vector<SourceFile>& files, const LayerSpec& layers) {
+  const std::map<int, std::vector<FaultSite>> by_layer =
+      CollectFaultSites(files, layers);
+  std::map<std::string, size_t> counts;
+  for (size_t li = 0; li < layers.layers.size(); ++li) {
+    const auto it = by_layer.find(static_cast<int>(li));
+    counts[layers.layers[li].name] =
+        it == by_layer.end() ? 0 : it->second.size();
+  }
+  return counts;
+}
+
+std::vector<std::string> CheckFaultCoverage(
+    const std::vector<SourceFile>& files, const LayerSpec& layers,
+    const std::string& required_text) {
+  const std::map<std::string, size_t> counts =
+      FaultSitesPerLayer(files, layers);
+  std::vector<std::string> violations;
+  std::istringstream in(required_text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string layer;
+    if (!(fields >> layer)) continue;  // blank / comment-only line
+    size_t min_sites = 1;
+    fields >> min_sites;  // optional; keeps the default on parse failure
+    const auto it = counts.find(layer);
+    if (it == counts.end()) {
+      violations.push_back("line " + std::to_string(lineno) + ": layer '" +
+                           layer +
+                           "' is not declared in the layer spec (renamed or "
+                           "removed? update the floor file alongside)");
+      continue;
+    }
+    if (it->second < min_sites) {
+      violations.push_back(
+          "layer '" + layer + "' has " + std::to_string(it->second) +
+          " TB_FAULT_POINT site" + (it->second == 1 ? "" : "s") +
+          ", below its recorded floor of " + std::to_string(min_sites) +
+          " — fault-injection coverage must not regress");
+    }
+  }
+  return violations;
 }
 
 }  // namespace tabbench_analyze

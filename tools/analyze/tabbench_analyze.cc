@@ -4,7 +4,7 @@
 //   tabbench_analyze [--root DIR] [--layers FILE] [--baseline FILE]
 //                    [--write-baseline] [--strict-baseline] [--sarif FILE]
 //                    [--fix-annotations] [--fault-coverage]
-//                    [--list-rules] [paths...]
+//                    [--check-fault-coverage FILE] [--list-rules] [paths...]
 //
 // Walks the given paths (default: src bench tests tools examples) under
 // --root (default: cwd), builds one project model from every .h/.cc/.cpp
@@ -16,6 +16,10 @@
 // tabbench-lockset-unannotated findings into the source files on disk
 // (idempotent; re-running changes nothing). --fault-coverage prints the
 // TB_FAULT_POINT coverage report per layer and exits.
+// --check-fault-coverage enforces the committed coverage floor
+// (ROOT/tools/analyze/fault_layers.txt in CI): each listed layer must keep
+// at least its recorded number of fault-point sites, so chaos-test
+// coverage a layer once had can never silently regress to zero.
 //
 // Exit status: 0 clean (or fully baselined), 1 when fresh findings exist —
 // or, under --strict-baseline, when baseline entries no longer fire (the
@@ -93,6 +97,7 @@ int main(int argc, char** argv) {
   bool dump_model = false;
   bool fix_annotations = false;
   bool fault_coverage = false;
+  std::string check_fault_file;  // --check-fault-coverage ratchet floor
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -123,6 +128,8 @@ int main(int argc, char** argv) {
       fix_annotations = true;
     } else if (arg == "--fault-coverage") {
       fault_coverage = true;
+    } else if (arg == "--check-fault-coverage") {
+      if (!flag_value("--check-fault-coverage", &check_fault_file)) return 2;
     } else if (arg == "--list-rules") {
       for (const auto& rule : tabbench_analyze::Rules()) {
         std::cout << rule.name << "\n    " << rule.summary << "\n";
@@ -132,7 +139,8 @@ int main(int argc, char** argv) {
       std::cout << "usage: tabbench_analyze [--root DIR] [--layers FILE] "
                    "[--baseline FILE] [--write-baseline] "
                    "[--strict-baseline] [--sarif FILE] "
-                   "[--fix-annotations] [--fault-coverage] [--list-rules] "
+                   "[--fix-annotations] [--fault-coverage] "
+                   "[--check-fault-coverage FILE] [--list-rules] "
                    "[paths...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -214,6 +222,28 @@ int main(int argc, char** argv) {
     std::cout << tabbench_analyze::FaultCoverageReport(files,
                                                        options.layers);
     return 0;
+  }
+
+  if (!check_fault_file.empty()) {
+    // CI ratchet: every layer listed in the floor file must keep at least
+    // its recorded number of TB_FAULT_POINT sites (default 1) — a layer
+    // that once had fault-injection coverage can never drop back to zero.
+    std::string required;
+    if (!ReadFile(check_fault_file, &required)) {
+      std::cerr << "tabbench_analyze: cannot read " << check_fault_file
+                << "\n";
+      return 2;
+    }
+    const std::vector<std::string> violations =
+        tabbench_analyze::CheckFaultCoverage(files, options.layers, required);
+    if (violations.empty()) {
+      std::cout << "fault-coverage ratchet OK (" << check_fault_file << ")\n";
+      return 0;
+    }
+    for (const std::string& v : violations) {
+      std::cerr << "fault-coverage ratchet: " << v << "\n";
+    }
+    return 1;
   }
 
   const std::vector<tabbench_analyze::Finding> findings =

@@ -54,6 +54,14 @@ step "ctest -L vectorized under TABBENCH_SANITIZE=thread"
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target tabbench_vec_tests
 ctest --test-dir "${TSAN_DIR}" -L vectorized --output-on-failure -j "${JOBS}"
 
+# The sharded serving suite under TSan: router dispatchers, shard health
+# transitions, the watchdog force-cancel race, and the chaos kill/re-route
+# path all cross threads; `-L shard` is the same suite the overload stage
+# below leans on, so prove it race-free before trusting its numbers.
+step "ctest -L shard under TABBENCH_SANITIZE=thread"
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target tabbench_shard_tests
+ctest --test-dir "${TSAN_DIR}" -L shard --output-on-failure -j "${JOBS}"
+
 # ------------------------------------------------------------- vectorized
 # The morsel-driven vectorized engine: the golden suite proves simulated
 # costs bit-identical to the Volcano executor (ctest -L vectorized also ran
@@ -78,6 +86,37 @@ if "${BUILD_DIR}/bench/bench_json_check" \
   exit 1
 fi
 echo "BENCH artifact: ${BUILD_DIR}/BENCH_parallel.json"
+
+# ------------------------------------------------------------- overload
+# Open-loop overload smoke for the sharded serving layer: a short sweep
+# (sized to stay under a minute) that still crosses saturation, emitting
+# the BENCH_service_overload.json saturation record; then the same sweep
+# in chaos mode, where the harness kills a shard mid-run and audits the
+# router journal for the no-lost-admitted-job invariant. The schema gate
+# validates the artifact both alone and cross-file with BENCH_parallel.json
+# so a benchmark name collision across artifacts fails here, not in a
+# later trajectory diff.
+step "overload smoke: BENCH_service_overload.json (emit + schema-check)"
+OV_DIR="$(mktemp -d)"   # the harness writes its router journal under cwd
+( cd "${OV_DIR}" &&
+  TABBENCH_LOAD_SHARDS=2 TABBENCH_LOAD_SHARD_WORKERS=2 \
+  TABBENCH_LOAD_QPS=100 TABBENCH_LOAD_STEPS=3 TABBENCH_LOAD_ARRIVALS=60 \
+    "${BUILD_DIR}/bench/bench_service_load" \
+    --bench-json "${BUILD_DIR}/BENCH_service_overload.json" )
+"${BUILD_DIR}/bench/bench_json_check" \
+  "${BUILD_DIR}/BENCH_service_overload.json"
+"${BUILD_DIR}/bench/bench_json_check" \
+  "${BUILD_DIR}/BENCH_parallel.json" \
+  "${BUILD_DIR}/BENCH_service_overload.json"
+
+step "overload smoke: chaos mode (shard kill + journal audit)"
+( cd "${OV_DIR}" &&
+  TABBENCH_LOAD_SHARDS=2 TABBENCH_LOAD_SHARD_WORKERS=2 \
+  TABBENCH_LOAD_QPS=100 TABBENCH_LOAD_STEPS=3 TABBENCH_LOAD_ARRIVALS=60 \
+  TABBENCH_LOAD_CHAOS=1 \
+    "${BUILD_DIR}/bench/bench_service_load" )
+rm -rf "${OV_DIR}"
+echo "BENCH artifact: ${BUILD_DIR}/BENCH_service_overload.json"
 
 # ------------------------------------------------------------ kill-resume
 # Crash-safety proof at the process level, via the CLI rather than gtest:
@@ -121,11 +160,14 @@ step "tabbench_analyze (ratchet vs tools/analyze/baseline.json)"
 echo "SARIF artifact: ${BUILD_DIR}/analyze.sarif"
 
 # Fault-injection coverage: which layers carry TB_FAULT_POINT sites and
-# which carry none. Informational (the report never fails the gate) but in
-# the log so a layer silently losing its fault hooks is visible in review.
-step "tabbench_analyze --fault-coverage"
+# which carry none — printed for review, then enforced as a ratchet: any
+# layer recorded in tools/analyze/fault_layers.txt that drops below its
+# floor of sites fails the gate, so chaos-test reach only grows.
+step "tabbench_analyze --fault-coverage (ratchet vs fault_layers.txt)"
 "${BUILD_DIR}/tools/analyze/tabbench_analyze" --root "${ROOT}" \
   --fault-coverage
+"${BUILD_DIR}/tools/analyze/tabbench_analyze" --root "${ROOT}" \
+  --check-fault-coverage "${ROOT}/tools/analyze/fault_layers.txt"
 
 # ----------------------------------------------------------------- ubsan
 # The util/journal layer does the repo's pointer-and-bit arithmetic (CRC32C
