@@ -26,8 +26,9 @@ void BM_BTreeInsert(benchmark::State& state) {
   Rng rng(1);
   uint32_t i = 0;
   for (auto _ : state) {
-    tree.Insert({Value(static_cast<int64_t>(rng.Uniform(1 << 20)))},
-                Rid{i++, 0}, nullptr);
+    Status s = tree.Insert({Value(static_cast<int64_t>(rng.Uniform(1 << 20)))},
+                           Rid{i++, 0}, nullptr);
+    if (!s.ok()) state.SkipWithError(s.message().c_str());
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -1,0 +1,144 @@
+#ifndef TABBENCH_CORE_MUTATION_WORKLOAD_H_
+#define TABBENCH_CORE_MUTATION_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "engine/database.h"
+#include "engine/index_build.h"
+#include "util/run_journal.h"
+#include "util/thread_pool.h"
+
+namespace tabbench {
+
+/// A seeded insert/update/delete/read mix against one base table — the
+/// write-heavy workload axis the paper's read-only benchmark lacks. The op
+/// stream is a pure function of (spec, database state evolution), so two
+/// runs from the same seed are identical op for op; update/delete victims
+/// are drawn Zipf-skewed over the live-row set (hot rows churn), which is
+/// what physically decays index clustering and ages the histograms.
+struct MutationWorkloadSpec {
+  uint64_t seed = 1;
+  uint32_t num_ops = 0;
+  /// Mutated base table (reads may range anywhere via read_pool).
+  std::string table;
+  double insert_fraction = 0.25;
+  double update_fraction = 0.25;
+  double delete_fraction = 0.25;  // remainder is reads
+  /// Skew of victim choice for updates/deletes: rank 0 (hottest) is the
+  /// youngest live row. 0 = uniform churn.
+  double zipf_theta = 0.8;
+  /// SQL statements sampled (uniformly, seeded) for read ops.
+  std::vector<std::string> read_pool;
+};
+
+/// One online index build (and optionally its later drop) riding inside a
+/// mutation run: started at `start_op`, stepped once per subsequent op, its
+/// side log fed by the run's own writes.
+struct IndexBuildRequest {
+  IndexDef def;
+  uint32_t start_op = 0;
+  IndexBuildOptions build;
+  /// When true the index is also dropped at `drop_op` (after it went live;
+  /// a drop request before the build finished is an error in the spec).
+  bool then_drop = false;
+  uint32_t drop_op = 0;
+};
+
+struct MutationWorkloadOptions {
+  /// Journal every completed op (one fsync'd record each) and every
+  /// index-build transition to this file; empty journals nothing.
+  std::string journal_path;
+  /// With journal_path: verify-and-continue a journal left by a killed run.
+  /// The journaled op prefix is *re-executed* on the (freshly rebuilt)
+  /// database and each recomputed record is checked bit-for-bit against the
+  /// journaled one — mutations must replay, not skip, to rebuild heap and
+  /// index state — then the run continues live past the torn tail. The
+  /// healed journal is byte-identical to one from an uninterrupted run.
+  bool resume = false;
+  std::map<std::string, std::string> journal_metadata;
+  /// Per-op FaultScope salt (mirrors RunOptions::fault_scope_salt).
+  uint64_t fault_scope_salt = 0;
+  /// Collect E(q, C) for read ops — against the *current, possibly stale*
+  /// statistics, which is the whole point: the E-vs-A gap widens as churn
+  /// outruns ANALYZE.
+  bool collect_estimates = false;
+  /// Re-collect statistics (charged to the simulated clock as a full
+  /// sequential ANALYZE scan) after this many mutations; 0 = never. The
+  /// stats_refresh tunable of the staleness experiment.
+  uint64_t stats_refresh = 0;
+  /// Online index builds/drops to run inside the workload.
+  std::vector<IndexBuildRequest> builds;
+  /// Non-null: maximal runs of consecutive read ops execute through
+  /// RunWorkloadParallel on this pool (bit-identical to serial by its
+  /// determinism contract). Mutations and build steps always run on the
+  /// calling thread, at the same sequence points in either mode.
+  ThreadPool* pool = nullptr;
+  /// Parallel read-run trace window (ParallelOptions::window).
+  size_t window = 0;
+};
+
+enum class MutationOpKind : uint8_t {
+  kInsert = 0,
+  kUpdate = 1,
+  kDelete = 2,
+  kRead = 3,
+};
+
+struct MutationOpOutcome {
+  MutationOpKind kind = MutationOpKind::kInsert;
+  double seconds = 0.0;  // simulated, incl. any ANALYZE it triggered
+  bool failed = false;
+  bool has_estimate = false;
+  double estimate = 0.0;  // reads with collect_estimates only
+};
+
+struct IndexBuildOutcome {
+  std::string name;
+  IndexBuildState final_state = IndexBuildState::kPending;
+  /// BTree::Fingerprint at install time (and still, if not dropped): the
+  /// value the kill-resume harness compares across interrupted and
+  /// uninterrupted runs.
+  uint64_t fingerprint = 0;
+  uint64_t side_log_peak = 0;
+  double build_seconds = 0.0;  // simulated clock spent in Step()/drop
+};
+
+struct MutationWorkloadResult {
+  std::vector<MutationOpOutcome> ops;
+  uint64_t inserts = 0, updates = 0, deletes = 0, reads = 0;
+  uint64_t analyze_runs = 0;
+  double total_seconds = 0.0;        // simulated clock over the whole run
+  double read_seconds = 0.0;         // of which: read ops
+  double maintenance_seconds = 0.0;  // mutations + ANALYZE + build steps
+  /// TotalMutationsSinceStats at the end — how stale the optimizer's view
+  /// of the world finished.
+  uint64_t final_staleness = 0;
+  std::vector<IndexBuildOutcome> build_outcomes;
+  /// Mean |log2(E/A)| over estimated, non-failed reads (0 when none): the
+  /// paper's E-vs-A divergence, here as a function of write rate and
+  /// stats_refresh.
+  double mean_abs_log2_gap = 0.0;
+};
+
+/// Executes the mixed workload on `db` (already loaded; statistics
+/// collected). Serial when opts.pool is null; with a pool, read runs fan
+/// out but every journaled byte, simulated cost, and final structure is
+/// bit-identical to the serial run — under any fixed TABBENCH_FAULTS
+/// schedule, since fault scopes are pure functions of (salt, op index).
+Result<MutationWorkloadResult> RunMutationWorkload(
+    Database* db, const MutationWorkloadSpec& spec,
+    const MutationWorkloadOptions& opts = {});
+
+/// No-lost-record audit of a mutation-workload journal: op records must be
+/// exactly 0..n-1 in order; build transitions must be per-build
+/// well-ordered (the legal state machine, op_index and clock monotone) and
+/// anchored within the op stream. Returns the audited journal on success.
+Result<RunJournal> AuditMutationJournal(const std::string& path);
+
+}  // namespace tabbench
+
+#endif  // TABBENCH_CORE_MUTATION_WORKLOAD_H_

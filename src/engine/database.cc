@@ -66,12 +66,28 @@ Status Database::CollectStatistics() {
     stats_.tables[name] = CollectTableStats(*heap, cols);
   }
   stats_ready_ = true;
+  mutations_since_stats_.clear();
   return Status::OK();
 }
 
-Result<double> Database::TimedInsert(const std::string& table, Tuple row) {
+IndexKey Database::ExtractKey(const std::vector<int>& key_cols,
+                              const Tuple& row) {
+  IndexKey key;
+  key.reserve(key_cols.size());
+  for (int pos : key_cols) key.push_back(row.at(static_cast<size_t>(pos)));
+  return key;
+}
+
+Result<double> Database::TimedInsert(const std::string& table, Tuple row,
+                                     Rid* out_rid) {
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("table " + table);
+  const TableDef* def = catalog_.FindTable(table);
+  if (row.size() != def->num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("arity mismatch inserting into %s: got %zu want %zu",
+                  table.c_str(), row.size(), def->num_columns()));
+  }
   HeapTable* heap = it->second.get();
   ExecContext ctx(&store_, &pool_, options_.cost);
   // Single-row DML is random I/O throughout.
@@ -79,11 +95,9 @@ Result<double> Database::TimedInsert(const std::string& table, Tuple row) {
 
   // Heap append: touches (and possibly allocates) the tail page.
   size_t pages_before = heap->num_pages();
-  Rid rid = heap->Append(row);
-  if (heap->num_pages() > 0) {
-    touch(heap->pages().back());
-    if (heap->num_pages() != pages_before) ctx.ChargeIoPages(1);  // page write
-  }
+  Rid rid;
+  TB_ASSIGN_OR_RETURN(rid, heap->Insert(row, touch));
+  if (heap->num_pages() != pages_before) ctx.ChargeIoPages(1);  // page write
   ctx.ChargeTuples(1);
 
   // Index maintenance on every index of this table (PK + secondary).
@@ -91,11 +105,8 @@ Result<double> Database::TimedInsert(const std::string& table, Tuple row) {
       -> Status {
     for (auto& bi : *indexes) {
       if (bi->def.target != table) continue;
-      IndexKey key;
-      for (int pos : bi->info.key_cols) {
-        key.push_back(row.at(static_cast<size_t>(pos)));
-      }
-      bi->btree->Insert(key, rid, touch);
+      TB_RETURN_IF_ERROR(
+          bi->btree->Insert(ExtractKey(bi->info.key_cols, row), rid, touch));
       ctx.ChargeTuples(1);
       // A leaf write accompanies every maintained index entry.
       ctx.ChargeIoPages(1);
@@ -104,7 +115,153 @@ Result<double> Database::TimedInsert(const std::string& table, Tuple row) {
   };
   TB_RETURN_IF_ERROR(maintain(&pk_indexes_));
   TB_RETURN_IF_ERROR(maintain(&secondary_indexes_));
+
+  ++mutations_since_stats_[table];
+  TableMutation m;
+  m.kind = TableMutation::Kind::kInsert;
+  m.table = table;
+  m.rid = rid;
+  m.row = std::move(row);
+  NotifyMutation(m);
+  if (out_rid != nullptr) *out_rid = rid;
   return ctx.sim_time();
+}
+
+Result<double> Database::TimedDelete(const std::string& table,
+                                     const Rid& rid) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table " + table);
+  HeapTable* heap = it->second.get();
+  ExecContext ctx(&store_, &pool_, options_.cost);
+  PageTouchFn touch = [&ctx](PageId id) { ctx.TouchPageRandom(id); };
+
+  // The old values are needed to find the row's index entries.
+  Tuple row;
+  TB_ASSIGN_OR_RETURN(row, heap->Fetch(rid, touch));
+  TB_RETURN_IF_ERROR(heap->Delete(rid, touch));
+  ctx.ChargeTuples(1);
+  ctx.ChargeIoPages(1);  // tombstone write
+
+  auto maintain = [&](std::vector<std::unique_ptr<BuiltIndex>>* indexes)
+      -> Status {
+    for (auto& bi : *indexes) {
+      if (bi->def.target != table) continue;
+      TB_RETURN_IF_ERROR(
+          bi->btree->Delete(ExtractKey(bi->info.key_cols, row), rid, touch));
+      ctx.ChargeTuples(1);
+      ctx.ChargeIoPages(1);
+    }
+    return Status::OK();
+  };
+  TB_RETURN_IF_ERROR(maintain(&pk_indexes_));
+  TB_RETURN_IF_ERROR(maintain(&secondary_indexes_));
+
+  ++mutations_since_stats_[table];
+  TableMutation m;
+  m.kind = TableMutation::Kind::kDelete;
+  m.table = table;
+  m.old_rid = rid;
+  m.old_row = std::move(row);
+  NotifyMutation(m);
+  return ctx.sim_time();
+}
+
+Result<double> Database::TimedUpdate(const std::string& table, const Rid& rid,
+                                     Tuple new_row, Rid* out_new_rid) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table " + table);
+  const TableDef* def = catalog_.FindTable(table);
+  if (new_row.size() != def->num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("arity mismatch updating %s: got %zu want %zu",
+                  table.c_str(), new_row.size(), def->num_columns()));
+  }
+  HeapTable* heap = it->second.get();
+  ExecContext ctx(&store_, &pool_, options_.cost);
+  PageTouchFn touch = [&ctx](PageId id) { ctx.TouchPageRandom(id); };
+
+  Tuple old_row;
+  TB_ASSIGN_OR_RETURN(old_row, heap->Fetch(rid, touch));
+  TB_RETURN_IF_ERROR(heap->Delete(rid, touch));
+  size_t pages_before = heap->num_pages();
+  Rid new_rid;
+  TB_ASSIGN_OR_RETURN(new_rid, heap->Insert(new_row, touch));
+  if (heap->num_pages() != pages_before) ctx.ChargeIoPages(1);
+  ctx.ChargeIoPages(1);  // tombstone write
+  ctx.ChargeTuples(1);
+
+  auto maintain = [&](std::vector<std::unique_ptr<BuiltIndex>>* indexes)
+      -> Status {
+    for (auto& bi : *indexes) {
+      if (bi->def.target != table) continue;
+      TB_RETURN_IF_ERROR(bi->btree->Update(
+          ExtractKey(bi->info.key_cols, old_row), rid,
+          ExtractKey(bi->info.key_cols, new_row), new_rid, touch));
+      ctx.ChargeTuples(1);
+      ctx.ChargeIoPages(1);
+    }
+    return Status::OK();
+  };
+  TB_RETURN_IF_ERROR(maintain(&pk_indexes_));
+  TB_RETURN_IF_ERROR(maintain(&secondary_indexes_));
+
+  ++mutations_since_stats_[table];
+  TableMutation m;
+  m.kind = TableMutation::Kind::kUpdate;
+  m.table = table;
+  m.rid = new_rid;
+  m.row = std::move(new_row);
+  m.old_rid = rid;
+  m.old_row = std::move(old_row);
+  NotifyMutation(m);
+  if (out_new_rid != nullptr) *out_new_rid = new_rid;
+  return ctx.sim_time();
+}
+
+uint64_t Database::AddMutationObserver(
+    const std::string& table, std::function<void(const TableMutation&)> fn) {
+  MutationObserver ob;
+  ob.token = next_observer_token_++;
+  ob.table = table;
+  ob.fn = std::move(fn);
+  mutation_observers_.push_back(std::move(ob));
+  return mutation_observers_.back().token;
+}
+
+void Database::RemoveMutationObserver(uint64_t token) {
+  for (auto it = mutation_observers_.begin(); it != mutation_observers_.end();
+       ++it) {
+    if (it->token == token) {
+      mutation_observers_.erase(it);
+      return;
+    }
+  }
+}
+
+void Database::NotifyMutation(const TableMutation& m) {
+  for (const auto& ob : mutation_observers_) {
+    if (ob.table == m.table) ob.fn(m);
+  }
+}
+
+uint64_t Database::MutationsSinceStats(const std::string& table) const {
+  auto it = mutations_since_stats_.find(table);
+  return it == mutations_since_stats_.end() ? 0 : it->second;
+}
+
+uint64_t Database::TotalMutationsSinceStats() const {
+  uint64_t total = 0;
+  for (const auto& [table, n] : mutations_since_stats_) total += n;
+  return total;
+}
+
+Status Database::CollectStatisticsCharged(ExecContext* ctx) {
+  // ANALYZE pays a sequential scan of every base heap.
+  for (const auto& [name, heap] : tables_) {
+    for (PageId pid : heap->pages()) ctx->TouchPage(pid);
+    ctx->ChargeTuples(heap->num_rows());
+  }
+  return CollectStatistics();
 }
 
 // ----------------------------------------------------------------- queries

@@ -424,6 +424,66 @@ std::future<Result<std::vector<QueryResult>>> WorkloadService::SubmitWorkload(
   return fut;
 }
 
+std::future<Result<ShadowIndexBuildResult>> WorkloadService::SubmitIndexBuild(
+    IndexDef def, JobOptions options) {
+  auto prom = std::make_shared<std::promise<Result<ShadowIndexBuildResult>>>();
+  auto fut = prom->get_future();
+
+  // Builds are always sessionless: the shadow tree lives in a private store
+  // and the scan prices into a private pool, so strand affinity buys
+  // nothing and a cold pool keeps the cost (and fingerprint) deterministic.
+  const uint64_t ordinal = job_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  auto job = [this, def = std::move(def), options, prom, ordinal] {
+    bool watchdog_fired = false;
+    Result<ShadowIndexBuildResult> r = [&]() -> Result<ShadowIndexBuildResult> {
+      if (options.cancel.cancelled()) {
+        return Status::Cancelled("cancelled before execution");
+      }
+      auto wall_deadline = WallDeadline(options);
+      JobOptions eff = options;
+      std::optional<uint64_t> watch;
+      if (wall_deadline.has_value()) {
+        eff.cancel = CancellationToken();
+        watch = watchdog_.Watch(GraceDeadline(options, options_.watchdog),
+                                eff.cancel, options.cancel);
+      }
+      FaultScope scope(JobScopeSeed(ordinal, 0));
+      Session ephemeral(db_, options_.session);
+      CostParams params = db_->options().cost;
+      if (options.deadline_seconds > 0 &&
+          options.deadline_seconds < params.timeout_seconds) {
+        params.timeout_seconds = options.deadline_seconds;
+      }
+      ExecContext ctx = db_->MakeSessionContext(ephemeral.pool(), params);
+      ctx.set_cancellation_token(eff.cancel);
+      BufferPoolStats before = ephemeral.pool()->stats();
+      auto res = ShadowIndexBuild(*db_, def, &ctx);
+      if (watch.has_value()) {
+        watchdog_fired = watchdog_.Release(*watch);
+        if (!res.ok() && res.status().IsCancelled() && watchdog_fired &&
+            !options.cancel.cancelled()) {
+          res = Status::Timeout(
+              "wall-clock budget exhausted mid-attempt (watchdog)");
+        }
+      }
+      if (res.ok()) {
+        JournalOutcome(res->sim_seconds, false, false, 1, before,
+                       ephemeral.pool()->stats());
+      } else if (!res.status().IsCancelled() && !res.status().IsTimeout()) {
+        JournalOutcome(0.0, false, true, 1, before,
+                       ephemeral.pool()->stats());
+      }
+      return res;
+    }();
+    FinishJob(kNoSession, r.status(), 0, 0, 0, watchdog_fired);
+    prom->set_value(std::move(r));
+  };
+
+  Status dispatched = Dispatch(kNoSession, std::move(job));
+  if (!dispatched.ok()) return ReadyFuture<ShadowIndexBuildResult>(dispatched);
+  return fut;
+}
+
 SessionId WorkloadService::OpenSession(SessionOptions options) {
   MutexLock lock(&mu_);
   if (shutdown_) return kNoSession;

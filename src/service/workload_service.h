@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "engine/index_build.h"
 #include "service/circuit_breaker.h"
 #include "service/session.h"
 #include "util/thread_pool.h"
@@ -150,6 +151,18 @@ class WorkloadService {
   /// queries still run. Only cancellation and the wall budget abort.
   std::future<Result<std::vector<QueryResult>>> SubmitWorkload(
       std::vector<std::string> sql, JobOptions options = {});
+
+  /// Submits a *shadow* index build (engine/index_build.h) as a background
+  /// job: the full scan + sort cost is paid into a private session's pool
+  /// and clock, the tree is built in a private store and discarded — the
+  /// database itself stays read-only, so builds coexist with query traffic.
+  /// The job runs under the same admission control, breaker, watchdog, and
+  /// outcome journal as queries; the result's fingerprint is deterministic,
+  /// which is how the sharded chaos audit proves a build replayed after a
+  /// shard kill produced the identical index. Cancellation and the wall
+  /// budget abort via the build's cooperative polls.
+  std::future<Result<ShadowIndexBuildResult>> SubmitIndexBuild(
+      IndexDef def, JobOptions options = {});
 
   /// Creates a session with its own buffer-pool view and simulated clock.
   SessionId OpenSession(SessionOptions options) TB_EXCLUDES(mu_);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
+#include "util/crc32c.h"
 #include "util/fault_injection.h"
 
 namespace tabbench {
@@ -46,6 +48,7 @@ BTree::BTree(std::string name, size_t num_key_columns, size_t key_width_bytes,
   leaf_capacity_ = std::max<size_t>(8, (kPageSize - 64) / entry_bytes);
   internal_capacity_ =
       std::max<size_t>(8, (kPageSize - 64) / (std::max<size_t>(key_width_bytes, 4) + 8));
+  MutexLock lock(&mu_);
   root_ = MakeNode(/*leaf=*/true);
 }
 
@@ -57,6 +60,11 @@ std::unique_ptr<BTree::Node> BTree::MakeNode(bool leaf) {
   n->page_id = store_->Allocate();
   ++num_pages_;
   return n;
+}
+
+void BTree::FreeNode(Node* node) {
+  store_->Free(node->page_id);
+  --num_pages_;
 }
 
 BTree::Node* BTree::FindLeaf(const IndexKey& prefix,
@@ -80,12 +88,20 @@ BTree::Node* BTree::FindLeaf(const IndexKey& prefix,
   }
 }
 
-void BTree::Insert(const IndexKey& key, const Rid& rid,
-                   const PageTouchFn& touch) {
+Status BTree::Insert(const IndexKey& key, const Rid& rid,
+                     const PageTouchFn& touch) {
+  MutexLock lock(&mu_);
+  return InsertLocked(key, rid, touch);
+}
+
+Status BTree::InsertLocked(const IndexKey& key, const Rid& rid,
+                           const PageTouchFn& touch) {
   assert(key.size() == num_key_columns_);
+  TB_FAULT_POINT("storage.btree_insert");
   IndexKey split_key;
   std::unique_ptr<Node> split_node;
-  InsertRec(root_.get(), key, rid, touch, &split_key, &split_node);
+  TB_RETURN_IF_ERROR(
+      InsertRec(root_.get(), key, rid, touch, &split_key, &split_node));
   if (split_node != nullptr) {
     auto new_root = MakeNode(/*leaf=*/false);
     new_root->keys.push_back(std::move(split_key));
@@ -96,13 +112,19 @@ void BTree::Insert(const IndexKey& key, const Rid& rid,
   }
   ++num_entries_;
   InvalidateStatsCache();
+  return Status::OK();
 }
 
-void BTree::InsertRec(Node* node, const IndexKey& key, const Rid& rid,
-                      const PageTouchFn& touch, IndexKey* split_key,
-                      std::unique_ptr<Node>* split_node) {
+Status BTree::InsertRec(Node* node, const IndexKey& key, const Rid& rid,
+                        const PageTouchFn& touch, IndexKey* split_key,
+                        std::unique_ptr<Node>* split_node) {
   if (touch) touch(node->page_id);
   if (node->is_leaf) {
+    // Any split cascade starts with a full leaf; fire the fault before the
+    // entry lands so an injected split failure leaves the tree untouched.
+    if (node->keys.size() >= leaf_capacity_) {
+      TB_FAULT_POINT("storage.btree_split");
+    }
     auto it = std::upper_bound(
         node->keys.begin(), node->keys.end(), key,
         [](const IndexKey& a, const IndexKey& b) { return CompareKeys(a, b) < 0; });
@@ -125,14 +147,14 @@ void BTree::InsertRec(Node* node, const IndexKey& key, const Rid& rid,
       if (touch) touch(right->page_id);
       *split_node = std::move(right);
     }
-    return;
+    return Status::OK();
   }
   size_t i = 0;
   while (i < node->keys.size() && CompareKeys(node->keys[i], key) <= 0) ++i;
   IndexKey child_split_key;
   std::unique_ptr<Node> child_split;
-  InsertRec(node->children[i].get(), key, rid, touch, &child_split_key,
-            &child_split);
+  TB_RETURN_IF_ERROR(InsertRec(node->children[i].get(), key, rid, touch,
+                               &child_split_key, &child_split));
   if (child_split != nullptr) {
     node->keys.insert(node->keys.begin() + static_cast<long>(i),
                       std::move(child_split_key));
@@ -153,13 +175,172 @@ void BTree::InsertRec(Node* node, const IndexKey& key, const Rid& rid,
       *split_node = std::move(right);
     }
   }
+  return Status::OK();
+}
+
+Status BTree::Delete(const IndexKey& key, const Rid& rid,
+                     const PageTouchFn& touch) {
+  MutexLock lock(&mu_);
+  return DeleteLocked(key, rid, touch);
+}
+
+Status BTree::DeleteLocked(const IndexKey& key, const Rid& rid,
+                           const PageTouchFn& touch) {
+  assert(key.size() == num_key_columns_);
+  TB_FAULT_POINT("storage.btree_delete");
+  bool found = false;
+  TB_RETURN_IF_ERROR(DeleteRec(root_.get(), key, rid, touch, &found));
+  if (!found) {
+    return Status::NotFound("no entry for key in index " + name_);
+  }
+  // Collapse a single-child root chain so height() reflects the shrink.
+  while (!root_->is_leaf && root_->children.size() == 1) {
+    auto child = std::move(root_->children.front());
+    FreeNode(root_.get());
+    root_ = std::move(child);
+    if (touch) touch(root_->page_id);
+  }
+  --num_entries_;
+  InvalidateStatsCache();
+  return Status::OK();
+}
+
+Status BTree::DeleteRec(Node* node, const IndexKey& key, const Rid& rid,
+                        const PageTouchFn& touch, bool* found) {
+  if (touch) touch(node->page_id);
+  if (node->is_leaf) {
+    auto it = std::lower_bound(
+        node->keys.begin(), node->keys.end(), key,
+        [](const IndexKey& a, const IndexKey& b) { return CompareKeys(a, b) < 0; });
+    size_t i = static_cast<size_t>(it - node->keys.begin());
+    while (i < node->keys.size() && CompareKeys(node->keys[i], key) == 0) {
+      if (node->rids[i] == rid) {
+        node->keys.erase(node->keys.begin() + static_cast<long>(i));
+        node->rids.erase(node->rids.begin() + static_cast<long>(i));
+        *found = true;
+        return Status::OK();
+      }
+      ++i;
+    }
+    return Status::OK();
+  }
+  // First child that can contain `key` (same strict descent as FindLeaf);
+  // with duplicates the run may straddle equal separators, so on a miss keep
+  // walking right while the separator still equals the key.
+  size_t i = 0;
+  while (i < node->keys.size() && CompareKeys(node->keys[i], key) < 0) ++i;
+  for (;;) {
+    TB_RETURN_IF_ERROR(DeleteRec(node->children[i].get(), key, rid, touch,
+                                 found));
+    if (*found) return RebalanceChild(node, i, touch);
+    if (i < node->keys.size() && CompareKeys(node->keys[i], key) == 0) {
+      ++i;
+      continue;
+    }
+    return Status::OK();
+  }
+}
+
+Status BTree::RebalanceChild(Node* parent, size_t i, const PageTouchFn& touch) {
+  Node* child = parent->children[i].get();
+  const bool leaf = child->is_leaf;
+  const size_t min_fill = leaf ? std::max<size_t>(1, leaf_capacity_ / 4)
+                               : std::max<size_t>(2, internal_capacity_ / 4);
+  const size_t size = leaf ? child->keys.size() : child->children.size();
+  if (size >= min_fill) return Status::OK();
+  // Fires before the rebalance applies: an injected merge failure leaves a
+  // consistent (merely underfull) node, so a deterministic re-run converges
+  // to the same tree.
+  TB_FAULT_POINT("storage.btree_merge");
+  Node* left = i > 0 ? parent->children[i - 1].get() : nullptr;
+  Node* right =
+      i + 1 < parent->children.size() ? parent->children[i + 1].get() : nullptr;
+  auto spare = [&](const Node* n) {
+    return (leaf ? n->keys.size() : n->children.size()) > min_fill;
+  };
+  if (left != nullptr && spare(left)) {
+    // Borrow the largest entry of the left sibling.
+    if (touch) touch(left->page_id);
+    if (leaf) {
+      child->keys.insert(child->keys.begin(), std::move(left->keys.back()));
+      child->rids.insert(child->rids.begin(), left->rids.back());
+      left->keys.pop_back();
+      left->rids.pop_back();
+      parent->keys[i - 1] = child->keys.front();
+    } else {
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      child->keys.insert(child->keys.begin(), std::move(parent->keys[i - 1]));
+      parent->keys[i - 1] = std::move(left->keys.back());
+      left->keys.pop_back();
+      left->children.pop_back();
+    }
+    return Status::OK();
+  }
+  if (right != nullptr && spare(right)) {
+    // Borrow the smallest entry of the right sibling.
+    if (touch) touch(right->page_id);
+    if (leaf) {
+      child->keys.push_back(std::move(right->keys.front()));
+      child->rids.push_back(right->rids.front());
+      right->keys.erase(right->keys.begin());
+      right->rids.erase(right->rids.begin());
+      parent->keys[i] = right->keys.front();
+    } else {
+      child->keys.push_back(std::move(parent->keys[i]));
+      child->children.push_back(std::move(right->children.front()));
+      parent->keys[i] = std::move(right->keys.front());
+      right->keys.erase(right->keys.begin());
+      right->children.erase(right->children.begin());
+    }
+    return Status::OK();
+  }
+  // No sibling has spare entries: merge. Both neighbors are at (or below)
+  // min_fill, so the combined node fits well under capacity.
+  auto merge_into = [&](Node* dst, size_t dst_idx) {
+    // Absorbs children_[dst_idx + 1] into dst (its left neighbor).
+    Node* src = parent->children[dst_idx + 1].get();
+    if (touch) touch(dst->page_id);
+    if (leaf) {
+      for (size_t k = 0; k < src->keys.size(); ++k) {
+        dst->keys.push_back(std::move(src->keys[k]));
+        dst->rids.push_back(src->rids[k]);
+      }
+      dst->next_leaf = src->next_leaf;
+    } else {
+      dst->keys.push_back(std::move(parent->keys[dst_idx]));
+      for (auto& k : src->keys) dst->keys.push_back(std::move(k));
+      for (auto& c : src->children) dst->children.push_back(std::move(c));
+    }
+    FreeNode(src);
+    parent->keys.erase(parent->keys.begin() + static_cast<long>(dst_idx));
+    parent->children.erase(parent->children.begin() +
+                           static_cast<long>(dst_idx) + 1);
+  };
+  if (left != nullptr) {
+    merge_into(left, i - 1);
+  } else if (right != nullptr) {
+    merge_into(child, i);
+  }
+  // A root with a single child is collapsed by DeleteLocked; any other
+  // parent underflow is repaired one level up by our caller.
+  return Status::OK();
+}
+
+Status BTree::Update(const IndexKey& old_key, const Rid& old_rid,
+                     const IndexKey& new_key, const Rid& new_rid,
+                     const PageTouchFn& touch) {
+  MutexLock lock(&mu_);
+  TB_FAULT_POINT("storage.btree_update");
+  TB_RETURN_IF_ERROR(DeleteLocked(old_key, old_rid, touch));
+  return InsertLocked(new_key, new_rid, touch);
 }
 
 void BTree::BulkBuild(std::vector<std::pair<IndexKey, Rid>> sorted_entries) {
+  MutexLock lock(&mu_);
   // Rebuild from scratch: pack leaves to ~90% fill, then stack internals.
-  Drop();
+  DropLocked();
   num_entries_ = sorted_entries.size();
-  InvalidateStatsCache();
   const size_t leaf_fill = std::max<size_t>(4, leaf_capacity_ * 9 / 10);
 
   std::vector<std::unique_ptr<Node>> level;
@@ -309,6 +490,16 @@ uint64_t BTree::clustering_factor() const {
   return cached_clustering_;
 }
 
+uint64_t BTree::num_entries() const {
+  MutexLock lock(&mu_);
+  return num_entries_;
+}
+
+size_t BTree::num_pages() const {
+  MutexLock lock(&mu_);
+  return num_pages_;
+}
+
 size_t BTree::height() const {
   size_t h = 1;
   const Node* node = root_.get();
@@ -327,7 +518,42 @@ size_t BTree::num_leaf_pages() const {
   return n;
 }
 
+uint64_t BTree::Fingerprint() const {
+  MutexLock lock(&mu_);
+  uint32_t crc = 0;
+  auto mix64 = [&crc](uint64_t v) {
+    uint8_t buf[8];
+    std::memcpy(buf, &v, 8);
+    crc = Crc32cExtend(crc, buf, 8);
+  };
+  // Shape first: two trees with identical content but different packing
+  // (incremental inserts vs a bulk build) must not collide.
+  mix64(static_cast<uint64_t>(height()));
+  mix64(static_cast<uint64_t>(num_pages_));
+  mix64(num_entries_);
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = node->children.front().get();
+  for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next_leaf) {
+    mix64(static_cast<uint64_t>(leaf->keys.size()));
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      for (const Value& v : leaf->keys[i]) {
+        const std::string s = v.ToString();
+        crc = Crc32cExtend(crc, s.data(), s.size());
+        crc = Crc32cExtend(crc, "\x1f", 1);
+      }
+      mix64((static_cast<uint64_t>(leaf->rids[i].page_ordinal) << 32) |
+            leaf->rids[i].slot);
+    }
+  }
+  return (static_cast<uint64_t>(crc) << 32) | Crc32cExtend(crc, "fp", 2);
+}
+
 void BTree::Drop() {
+  MutexLock lock(&mu_);
+  DropLocked();
+}
+
+void BTree::DropLocked() {
   // Free pages via a post-order traversal.
   if (root_ == nullptr) return;
   std::vector<Node*> stack{root_.get()};

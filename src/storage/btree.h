@@ -9,6 +9,7 @@
 #include "storage/page_store.h"
 #include "types/value.h"
 #include "util/mutex.h"
+#include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace tabbench {
@@ -32,6 +33,13 @@ bool KeyHasPrefix(const IndexKey& key, const IndexKey& prefix);
 /// simulated I/O time are accounted exactly as if nodes were serialized
 /// 8 KiB pages. Node fanout is derived from the estimated key width so page
 /// counts and heights match what a serialized tree would have.
+///
+/// Concurrency contract: structural mutations (Insert/Delete/Update/
+/// BulkBuild/Drop) serialize on `mu_`, so any interleaving of writers is
+/// safe. Readers (SeekPrefix/ScanAll/iterators) stay lock-free and are only
+/// valid in phases with no concurrent writer — the engine's mutation runner
+/// alternates exclusive write windows with read-only windows, and the
+/// chaos/TSan suites exercise exactly that schedule.
 class BTree {
  public:
   /// `key_width_bytes`: average encoded key size, used to size node fanout.
@@ -44,12 +52,30 @@ class BTree {
 
   /// Inserts one entry, reporting touched node pages (root-to-leaf path and
   /// any splits) through `touch`. Used for the incremental-insert
-  /// experiment (paper Section 4.4).
-  void Insert(const IndexKey& key, const Rid& rid, const PageTouchFn& touch);
+  /// experiment (paper Section 4.4) and the mutation workloads. Fails only
+  /// via the `storage.btree_insert` / `storage.btree_split` fault points;
+  /// a faulted split aborts before any structural change.
+  Status Insert(const IndexKey& key, const Rid& rid, const PageTouchFn& touch)
+      TB_EXCLUDES(mu_);
+
+  /// Removes the entry matching (key, rid) exactly; NotFound if absent.
+  /// Underflowing leaves borrow from or merge with a sibling (the
+  /// `storage.btree_merge` fault point fires before the rebalance applies,
+  /// leaving a consistent but underfull node on injection).
+  Status Delete(const IndexKey& key, const Rid& rid, const PageTouchFn& touch)
+      TB_EXCLUDES(mu_);
+
+  /// Delete(old_key, old_rid) + Insert(new_key, new_rid) under one lock
+  /// hold — the index half of an UPDATE. The heap is append-only, so an
+  /// updated row moves to a fresh Rid and every index entry follows it.
+  Status Update(const IndexKey& old_key, const Rid& old_rid,
+                const IndexKey& new_key, const Rid& new_rid,
+                const PageTouchFn& touch) TB_EXCLUDES(mu_);
 
   /// Builds the tree from entries sorted by (key, rid). Much faster than
   /// repeated Insert; used by the configuration builder.
-  void BulkBuild(std::vector<std::pair<IndexKey, Rid>> sorted_entries);
+  void BulkBuild(std::vector<std::pair<IndexKey, Rid>> sorted_entries)
+      TB_EXCLUDES(mu_);
 
   /// Iterator over entries with a given key prefix (equality probe), or over
   /// the whole tree (full index scan, for index-only plans).
@@ -80,11 +106,11 @@ class BTree {
   //    configuration; hypothetical configurations must derive these). --
   const std::string& name() const { return name_; }
   size_t num_key_columns() const { return num_key_columns_; }
-  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_entries() const TB_EXCLUDES(mu_);
   uint64_t num_distinct_keys() const;
   size_t height() const;
   size_t num_leaf_pages() const;
-  size_t num_pages() const { return num_pages_; }
+  size_t num_pages() const TB_EXCLUDES(mu_);
   size_t leaf_fanout() const { return leaf_capacity_; }
 
   /// Oracle-style clustering factor: the number of heap-page switches when
@@ -93,41 +119,71 @@ class BTree {
   /// is approximately clustering_factor() / num_entries() pages.
   uint64_t clustering_factor() const;
 
+  /// CRC-32C over the tree's logical content (leaf-chain keys + rids, in
+  /// order) and shape (height, page and entry counts). Two trees holding
+  /// the same entries with the same structure fingerprint identically
+  /// regardless of which PageIds the store handed out — the equality the
+  /// kill-resume chaos harness asserts between an interrupted-and-resumed
+  /// index build and an uninterrupted one.
+  uint64_t Fingerprint() const TB_EXCLUDES(mu_);
+
   /// Frees all node pages.
-  void Drop();
+  void Drop() TB_EXCLUDES(mu_);
 
  private:
   struct Node;
 
   Node* FindLeaf(const IndexKey& prefix, const PageTouchFn& touch) const;
-  void InsertRec(Node* node, const IndexKey& key, const Rid& rid,
-                 const PageTouchFn& touch, IndexKey* split_key,
-                 std::unique_ptr<Node>* split_node);
-  std::unique_ptr<Node> MakeNode(bool leaf);
+  Status InsertLocked(const IndexKey& key, const Rid& rid,
+                      const PageTouchFn& touch) TB_REQUIRES(mu_);
+  Status InsertRec(Node* node, const IndexKey& key, const Rid& rid,
+                   const PageTouchFn& touch, IndexKey* split_key,
+                   std::unique_ptr<Node>* split_node) TB_REQUIRES(mu_);
+  Status DeleteLocked(const IndexKey& key, const Rid& rid,
+                      const PageTouchFn& touch) TB_REQUIRES(mu_);
+  /// Recursive (key, rid) removal; `*found` reports whether anything was
+  /// erased. Underflow in a child is repaired on the way back up.
+  Status DeleteRec(Node* node, const IndexKey& key, const Rid& rid,
+                   const PageTouchFn& touch, bool* found) TB_REQUIRES(mu_);
+  /// Repairs an underfull children_[i]: borrow from an adjacent sibling
+  /// with spare entries, else merge into the left (or right) sibling.
+  Status RebalanceChild(Node* parent, size_t i, const PageTouchFn& touch)
+      TB_REQUIRES(mu_);
+  std::unique_ptr<Node> MakeNode(bool leaf) TB_REQUIRES(mu_);
+  void FreeNode(Node* node) TB_REQUIRES(mu_);
+  void DropLocked() TB_REQUIRES(mu_);
 
   /// Walks the leaf chain once to fill both cached metrics.
   void FillStatsCache() const TB_REQUIRES(cache_mu_);
   /// Marks the lazy metrics stale (called by every structural mutation).
   void InvalidateStatsCache() TB_EXCLUDES(cache_mu_);
 
+  /// Immutable after construction: writers happen to read these under mu_,
+  /// the lock-free query paths read them bare — not a guard relationship.
+  /// NOLINTNEXTLINE(tabbench-lockset-inconsistent)
   std::string name_;
+  /// NOLINTNEXTLINE(tabbench-lockset-inconsistent)
   size_t num_key_columns_;
+  /// NOLINTNEXTLINE(tabbench-lockset-inconsistent)
   size_t leaf_capacity_;
-  size_t internal_capacity_;
-  PageStore* store_;
-  /// Structurally mutated only by the single-threaded build phase
-  /// (Insert/BulkBuild); read-only once concurrent planning starts, so the
-  /// stats-cache mutex never needs to cover it. The under-lock reads in
-  /// FillStatsCache are incidental, not a guard relationship.
+  size_t internal_capacity_ TB_GUARDED_BY(mu_);
+  PageStore* store_ TB_GUARDED_BY(mu_);
+  /// Serializes structural mutation (and guards the shape counters below);
+  /// always taken before cache_mu_ — mutations invalidate the stats cache
+  /// while holding it.
+  mutable Mutex mu_ TB_ACQUIRED_BEFORE("BTree::cache_mu_");
+  /// Structurally mutated only under mu_; read lock-free by the query
+  /// paths, which by the engine's contract never overlap a writer. The
+  /// under-lock reads in FillStatsCache are incidental, not a guard
+  /// relationship.
   /// NOLINTNEXTLINE(tabbench-lockset-inconsistent)
   std::unique_ptr<Node> root_;
-  uint64_t num_entries_ = 0;
-  size_t num_pages_ = 0;
+  uint64_t num_entries_ TB_GUARDED_BY(mu_) = 0;
+  size_t num_pages_ TB_GUARDED_BY(mu_) = 0;
   /// Lazily computed distinct/clustering metrics. The mutex makes the lazy
   /// fill safe under concurrent read-only planning (many threads build
-  /// ConfigViews of the same built tree at once); writes (Insert/BulkBuild)
-  /// are single-threaded by the engine's contract and invalidate under the
-  /// same mutex so the annotations (and TSan) can prove the protocol.
+  /// ConfigViews of the same built tree at once); writes invalidate under
+  /// the same mutex so the annotations (and TSan) can prove the protocol.
   mutable Mutex cache_mu_;
   mutable uint64_t cached_distinct_ TB_GUARDED_BY(cache_mu_) = 0;
   mutable uint64_t cached_clustering_ TB_GUARDED_BY(cache_mu_) = 0;

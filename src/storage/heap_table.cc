@@ -36,10 +36,55 @@ Rid HeapTable::Append(const Tuple& t) {
   return Rid{static_cast<uint32_t>(pages_.size() - 1), slot};
 }
 
+Result<Rid> HeapTable::Insert(const Tuple& t, const PageTouchFn& touch) {
+  TB_FAULT_POINT("storage.heap_insert");
+  Rid rid = Append(t);
+  if (touch) touch(pages_[rid.page_ordinal]);
+  return rid;
+}
+
+bool HeapTable::IsDeleted(size_t page_ordinal, size_t slot) const {
+  return page_ordinal < deleted_.size() && slot < deleted_[page_ordinal].size() &&
+         deleted_[page_ordinal][slot] != 0;
+}
+
+bool HeapTable::IsLive(const Rid& rid) const {
+  if (rid.page_ordinal >= pages_.size()) return false;
+  const Page* page = store_->GetPage(pages_[rid.page_ordinal]);
+  if (rid.slot >= page->num_slots) return false;
+  return !IsDeleted(rid.page_ordinal, rid.slot);
+}
+
+Status HeapTable::Delete(const Rid& rid, const PageTouchFn& touch) {
+  TB_FAULT_POINT("storage.heap_delete");
+  if (rid.page_ordinal >= pages_.size()) {
+    return Status::NotFound("rid page out of range in " + name_);
+  }
+  PageId pid = pages_[rid.page_ordinal];
+  if (touch) touch(pid);
+  const Page* page = store_->GetPage(pid);
+  if (rid.slot >= page->num_slots) {
+    return Status::NotFound("rid slot out of range in " + name_);
+  }
+  if (IsDeleted(rid.page_ordinal, rid.slot)) {
+    return Status::NotFound("row already deleted in " + name_);
+  }
+  if (deleted_.size() <= rid.page_ordinal) deleted_.resize(pages_.size());
+  auto& bitmap = deleted_[rid.page_ordinal];
+  if (bitmap.size() <= rid.slot) bitmap.resize(page->num_slots, 0);
+  bitmap[rid.slot] = 1;
+  --num_rows_;
+  ++num_deleted_;
+  return Status::OK();
+}
+
 Result<Tuple> HeapTable::Fetch(const Rid& rid, const PageTouchFn& touch) const {
   TB_FAULT_POINT("storage.heap_fetch");
   if (rid.page_ordinal >= pages_.size()) {
     return Status::NotFound("rid page out of range in " + name_);
+  }
+  if (IsDeleted(rid.page_ordinal, rid.slot)) {
+    return Status::NotFound("row deleted in " + name_);
   }
   PageId pid = pages_[rid.page_ordinal];
   if (touch) touch(pid);
@@ -71,6 +116,15 @@ bool HeapTable::Cursor::Next(Tuple* t, Rid* rid) {
       if (touch_) touch_(pid);
     }
     if (slot_ < page->num_slots) {
+      if (table_->IsDeleted(page_ordinal_, slot_)) {
+        // Tombstone: still decode past the record bytes (records are
+        // back-to-back), but don't surface the row.
+        uint16_t len;
+        std::memcpy(&len, page->data + offset_, 2);
+        offset_ += 2u + len;
+        ++slot_;
+        continue;
+      }
       offset_ += 2;  // record length header
       *t = table_->codec_.Decode(page->data, &offset_);
       if (rid != nullptr) {
@@ -90,7 +144,9 @@ bool HeapTable::Cursor::Next(Tuple* t, Rid* rid) {
 void HeapTable::Drop() {
   for (PageId pid : pages_) store_->Free(pid);
   pages_.clear();
+  deleted_.clear();
   num_rows_ = 0;
+  num_deleted_ = 0;
   total_bytes_ = 0;
 }
 

@@ -34,6 +34,11 @@ using PageTouchFn = std::function<void(PageId)>;
 /// An append-only heap table: rows encoded back-to-back on 8 KiB pages.
 /// Record format on a page: [uint16 length][TupleCodec bytes] repeated;
 /// Page::used is the fill offset and Page::num_slots the record count.
+/// Deletes are tombstones (a per-page slot bitmap in the table header, the
+/// slotted-page "dead" bit): the record bytes stay where they are, scans and
+/// fetches skip them, and an UPDATE is modeled as delete + re-append — which
+/// is also what makes index clustering decay under churn, the physical
+/// effect the paper's stats-staleness story needs.
 class HeapTable {
  public:
   HeapTable(std::string name, TupleCodec codec, PageStore* store);
@@ -42,7 +47,21 @@ class HeapTable {
   /// one cannot hold the record.
   Rid Append(const Tuple& t);
 
+  /// Append with write-path accounting: reports the written (tail) page
+  /// through `touch` and can fail via the `storage.heap_insert` fault point
+  /// (before any mutation). The plain Append above stays for bulk loaders,
+  /// which charge sequentially per page instead.
+  Result<Rid> Insert(const Tuple& t, const PageTouchFn& touch);
+
+  /// Tombstones the row at `rid`; NotFound if out of range or already
+  /// deleted. Fault point: `storage.heap_delete` (before any mutation).
+  Status Delete(const Rid& rid, const PageTouchFn& touch);
+
+  /// True iff `rid` addresses a live (non-tombstoned, in-range) row.
+  bool IsLive(const Rid& rid) const;
+
   /// Reads the row at `rid`. `touch` (if set) is called for the page.
+  /// NotFound for tombstoned rows.
   Result<Tuple> Fetch(const Rid& rid, const PageTouchFn& touch) const;
 
   /// Forward scan over all rows.
@@ -65,7 +84,10 @@ class HeapTable {
 
   const std::string& name() const { return name_; }
   const TupleCodec& codec() const { return codec_; }
+  /// Live rows (tombstones excluded).
   uint64_t num_rows() const { return num_rows_; }
+  /// Tombstoned rows still occupying page bytes.
+  uint64_t num_deleted() const { return num_deleted_; }
   size_t num_pages() const { return pages_.size(); }
   const std::vector<PageId>& pages() const { return pages_; }
   uint64_t total_bytes() const { return total_bytes_; }
@@ -74,11 +96,17 @@ class HeapTable {
   void Drop();
 
  private:
+  bool IsDeleted(size_t page_ordinal, size_t slot) const;
+
   std::string name_;
   TupleCodec codec_;
   PageStore* store_;
   std::vector<PageId> pages_;
+  /// Tombstone bitmap, parallel to pages_; a page's vector is sized lazily
+  /// on its first delete, so insert-only tables pay nothing.
+  std::vector<std::vector<uint8_t>> deleted_;
   uint64_t num_rows_ = 0;
+  uint64_t num_deleted_ = 0;
   uint64_t total_bytes_ = 0;
 };
 

@@ -20,6 +20,7 @@ namespace {
 constexpr uint8_t kHeaderRecord = 0;
 constexpr uint8_t kQueryRecord = 1;
 constexpr uint8_t kEventRecord = 2;  // service routing/health decisions
+constexpr uint8_t kIndexBuildRecord = 3;  // online index-build transitions
 constexpr uint32_t kJournalVersion = 1;
 constexpr char kMagic[8] = {'t', 'b', 'j', 'o', 'u', 'r', 'n', 'l'};
 // Frames larger than this are assumed to be garbage length prefixes from a
@@ -258,6 +259,40 @@ bool DecodeEvent(const std::string& payload, JournalServiceEvent* e) {
   return d.ok();
 }
 
+std::string EncodeIndexBuild(const JournalIndexBuildRecord& r) {
+  std::string out;
+  PutU8(&out, kIndexBuildRecord);
+  PutU32(&out, r.build_id);
+  PutU8(&out, r.state);
+  PutU32(&out, r.op_index);
+  PutU64(&out, r.side_log_entries);
+  PutDouble(&out, r.clock_seconds);
+  PutString(&out, r.index_name);
+  PutString(&out, r.target);
+  PutU32(&out, static_cast<uint32_t>(r.columns.size()));
+  for (const auto& c : r.columns) PutString(&out, c);
+  return out;
+}
+
+bool DecodeIndexBuild(const std::string& payload,
+                      JournalIndexBuildRecord* r) {
+  Decoder d(payload.data(), payload.size());
+  if (d.U8() != kIndexBuildRecord) return false;
+  r->build_id = d.U32();
+  r->state = d.U8();
+  r->op_index = d.U32();
+  r->side_log_entries = d.U64();
+  r->clock_seconds = d.Double();
+  r->index_name = d.String();
+  r->target = d.String();
+  uint32_t n_cols = d.U32();
+  r->columns.clear();
+  for (uint32_t i = 0; i < n_cols && i < payload.size(); ++i) {
+    r->columns.push_back(d.String());
+  }
+  return d.ok();
+}
+
 std::string Frame(const std::string& payload) {
   std::string out;
   PutU32(&out, static_cast<uint32_t>(payload.size()));
@@ -345,6 +380,15 @@ Result<RunJournal> LoadRunJournal(const std::string& path) {
             ": " + path);
       }
       journal.events.push_back(std::move(event));
+    } else if (!payload.empty() &&
+               static_cast<uint8_t>(payload[0]) == kIndexBuildRecord) {
+      JournalIndexBuildRecord rec;
+      if (!DecodeIndexBuild(payload, &rec)) {
+        return Status::DataLoss(
+            "run journal index-build record undecodable at offset " +
+            std::to_string(off) + ": " + path);
+      }
+      journal.index_builds.push_back(std::move(rec));
     } else {
       JournalQueryRecord rec;
       if (!DecodeQueryRecord(payload, &rec)) {
@@ -415,6 +459,24 @@ Status RunJournalWriter::Append(const JournalServiceEvent& event) {
   // outcomes in commit order.
   // NOLINTNEXTLINE(tabbench-blocking-under-lock)
   return WriteAndSync(fd_, frame);
+}
+
+Status RunJournalWriter::Append(const JournalIndexBuildRecord& rec) {
+  std::string frame = Frame(EncodeIndexBuild(rec));
+  MutexLock lock(&mu_);
+  if (fd_ < 0) return Status::Internal("run journal writer is closed");
+  // Build transitions are durability points like query records (the fsync
+  // under mu_ is the contract, as below).
+  // NOLINTNEXTLINE(tabbench-blocking-under-lock)
+  TB_RETURN_IF_ERROR(WriteAndSync(fd_, frame));
+  ++appends_;
+  if (crash_after_appends_ >= 0 && appends_ >= crash_after_appends_) {
+    // Same chaos hook as query records: the kill-resume harness counts
+    // every durable record, so a crash schedule can land *on* a build
+    // transition (mid-build, mid-drop) as easily as between ops.
+    (void)::raise(SIGKILL);
+  }
+  return Status::OK();
 }
 
 Status RunJournalWriter::Append(const JournalQueryRecord& rec) {

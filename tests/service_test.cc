@@ -348,6 +348,58 @@ TEST_F(ServiceDbTest, ServiceDeadlineAndCancellation) {
   EXPECT_EQ(service.stats().cancelled, 1u);
 }
 
+TEST_F(ServiceDbTest, ServiceShadowIndexBuildMatchesDirectRun) {
+  WorkloadService service(db(), WorkerOpts(2));
+  IndexDef def;
+  def.name = "ix_shadow";
+  def.target = "people";
+  def.columns = {"dept"};
+
+  Session probe(db());
+  ExecContext ctx =
+      db()->MakeSessionContext(probe.pool(), db()->options().cost);
+  auto direct = ShadowIndexBuild(*db(), def, &ctx);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_GT(direct->entries, 0u);
+  EXPECT_GT(direct->sim_seconds, 0.0);
+
+  // A what-if build is deterministic and side-effect free: every service
+  // run agrees with the in-process run bit for bit — the property the
+  // chaos audit leans on when a killed shard's build job reruns elsewhere.
+  auto a = service.SubmitIndexBuild(def).get();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = service.SubmitIndexBuild(def).get();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->fingerprint, direct->fingerprint);
+  EXPECT_EQ(b->fingerprint, direct->fingerprint);
+  EXPECT_EQ(a->entries, direct->entries);
+  EXPECT_EQ(a->pages, direct->pages);
+  EXPECT_EQ(a->height, direct->height);
+  EXPECT_EQ(a->sim_seconds, direct->sim_seconds);
+  EXPECT_EQ(b->sim_seconds, direct->sim_seconds);
+  // Nothing installed anywhere.
+  EXPECT_EQ(db()->FindIndex("ix_shadow"), nullptr);
+  EXPECT_EQ(service.stats().completed, 2u);
+}
+
+TEST_F(ServiceDbTest, ServiceShadowIndexBuildCancelAndBadTarget) {
+  WorkloadService service(db(), WorkerOpts(2));
+  IndexDef def;
+  def.name = "ix_doomed";
+  def.target = "people";
+  def.columns = {"dept"};
+
+  JobOptions doomed;
+  doomed.cancel.RequestCancel();
+  auto cancelled = service.SubmitIndexBuild(def, doomed).get();
+  EXPECT_TRUE(cancelled.status().IsCancelled());
+
+  IndexDef bad = def;
+  bad.target = "nope";
+  auto missing = service.SubmitIndexBuild(bad).get();
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
 // ------------------------------------------------- Service retry/backoff
 
 /// Disarms every fault point on scope exit so a failing ASSERT cannot leak
@@ -560,8 +612,9 @@ TEST(BTreeStatsCacheTest, ConcurrentLazyFillIsConsistent) {
 
   // A structural mutation invalidates under the same mutex; the next read
   // refills and sees the new count.
-  tree.Insert(IndexKey{Value(static_cast<int64_t>(10'000))}, Rid{1, 1},
-              nullptr);
+  ASSERT_TRUE(tree.Insert(IndexKey{Value(static_cast<int64_t>(10'000))},
+                          Rid{1, 1}, nullptr)
+                  .ok());
   EXPECT_EQ(tree.num_distinct_keys(), 501u);
 }
 

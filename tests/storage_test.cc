@@ -4,6 +4,7 @@
 #include "storage/heap_table.h"
 #include "storage/page_store.h"
 #include "storage/tuple_codec.h"
+#include "test_util.h"
 #include "util/rng.h"
 
 namespace tabbench {
@@ -305,6 +306,69 @@ TEST(HeapTableTest, ScanYieldsValidRids) {
     ASSERT_TRUE(fetched.ok());
     EXPECT_EQ(*fetched, t);
   }
+}
+
+TEST(HeapTableTest, InsertReportsTailPageAndMatchesAppend) {
+  PageStore store;
+  HeapTable heap("t", TupleCodec({TypeId::kInt}), &store);
+  size_t touches = 0;
+  for (int64_t i = 0; i < 300; ++i) {
+    auto rid = heap.Insert(Tuple({Value(i)}), [&](PageId) { ++touches; });
+    ASSERT_TRUE(rid.ok()) << rid.status().ToString();
+    // Insert lands rows where Append would: the same (page, slot) walk.
+    auto fetched = heap.Fetch(*rid, nullptr);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_EQ(fetched->at(0).as_int(), i);
+  }
+  // One tail-page touch per insert (write-path accounting).
+  EXPECT_EQ(touches, 300u);
+  EXPECT_EQ(heap.num_rows(), 300u);
+}
+
+TEST(HeapTableTest, DeleteTombstonesAndScansSkip) {
+  PageStore store;
+  HeapTable heap("t", TupleCodec({TypeId::kInt}), &store);
+  std::vector<Rid> rids;
+  for (int64_t i = 0; i < 100; ++i) rids.push_back(heap.Append(Tuple({Value(i)})));
+
+  // Tombstone every third row.
+  for (size_t i = 0; i < rids.size(); i += 3) {
+    EXPECT_TRUE(heap.IsLive(rids[i]));
+    TB_ASSERT_OK(heap.Delete(rids[i], nullptr));
+    EXPECT_FALSE(heap.IsLive(rids[i]));
+    // The bytes stay but the row is dead to reads.
+    EXPECT_TRUE(heap.Fetch(rids[i], nullptr).status().IsNotFound());
+  }
+  EXPECT_EQ(heap.num_rows(), 66u);
+  EXPECT_EQ(heap.num_deleted(), 34u);
+
+  // Double delete and out-of-range rids are NotFound, not corruption.
+  EXPECT_TRUE(heap.Delete(rids[0], nullptr).IsNotFound());
+  EXPECT_TRUE(heap.Delete(Rid{99, 0}, nullptr).IsNotFound());
+
+  // Scans yield exactly the survivors, in order.
+  auto cur = heap.Scan(nullptr);
+  Tuple t;
+  Rid rid;
+  int64_t seen = 0;
+  while (cur.Next(&t, &rid)) {
+    EXPECT_NE(t.at(0).as_int() % 3, 0) << "tombstoned row leaked into scan";
+    ++seen;
+  }
+  EXPECT_EQ(seen, 66);
+}
+
+TEST(HeapTableTest, InsertAfterDeleteStaysAppendOnly) {
+  PageStore store;
+  HeapTable heap("t", TupleCodec({TypeId::kInt}), &store);
+  std::vector<Rid> rids;
+  for (int64_t i = 0; i < 10; ++i) rids.push_back(heap.Append(Tuple({Value(i)})));
+  TB_ASSERT_OK(heap.Delete(rids[4], nullptr));
+  // The tombstoned slot is never reused: new rows append past the tail,
+  // which is the invariant the online index build's scan bound rests on.
+  auto rid = heap.Insert(Tuple({Value(int64_t{10})}), nullptr);
+  ASSERT_TRUE(rid.ok());
+  EXPECT_TRUE(rids.back() < *rid);
 }
 
 TEST(HeapTableTest, DropFreesPages) {

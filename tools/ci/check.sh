@@ -62,6 +62,16 @@ step "ctest -L shard under TABBENCH_SANITIZE=thread"
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target tabbench_shard_tests
 ctest --test-dir "${TSAN_DIR}" -L shard --output-on-failure -j "${JOBS}"
 
+# The mutation suite under TSan: B+-tree and heap mutations take the tree
+# and stats locks from workload threads, and the online index-build side
+# log is fed by writer threads while the build step drains it — the exact
+# surfaces where a race would corrupt the serial ≡ parallel bit-identity
+# contract. The fork/SIGKILL chaos children stay single-threaded, which is
+# what TSan requires of forked children.
+step "ctest -L mutation under TABBENCH_SANITIZE=thread"
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target tabbench_mutation_tests
+ctest --test-dir "${TSAN_DIR}" -L mutation --output-on-failure -j "${JOBS}"
+
 # ------------------------------------------------------------- vectorized
 # The morsel-driven vectorized engine: the golden suite proves simulated
 # costs bit-identical to the Volcano executor (ctest -L vectorized also ran
@@ -86,6 +96,20 @@ if "${BUILD_DIR}/bench/bench_json_check" \
   exit 1
 fi
 echo "BENCH artifact: ${BUILD_DIR}/BENCH_parallel.json"
+
+# Write-path trajectory: the Section 4.4 insertion experiment emits
+# BENCH_insertions.json (per-insert costs under P/R/1C plus the workload
+# reruns drive queries_per_second). Validated alone and cross-file with
+# BENCH_parallel.json so a name collision across artifacts fails here.
+step "bench smoke: BENCH_insertions.json (emit + schema-check)"
+TABBENCH_WORKLOAD=8 \
+  "${BUILD_DIR}/bench/bench_insertions" \
+  --bench-json "${BUILD_DIR}/BENCH_insertions.json"
+"${BUILD_DIR}/bench/bench_json_check" "${BUILD_DIR}/BENCH_insertions.json"
+"${BUILD_DIR}/bench/bench_json_check" \
+  "${BUILD_DIR}/BENCH_parallel.json" \
+  "${BUILD_DIR}/BENCH_insertions.json"
+echo "BENCH artifact: ${BUILD_DIR}/BENCH_insertions.json"
 
 # ------------------------------------------------------------- overload
 # Open-loop overload smoke for the sharded serving layer: a short sweep
@@ -140,6 +164,16 @@ fi
 "${CLI}" bench nref nref2j "${KR_DIR}/clean.tbj" 800 p
 cmp "${KR_DIR}/killed.tbj" "${KR_DIR}/clean.tbj"
 echo "resumed journal is byte-identical to the uninterrupted run"
+
+# The same proof for the online index-build state machine: the mutation
+# suite's transition walker SIGKILLs a forked child at every index-build
+# journal transition (pending → … → live → dropping → dropped), resumes
+# each torn journal, and byte-compares the healed journal and install-time
+# index fingerprint against an uninterrupted run. Run it standalone so the
+# crash-safety evidence lands in this log even when ctest sharding hides it.
+step "mutation kill-resume smoke (SIGKILL at every build transition)"
+"${BUILD_DIR}/tests/tabbench_mutation_tests" --gtest_brief=1 \
+  --gtest_filter='MutationKillResumeTest.SigkillAtEveryBuildTransitionResumesExact'
 
 # ----------------------------------------------------------------- lint
 # ctest already ran lint_repo, but run the binary directly too so the
