@@ -444,6 +444,9 @@ std::future<Result<ShadowIndexBuildResult>> WorkloadService::SubmitIndexBuild(
       std::optional<uint64_t> watch;
       if (wall_deadline.has_value()) {
         eff.cancel = CancellationToken();
+        // The Release below is guarded by watch.has_value(), which is true
+        // exactly when this branch ran; the analyzer cannot correlate the
+        // two conditions. NOLINTNEXTLINE(tabbench-release-on-path)
         watch = watchdog_.Watch(GraceDeadline(options, options_.watchdog),
                                 eff.cancel, options.cancel);
       }

@@ -40,7 +40,7 @@ namespace tabbench {
 ///                          only on the thread that owns the FaultScope —
 ///                          helper threads carry no scope, so schedules
 ///                          stay attempt-granular under parallelism)
-///   service.task_spawn     ThreadPool::Submit (direct)
+///   util.task_spawn        ThreadPool::Submit (direct)
 ///   service.session_execute Session::Execute entry (direct)
 ///
 /// *Direct* points return the injected Status from a Status/Result-returning

@@ -32,7 +32,7 @@ Status ThreadPool::Submit(std::function<void()> job) {
   // refusals below — and like them Unavailable (transient) by convention.
   // Deliberately not in SubmitOrRun: the runners' caller-runs fan-out must
   // not be perturbed by injected faults (their work still completes).
-  TB_FAULT_POINT("service.task_spawn");
+  TB_FAULT_POINT("util.task_spawn");
   {
     MutexLock lock(&mu_);
     if (shutdown_) {

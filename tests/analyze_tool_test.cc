@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "analyzer.h"
+#include "cfg.h"
+#include "cpptok.h"
 
 namespace {
 
@@ -542,7 +544,7 @@ TEST(AnalyzeOutput, SarifIsStructurallySound) {
 
 TEST(AnalyzeOutput, RuleTableIsUniqueAndPrefixed) {
   const auto& rules = tabbench_analyze::Rules();
-  ASSERT_EQ(rules.size(), 12u);
+  ASSERT_EQ(rules.size(), 15u);
   for (size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(std::string(rules[i].name).rfind("tabbench-", 0), 0u);
     for (size_t j = i + 1; j < rules.size(); ++j) {
@@ -1032,11 +1034,13 @@ TEST(AnalyzeFaultCoverage, CountsSitesPerLayerStructured) {
 }
 
 TEST(AnalyzeFaultCoverage, RatchetHoldsAndTripsOnRegression) {
+  // The site name carries the layer prefix: the naming check runs inside
+  // CheckFaultCoverage too, and a nonconforming fixture would trip it.
   const std::vector<tabbench_analyze::SourceFile> files = {
       {"src/util/file.cc",
        "namespace tabbench {\n"
        "int Read() {\n"
-       "  TB_FAULT_POINT(\"io.read\");\n"
+       "  TB_FAULT_POINT(\"util.read\");\n"
        "  return 0;\n"
        "}\n"
        "}  // namespace tabbench\n"}};
@@ -1161,6 +1165,815 @@ TEST(AnalyzeAcceptance, RemovingTheClaimLoopPollSurfacesLiveness) {
   auto findings =
       RunAnalyze({{"src/exec/vec/morsel_scheduler.cc", depolled}});
   EXPECT_GE(CountRule(findings, "tabbench-cancellation-poll"), 1u)
+      << ToText(findings);
+  EXPECT_FALSE(DiffBaseline(findings, {}).fresh.empty());
+}
+
+// ------------------------------------------------------- CFG construction
+//
+// The path-sensitive passes are only as sound as the CFG under them, so
+// the builder is pinned down directly: fixture bodies go through the same
+// StripCommentsAndStrings + Tokenize front end the analyzer uses, and the
+// tests assert block/edge shapes and dominator facts, not just "it parsed".
+
+using tabbench_analyze::BuildCfg;
+using tabbench_analyze::Cfg;
+using tabbench_analyze::CfgBlockKind;
+using tabbench_analyze::CfgEdgeKind;
+using tabbench_analyze::CfgNpos;
+using tabbench_analyze::ComputeDominators;
+using tabbench_analyze::Dominates;
+using tabbench_analyze::ParseProtocolSpec;
+using tabbench_analyze::ProtocolSpec;
+using tabbench_tok::Token;
+
+std::vector<Token> Toks(const std::string& body) {
+  return tabbench_tok::Tokenize(tabbench_tok::StripCommentsAndStrings(body));
+}
+
+size_t CountBlocks(const Cfg& cfg, CfgBlockKind kind) {
+  size_t n = 0;
+  for (const auto& b : cfg.blocks) n += b.kind == kind ? 1 : 0;
+  return n;
+}
+
+size_t CountEdges(const Cfg& cfg, CfgEdgeKind kind) {
+  size_t n = 0;
+  for (const auto& b : cfg.blocks) {
+    for (const auto& e : b.succ) n += e.kind == kind ? 1 : 0;
+  }
+  return n;
+}
+
+size_t EdgesInto(const Cfg& cfg, size_t to) {
+  size_t n = 0;
+  for (const auto& b : cfg.blocks) {
+    for (const auto& e : b.succ) n += e.to == to ? 1 : 0;
+  }
+  return n;
+}
+
+// First block whose token range contains the identifier `text`.
+size_t BlockWithIdent(const Cfg& cfg, const std::vector<Token>& toks,
+                      const std::string& text) {
+  for (size_t i = 0; i < cfg.blocks.size(); ++i) {
+    for (size_t t = cfg.blocks[i].tok_begin; t < cfg.blocks[i].tok_end; ++t) {
+      if (toks[t].text == text) return i;
+    }
+  }
+  return CfgNpos();
+}
+
+bool HasEdge(const Cfg& cfg, size_t from, size_t to, CfgEdgeKind kind) {
+  if (from >= cfg.blocks.size()) return false;
+  for (const auto& e : cfg.blocks[from].succ) {
+    if (e.to == to && e.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(AnalyzeCfgBuilder, SwitchFallthroughSharesLandingsAndBreaksOut) {
+  const auto toks = Toks(
+      "switch (x) {\n"
+      "  case 0:\n"
+      "  case 1:\n"
+      "    a();\n"
+      "    break;\n"
+      "  case 2:\n"
+      "    b();\n"
+      "  default:\n"
+      "    c();\n"
+      "}\n"
+      "d();\n");
+  const Cfg cfg = BuildCfg(toks, 0, toks.size());
+  // entry, exit, switch head, after-join, three landings (case 0/1 share
+  // one), a/b/c statements, the break block, and d() after the switch.
+  EXPECT_EQ(cfg.blocks.size(), 12u);
+  EXPECT_EQ(CountBlocks(cfg, CfgBlockKind::kSwitch), 1u);
+  EXPECT_EQ(CountBlocks(cfg, CfgBlockKind::kJoin), 4u);
+  EXPECT_EQ(CountBlocks(cfg, CfgBlockKind::kStmt), 5u);
+  // Dispatch: one kCase edge per label, so the shared landing gets two.
+  EXPECT_EQ(CountEdges(cfg, CfgEdgeKind::kCase), 4u);
+  EXPECT_EQ(CountEdges(cfg, CfgEdgeKind::kBreak), 1u);
+
+  const auto idom = ComputeDominators(cfg);
+  // The head block holds only the switched expression, not the keyword.
+  size_t head = CfgNpos();
+  for (size_t i = 0; i < cfg.blocks.size(); ++i) {
+    if (cfg.blocks[i].kind == CfgBlockKind::kSwitch) head = i;
+  }
+  const size_t b_stmt = BlockWithIdent(cfg, toks, "b");
+  const size_t c_stmt = BlockWithIdent(cfg, toks, "c");
+  const size_t d_stmt = BlockWithIdent(cfg, toks, "d");
+  ASSERT_NE(head, CfgNpos());
+  ASSERT_NE(b_stmt, CfgNpos());
+  ASSERT_NE(c_stmt, CfgNpos());
+  ASSERT_NE(d_stmt, CfgNpos());
+  // Every path to d() goes through the switch head ...
+  EXPECT_TRUE(Dominates(idom, head, d_stmt));
+  // ... but not through case 2's body: default reaches c() directly, the
+  // b()->c() fallthrough is just one of two ways in.
+  EXPECT_FALSE(Dominates(idom, b_stmt, c_stmt));
+  bool fallthrough_to_join = false;
+  for (const auto& e : cfg.blocks[b_stmt].succ) {
+    fallthrough_to_join |= e.kind == CfgEdgeKind::kNext &&
+                           cfg.blocks[e.to].kind == CfgBlockKind::kJoin;
+  }
+  EXPECT_TRUE(fallthrough_to_join);
+}
+
+TEST(AnalyzeCfgBuilder, SwitchWithoutDefaultCanSkipEveryCase) {
+  const auto toks = Toks(
+      "switch (x) {\n"
+      "  case 0:\n"
+      "    a();\n"
+      "}\n"
+      "y();\n");
+  const Cfg cfg = BuildCfg(toks, 0, toks.size());
+  EXPECT_EQ(cfg.blocks.size(), 7u);
+  // head -> landing, plus the implicit head -> after edge for the missing
+  // default: the case body must not dominate what follows the switch.
+  EXPECT_EQ(CountEdges(cfg, CfgEdgeKind::kCase), 2u);
+  const auto idom = ComputeDominators(cfg);
+  const size_t a_stmt = BlockWithIdent(cfg, toks, "a");
+  const size_t y_stmt = BlockWithIdent(cfg, toks, "y");
+  ASSERT_NE(a_stmt, CfgNpos());
+  ASSERT_NE(y_stmt, CfgNpos());
+  EXPECT_FALSE(Dominates(idom, a_stmt, y_stmt));
+}
+
+TEST(AnalyzeCfgBuilder, NestedLoopsRouteBreakAndContinue) {
+  const auto toks = Toks(
+      "while (a) {\n"
+      "  for (i = 0; i < n; i = i + 1) {\n"
+      "    if (b) continue;\n"
+      "    if (c) break;\n"
+      "    work();\n"
+      "  }\n"
+      "  more();\n"
+      "}\n"
+      "tail();\n");
+  const Cfg cfg = BuildCfg(toks, 0, toks.size());
+  EXPECT_EQ(cfg.blocks.size(), 15u);
+  EXPECT_EQ(CountBlocks(cfg, CfgBlockKind::kLoop), 2u);
+  EXPECT_EQ(CountEdges(cfg, CfgEdgeKind::kBack), 2u);
+  EXPECT_EQ(CountEdges(cfg, CfgEdgeKind::kContinue), 1u);
+  EXPECT_EQ(CountEdges(cfg, CfgEdgeKind::kBreak), 1u);
+  EXPECT_EQ(CountEdges(cfg, CfgEdgeKind::kTrue), 4u);
+
+  const auto idom = ComputeDominators(cfg);
+  const size_t inner_head = BlockWithIdent(cfg, toks, "n");  // i < n
+  const size_t work = BlockWithIdent(cfg, toks, "work");
+  const size_t cont = BlockWithIdent(cfg, toks, "continue");
+  ASSERT_NE(inner_head, CfgNpos());
+  ASSERT_NE(work, CfgNpos());
+  ASSERT_NE(cont, CfgNpos());
+  EXPECT_TRUE(Dominates(idom, inner_head, work));
+  // continue targets the for-increment, i.e. the block that loops back to
+  // the inner head — and does not dominate it (the straight-line body
+  // reaches the increment too).
+  size_t inc = CfgNpos();
+  for (size_t i = 0; i < cfg.blocks.size(); ++i) {
+    if (HasEdge(cfg, i, inner_head, CfgEdgeKind::kBack)) inc = i;
+  }
+  ASSERT_NE(inc, CfgNpos());
+  EXPECT_TRUE(HasEdge(cfg, cont, inc, CfgEdgeKind::kContinue));
+  EXPECT_FALSE(Dominates(idom, cont, inc));
+}
+
+TEST(AnalyzeCfgBuilder, DoWhileBodyDominatesWhatFollows) {
+  const auto toks = Toks(
+      "do {\n"
+      "  step();\n"
+      "} while (again());\n"
+      "done();\n");
+  const Cfg cfg = BuildCfg(toks, 0, toks.size());
+  EXPECT_EQ(cfg.blocks.size(), 7u);
+  EXPECT_EQ(CountBlocks(cfg, CfgBlockKind::kLoop), 1u);
+  EXPECT_EQ(CountEdges(cfg, CfgEdgeKind::kBack), 1u);
+  const auto idom = ComputeDominators(cfg);
+  const size_t step = BlockWithIdent(cfg, toks, "step");
+  const size_t done = BlockWithIdent(cfg, toks, "done");
+  ASSERT_NE(step, CfgNpos());
+  ASSERT_NE(done, CfgNpos());
+  // The defining do/while fact: the body runs at least once.
+  EXPECT_TRUE(Dominates(idom, step, done));
+}
+
+TEST(AnalyzeCfgBuilder, ReturnsClassifyErrorFactoriesTernaryIncluded) {
+  const auto toks = Toks(
+      "if (x) {\n"
+      "  return Status::Internal(\"boom\");\n"
+      "}\n"
+      "return ok ? a() : b();\n");
+  const Cfg cfg = BuildCfg(toks, 0, toks.size());
+  EXPECT_EQ(cfg.blocks.size(), 5u);
+  EXPECT_EQ(CountBlocks(cfg, CfgBlockKind::kReturn), 2u);
+  EXPECT_EQ(EdgesInto(cfg, cfg.exit), 2u);
+  size_t error_returns = 0;
+  for (const auto& b : cfg.blocks) {
+    if (b.kind == CfgBlockKind::kReturn && b.error_return) ++error_returns;
+  }
+  // Status::Internal is a definite error exit; the ternary return is not.
+  EXPECT_EQ(error_returns, 1u);
+}
+
+TEST(AnalyzeCfgBuilder, MacroHeavyBodiesKeepErrorEdgesAndOrder) {
+  const auto toks = Toks(
+      "TB_RETURN_IF_ERROR(Prep());\n"
+      "TB_ASSIGN_OR_RETURN(v, Load());\n"
+      "Use(v);\n"
+      "return Status::OK();\n");
+  const Cfg cfg = BuildCfg(toks, 0, toks.size());
+  EXPECT_EQ(cfg.blocks.size(), 6u);
+  // Each macro contributes a distinct error edge into the exit, on top of
+  // the ordinary return edge.
+  EXPECT_EQ(CountEdges(cfg, CfgEdgeKind::kErrorReturn), 2u);
+  EXPECT_EQ(EdgesInto(cfg, cfg.exit), 3u);
+  const auto idom = ComputeDominators(cfg);
+  const size_t first_macro = BlockWithIdent(cfg, toks, "TB_RETURN_IF_ERROR");
+  size_t ret = CfgNpos();
+  for (size_t i = 0; i < cfg.blocks.size(); ++i) {
+    if (cfg.blocks[i].kind == CfgBlockKind::kReturn) ret = i;
+  }
+  ASSERT_NE(first_macro, CfgNpos());
+  ASSERT_NE(ret, CfgNpos());
+  EXPECT_TRUE(Dominates(idom, first_macro, ret));
+  // Status::OK() is a success exit, not an error factory.
+  EXPECT_FALSE(cfg.blocks[ret].error_return);
+}
+
+TEST(AnalyzeCfgBuilder, LambdaBodiesAreCarvedOutOfTheEnclosingPaths) {
+  const auto toks = Toks(
+      "auto f = [&](int q) { return q + 1; };\n"
+      "pool.Submit([this] { Work(); });\n"
+      "tail();\n");
+  const Cfg cfg = BuildCfg(toks, 0, toks.size());
+  ASSERT_EQ(cfg.lambda_bodies.size(), 2u);
+  // The lambda statements run on their own schedule: they must not sit on
+  // any enclosing-function path.
+  EXPECT_EQ(BlockWithIdent(cfg, toks, "Work"), CfgNpos());
+  // Each carved range builds as its own unit.
+  const Cfg inner =
+      BuildCfg(toks, cfg.lambda_bodies[0].first, cfg.lambda_bodies[0].second);
+  EXPECT_EQ(inner.blocks.size(), 3u);
+  EXPECT_EQ(CountBlocks(inner, CfgBlockKind::kReturn), 1u);
+}
+
+// ------------------------------------------------------- protocol specs
+
+TEST(AnalyzeProtocolSpec, ParsesOpsArgsAndMultiValueLines) {
+  ProtocolSpec spec;
+  std::string err;
+  ASSERT_TRUE(ParseProtocolSpec(
+      "# two protocols, multi-value lines, one arg-qualified op\n"
+      "protocol journal\n"
+      "file src/util/j.cc src/util/j2.cc\n"
+      "sync SyncAll WriteAndSync\n"
+      "commit Expose EnterState:kLive\n"
+      "begin BeginUnit\n"
+      "abort AbortUnit\n"
+      "\n"
+      "protocol other\n"
+      "file src/core/o.cc\n"
+      "sync Flush\n"
+      "commit Publish\n",
+      &spec, &err))
+      << err;
+  ASSERT_EQ(spec.protocols.size(), 2u);
+  const auto& j = spec.protocols[0];
+  EXPECT_EQ(j.name, "journal");
+  ASSERT_EQ(j.files.size(), 2u);
+  ASSERT_EQ(j.sync.size(), 2u);
+  EXPECT_EQ(j.sync[1], "WriteAndSync");
+  ASSERT_EQ(j.commit.size(), 2u);
+  EXPECT_EQ(j.commit[0].name, "Expose");
+  EXPECT_TRUE(j.commit[0].arg.empty());
+  EXPECT_EQ(j.commit[1].name, "EnterState");
+  EXPECT_EQ(j.commit[1].arg, "kLive");
+  ASSERT_EQ(j.begin.size(), 1u);
+  ASSERT_EQ(j.abort.size(), 1u);
+  EXPECT_EQ(spec.protocols[1].name, "other");
+}
+
+TEST(AnalyzeProtocolSpec, RejectsMalformedSpecs) {
+  ProtocolSpec spec;
+  std::string err;
+  EXPECT_FALSE(ParseProtocolSpec("file src/x.cc\n", &spec, &err));
+  EXPECT_NE(err.find("protocols.txt:1"), std::string::npos) << err;
+  spec = {};
+  EXPECT_FALSE(ParseProtocolSpec("protocol p\nfrobnicate x\n", &spec, &err));
+  spec = {};
+  EXPECT_FALSE(ParseProtocolSpec("protocol p\nprotocol p\n", &spec, &err));
+}
+
+// A fixture protocol for src/util/j.cc: the durable write is SyncAll(),
+// the externalization is Expose(), and BeginUnit/AbortUnit bracket a
+// journaled unit of work.
+Options ProtoOpts() {
+  Options opts;
+  std::string err;
+  EXPECT_TRUE(ParseProtocolSpec(
+      "protocol journal\n"
+      "file src/util/j.cc\n"
+      "sync SyncAll\n"
+      "commit Expose\n"
+      "begin BeginUnit\n"
+      "abort AbortUnit\n",
+      &opts.protocols, &err))
+      << err;
+  return opts;
+}
+
+// ------------------------------------------------- durability ordering
+
+TEST(AnalyzeDurability, SyncBeforeCommitOnEveryPathIsQuiet) {
+  auto findings = RunAnalyze({{"src/util/j.cc",
+                               "namespace tabbench {\n"
+                               "Status SyncAll();\n"
+                               "void Expose();\n"
+                               "Status Commit() {\n"
+                               "  TB_RETURN_IF_ERROR(SyncAll());\n"
+                               "  Expose();\n"
+                               "  return Status::OK();\n"
+                               "}\n"
+                               "}  // namespace tabbench\n"}},
+                             ProtoOpts());
+  EXPECT_EQ(CountRule(findings, "tabbench-durability-ordering"), 0u)
+      << ToText(findings);
+}
+
+TEST(AnalyzeDurability, CommitReachableBeforeSyncOnOnePathIsFlagged) {
+  auto findings = RunAnalyze({{"src/util/j.cc",
+                               "namespace tabbench {\n"
+                               "Status SyncAll();\n"
+                               "void Expose();\n"
+                               "Status Commit(bool fast) {\n"
+                               "  if (fast) {\n"
+                               "    Expose();\n"
+                               "    return Status::OK();\n"
+                               "  }\n"
+                               "  TB_RETURN_IF_ERROR(SyncAll());\n"
+                               "  Expose();\n"
+                               "  return Status::OK();\n"
+                               "}\n"
+                               "}  // namespace tabbench\n"}},
+                             ProtoOpts());
+  ASSERT_EQ(CountRule(findings, "tabbench-durability-ordering"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-durability-ordering");
+  EXPECT_EQ(f->line, 6u);  // the fast-path Expose, not the synced one
+  EXPECT_NE(f->message.find("journal"), std::string::npos) << f->message;
+}
+
+TEST(AnalyzeDurability, SyncThroughCalleeCountsOnlyWhenUnconditional) {
+  // Flush() fsyncs on every success return, so calling it is as good as
+  // the root sync op ...
+  auto findings = RunAnalyze({{"src/util/j.cc",
+                               "namespace tabbench {\n"
+                               "Status SyncAll();\n"
+                               "void Expose();\n"
+                               "Status Flush() {\n"
+                               "  TB_RETURN_IF_ERROR(SyncAll());\n"
+                               "  return Status::OK();\n"
+                               "}\n"
+                               "Status Commit() {\n"
+                               "  TB_RETURN_IF_ERROR(Flush());\n"
+                               "  Expose();\n"
+                               "  return Status::OK();\n"
+                               "}\n"
+                               "}  // namespace tabbench\n"}},
+                             ProtoOpts());
+  EXPECT_EQ(CountRule(findings, "tabbench-durability-ordering"), 0u)
+      << ToText(findings);
+  // ... but a callee that only syncs on one branch does not launder the
+  // ordering obligation away.
+  findings = RunAnalyze({{"src/util/j.cc",
+                          "namespace tabbench {\n"
+                          "Status SyncAll();\n"
+                          "void Expose();\n"
+                          "Status Flush(bool b) {\n"
+                          "  if (b) {\n"
+                          "    TB_RETURN_IF_ERROR(SyncAll());\n"
+                          "  }\n"
+                          "  return Status::OK();\n"
+                          "}\n"
+                          "Status Commit() {\n"
+                          "  TB_RETURN_IF_ERROR(Flush(true));\n"
+                          "  Expose();\n"
+                          "  return Status::OK();\n"
+                          "}\n"
+                          "}  // namespace tabbench\n"}},
+                        ProtoOpts());
+  EXPECT_EQ(CountRule(findings, "tabbench-durability-ordering"), 1u)
+      << ToText(findings);
+}
+
+// ------------------------------------------------------ release on path
+
+TEST(AnalyzeReleaseOnPath, BalancedAcquireReleaseIsQuiet) {
+  auto findings = RunAnalyze({{"src/util/r.cc",
+                               "namespace tabbench {\n"
+                               "void Balanced(Mutex& mu, bool fast) {\n"
+                               "  mu.Lock();\n"
+                               "  if (fast) {\n"
+                               "    mu.Unlock();\n"
+                               "    return;\n"
+                               "  }\n"
+                               "  mu.Unlock();\n"
+                               "}\n"
+                               "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-release-on-path"), 0u)
+      << ToText(findings);
+}
+
+TEST(AnalyzeReleaseOnPath, EarlyReturnWhileHoldingIsFlagged) {
+  auto findings = RunAnalyze({{"src/util/r.cc",
+                               "namespace tabbench {\n"
+                               "void Leaky(Mutex& mu, bool fast) {\n"
+                               "  mu.Lock();\n"
+                               "  if (fast) {\n"
+                               "    return;\n"
+                               "  }\n"
+                               "  mu.Unlock();\n"
+                               "}\n"
+                               "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-release-on-path"), 1u)
+      << ToText(findings);
+  const Finding* f = FindRule(findings, "tabbench-release-on-path");
+  EXPECT_EQ(f->line, 3u);  // anchored at the acquire
+  EXPECT_FALSE(f->related.empty());  // ... pointing at the escaping edge
+}
+
+TEST(AnalyzeReleaseOnPath, HandoffPairsAreOnlyEnforcedWhenReleasedHere) {
+  // Watch() handed to the caller: no Release in this function, so the
+  // non-strict pair stays quiet ...
+  auto findings = RunAnalyze({{"src/util/r.cc",
+                               "namespace tabbench {\n"
+                               "uint64_t Handoff(Watchdog& wd) {\n"
+                               "  return wd.Watch();\n"
+                               "}\n"
+                               "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-release-on-path"), 0u)
+      << ToText(findings);
+  // ... but once the function releases on some path, every path owes one.
+  findings = RunAnalyze({{"src/util/r.cc",
+                          "namespace tabbench {\n"
+                          "void Mixed(Watchdog& wd, bool fast) {\n"
+                          "  uint64_t id = wd.Watch();\n"
+                          "  if (fast) {\n"
+                          "    return;\n"
+                          "  }\n"
+                          "  wd.Release(id);\n"
+                          "}\n"
+                          "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-release-on-path"), 1u)
+      << ToText(findings);
+}
+
+TEST(AnalyzeReleaseOnPath, LockTransferAnnotationExemptsTheFunction) {
+  auto findings = RunAnalyze({{"src/util/r.cc",
+                               "namespace tabbench {\n"
+                               "void Adopt(Mutex& mu) TB_ACQUIRE(mu) {\n"
+                               "  mu.Lock();\n"
+                               "}\n"
+                               "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-release-on-path"), 0u)
+      << ToText(findings);
+}
+
+TEST(AnalyzeSuppressions, NolintSilencesReleaseOnPath) {
+  auto findings = RunAnalyze({{"src/util/r.cc",
+                               "namespace tabbench {\n"
+                               "void Leaky(Mutex& mu, bool fast) {\n"
+                               "  // NOLINTNEXTLINE(tabbench-release-on-path)\n"
+                               "  mu.Lock();\n"
+                               "  if (fast) {\n"
+                               "    return;\n"
+                               "  }\n"
+                               "  mu.Unlock();\n"
+                               "}\n"
+                               "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-release-on-path"), 0u)
+      << ToText(findings);
+}
+
+// --------------------------------------------------- error-path soundness
+
+TEST(AnalyzeErrorPath, ValueUseUnderMustErrorIsFlagged) {
+  auto findings = RunAnalyze({{"src/util/e.cc",
+                               "namespace tabbench {\n"
+                               "int Consume(int v);\n"
+                               "Status Use(Result r) {\n"
+                               "  if (!r.ok()) {\n"
+                               "    Consume(*r);\n"
+                               "    return r.status();\n"
+                               "  }\n"
+                               "  Consume(*r);\n"
+                               "  return Status::OK();\n"
+                               "}\n"
+                               "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-error-path"), 1u)
+      << ToText(findings);
+  EXPECT_EQ(FindRule(findings, "tabbench-error-path")->line, 5u);
+}
+
+TEST(AnalyzeErrorPath, AllowedErrorAccessorsAreQuiet) {
+  auto findings = RunAnalyze({{"src/util/e.cc",
+                               "namespace tabbench {\n"
+                               "void Note(const std::string& s);\n"
+                               "Status Log(Result r) {\n"
+                               "  if (!r.ok()) {\n"
+                               "    Note(r.ToString());\n"
+                               "    return r.status();\n"
+                               "  }\n"
+                               "  return Status::OK();\n"
+                               "}\n"
+                               "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-error-path"), 0u)
+      << ToText(findings);
+}
+
+TEST(AnalyzeErrorPath, BeginWithoutAbortAtErrorExitIsFlagged) {
+  // The TB_RETURN_IF_ERROR error edge leaves before AbortUnit() runs.
+  auto findings = RunAnalyze({{"src/util/j.cc",
+                               "namespace tabbench {\n"
+                               "Status Step();\n"
+                               "Status Work() {\n"
+                               "  BeginUnit();\n"
+                               "  TB_RETURN_IF_ERROR(Step());\n"
+                               "  AbortUnit();\n"
+                               "  return Status::OK();\n"
+                               "}\n"
+                               "}  // namespace tabbench\n"}},
+                             ProtoOpts());
+  ASSERT_EQ(CountRule(findings, "tabbench-error-path"), 1u)
+      << ToText(findings);
+  EXPECT_NE(FindRule(findings, "tabbench-error-path")
+                ->message.find("journaled unit"),
+            std::string::npos);
+  // Aborting before the error return closes the unit: quiet.
+  findings = RunAnalyze({{"src/util/j.cc",
+                          "namespace tabbench {\n"
+                          "Status Step();\n"
+                          "Status Work() {\n"
+                          "  BeginUnit();\n"
+                          "  Status st = Step();\n"
+                          "  if (!st.ok()) {\n"
+                          "    AbortUnit();\n"
+                          "    return Status::Internal(\"step failed\");\n"
+                          "  }\n"
+                          "  return Status::OK();\n"
+                          "}\n"
+                          "}  // namespace tabbench\n"}},
+                        ProtoOpts());
+  EXPECT_EQ(CountRule(findings, "tabbench-error-path"), 0u)
+      << ToText(findings);
+}
+
+TEST(AnalyzeErrorPath, BlockingRetryWithoutRecheckIsFlagged) {
+  auto findings = RunAnalyze({{"src/util/e.cc",
+                               "namespace tabbench {\n"
+                               "Status Attempt();\n"
+                               "void Retry() {\n"
+                               "  for (;;) {\n"
+                               "    Status st = Attempt();\n"
+                               "    if (st.ok()) {\n"
+                               "      return;\n"
+                               "    }\n"
+                               "    SleepWithCancellation(1.0);\n"
+                               "  }\n"
+                               "}\n"
+                               "}  // namespace tabbench\n"}});
+  ASSERT_EQ(CountRule(findings, "tabbench-error-path"), 1u)
+      << ToText(findings);
+  EXPECT_NE(
+      FindRule(findings, "tabbench-error-path")->message.find("re-enter"),
+      std::string::npos);
+  // Consulting the sleep's status before looping again is the fix.
+  findings = RunAnalyze({{"src/util/e.cc",
+                          "namespace tabbench {\n"
+                          "Status Attempt();\n"
+                          "void Retry() {\n"
+                          "  for (;;) {\n"
+                          "    Status st = Attempt();\n"
+                          "    if (st.ok()) {\n"
+                          "      return;\n"
+                          "    }\n"
+                          "    Status slept = SleepWithCancellation(1.0);\n"
+                          "    if (!slept.ok()) {\n"
+                          "      return;\n"
+                          "    }\n"
+                          "  }\n"
+                          "}\n"
+                          "}  // namespace tabbench\n"}});
+  EXPECT_EQ(CountRule(findings, "tabbench-error-path"), 0u)
+      << ToText(findings);
+}
+
+// -------------------------------------------- fault-point naming checks
+
+TEST(AnalyzeFaultNaming, ConformingNamesAreQuiet) {
+  const std::vector<SourceFile> files = {
+      {"src/util/file.cc",
+       "namespace tabbench {\n"
+       "int Read() {\n"
+       "  TB_FAULT_POINT(\"util.file_read\");\n"
+       "  return 0;\n"
+       "}\n"
+       "}  // namespace tabbench\n"}};
+  EXPECT_TRUE(
+      tabbench_analyze::CheckFaultCoverage(files, LayeredOpts().layers,
+                                           "util 1\n")
+          .empty());
+}
+
+TEST(AnalyzeFaultNaming, LayerMismatchAndFormatViolationsTrip) {
+  const std::vector<SourceFile> files = {
+      {"src/util/file.cc",
+       "namespace tabbench {\n"
+       "int Read() {\n"
+       "  TB_FAULT_POINT(\"service.read\");\n"
+       "  TB_FAULT_POINT(\"BadName\");\n"
+       "  TB_FAULT_POINT(\"util.read\");\n"
+       "  return 0;\n"
+       "}\n"
+       "}  // namespace tabbench\n"}};
+  const auto violations = tabbench_analyze::CheckFaultCoverage(
+      files, LayeredOpts().layers, "util 3\n");
+  ASSERT_EQ(violations.size(), 2u) << (violations.empty() ? "" : violations[0]);
+  EXPECT_NE(violations[0].find("service.read"), std::string::npos)
+      << violations[0];
+  EXPECT_NE(violations[1].find("BadName"), std::string::npos) << violations[1];
+  // The human-readable report surfaces the same list.
+  const std::string report =
+      FaultCoverageReport(files, LayeredOpts().layers);
+  EXPECT_NE(report.find("naming-convention"), std::string::npos) << report;
+}
+
+TEST(AnalyzeFaultNaming, UnderscoreLayerNamesMatchDottedPrefixes) {
+  Options opts;
+  std::string err;
+  ASSERT_TRUE(ParseLayerSpec("layer exec_vec: src/exec/vec\n", &opts.layers,
+                             &err))
+      << err;
+  // Both spellings name the layer: exec_vec.claim and exec.vec.claim.
+  const std::vector<SourceFile> quiet = {
+      {"src/exec/vec/m.cc",
+       "namespace tabbench {\n"
+       "int Claim() {\n"
+       "  TB_FAULT_POINT(\"exec.vec.morsel\");\n"
+       "  TB_FAULT_POINT(\"exec_vec.claim\");\n"
+       "  return 0;\n"
+       "}\n"
+       "}  // namespace tabbench\n"}};
+  EXPECT_TRUE(tabbench_analyze::CheckFaultCoverage(quiet, opts.layers,
+                                                   "exec_vec 2\n")
+                  .empty());
+  const std::vector<SourceFile> lying = {
+      {"src/exec/vec/m.cc",
+       "namespace tabbench {\n"
+       "int Claim() {\n"
+       "  TB_FAULT_POINT(\"storage.claim\");\n"
+       "  return 0;\n"
+       "}\n"
+       "}  // namespace tabbench\n"}};
+  const auto violations = tabbench_analyze::CheckFaultCoverage(
+      lying, opts.layers, "exec_vec 1\n");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("storage.claim"), std::string::npos)
+      << violations[0];
+  // Sites outside every declared layer only owe the format rule.
+  const std::vector<SourceFile> outside = {
+      {"tools/x.cc",
+       "namespace tabbench {\n"
+       "int Go() {\n"
+       "  TB_FAULT_POINT(\"anything.goes\");\n"
+       "  return 0;\n"
+       "}\n"
+       "}  // namespace tabbench\n"}};
+  EXPECT_TRUE(
+      tabbench_analyze::CheckFaultCoverage(outside, opts.layers, "").empty());
+}
+
+// --------------------------------------------- cpptok raw-string handling
+
+TEST(CpptokRawStrings, EncodingPrefixedRawStringsAreBlanked) {
+  const std::string src =
+      "const wchar_t* w = LR\"(say \"hi\" to them)\";\n"
+      "const char* a = u8R\"x(quote \" inside)x\";\n"
+      "const char* b = uR\"(another \" one)\";\n"
+      "const char* c = UR\"(last \" one)\";\n"
+      "const char* d = R\"y(plain \" quote)y\";\n"
+      "int live = 1;\n";
+  const std::string stripped = tabbench_tok::StripCommentsAndStrings(src);
+  EXPECT_EQ(stripped.find("hi"), std::string::npos);
+  EXPECT_EQ(stripped.find("inside"), std::string::npos);
+  bool saw_live = false;
+  for (const Token& t : tabbench_tok::Tokenize(stripped)) {
+    // Before the prefix fix, LR"(...)" was scanned as an ordinary string,
+    // terminated at the first embedded quote, and leaked the tail of every
+    // literal below it into the token stream.
+    EXPECT_NE(t.text, "say");
+    EXPECT_NE(t.text, "quote");
+    EXPECT_NE(t.text, "another");
+    EXPECT_NE(t.text, "last");
+    EXPECT_NE(t.text, "plain");
+    saw_live |= t.text == "live";
+  }
+  EXPECT_TRUE(saw_live);
+}
+
+TEST(CpptokRawStrings, IdentifierEndingInPrefixLettersIsNotARawIntro) {
+  // The L here belongs to the identifier: this is MACROLR followed by an
+  // ordinary string literal, not a raw-string introducer.
+  const std::string src = "int y = MACROLR\"(not raw)\";\nint z = 2;\n";
+  bool saw_macro = false, saw_z = false;
+  for (const Token& t :
+       tabbench_tok::Tokenize(tabbench_tok::StripCommentsAndStrings(src))) {
+    EXPECT_NE(t.text, "raw");
+    saw_macro |= t.text == "MACROLR";
+    saw_z |= t.text == "z";
+  }
+  EXPECT_TRUE(saw_macro);
+  EXPECT_TRUE(saw_z);
+}
+
+// ------------------------------- acceptance: the real durability paths
+//
+// Same contract as the morsel-scheduler block above, now for the CFG
+// passes: the real journal writer and retry loop are clean as written;
+// deleting the fsync, converting the scoped lock to manual calls, or
+// dropping the post-sleep cancellation check must each come back as fresh
+// strict-baseline failures.
+
+Options RealProtoOpts() {
+  Options opts;
+  std::string err;
+  EXPECT_TRUE(ParseProtocolSpec(ReadRealFile("tools/analyze/protocols.txt"),
+                                &opts.protocols, &err))
+      << err;
+  return opts;
+}
+
+TEST(AnalyzeAcceptance, RealRunJournalIsClean) {
+  auto findings = RunAnalyze(
+      {{"src/util/run_journal.h", ReadRealFile("src/util/run_journal.h")},
+       {"src/util/run_journal.cc", ReadRealFile("src/util/run_journal.cc")}},
+      RealProtoOpts());
+  EXPECT_TRUE(findings.empty()) << ToText(findings);
+}
+
+TEST(AnalyzeAcceptance, RemovingTheFsyncSurfacesDurabilityOrdering) {
+  const std::string orig = ReadRealFile("src/util/run_journal.cc");
+  const std::string nofsync =
+      ReplaceAll(orig, "if (::fsync(fd) != 0)", "if (false)");
+  ASSERT_NE(nofsync, orig);  // the anchor text still exists in the source
+  auto findings = RunAnalyze(
+      {{"src/util/run_journal.h", ReadRealFile("src/util/run_journal.h")},
+       {"src/util/run_journal.cc", nofsync}},
+      RealProtoOpts());
+  // Both Append overloads externalize via raise(SIGKILL) crash points that
+  // the journal can no longer replay past.
+  EXPECT_GE(CountRule(findings, "tabbench-durability-ordering"), 2u)
+      << ToText(findings);
+  EXPECT_FALSE(DiffBaseline(findings, {}).fresh.empty());
+}
+
+TEST(AnalyzeAcceptance, ManualLockingSurfacesReleaseOnPath) {
+  const std::string orig = ReadRealFile("src/util/run_journal.cc");
+  const std::string manual =
+      ReplaceAll(orig, "MutexLock lock(&mu_);", "mu_.Lock();");
+  ASSERT_NE(manual, orig);
+  auto findings = RunAnalyze(
+      {{"src/util/run_journal.h", ReadRealFile("src/util/run_journal.h")},
+       {"src/util/run_journal.cc", manual}},
+      RealProtoOpts());
+  // Every converted function has a TB_RETURN_IF_ERROR or early return
+  // between Lock and the implicit end-of-scope release it just lost.
+  EXPECT_GE(CountRule(findings, "tabbench-release-on-path"), 2u)
+      << ToText(findings);
+  EXPECT_FALSE(DiffBaseline(findings, {}).fresh.empty());
+}
+
+TEST(AnalyzeAcceptance, RealWorkloadServiceIsClean) {
+  auto findings = RunAnalyze({{"src/service/workload_service.cc",
+                               ReadRealFile("src/service/workload_service.cc")}},
+                             RealProtoOpts());
+  EXPECT_TRUE(findings.empty()) << ToText(findings);
+}
+
+TEST(AnalyzeAcceptance, DroppingTheSleepCheckSurfacesErrorPath) {
+  const std::string orig = ReadRealFile("src/service/workload_service.cc");
+  std::string unchecked =
+      ReplaceAll(orig, "if (!slept.ok()) return slept;", ";");
+  unchecked = ReplaceAll(unchecked, "Status slept = SleepWithCancellation",
+                         "(void)SleepWithCancellation");
+  ASSERT_NE(unchecked, orig);
+  auto findings =
+      RunAnalyze({{"src/service/workload_service.cc", unchecked}},
+                 RealProtoOpts());
+  EXPECT_GE(CountRule(findings, "tabbench-error-path"), 1u)
       << ToText(findings);
   EXPECT_FALSE(DiffBaseline(findings, {}).fresh.empty());
 }

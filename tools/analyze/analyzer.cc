@@ -53,6 +53,19 @@ const std::vector<RuleInfo>& Rules() {
        "An unbounded loop in a worker surface (src/exec/vec, "
        "src/core/runner.cc, src/service) never reaches a cancellation or "
        "watchdog poll on any path; it cannot be cancelled once wedged."},
+      {"tabbench-durability-ordering",
+       "A commit/externalization op of a protocol declared in "
+       "tools/analyze/protocols.txt is reachable on some CFG path before "
+       "the protocol's append+fsync; a crash on that path externalizes "
+       "state the journal cannot replay."},
+      {"tabbench-release-on-path",
+       "A manually acquired resource (Lock/Unlock, watchdog Watch/Release, "
+       "shard attempt registration) escapes the function on some CFG path "
+       "— an early return, an error edge — without its release."},
+      {"tabbench-error-path",
+       "On a path where !v.ok() must hold: the would-be value is used, a "
+       "journaled unit is left open with no abort record, or a blocking "
+       "retry loop re-iterates without re-checking cancellation."},
   };
   return kRules;
 }
@@ -123,6 +136,78 @@ bool ParseLayerSpec(const std::string& text, LayerSpec* spec,
 }
 
 // ---------------------------------------------------------------------------
+// protocols.txt
+// ---------------------------------------------------------------------------
+
+bool ParseProtocolSpec(const std::string& text, ProtocolSpec* spec,
+                       std::string* error) {
+  *spec = ProtocolSpec();
+  std::istringstream in(text);
+  std::string line;
+  size_t ln = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "protocols.txt:" + std::to_string(ln) + ": " + why;
+    }
+    return false;
+  };
+  // `name` or `name:argtok` (the call matches only when argtok appears as
+  // a token between its parens).
+  auto parse_op = [](const std::string& word) {
+    ProtocolSpec::Op op;
+    const size_t colon = word.find(':');
+    op.name = word.substr(0, colon);
+    if (colon != std::string::npos) op.arg = word.substr(colon + 1);
+    return op;
+  };
+  while (std::getline(in, line)) {
+    ++ln;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word)) continue;
+    if (word == "protocol") {
+      std::string name;
+      if (!(words >> name)) return fail("expected `protocol <name>`");
+      for (const ProtocolSpec::Protocol& p : spec->protocols) {
+        if (p.name == name) {
+          return fail("duplicate protocol '" + name + "'");
+        }
+      }
+      ProtocolSpec::Protocol proto;
+      proto.name = name;
+      spec->protocols.push_back(std::move(proto));
+      continue;
+    }
+    if (spec->protocols.empty()) {
+      return fail("'" + word + "' before the first `protocol` directive");
+    }
+    ProtocolSpec::Protocol& proto = spec->protocols.back();
+    std::string value;
+    if (!(words >> value)) {
+      return fail("'" + word + "' needs at least one value");
+    }
+    do {
+      if (word == "file") {
+        proto.files.push_back(value);
+      } else if (word == "sync") {
+        proto.sync.push_back(value);
+      } else if (word == "commit") {
+        proto.commit.push_back(parse_op(value));
+      } else if (word == "begin") {
+        proto.begin.push_back(parse_op(value));
+      } else if (word == "abort") {
+        proto.abort.push_back(parse_op(value));
+      } else {
+        return fail("unknown directive '" + word + "'");
+      }
+    } while (words >> value);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // Analyze
 // ---------------------------------------------------------------------------
 
@@ -137,6 +222,9 @@ std::vector<Finding> Analyze(const std::vector<SourceFile>& files,
   RunLocksetPass(model, &findings);
   RunBlockingPass(model, &findings);
   RunCancellationPass(model, &findings);
+  RunDurabilityPass(model, opts.protocols, &findings);
+  RunReleasePass(model, &findings);
+  RunErrorPathPass(model, opts.protocols, &findings);
 
   std::map<std::string, const ParsedFile*> by_path;
   for (const ParsedFile& pf : model.files) by_path[pf.src->path] = &pf;

@@ -12,7 +12,7 @@
 /// Where tabbench_lint (tools/lint) applies per-file regex rules, this tool
 /// parses the whole tree once (tools/common/cpptok tokens) into a project
 /// model — includes, classes and their members, function bodies, call
-/// sites, mutex acquisitions — and runs seven whole-program passes over
+/// sites, mutex acquisitions — and runs ten whole-program passes over
 /// it:
 ///
 ///   1. layering          — the architecture DAG declared in layers.txt:
@@ -53,6 +53,29 @@
 ///                          src/core/runner.cc, src/service/) must reach
 ///                          a cancellation/stop/watchdog poll, directly
 ///                          or through a callee.
+///
+/// Passes 8–10 are *path-sensitive*: they run on per-function control-flow
+/// graphs recovered from the token stream (cfg.h) with a forward dataflow
+/// solver (dataflow.h), so they reason about orderings and per-path facts
+/// the scope-based passes cannot:
+///
+///   8. durability-ordering — per-journal protocols declared in
+///                          tools/analyze/protocols.txt: a commit /
+///                          externalization op must be preceded by the
+///                          protocol's append+fsync on *every* CFG path
+///                          ("syncing" is propagated through callees, so
+///                          deleting the fsync inside a helper trips the
+///                          callers).
+///   9. release-on-path   — manual acquire/release pairs (Lock/Unlock,
+///                          watchdog Watch/Release, shard attempt
+///                          registration) must balance on every path,
+///                          including TB_RETURN_IF_ERROR early returns;
+///                          the escaping exit edges are reported.
+///  10. error-path        — on paths where !v.ok() must hold: uses of the
+///                          would-be value, journaled units (protocol
+///                          `begin` ops) left open at error exits, and
+///                          blocking calls in retry loops that can
+///                          re-iterate without a cancellation re-check.
 ///
 /// Findings are emitted as text or SARIF 2.1.0, and diffed against a
 /// checked-in baseline (tools/analyze/baseline.json) under a ratchet
@@ -134,11 +157,50 @@ struct LayerSpec {
 bool ParseLayerSpec(const std::string& text, LayerSpec* spec,
                     std::string* error);
 
-struct Options {
-  LayerSpec layers;
+/// Durability protocols for the path-sensitive passes, declared per
+/// journal type in tools/analyze/protocols.txt. Within each protocol's
+/// `files`, every `commit` op must be dominated (in the must-dataflow
+/// sense: on every path) by a `sync` op — directly or through a callee
+/// whose every success return performs one — and error exits reached after
+/// a `begin` op require an `abort` op first.
+struct ProtocolSpec {
+  /// An operation referenced by call name; when `arg` is non-empty the
+  /// call only matches if `arg` appears as a token between its parens
+  /// (e.g. EnterState:kLive matches EnterState(IndexBuildState::kLive)).
+  struct Op {
+    std::string name;
+    std::string arg;
+  };
+  struct Protocol {
+    std::string name;
+    std::vector<std::string> files;  // repo-relative paths in scope
+    std::vector<std::string> sync;   // root durable-write call names
+    std::vector<Op> commit;          // externalizations needing sync first
+    std::vector<Op> begin;           // opens a journaled unit of work
+    std::vector<Op> abort;           // closes it on the error path
+  };
+  std::vector<Protocol> protocols;
 };
 
-/// Runs all seven passes over `files`. Findings are sorted by (file,
+/// Parses the protocols.txt format:
+///
+///   # comment
+///   protocol run_journal
+///   file src/util/run_journal.cc
+///   sync fsync
+///   commit raise
+///
+/// Returns false and sets *error on malformed input (directive before the
+/// first `protocol`, unknown directive, duplicate protocol name).
+bool ParseProtocolSpec(const std::string& text, ProtocolSpec* spec,
+                       std::string* error);
+
+struct Options {
+  LayerSpec layers;
+  ProtocolSpec protocols;
+};
+
+/// Runs all ten passes over `files`. Findings are sorted by (file,
 /// line, rule). NOLINT(rule) comment markers on the anchor line and
 /// NOLINTFILE(rule) markers suppress findings, same syntax as the linter.
 std::vector<Finding> Analyze(const std::vector<SourceFile>& files,

@@ -1,0 +1,565 @@
+#include "cfg.h"
+
+#include <algorithm>
+#include <set>
+
+namespace tabbench_analyze {
+
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+bool IsIdent(const Token& t) { return t.kind == tabbench_tok::TokKind::kIdent; }
+
+bool IsPunct(const Token& t, const char* s) {
+  return t.kind == tabbench_tok::TokKind::kPunct && t.text == s;
+}
+
+bool IsIdentText(const Token& t, const char* s) {
+  return IsIdent(t) && t.text == s;
+}
+
+/// toks[i] is an opening bracket; returns the index of its matching closer
+/// (counting all three bracket kinds), or `end` when unbalanced.
+size_t MatchBracket(const std::vector<Token>& toks, size_t i, size_t end) {
+  int depth = 0;
+  for (size_t j = i; j < end; ++j) {
+    const Token& t = toks[j];
+    if (IsPunct(t, "(") || IsPunct(t, "[") || IsPunct(t, "{")) {
+      ++depth;
+    } else if (IsPunct(t, ")") || IsPunct(t, "]") || IsPunct(t, "}")) {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return end;
+}
+
+/// True when the `{` at `brace` closes a lambda introducer: `[...]`,
+/// optionally followed by a parameter list and specifiers
+/// (`mutable`, `noexcept`, `-> Type`). Walks backwards from the brace.
+bool IsLambdaBody(const std::vector<Token>& toks, size_t begin,
+                  size_t brace) {
+  size_t j = brace;
+  // Skip trailing-return-type / specifier tokens back to `)` or `]`.
+  while (j > begin) {
+    const Token& t = toks[j - 1];
+    if (IsIdent(t) || IsPunct(t, "::") || IsPunct(t, "<") ||
+        IsPunct(t, ">") || IsPunct(t, "*") || IsPunct(t, "&") ||
+        IsPunct(t, "->") || IsPunct(t, ",")) {
+      --j;
+      continue;
+    }
+    break;
+  }
+  if (j > begin && IsPunct(toks[j - 1], ")")) {
+    // Walk back over the parameter list to its `(`.
+    int depth = 0;
+    while (j > begin) {
+      --j;
+      if (IsPunct(toks[j], ")")) ++depth;
+      if (IsPunct(toks[j], "(")) {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+  }
+  return j > begin && IsPunct(toks[j - 1], "]");
+}
+
+/// Status factory names that construct a non-OK status. `return
+/// Status::<one of these>(...)` is a definite error exit.
+bool IsErrorFactory(const std::string& s) {
+  static const std::set<std::string> kNames = {
+      "Internal",       "InvalidArgument",  "NotFound",
+      "AlreadyExists",  "FailedPrecondition", "Unavailable",
+      "Cancelled",      "Timeout",          "DataLoss",
+      "ResourceExhausted", "Unimplemented", "Aborted",
+      "OutOfRange",     "Corruption",       "Unknown"};
+  return kNames.count(s) != 0;
+}
+
+class CfgBuilder {
+ public:
+  explicit CfgBuilder(const std::vector<Token>& toks) : toks_(toks) {}
+
+  Cfg Build(size_t begin, size_t end) {
+    cfg_.entry = NewBlock(CfgBlockKind::kEntry, 0, 0, begin);
+    cfg_.exit = NewBlock(CfgBlockKind::kExit, 0, 0, begin);
+    Cursor out = ParseSeq(begin, end, Cursor{cfg_.entry, CfgEdgeKind::kNext});
+    if (out.block != kNpos) Edge(out.block, cfg_.exit, out.kind);
+    return std::move(cfg_);
+  }
+
+ private:
+  /// Control arriving from `block` along a not-yet-materialized edge of
+  /// `kind`; block == kNpos means the path is dead (after return/break).
+  struct Cursor {
+    size_t block = kNpos;
+    CfgEdgeKind kind = CfgEdgeKind::kNext;
+  };
+
+  struct BreakCtx {
+    size_t break_target = kNpos;
+    size_t continue_target = kNpos;  // kNpos inside switch
+  };
+
+  size_t NewBlock(CfgBlockKind kind, size_t b, size_t e, size_t at) {
+    CfgBlock blk;
+    blk.kind = kind;
+    blk.tok_begin = b;
+    blk.tok_end = e;
+    if (b < e) {
+      blk.line = toks_[b].line;
+    } else if (at < toks_.size()) {
+      blk.line = toks_[at].line;
+    }
+    cfg_.blocks.push_back(std::move(blk));
+    return cfg_.blocks.size() - 1;
+  }
+
+  void Edge(size_t from, size_t to, CfgEdgeKind kind) {
+    cfg_.blocks[from].succ.push_back(CfgEdge{to, kind});
+  }
+
+  /// Creates a block and wires the pending cursor edge into it.
+  /// Unreachable statements still get blocks (no predecessors).
+  size_t Attach(Cursor in, CfgBlockKind kind, size_t b, size_t e,
+                size_t at) {
+    size_t nb = NewBlock(kind, b, e, at);
+    if (in.block != kNpos) Edge(in.block, nb, in.kind);
+    return nb;
+  }
+
+  Cursor Merge(Cursor a, Cursor b, size_t at) {
+    if (a.block == kNpos) return b;
+    if (b.block == kNpos) return a;
+    size_t j = NewBlock(CfgBlockKind::kJoin, 0, 0, at);
+    Edge(a.block, j, a.kind);
+    Edge(b.block, j, b.kind);
+    return Cursor{j, CfgEdgeKind::kNext};
+  }
+
+  Cursor ParseSeq(size_t i, size_t end, Cursor cur) {
+    while (i < end) {
+      cur = ParseStmt(&i, end, cur);
+    }
+    return cur;
+  }
+
+  // Parses one statement starting at *i (advancing it past the
+  // statement); returns the fall-out cursor.
+  Cursor ParseStmt(size_t* i, size_t end, Cursor cur) {
+    const Token& t = toks_[*i];
+    if (IsPunct(t, ";")) {  // empty statement
+      ++*i;
+      return cur;
+    }
+    if (IsPunct(t, "{")) {
+      size_t close = MatchBracket(toks_, *i, end);
+      Cursor out = ParseSeq(*i + 1, close, cur);
+      *i = std::min(close + 1, end);
+      return out;
+    }
+    if (IsIdentText(t, "if")) return ParseIf(i, end, cur);
+    if (IsIdentText(t, "while")) return ParseWhile(i, end, cur);
+    if (IsIdentText(t, "do")) return ParseDo(i, end, cur);
+    if (IsIdentText(t, "for")) return ParseFor(i, end, cur);
+    if (IsIdentText(t, "switch")) return ParseSwitch(i, end, cur);
+    if (IsIdentText(t, "return")) return ParseReturn(i, end, cur);
+    if (IsIdentText(t, "break") || IsIdentText(t, "continue")) {
+      return ParseJump(i, end, cur, t.text == "break");
+    }
+    if (IsIdentText(t, "TB_RETURN_IF_ERROR") ||
+        IsIdentText(t, "TB_ASSIGN_OR_RETURN")) {
+      return ParseErrorMacro(i, end, cur);
+    }
+    return ParseExprStmt(i, end, cur);
+  }
+
+  /// Finds `( ... )` right after position `i` (a control keyword) and
+  /// returns the [inside-begin, inside-end) range via out params.
+  bool ParseParens(size_t i, size_t end, size_t* pb, size_t* pe,
+                   size_t* after) {
+    size_t j = i + 1;
+    while (j < end && !IsPunct(toks_[j], "(")) ++j;
+    if (j >= end) return false;
+    size_t close = MatchBracket(toks_, j, end);
+    *pb = j + 1;
+    *pe = close;
+    *after = std::min(close + 1, end);
+    return true;
+  }
+
+  Cursor ParseIf(size_t* i, size_t end, Cursor cur) {
+    size_t pb = 0, pe = 0, after = 0;
+    if (!ParseParens(*i, end, &pb, &pe, &after)) {
+      ++*i;
+      return cur;
+    }
+    size_t branch = Attach(cur, CfgBlockKind::kBranch, pb, pe, *i);
+    *i = after;
+    Cursor then_out = ParseStmt(i, end, Cursor{branch, CfgEdgeKind::kTrue});
+    Cursor else_out{branch, CfgEdgeKind::kFalse};
+    if (*i < end && IsIdentText(toks_[*i], "else")) {
+      ++*i;
+      else_out = ParseStmt(i, end, Cursor{branch, CfgEdgeKind::kFalse});
+    }
+    return Merge(then_out, else_out, pe);
+  }
+
+  Cursor ParseWhile(size_t* i, size_t end, Cursor cur) {
+    size_t pb = 0, pe = 0, after_pos = 0;
+    if (!ParseParens(*i, end, &pb, &pe, &after_pos)) {
+      ++*i;
+      return cur;
+    }
+    size_t head = Attach(cur, CfgBlockKind::kLoop, pb, pe, *i);
+    size_t after = NewBlock(CfgBlockKind::kJoin, 0, 0, pe);
+    Edge(head, after, CfgEdgeKind::kFalse);
+    *i = after_pos;
+    ctx_.push_back(BreakCtx{after, head});
+    Cursor body = ParseStmt(i, end, Cursor{head, CfgEdgeKind::kTrue});
+    ctx_.pop_back();
+    if (body.block != kNpos) Edge(body.block, head, CfgEdgeKind::kBack);
+    return Cursor{after, CfgEdgeKind::kNext};
+  }
+
+  Cursor ParseDo(size_t* i, size_t end, Cursor cur) {
+    size_t at = *i;
+    ++*i;
+    // The condition block exists before the body so break/continue can
+    // target it; its token range is filled in after the body is parsed.
+    size_t landing = Attach(cur, CfgBlockKind::kJoin, 0, 0, at);
+    size_t cond = NewBlock(CfgBlockKind::kLoop, 0, 0, at);
+    size_t after = NewBlock(CfgBlockKind::kJoin, 0, 0, at);
+    ctx_.push_back(BreakCtx{after, cond});
+    Cursor body =
+        ParseStmt(i, end, Cursor{landing, CfgEdgeKind::kNext});
+    ctx_.pop_back();
+    if (body.block != kNpos) Edge(body.block, cond, CfgEdgeKind::kNext);
+    // Expect `while ( cond ) ;`.
+    if (*i < end && IsIdentText(toks_[*i], "while")) {
+      size_t pb = 0, pe = 0, after_pos = 0;
+      if (ParseParens(*i, end, &pb, &pe, &after_pos)) {
+        cfg_.blocks[cond].tok_begin = pb;
+        cfg_.blocks[cond].tok_end = pe;
+        cfg_.blocks[cond].line = pb < pe ? toks_[pb].line : 0;
+        *i = after_pos;
+        if (*i < end && IsPunct(toks_[*i], ";")) ++*i;
+      } else {
+        ++*i;
+      }
+    }
+    Edge(cond, landing, CfgEdgeKind::kBack);
+    Edge(cond, after, CfgEdgeKind::kFalse);
+    return Cursor{after, CfgEdgeKind::kNext};
+  }
+
+  Cursor ParseFor(size_t* i, size_t end, Cursor cur) {
+    size_t pb = 0, pe = 0, after_pos = 0;
+    size_t at = *i;
+    if (!ParseParens(*i, end, &pb, &pe, &after_pos)) {
+      ++*i;
+      return cur;
+    }
+    // Split the header on depth-0 semicolons; a range-for has none.
+    std::vector<size_t> semis;
+    int depth = 0;
+    for (size_t j = pb; j < pe; ++j) {
+      if (IsPunct(toks_[j], "(") || IsPunct(toks_[j], "[") ||
+          IsPunct(toks_[j], "{")) {
+        ++depth;
+      } else if (IsPunct(toks_[j], ")") || IsPunct(toks_[j], "]") ||
+                 IsPunct(toks_[j], "}")) {
+        --depth;
+      } else if (depth == 0 && IsPunct(toks_[j], ";")) {
+        semis.push_back(j);
+      }
+    }
+    size_t head;
+    size_t incb = kNpos;
+    if (semis.size() == 2) {
+      if (semis[0] > pb) {
+        cur = Cursor{Attach(cur, CfgBlockKind::kStmt, pb, semis[0], at),
+                     CfgEdgeKind::kNext};
+      }
+      head = Attach(cur, CfgBlockKind::kLoop, semis[0] + 1, semis[1], at);
+      if (semis[1] + 1 < pe) {
+        incb = NewBlock(CfgBlockKind::kStmt, semis[1] + 1, pe, at);
+        Edge(incb, head, CfgEdgeKind::kBack);
+      }
+    } else {
+      // Range-for (or unparsable header): the whole header is the
+      // condition — one iteration test per element.
+      head = Attach(cur, CfgBlockKind::kLoop, pb, pe, at);
+    }
+    size_t after = NewBlock(CfgBlockKind::kJoin, 0, 0, pe);
+    const bool infinite =
+        semis.size() == 2 && semis[0] + 1 == semis[1];  // for (;;)
+    if (!infinite) Edge(head, after, CfgEdgeKind::kFalse);
+    *i = after_pos;
+    size_t cont = incb != kNpos ? incb : head;
+    ctx_.push_back(BreakCtx{after, cont});
+    Cursor body = ParseStmt(i, end, Cursor{head, CfgEdgeKind::kTrue});
+    ctx_.pop_back();
+    if (body.block != kNpos) {
+      Edge(body.block, cont,
+           incb != kNpos ? CfgEdgeKind::kNext : CfgEdgeKind::kBack);
+    }
+    return Cursor{after, CfgEdgeKind::kNext};
+  }
+
+  Cursor ParseSwitch(size_t* i, size_t end, Cursor cur) {
+    size_t pb = 0, pe = 0, after_pos = 0;
+    size_t at = *i;
+    if (!ParseParens(*i, end, &pb, &pe, &after_pos)) {
+      ++*i;
+      return cur;
+    }
+    size_t head = Attach(cur, CfgBlockKind::kSwitch, pb, pe, at);
+    size_t after = NewBlock(CfgBlockKind::kJoin, 0, 0, pe);
+    *i = after_pos;
+    if (*i >= end || !IsPunct(toks_[*i], "{")) {
+      Edge(head, after, CfgEdgeKind::kCase);
+      return Cursor{after, CfgEdgeKind::kNext};
+    }
+    size_t body_end = MatchBracket(toks_, *i, end);
+    size_t j = *i + 1;
+    bool has_default = false;
+    Cursor seg{kNpos, CfgEdgeKind::kNext};
+    ctx_.push_back(BreakCtx{after, kNpos});
+    while (j < body_end) {
+      const Token& t = toks_[j];
+      if (IsIdentText(t, "case") || IsIdentText(t, "default")) {
+        if (IsIdentText(t, "default")) has_default = true;
+        // Consume `case <expr> :` / `default :`.
+        size_t lbl = j;
+        while (j < body_end && !IsPunct(toks_[j], ":")) {
+          if (IsPunct(toks_[j], "(") || IsPunct(toks_[j], "[") ||
+              IsPunct(toks_[j], "{")) {
+            j = MatchBracket(toks_, j, body_end);
+          }
+          ++j;
+        }
+        if (j < body_end) ++j;  // past ':'
+        // Consecutive labels share one landing block.
+        if (seg.block != kNpos &&
+            cfg_.blocks[seg.block].kind == CfgBlockKind::kJoin &&
+            cfg_.blocks[seg.block].succ.empty() &&
+            seg.kind == CfgEdgeKind::kNext && LastLabel(seg.block)) {
+          Edge(head, seg.block, CfgEdgeKind::kCase);
+          continue;
+        }
+        size_t land = NewBlock(CfgBlockKind::kJoin, 0, 0, lbl);
+        label_blocks_.insert(land);
+        Edge(head, land, CfgEdgeKind::kCase);
+        if (seg.block != kNpos) Edge(seg.block, land, seg.kind);  // fallthrough
+        seg = Cursor{land, CfgEdgeKind::kNext};
+        continue;
+      }
+      seg = ParseStmt(&j, body_end, seg);
+    }
+    ctx_.pop_back();
+    if (seg.block != kNpos) Edge(seg.block, after, seg.kind);
+    if (!has_default) Edge(head, after, CfgEdgeKind::kCase);
+    *i = std::min(body_end + 1, end);
+    return Cursor{after, CfgEdgeKind::kNext};
+  }
+
+  bool LastLabel(size_t block) const {
+    return label_blocks_.count(block) != 0;
+  }
+
+  Cursor ParseReturn(size_t* i, size_t end, Cursor cur) {
+    size_t at = *i;
+    size_t j = *i + 1;
+    int depth = 0;
+    while (j < end) {
+      const Token& t = toks_[j];
+      if (IsPunct(t, "(") || IsPunct(t, "[") || IsPunct(t, "{")) ++depth;
+      if (IsPunct(t, ")") || IsPunct(t, "]") || IsPunct(t, "}")) --depth;
+      if (depth == 0 && IsPunct(t, ";")) break;
+      ++j;
+    }
+    size_t rb = Attach(cur, CfgBlockKind::kReturn, *i + 1, j, at);
+    // `return Status::<ErrorFactory>(...)` is a definite error exit.
+    for (size_t k = *i + 1; k + 2 < j; ++k) {
+      if (IsIdentText(toks_[k], "Status") && IsPunct(toks_[k + 1], "::") &&
+          IsIdent(toks_[k + 2]) && IsErrorFactory(toks_[k + 2].text)) {
+        cfg_.blocks[rb].error_return = true;
+        break;
+      }
+    }
+    Edge(rb, cfg_.exit, CfgEdgeKind::kNext);
+    *i = std::min(j + 1, end);
+    return Cursor{kNpos, CfgEdgeKind::kNext};
+  }
+
+  Cursor ParseJump(size_t* i, size_t end, Cursor cur, bool is_break) {
+    size_t at = *i;
+    size_t jb = Attach(cur, CfgBlockKind::kStmt, *i, *i + 1, at);
+    size_t target = kNpos;
+    for (size_t k = ctx_.size(); k-- > 0;) {
+      if (is_break) {
+        target = ctx_[k].break_target;
+        break;
+      }
+      if (ctx_[k].continue_target != kNpos) {
+        target = ctx_[k].continue_target;
+        break;
+      }
+    }
+    if (target != kNpos) {
+      Edge(jb, target,
+           is_break ? CfgEdgeKind::kBreak : CfgEdgeKind::kContinue);
+    }
+    ++*i;
+    if (*i < end && IsPunct(toks_[*i], ";")) ++*i;
+    return Cursor{kNpos, CfgEdgeKind::kNext};
+  }
+
+  Cursor ParseErrorMacro(size_t* i, size_t end, Cursor cur) {
+    size_t at = *i;
+    size_t pb = 0, pe = 0, after_pos = 0;
+    if (!ParseParens(*i, end, &pb, &pe, &after_pos)) {
+      ++*i;
+      return cur;
+    }
+    size_t mb = Attach(cur, CfgBlockKind::kStmt, *i, pe, at);
+    Edge(mb, cfg_.exit, CfgEdgeKind::kErrorReturn);
+    *i = after_pos;
+    if (*i < end && IsPunct(toks_[*i], ";")) ++*i;
+    return Cursor{mb, CfgEdgeKind::kNext};
+  }
+
+  /// Expression or declaration statement: everything up to the depth-0
+  /// `;`. Lambda bodies inside the expression are carved out (recorded in
+  /// lambda_bodies, skipped here), splitting the statement into fragment
+  /// blocks so token ranges stay contiguous.
+  Cursor ParseExprStmt(size_t* i, size_t end, Cursor cur) {
+    size_t at = *i;
+    size_t seg_start = *i;
+    size_t j = *i;
+    int depth = 0;
+    while (j < end) {
+      const Token& t = toks_[j];
+      if (IsPunct(t, "{")) {
+        if (IsLambdaBody(toks_, seg_start, j)) {
+          size_t close = MatchBracket(toks_, j, end);
+          if (j > seg_start) {
+            cur = Cursor{Attach(cur, CfgBlockKind::kStmt, seg_start, j, at),
+                         CfgEdgeKind::kNext};
+          }
+          cfg_.lambda_bodies.emplace_back(j + 1, close);
+          j = std::min(close + 1, end);
+          seg_start = j;
+          at = j < end ? j : at;
+          continue;
+        }
+        ++depth;
+      } else if (IsPunct(t, "(") || IsPunct(t, "[")) {
+        ++depth;
+      } else if (IsPunct(t, ")") || IsPunct(t, "]") || IsPunct(t, "}")) {
+        --depth;
+      } else if (depth == 0 && IsPunct(t, ";")) {
+        break;
+      }
+      ++j;
+    }
+    if (j > seg_start) {
+      cur = Cursor{Attach(cur, CfgBlockKind::kStmt, seg_start, j, at),
+                   CfgEdgeKind::kNext};
+    }
+    *i = std::min(j + 1, end);
+    return cur;
+  }
+
+  const std::vector<Token>& toks_;
+  Cfg cfg_;
+  std::vector<BreakCtx> ctx_;
+  std::set<size_t> label_blocks_;
+};
+
+}  // namespace
+
+size_t CfgNpos() { return kNpos; }
+
+Cfg BuildCfg(const std::vector<Token>& toks, size_t begin, size_t end) {
+  CfgBuilder b(toks);
+  return b.Build(begin, std::min(end, toks.size()));
+}
+
+std::vector<size_t> ComputeDominators(const Cfg& cfg) {
+  const size_t n = cfg.blocks.size();
+  std::vector<size_t> idom(n, kNpos);
+  if (n == 0) return idom;
+
+  // Reverse postorder over successor edges from the entry.
+  std::vector<size_t> rpo;
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::pair<size_t, size_t>> stack;  // (block, next succ index)
+  stack.emplace_back(cfg.entry, 0);
+  state[cfg.entry] = 1;
+  while (!stack.empty()) {
+    auto& [b, si] = stack.back();
+    if (si < cfg.blocks[b].succ.size()) {
+      size_t s = cfg.blocks[b].succ[si++].to;
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      rpo.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::reverse(rpo.begin(), rpo.end());
+
+  std::vector<size_t> rpo_index(n, kNpos);
+  for (size_t k = 0; k < rpo.size(); ++k) rpo_index[rpo[k]] = k;
+  std::vector<std::vector<size_t>> preds(n);
+  for (size_t b = 0; b < n; ++b) {
+    for (const CfgEdge& e : cfg.blocks[b].succ) preds[e.to].push_back(b);
+  }
+
+  auto intersect = [&](size_t a, size_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  idom[cfg.entry] = cfg.entry;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b : rpo) {
+      if (b == cfg.entry) continue;
+      size_t new_idom = kNpos;
+      for (size_t p : preds[b]) {
+        if (idom[p] == kNpos) continue;  // unreachable or unprocessed
+        new_idom = new_idom == kNpos ? p : intersect(new_idom, p);
+      }
+      if (new_idom != kNpos && idom[b] != new_idom) {
+        idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+bool Dominates(const std::vector<size_t>& idom, size_t a, size_t b) {
+  if (b >= idom.size() || idom[b] == kNpos) return false;
+  size_t x = b;
+  while (true) {
+    if (x == a) return true;
+    if (idom[x] == x || idom[x] == kNpos) return false;
+    x = idom[x];
+  }
+}
+
+}  // namespace tabbench_analyze

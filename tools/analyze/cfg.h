@@ -1,0 +1,96 @@
+#ifndef TABBENCH_TOOLS_ANALYZE_CFG_H_
+#define TABBENCH_TOOLS_ANALYZE_CFG_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cpptok.h"
+
+/// Intraprocedural control-flow graphs recovered from the cpptok token
+/// stream (DESIGN.md §6b "Path-sensitive passes"). Like the rest of the
+/// analyzer this is not a compiler front end: the builder understands the
+/// statement forms the project style actually uses — if/else chains,
+/// while/do/for/range-for, switch with fallthrough, break/continue,
+/// return, and the early-return macros TB_RETURN_IF_ERROR /
+/// TB_ASSIGN_OR_RETURN — and that is enough for the durability-ordering,
+/// release-on-path, and error-path passes to reason about orderings the
+/// scope-based passes cannot ("is the fsync on *every* path to this
+/// externalization?").
+///
+/// Lambda bodies are carved out of the enclosing function: they execute on
+/// their own schedule (often another thread), so their statements must not
+/// appear on the enclosing function's paths. Each carved body range is
+/// recorded in Cfg::lambda_bodies so callers can analyze it as an
+/// independent CFG unit.
+namespace tabbench_analyze {
+
+using tabbench_tok::Token;
+
+enum class CfgEdgeKind {
+  kNext,         // unconditional fallthrough
+  kTrue,         // branch taken (condition holds)
+  kFalse,        // branch not taken
+  kBack,         // loop back edge
+  kBreak,        // break out of loop/switch
+  kContinue,     // continue to loop head/increment
+  kCase,         // switch dispatch to a case/default label
+  kErrorReturn,  // TB_RETURN_IF_ERROR / TB_ASSIGN_OR_RETURN error exit
+};
+
+struct CfgEdge {
+  size_t to = 0;
+  CfgEdgeKind kind = CfgEdgeKind::kNext;
+};
+
+enum class CfgBlockKind {
+  kEntry,
+  kExit,
+  kStmt,    // straight-line statement (or statement fragment)
+  kBranch,  // if / ternary-free condition; tokens = the condition
+  kLoop,    // loop header; tokens = the condition (empty for for(;;))
+  kSwitch,  // switch head; tokens = the switched expression
+  kReturn,  // return statement; tokens = the returned expression
+  kJoin,    // empty merge point
+};
+
+struct CfgBlock {
+  CfgBlockKind kind = CfgBlockKind::kStmt;
+  size_t tok_begin = 0;  // tokens this block evaluates (may be empty)
+  size_t tok_end = 0;
+  size_t line = 0;  // 1-based source line of the first token (0 if none)
+  std::vector<CfgEdge> succ;
+  /// For kReturn: the returned expression is a non-OK Status factory
+  /// (`return Status::Internal(...)`), i.e. this is a definite error exit.
+  bool error_return = false;
+};
+
+struct Cfg {
+  std::vector<CfgBlock> blocks;
+  size_t entry = 0;
+  size_t exit = 0;
+  /// Token ranges of lambda bodies carved out of this function, in source
+  /// order: [first token inside the braces, one past the last).
+  std::vector<std::pair<size_t, size_t>> lambda_bodies;
+};
+
+/// Builds the CFG for the token range [begin, end) — a function or lambda
+/// body, braces excluded. Always yields a well-formed graph with entry and
+/// exit blocks; statements after a terminator become unreachable blocks
+/// (no predecessors) rather than being dropped, so token coverage is
+/// complete.
+Cfg BuildCfg(const std::vector<Token>& toks, size_t begin, size_t end);
+
+/// Immediate dominators by iterative dataflow over a reverse postorder.
+/// idom[entry] == entry; unreachable blocks get CfgNpos().
+std::vector<size_t> ComputeDominators(const Cfg& cfg);
+
+/// True when block `a` dominates block `b` under `idom` (a == b counts).
+bool Dominates(const std::vector<size_t>& idom, size_t a, size_t b);
+
+size_t CfgNpos();
+
+}  // namespace tabbench_analyze
+
+#endif  // TABBENCH_TOOLS_ANALYZE_CFG_H_

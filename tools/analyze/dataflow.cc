@@ -1,0 +1,99 @@
+#include "dataflow.h"
+
+#include <algorithm>
+
+namespace tabbench_analyze {
+
+namespace {
+
+/// Reverse postorder over successor edges; unreachable blocks excluded.
+std::vector<size_t> ReversePostorder(const Cfg& cfg) {
+  const size_t n = cfg.blocks.size();
+  std::vector<size_t> order;
+  std::vector<int> state(n, 0);
+  std::vector<std::pair<size_t, size_t>> stack;
+  stack.emplace_back(cfg.entry, 0);
+  state[cfg.entry] = 1;
+  while (!stack.empty()) {
+    auto& [b, si] = stack.back();
+    if (si < cfg.blocks[b].succ.size()) {
+      size_t s = cfg.blocks[b].succ[si++].to;
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      order.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+Facts Intersect(const Facts& a, const Facts& b) {
+  Facts r;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(r, r.begin()));
+  return r;
+}
+
+}  // namespace
+
+DataflowResult SolveForward(const Cfg& cfg, const DataflowSpec& spec) {
+  const size_t n = cfg.blocks.size();
+  DataflowResult res;
+  res.in.resize(n);
+  res.out.resize(n);
+  res.reached.assign(n, false);
+
+  const std::vector<size_t> rpo = ReversePostorder(cfg);
+  std::vector<std::vector<std::pair<size_t, const CfgEdge*>>> preds(n);
+  for (size_t b = 0; b < n; ++b) {
+    for (const CfgEdge& e : cfg.blocks[b].succ) {
+      preds[e.to].emplace_back(b, &e);
+    }
+  }
+
+  res.reached[cfg.entry] = true;
+  res.in[cfg.entry] = spec.entry_facts;
+  res.out[cfg.entry] = spec.entry_facts;
+  if (spec.transfer) spec.transfer(cfg.entry, &res.out[cfg.entry]);
+
+  bool changed = true;
+  size_t rounds = 0;
+  while (changed && rounds < 100) {  // gen/kill converges far sooner
+    changed = false;
+    ++rounds;
+    for (size_t b : rpo) {
+      if (b == cfg.entry) continue;
+      bool any_pred = false;
+      Facts in;
+      for (const auto& [p, e] : preds[b]) {
+        if (!res.reached[p]) continue;
+        Facts along = res.out[p];
+        if (spec.edge_transfer) spec.edge_transfer(p, *e, &along);
+        if (!any_pred) {
+          in = std::move(along);
+          any_pred = true;
+        } else if (spec.meet == MeetKind::kUnion) {
+          in.insert(along.begin(), along.end());
+        } else {
+          in = Intersect(in, along);
+        }
+      }
+      if (!any_pred) continue;  // all preds still unreached
+      Facts out = in;
+      if (spec.transfer) spec.transfer(b, &out);
+      if (!res.reached[b] || in != res.in[b] || out != res.out[b]) {
+        res.reached[b] = true;
+        res.in[b] = std::move(in);
+        res.out[b] = std::move(out);
+        changed = true;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace tabbench_analyze

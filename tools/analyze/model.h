@@ -128,6 +128,14 @@ void RunBlockingPass(const Model& model, std::vector<Finding>* findings);
 void RunCancellationPass(const Model& model,
                          std::vector<Finding>* findings);
 
+// The path-sensitive passes (passes_cfg.cc): per-function CFGs (cfg.h)
+// plus forward dataflow (dataflow.h).
+void RunDurabilityPass(const Model& model, const ProtocolSpec& protocols,
+                       std::vector<Finding>* findings);
+void RunReleasePass(const Model& model, std::vector<Finding>* findings);
+void RunErrorPathPass(const Model& model, const ProtocolSpec& protocols,
+                      std::vector<Finding>* findings);
+
 }  // namespace tabbench_analyze
 
 #endif  // TABBENCH_TOOLS_ANALYZE_MODEL_H_

@@ -1652,6 +1652,73 @@ std::map<int, std::vector<FaultSite>> CollectFaultSites(
   return by_layer;
 }
 
+/// "" when a fault-point `name` conforms to the layer.component.action
+/// convention; otherwise the reason it does not. `layer_name` is the
+/// declared layer of the site's file ("" for files outside every layer,
+/// which get the format check only). A layer named with underscores
+/// matches either spelling of the prefix: layer exec_vec accepts
+/// "exec_vec." and "exec.vec.".
+std::string FaultNameProblem(const std::string& name,
+                             const std::string& layer_name) {
+  if (name.empty()) return "missing fault-point name";
+  size_t segs = 1;
+  bool bad_char = name.front() == '.' || name.back() == '.';
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c == '.') {
+      ++segs;
+      if (i + 1 < name.size() && name[i + 1] == '.') bad_char = true;
+    } else if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                 c == '_')) {
+      bad_char = true;
+    }
+  }
+  if (bad_char) {
+    return "fault-point name '" + name +
+           "' must be lowercase dot-separated segments "
+           "(layer.component.action)";
+  }
+  if (segs < 2) {
+    return "fault-point name '" + name +
+           "' needs at least two segments (layer.component.action)";
+  }
+  if (!layer_name.empty()) {
+    std::string dotted = layer_name;
+    for (char& c : dotted) {
+      if (c == '_') c = '.';
+    }
+    if (name.rfind(layer_name + ".", 0) != 0 &&
+        name.rfind(dotted + ".", 0) != 0) {
+      return "fault-point name '" + name +
+             "' must start with its file's layer ('" + layer_name +
+             ".'): chaos schedules select faults by layer prefix";
+    }
+  }
+  return "";
+}
+
+/// Every naming-convention violation across the collected sites, one
+/// "file:line: reason" string per site.
+std::vector<std::string> FaultNamingViolations(
+    const std::map<int, std::vector<FaultSite>>& by_layer,
+    const LayerSpec& layers) {
+  std::vector<std::string> out;
+  for (const auto& [layer_idx, sites] : by_layer) {
+    const std::string layer_name =
+        layer_idx >= 0 ? layers.layers[static_cast<size_t>(layer_idx)].name
+                       : "";
+    for (const FaultSite& s : sites) {
+      const std::string problem = FaultNameProblem(s.name, layer_name);
+      if (!problem.empty()) {
+        out.push_back(s.file + ":" + std::to_string(s.line) + ": " +
+                      problem);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace
 
 std::string FaultCoverageReport(const std::vector<SourceFile>& files,
@@ -1687,6 +1754,12 @@ std::string FaultCoverageReport(const std::vector<SourceFile>& files,
            std::to_string(outside->second.size()) +
            (outside->second.size() == 1 ? " site\n" : " sites\n");
   }
+  const std::vector<std::string> naming =
+      FaultNamingViolations(by_layer, layers);
+  if (!naming.empty()) {
+    out += "naming-convention violations (layer.component.action):\n";
+    for (const std::string& v : naming) out += "  " + v + "\n";
+  }
   return out;
 }
 
@@ -1706,9 +1779,18 @@ std::map<std::string, size_t> FaultSitesPerLayer(
 std::vector<std::string> CheckFaultCoverage(
     const std::vector<SourceFile>& files, const LayerSpec& layers,
     const std::string& required_text) {
-  const std::map<std::string, size_t> counts =
-      FaultSitesPerLayer(files, layers);
-  std::vector<std::string> violations;
+  const std::map<int, std::vector<FaultSite>> by_layer =
+      CollectFaultSites(files, layers);
+  std::map<std::string, size_t> counts;
+  for (size_t li = 0; li < layers.layers.size(); ++li) {
+    const auto it = by_layer.find(static_cast<int>(li));
+    counts[layers.layers[li].name] =
+        it == by_layer.end() ? 0 : it->second.size();
+  }
+  // The ratchet checks naming unconditionally: a site whose name lies
+  // about its layer silently escapes every layer-prefixed chaos schedule.
+  std::vector<std::string> violations =
+      FaultNamingViolations(by_layer, layers);
   std::istringstream in(required_text);
   std::string line;
   size_t lineno = 0;

@@ -1,16 +1,20 @@
 // tabbench_analyze — cross-translation-unit static-analysis CLI.
 //
 // Usage:
-//   tabbench_analyze [--root DIR] [--layers FILE] [--baseline FILE]
-//                    [--write-baseline] [--strict-baseline] [--sarif FILE]
+//   tabbench_analyze [--root DIR] [--layers FILE] [--protocols FILE]
+//                    [--baseline FILE] [--write-baseline]
+//                    [--strict-baseline] [--sarif FILE]
 //                    [--fix-annotations] [--fault-coverage]
 //                    [--check-fault-coverage FILE] [--list-rules] [paths...]
 //
 // Walks the given paths (default: src bench tests tools examples) under
 // --root (default: cwd), builds one project model from every .h/.cc/.cpp
-// file, and runs the seven passes (see analyzer.h). Findings are diffed
+// file, and runs the ten passes (see analyzer.h). Findings are diffed
 // against the baseline (default: ROOT/tools/analyze/baseline.json when it
 // exists): baselined findings are reported but do not fail the run.
+// --protocols names the durability-protocol declarations for the
+// path-sensitive passes (default: ROOT/tools/analyze/protocols.txt when it
+// exists).
 //
 // --fix-annotations inserts the TB_GUARDED_BY annotations suggested by
 // tabbench-lockset-unannotated findings into the source files on disk
@@ -89,8 +93,9 @@ bool ReadFile(const fs::path& path, std::string* out) {
 
 int main(int argc, char** argv) {
   std::string root = ".";
-  std::string layers_file;    // default: ROOT/tools/analyze/layers.txt
-  std::string baseline_file;  // default: ROOT/tools/analyze/baseline.json
+  std::string layers_file;     // default: ROOT/tools/analyze/layers.txt
+  std::string protocols_file;  // default: ROOT/tools/analyze/protocols.txt
+  std::string baseline_file;   // default: ROOT/tools/analyze/baseline.json
   std::string sarif_file;
   bool write_baseline = false;
   bool strict_baseline = false;
@@ -114,6 +119,8 @@ int main(int argc, char** argv) {
       if (!flag_value("--root", &root)) return 2;
     } else if (arg == "--layers") {
       if (!flag_value("--layers", &layers_file)) return 2;
+    } else if (arg == "--protocols") {
+      if (!flag_value("--protocols", &protocols_file)) return 2;
     } else if (arg == "--baseline") {
       if (!flag_value("--baseline", &baseline_file)) return 2;
     } else if (arg == "--sarif") {
@@ -137,8 +144,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: tabbench_analyze [--root DIR] [--layers FILE] "
-                   "[--baseline FILE] [--write-baseline] "
-                   "[--strict-baseline] [--sarif FILE] "
+                   "[--protocols FILE] [--baseline FILE] "
+                   "[--write-baseline] [--strict-baseline] [--sarif FILE] "
                    "[--fix-annotations] [--fault-coverage] "
                    "[--check-fault-coverage FILE] [--list-rules] "
                    "[paths...]\n";
@@ -158,6 +165,11 @@ int main(int argc, char** argv) {
     std::error_code ec;
     if (fs::is_regular_file(def, ec)) layers_file = def.string();
   }
+  if (protocols_file.empty()) {
+    const fs::path def = fs::path(root) / "tools/analyze/protocols.txt";
+    std::error_code ec;
+    if (fs::is_regular_file(def, ec)) protocols_file = def.string();
+  }
   if (baseline_file.empty()) {
     const fs::path def = fs::path(root) / "tools/analyze/baseline.json";
     std::error_code ec;
@@ -172,6 +184,19 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (!tabbench_analyze::ParseLayerSpec(text, &options.layers, &error)) {
+      std::cerr << "tabbench_analyze: " << error << "\n";
+      return 2;
+    }
+  }
+  if (!protocols_file.empty()) {
+    std::string text, error;
+    if (!ReadFile(protocols_file, &text)) {
+      std::cerr << "tabbench_analyze: cannot read " << protocols_file
+                << "\n";
+      return 2;
+    }
+    if (!tabbench_analyze::ParseProtocolSpec(text, &options.protocols,
+                                             &error)) {
       std::cerr << "tabbench_analyze: " << error << "\n";
       return 2;
     }

@@ -183,8 +183,10 @@ step "tabbench_lint"
 
 # --------------------------------------------------------------- analyze
 # The cross-TU analyzer — layering, lock-order, Status-flow, nondeterminism
-# taint, plus the concurrency-soundness passes (lockset inference,
-# blocking-under-lock, cancellation-poll liveness) — under the ratchet: any
+# taint, the concurrency-soundness passes (lockset inference,
+# blocking-under-lock, cancellation-poll liveness), and the path-sensitive
+# CFG passes (durability-protocol ordering vs tools/analyze/protocols.txt,
+# release-on-all-paths, error-path soundness) — under the ratchet: any
 # finding not in tools/analyze/baseline.json fails, and --strict-baseline
 # also fails on stale entries, so the baseline can only shrink. The SARIF
 # artifact is what a code-scanning UI ingests.
@@ -192,6 +194,19 @@ step "tabbench_analyze (ratchet vs tools/analyze/baseline.json)"
 "${BUILD_DIR}/tools/analyze/tabbench_analyze" --root "${ROOT}" \
   --strict-baseline --sarif "${BUILD_DIR}/analyze.sarif"
 echo "SARIF artifact: ${BUILD_DIR}/analyze.sarif"
+
+# Analyzer perf trajectory: the full-tree run (all ten passes) must stay
+# fast enough for the inner CI loop; BENCH_analyze.json goes through the
+# same schema gate as the engine benches, alone and cross-file, so a name
+# collision or malformed artifact fails here.
+step "bench smoke: BENCH_analyze.json (emit + schema-check)"
+"${BUILD_DIR}/bench/bench_analyze" --root "${ROOT}" --iters 2 \
+  --bench-json "${BUILD_DIR}/BENCH_analyze.json"
+"${BUILD_DIR}/bench/bench_json_check" "${BUILD_DIR}/BENCH_analyze.json"
+"${BUILD_DIR}/bench/bench_json_check" \
+  "${BUILD_DIR}/BENCH_parallel.json" \
+  "${BUILD_DIR}/BENCH_analyze.json"
+echo "BENCH artifact: ${BUILD_DIR}/BENCH_analyze.json"
 
 # Fault-injection coverage: which layers carry TB_FAULT_POINT sites and
 # which carry none — printed for review, then enforced as a ratchet: any

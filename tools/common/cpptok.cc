@@ -9,6 +9,23 @@ namespace {
 /// One state machine serves both stripping directions: `keep_comments`
 /// selects whether comment interiors or code survive. Line structure is
 /// preserved either way.
+/// Length of the raw-string introducer at src[i] — `R"`, or `R"` behind an
+/// encoding prefix (`u8R"`, `uR"`, `UR"`, `LR"`) — or 0 when there is none.
+/// Without the prefix cases an `LR"(a "b" c)"` literal would be scanned as
+/// an ordinary string, terminate at the first embedded quote, and leak the
+/// rest of the literal into the token stream as code.
+size_t RawIntroLen(const std::string& src, size_t i) {
+  const size_t n = src.size();
+  size_t r = i;
+  if (r < n && src[r] == 'u' && r + 1 < n && src[r + 1] == '8') {
+    r += 2;
+  } else if (r < n && (src[r] == 'u' || src[r] == 'U' || src[r] == 'L')) {
+    r += 1;
+  }
+  if (r + 1 < n && src[r] == 'R' && src[r + 1] == '"') return r + 2 - i;
+  return 0;
+}
+
 std::string StripImpl(const std::string& src, bool keep_comments) {
   std::string out = src;
   enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
@@ -44,12 +61,12 @@ std::string StripImpl(const std::string& src, bool keep_comments) {
           blank(i);
           blank(i + 1);
           i += 2;
-        } else if (c == 'R' && next == '"' &&
+        } else if (RawIntroLen(src, i) != 0 &&
                    (i == 0 || (!std::isalnum(static_cast<unsigned char>(
                                    src[i - 1])) &&
                                src[i - 1] != '_'))) {
-          // Raw string literal: R"delim( ... )delim"
-          size_t p = i + 2;
+          // Raw string literal: [u8|u|U|L]R"delim( ... )delim"
+          size_t p = i + RawIntroLen(src, i);
           std::string delim;
           while (p < n && src[p] != '(') delim += src[p++];
           raw_delim = ")" + delim + "\"";
